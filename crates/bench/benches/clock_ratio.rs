@@ -1,0 +1,46 @@
+//! Ablation bench: cost of the §2.2 ratio estimators as the number of
+//! global-clock records grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ute_clock::filter::filter_outliers_default;
+use ute_clock::ratio::{last_pair, rms_all_slopes, rms_segments, PiecewiseFit};
+use ute_clock::sample::ClockSample;
+use ute_core::time::{LocalTime, Time};
+
+fn samples(n: u64) -> Vec<ClockSample> {
+    (0..n)
+        .map(|i| {
+            let g = i * 1_000_000_000;
+            let l = (g as f64 * (1.0 + 25e-6)) as u64 + 123;
+            ClockSample::new(Time(g), LocalTime(l))
+        })
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_ratio");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [100u64, 1_000, 10_000] {
+        let s = samples(n);
+        group.bench_with_input(BenchmarkId::new("rms_segments", n), &s, |b, s| {
+            b.iter(|| rms_segments(s))
+        });
+        group.bench_with_input(BenchmarkId::new("rms_all_slopes", n), &s, |b, s| {
+            b.iter(|| rms_all_slopes(s))
+        });
+        group.bench_with_input(BenchmarkId::new("last_pair", n), &s, |b, s| {
+            b.iter(|| last_pair(s))
+        });
+        group.bench_with_input(BenchmarkId::new("piecewise_fit", n), &s, |b, s| {
+            b.iter(|| PiecewiseFit::fit(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("outlier_filter", n), &s, |b, s| {
+            b.iter(|| filter_outliers_default(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

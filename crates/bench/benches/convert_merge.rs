@@ -1,0 +1,69 @@
+//! Criterion form of Table 1: convert and slogmerge throughput
+//! (events/second ≈ 1 / sec-per-event) at several trace sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ute_cluster::Simulator;
+use ute_convert::convert_job;
+use ute_format::file::FramePolicy;
+use ute_format::profile::Profile;
+use ute_merge::{slogmerge, MergeOptions};
+use ute_slog::builder::BuildOptions;
+use ute_workloads::scaling::scaled_job;
+
+fn bench_utilities(c: &mut Criterion) {
+    let profile = Profile::standard();
+    let mut group = c.benchmark_group("table1_utilities");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for iterations in [256u32, 1024, 4096] {
+        let w = scaled_job(iterations);
+        let sim = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let raw_events: u64 = sim.raw_files.iter().map(|f| f.events.len() as u64).sum();
+        group.throughput(Throughput::Elements(raw_events));
+        group.bench_with_input(
+            BenchmarkId::new("convert", raw_events),
+            &sim,
+            |b, sim| {
+                b.iter(|| {
+                    convert_job(
+                        &sim.raw_files,
+                        &sim.threads,
+                        &profile,
+                        FramePolicy::default(),
+                        false,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let converted = convert_job(
+            &sim.raw_files,
+            &sim.threads,
+            &profile,
+            FramePolicy::default(),
+            false,
+        )
+        .unwrap();
+        let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("slogmerge", raw_events),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    slogmerge(
+                        refs,
+                        &profile,
+                        &MergeOptions::default(),
+                        BuildOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utilities);
+criterion_main!(benches);

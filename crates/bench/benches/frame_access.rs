@@ -1,0 +1,69 @@
+//! Ablation bench: frame-indexed random access vs sequential scan in
+//! interval files of growing size (§2.3.3 / §4 scalability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+use ute_format::file::{FramePolicy, IntervalFileReader, IntervalFileWriter};
+use ute_format::profile::{Profile, MASK_PER_NODE};
+use ute_format::record::{Interval, IntervalType};
+use ute_format::state::StateCode;
+use ute_format::thread_table::ThreadTable;
+
+fn build_file(profile: &Profile, n: u64) -> Vec<u8> {
+    let mut w = IntervalFileWriter::new(
+        profile,
+        MASK_PER_NODE,
+        0,
+        &ThreadTable::new(),
+        &[],
+        FramePolicy::default(),
+    );
+    for i in 0..n {
+        w.push(&Interval::basic(
+            IntervalType::complete(StateCode::RUNNING),
+            i * 1_000,
+            900,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        ))
+        .unwrap();
+    }
+    w.finish()
+}
+
+fn bench_access(c: &mut Criterion) {
+    let profile = Profile::standard();
+    let mut group = c.benchmark_group("frame_access");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    for n in [10_000u64, 40_000, 160_000] {
+        let bytes = build_file(&profile, n);
+        let target = n * 1_000 * 9 / 10;
+        group.bench_with_input(BenchmarkId::new("frame_seek", n), &bytes, |b, bytes| {
+            let reader = IntervalFileReader::open(bytes, &profile).unwrap();
+            b.iter(|| {
+                let e = reader.find_frame(target).unwrap().unwrap();
+                reader.frame_intervals(&e).unwrap().len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seq_scan", n), &bytes, |b, bytes| {
+            let reader = IntervalFileReader::open(bytes, &profile).unwrap();
+            b.iter(|| {
+                let mut count = 0usize;
+                for iv in reader.intervals() {
+                    if iv.unwrap().end() >= target {
+                        break;
+                    }
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! §1.2's motivation bench: intervals are "visualization-friendly". A
+//! viewer rendering a window from *interval* records reads records whose
+//! spans it draws directly; from raw *event* records it must pair begins
+//! with ends first. This bench compares building a window's worth of
+//! drawable spans from each representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ute_core::event::{EventCode, MpiOp};
+use ute_core::time::LocalTime;
+use ute_rawtrace::record::{MpiPayload, RawEvent};
+
+/// Raw event stream: n alternating begin/end pairs.
+fn events(n: u64) -> Vec<RawEvent> {
+    let mut out = Vec::with_capacity(2 * n as usize);
+    let payload = MpiPayload::bare(ute_core::ids::LogicalThreadId(0), 0);
+    for i in 0..n {
+        out.push(RawEvent::new(
+            EventCode::MpiBegin(MpiOp::Send),
+            LocalTime(i * 1_000),
+            payload.to_bytes(),
+        ));
+        out.push(RawEvent::new(
+            EventCode::MpiEnd(MpiOp::Send),
+            LocalTime(i * 1_000 + 700),
+            payload.to_bytes(),
+        ));
+    }
+    out
+}
+
+/// Interval stream: the same activity as (start, duration) pairs.
+fn intervals(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i * 1_000, 700)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_vs_event_window");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        let evs = events(n);
+        let ivs = intervals(n);
+        let w0 = n * 1_000 / 4;
+        let w1 = n * 1_000 / 2;
+        group.bench_with_input(BenchmarkId::new("from_events", n), &evs, |b, evs| {
+            b.iter(|| {
+                // Pair begins with ends, then clip to the window.
+                let mut open: Option<u64> = None;
+                let mut spans = 0usize;
+                for e in evs {
+                    match e.code {
+                        EventCode::MpiBegin(_) => open = Some(e.timestamp.ticks()),
+                        EventCode::MpiEnd(_) => {
+                            if let Some(s) = open.take() {
+                                let t = e.timestamp.ticks();
+                                if s < w1 && t > w0 {
+                                    spans += 1;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                spans
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_intervals", n), &ivs, |b, ivs| {
+            b.iter(|| {
+                // Intervals draw directly.
+                ivs.iter()
+                    .filter(|(s, d)| *s < w1 && s + d > w0)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench for the §3.2 statistics engine: parsing the table language and
+//! evaluating tables over interval streams of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+use ute_format::profile::Profile;
+use ute_format::record::{Interval, IntervalType};
+use ute_format::state::StateCode;
+use ute_stats::{parse_program, run_tables};
+
+fn stream(n: u64) -> Vec<Interval> {
+    (0..n)
+        .map(|i| {
+            let state = if i % 3 == 0 {
+                StateCode::RUNNING
+            } else {
+                StateCode::SYSCALL
+            };
+            Interval::basic(
+                IntervalType::complete(state),
+                i * 1_000,
+                500,
+                CpuId((i % 4) as u16),
+                NodeId((i % 8) as u16),
+                LogicalThreadId(0),
+            )
+        })
+        .collect()
+}
+
+const PROGRAM: &str = r#"
+table name=fig6 condition=(interesting)
+      x=("node", node) x=("bin", bin(start, 50))
+      y=("sum", dura, sum)
+"#;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats_engine");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("parse_program", |b| b.iter(|| parse_program(PROGRAM).unwrap()));
+    let profile = Profile::standard();
+    let specs = parse_program(PROGRAM).unwrap();
+    for n in [10_000u64, 100_000] {
+        let ivs = stream(n);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("run_tables", n), &ivs, |b, ivs| {
+            b.iter(|| run_tables(&specs, &profile, ivs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

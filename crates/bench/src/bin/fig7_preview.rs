@@ -1,0 +1,71 @@
+//! Figure 7: "Jumpshot visualization with preview for the FLASH code" —
+//! the whole-run preview window, then a frame display at a user-selected
+//! instant, located through the time-keyed frame index.
+//!
+//! Paper shape to reproduce: the preview makes the initialization /
+//! iteration / termination phases visible; selecting a time in the middle
+//! displays that frame, with pseudo-interval records completing the
+//! picture; and the frame lookup touches no data outside the frame.
+//!
+//! Run: `cargo run -p ute-bench --bin fig7_preview`
+
+use ute_bench::run_pipeline;
+use ute_slog::builder::BuildOptions;
+use ute_view::model::{frame_view, ViewConfig};
+use ute_view::preview::{interesting_ranges, render_ascii, render_svg};
+use ute_workloads::flash::{workload, FlashParams};
+
+fn main() {
+    let run = run_pipeline(
+        workload(FlashParams::default()),
+        BuildOptions {
+            nframes: 48,
+            preview_bins: 96,
+            arrows: true,
+        },
+    )
+    .unwrap();
+
+    println!("# Figure 7 — whole-run preview\n");
+    print!("{}", render_ascii(&run.slog.preview, 8));
+
+    let ranges = interesting_ranges(&run.slog.preview, 0.2);
+    println!("\ninteresting ranges (the phases the caption points at):");
+    for (a, b) in &ranges {
+        println!("  {a:.3}s – {b:.3}s");
+    }
+    assert!(ranges.len() >= 3, "expected ≥3 busy phases, got {ranges:?}");
+
+    // "The user has selected a time instant in this middle section which
+    // causes the display of the data in the frame containing this
+    // instant."
+    let pick = (ranges[1].0 + ranges[1].1) / 2.0;
+    let t = (pick * 1e9) as u64;
+    let frame = run.slog.frame_at(t).expect("frame index finds the instant");
+    println!(
+        "\nselected t = {pick:.3}s -> frame [{:.3}s, {:.3}s) with {} records ({} pseudo)",
+        frame.t_start as f64 / 1e9,
+        frame.t_end as f64 / 1e9,
+        frame.records.len(),
+        frame.pseudo_count(),
+    );
+    let view = frame_view(&run.slog, t, &ViewConfig::default()).unwrap();
+    print!("{}", ute_view::ascii::render(&view, 100));
+
+    let out = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out).unwrap();
+    std::fs::write(
+        out.join("fig7_preview.svg"),
+        render_svg(&run.slog.preview, 700, 120),
+    )
+    .unwrap();
+    std::fs::write(
+        out.join("fig7_frame.svg"),
+        ute_view::svg::render(&view, &ute_view::svg::SvgOptions::default()),
+    )
+    .unwrap();
+    println!(
+        "\nwrote target/figures/fig7_preview.svg and fig7_frame.svg"
+    );
+    println!("# OK: preview -> frame index -> self-contained frame display");
+}

@@ -1,0 +1,69 @@
+//! Figure 8: "A thread-activity view of the ASCI sPPM benchmark" —
+//! 4 nodes × 8-way SMP, four threads per MPI process, one making MPI
+//! calls.
+//!
+//! Paper shape to reproduce: per-thread timelines showing MPI activity on
+//! the MPI threads, "system activity on the non-MPI threads", and "one
+//! thread is idle during this part of the computation".
+//!
+//! Run: `cargo run -p ute-bench --bin fig8_thread_view`
+
+use std::collections::HashMap;
+
+use ute_bench::run_pipeline;
+use ute_slog::builder::BuildOptions;
+use ute_view::model::{build_view, ViewConfig, ViewKind};
+use ute_workloads::sppm::{workload, SppmParams};
+
+fn main() {
+    let run = run_pipeline(workload(SppmParams::default()), BuildOptions::default()).unwrap();
+    let view = build_view(
+        &run.slog,
+        &ViewConfig {
+            kind: ViewKind::ThreadActivity,
+            ..ViewConfig::default()
+        },
+    )
+    .unwrap();
+
+    println!("# Figure 8 — thread-activity view of the sPPM-like run\n");
+    print!("{}", ute_view::ascii::render(&view, 110));
+
+    let out = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out).unwrap();
+    std::fs::write(
+        out.join("fig8_thread_view.svg"),
+        ute_view::svg::render(&view, &ute_view::svg::SvgOptions::default()),
+    )
+    .unwrap();
+    println!("\nwrote target/figures/fig8_thread_view.svg");
+
+    // Shape checks against the caption.
+    // 4 tasks × 4 threads + 4 daemon timelines.
+    assert_eq!(view.rows.len(), 20, "rows: {:?}", view.rows.len());
+    assert!(
+        view.legend.iter().any(|k| k.starts_with("MPI_")),
+        "MPI activity visible"
+    );
+    assert!(
+        view.legend.iter().any(|k| k == "Syscall" || k == "PageFault" || k == "Interrupt"),
+        "system activity on non-MPI threads visible: {:?}",
+        view.legend
+    );
+    // The idle thread: one user thread per task has (almost) no activity.
+    let mut busy_per_row: HashMap<usize, u64> = HashMap::new();
+    for b in &view.bars {
+        *busy_per_row.entry(b.row).or_insert(0) += b.end - b.start;
+    }
+    let span = view.t1 - view.t0;
+    let idle_rows = view
+        .rows
+        .iter()
+        .enumerate()
+        .filter(|(i, label)| {
+            label.contains("user") && busy_per_row.get(i).copied().unwrap_or(0) < span / 50
+        })
+        .count();
+    assert!(idle_rows >= 4, "expected ≥4 idle worker threads, found {idle_rows}");
+    println!("# OK: MPI threads busy, system activity present, {idle_rows} idle worker threads");
+}

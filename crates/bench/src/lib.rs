@@ -1,0 +1,95 @@
+//! Shared plumbing for the figure/table harness binaries and the
+//! Criterion benchmarks: run a workload through the simulator, convert,
+//! merge, and hand back every intermediate artifact.
+
+use std::time::Instant;
+
+use ute_cluster::{SimResult, Simulator};
+use ute_convert::{convert_job, ConvertOutput};
+use ute_core::error::Result;
+use ute_format::file::FramePolicy;
+use ute_format::profile::Profile;
+use ute_merge::{merge_files, slogmerge, MergeOptions, MergeOutput};
+use ute_slog::builder::BuildOptions;
+use ute_slog::file::SlogFile;
+use ute_workloads::Workload;
+
+/// Every artifact of one end-to-end pipeline run, plus wall-clock timings
+/// of each stage.
+pub struct PipelineRun {
+    /// The profile all files were written against.
+    pub profile: Profile,
+    /// Simulator output (raw trace files + thread table + stats).
+    pub sim: SimResult,
+    /// Per-node conversion outputs.
+    pub converted: Vec<ConvertOutput>,
+    /// Merged interval file.
+    pub merged: MergeOutput,
+    /// SLOG file.
+    pub slog: SlogFile,
+    /// Wall-clock seconds: (simulate, convert, merge, slogmerge).
+    pub timings: (f64, f64, f64, f64),
+}
+
+/// Runs the full pipeline over a workload.
+pub fn run_pipeline(w: Workload, build: BuildOptions) -> Result<PipelineRun> {
+    let profile = Profile::standard();
+    let t0 = Instant::now();
+    let sim = Simulator::new(w.config, &w.job)?.run()?;
+    let t_sim = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let converted = convert_job(
+        &sim.raw_files,
+        &sim.threads,
+        &profile,
+        FramePolicy::default(),
+        false, // sequential: timings must reflect per-event cost
+    )?;
+    let t_convert = t0.elapsed().as_secs_f64();
+
+    let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let t0 = Instant::now();
+    let merged = merge_files(&refs, &profile, &MergeOptions::default())?;
+    let t_merge = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let (slog, _) = slogmerge(&refs, &profile, &MergeOptions::default(), build)?;
+    let t_slogmerge = t0.elapsed().as_secs_f64();
+
+    Ok(PipelineRun {
+        profile,
+        sim,
+        converted,
+        merged,
+        slog,
+        timings: (t_sim, t_convert, t_merge, t_slogmerge),
+    })
+}
+
+/// Total raw events across a run's trace files.
+pub fn total_raw_events(run: &PipelineRun) -> u64 {
+    run.sim.raw_files.iter().map(|f| f.events.len() as u64).sum()
+}
+
+/// Decodes the merged interval stream.
+pub fn merged_intervals(run: &PipelineRun) -> Result<Vec<ute_format::record::Interval>> {
+    let r = ute_format::file::IntervalFileReader::open(&run.merged.merged, &run.profile)?;
+    r.intervals().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_workloads::micro::ping_pong;
+
+    #[test]
+    fn pipeline_helper_produces_all_artifacts() {
+        let run = run_pipeline(ping_pong(4, 1024), BuildOptions::default()).unwrap();
+        assert!(total_raw_events(&run) > 0);
+        assert_eq!(run.converted.len(), 2);
+        assert!(!run.merged.merged.is_empty());
+        assert!(run.slog.total_records() > 0);
+        assert!(!merged_intervals(&run).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,638 @@
+//! # ute-cli — the `ute` command-line tool
+//!
+//! Drives the whole Figure 2 pipeline from a shell:
+//!
+//! ```text
+//! ute trace     --workload sppm --out trace_dir        # run the simulator
+//! ute convert   --in trace_dir                         # raw → interval files
+//! ute merge     --in trace_dir --out merged.ivl        # adjust clocks + merge
+//! ute slogmerge --in trace_dir --out run.slog          # merge into SLOG
+//! ute stats     --merged merged.ivl [--program p.uts]  # tables (TSV)
+//! ute preview   --slog run.slog                        # whole-run preview
+//! ute view      --slog run.slog --kind thread          # time-space diagrams
+//! ute clockfit  --in trace_dir                         # per-node clock fits
+//! ute pipeline  --workload flash --out dir             # everything at once
+//! ```
+//!
+//! Every command is implemented as a library function returning its
+//! textual output so the test suite exercises them end to end.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use ute_clock::ratio::RatioEstimator;
+use ute_cluster::Simulator;
+use ute_convert::convert_job;
+use ute_core::error::{Result, UteError};
+use ute_core::ids::NodeId;
+use ute_format::codecio::{read_thread_table_file, write_thread_table_file};
+use ute_format::file::{FramePolicy, IntervalFileReader};
+use ute_format::profile::Profile;
+use ute_merge::{merge_files, slogmerge, MergeOptions};
+use ute_rawtrace::file::RawTraceFile;
+use ute_slog::builder::BuildOptions;
+use ute_slog::file::SlogFile;
+use ute_stats::predefined::predefined_tables;
+use ute_stats::{parse_program, run_tables};
+use ute_view::model::{build_view, ViewConfig, ViewKind};
+use ute_workloads::{flash, micro, patterns, scaling, sppm, Workload};
+
+/// Parsed `--flag value` arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` and bare `--switch` arguments.
+    pub fn parse(argv: &[String]) -> Result<Args> {
+        let mut a = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let k = &argv[i];
+            if !k.starts_with("--") {
+                return Err(UteError::Invalid(format!("unexpected argument `{k}`")));
+            }
+            let key = k.trim_start_matches("--").to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                a.map.insert(key, argv[i + 1].clone());
+                i += 2;
+            } else {
+                a.flags.push(key);
+                i += 1;
+            }
+        }
+        Ok(a)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str> {
+        self.get(key)
+            .ok_or_else(|| UteError::Invalid(format!("missing required --{key}")))
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| UteError::Invalid(format!("--{key}: bad value `{v}`"))),
+        }
+    }
+}
+
+fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
+    Ok(match name {
+        "sppm" => sppm::workload(sppm::SppmParams::default()),
+        "flash" => flash::workload(flash::FlashParams::default()),
+        "pingpong" => micro::ping_pong(32, 1 << 14),
+        "stencil" => micro::stencil(4, 16, 1 << 12),
+        "allreduce" => micro::allreduce_sweep(4, 10),
+        "wavefront" => patterns::wavefront(6, 12, 4096),
+        "sendrecv" => micro::sendrecv_shift(4, 12, 4096),
+        "masterworker" => patterns::master_worker(4, 8, 8192),
+        "scaling" => scaling::scaled_job(iterations),
+        other => {
+            return Err(UteError::Invalid(format!(
+                "unknown workload `{other}` \
+                 (sppm|flash|pingpong|stencil|allreduce|wavefront|masterworker|scaling)"
+            )))
+        }
+    })
+}
+
+fn estimator_by_name(name: &str) -> Result<RatioEstimator> {
+    Ok(match name {
+        "rms" => RatioEstimator::RmsSegments,
+        "rmsall" => RatioEstimator::RmsAllSlopes,
+        "last" => RatioEstimator::LastPair,
+        "piecewise" => RatioEstimator::Piecewise,
+        other => {
+            return Err(UteError::Invalid(format!(
+                "unknown estimator `{other}` (rms|rmsall|last|piecewise)"
+            )))
+        }
+    })
+}
+
+/// `ute trace`: run a workload, writing raw trace files, the thread
+/// table, and the standard profile into `--out`.
+pub fn cmd_trace(args: &Args) -> Result<String> {
+    let name = args.require("workload")?;
+    let iterations = args.num("iterations", 256u32)?;
+    let out = PathBuf::from(args.require("out")?);
+    std::fs::create_dir_all(&out)?;
+    let w = workload_by_name(name, iterations)?;
+    let res = Simulator::new(w.config, &w.job)?.run()?;
+    for f in &res.raw_files {
+        f.write_to(&out.join(RawTraceFile::file_name("trace", f.node)))?;
+    }
+    write_thread_table_file(&out.join("threads.utt"), &res.threads)?;
+    Profile::standard().write_to(&out.join("profile.ute"))?;
+    Ok(format!(
+        "traced {name}: {} nodes, {} records, {:.6}s simulated, overhead {}\n",
+        res.raw_files.len(),
+        res.stats.events_cut,
+        res.stats.end_time.as_secs_f64(),
+        res.stats.trace_overhead,
+    ))
+}
+
+fn load_raw_dir(dir: &Path) -> Result<(Vec<RawTraceFile>, ute_format::thread_table::ThreadTable, Profile)> {
+    let threads = read_thread_table_file(&dir.join("threads.utt"))?;
+    let profile = Profile::read_from(&dir.join("profile.ute"))?;
+    let mut files = Vec::new();
+    for node in 0u16.. {
+        let p = dir.join(RawTraceFile::file_name("trace", NodeId(node)));
+        if !p.exists() {
+            break;
+        }
+        files.push(RawTraceFile::read_from(&p)?);
+    }
+    if files.is_empty() {
+        return Err(UteError::NotFound(format!(
+            "no trace.N.raw files in {}",
+            dir.display()
+        )));
+    }
+    Ok((files, threads, profile))
+}
+
+/// `ute convert`: raw trace files → per-node interval files.
+pub fn cmd_convert(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let (files, threads, profile) = load_raw_dir(&dir)?;
+    let outputs = convert_job(&files, &threads, &profile, FramePolicy::default(), true)?;
+    let mut msg = String::new();
+    for o in &outputs {
+        let path = dir.join(format!("trace.{}.ivl", o.node.raw()));
+        std::fs::write(&path, &o.interval_file)?;
+        msg.push_str(&format!(
+            "node {}: {} events → {} intervals ({} bytes)\n",
+            o.node,
+            o.stats.events_in,
+            o.stats.intervals_out,
+            o.interval_file.len()
+        ));
+    }
+    Ok(msg)
+}
+
+fn load_interval_files(dir: &Path) -> Result<Vec<Vec<u8>>> {
+    let mut files = Vec::new();
+    for node in 0u16.. {
+        let p = dir.join(format!("trace.{node}.ivl"));
+        if !p.exists() {
+            break;
+        }
+        files.push(std::fs::read(&p)?);
+    }
+    if files.is_empty() {
+        return Err(UteError::NotFound(format!(
+            "no trace.N.ivl files in {} (run `ute convert` first)",
+            dir.display()
+        )));
+    }
+    Ok(files)
+}
+
+fn merge_options(args: &Args) -> Result<MergeOptions> {
+    Ok(MergeOptions {
+        estimator: estimator_by_name(args.get("estimator").unwrap_or("rms"))?,
+        filter_outliers: !args.has("no-filter"),
+        ..MergeOptions::default()
+    })
+}
+
+/// `ute merge`: per-node interval files → one merged interval file.
+pub fn cmd_merge(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let out = PathBuf::from(args.require("out")?);
+    let profile = Profile::read_from(&dir.join("profile.ute"))?;
+    let files = load_interval_files(&dir)?;
+    let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
+    let merged = merge_files(&refs, &profile, &merge_options(args)?)?;
+    std::fs::write(&out, &merged.merged)?;
+    let mut msg = format!(
+        "merged {} files: {} records in, {} out ({} pseudo)\n",
+        files.len(),
+        merged.stats.records_in,
+        merged.stats.records_out,
+        merged.stats.pseudo_added
+    );
+    for f in &merged.stats.fits {
+        msg.push_str(&format!(
+            "  node {}: ratio {:.9} from {} samples\n",
+            f.node,
+            f.fit.ratio(),
+            f.samples_used
+        ));
+    }
+    Ok(msg)
+}
+
+/// `ute slogmerge`: per-node interval files → a SLOG file.
+pub fn cmd_slogmerge(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let out = PathBuf::from(args.require("out")?);
+    let profile = Profile::read_from(&dir.join("profile.ute"))?;
+    let files = load_interval_files(&dir)?;
+    let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
+    let build = BuildOptions {
+        nframes: args.num("frames", 64usize)?,
+        preview_bins: args.num("bins", 128u32)?,
+        arrows: !args.has("no-arrows"),
+    };
+    let (slog, stats) = slogmerge(&refs, &profile, &merge_options(args)?, build)?;
+    slog.write_to(&out)?;
+    Ok(format!(
+        "slogmerge: {} records in, {} merged, {} frames, {} slog records\n",
+        stats.records_in,
+        stats.records_out,
+        slog.frames.len(),
+        slog.total_records()
+    ))
+}
+
+/// `ute stats`: run the statistics utility over a merged interval file.
+pub fn cmd_stats(args: &Args) -> Result<String> {
+    let merged = std::fs::read(args.require("merged")?)?;
+    let profile_path = args
+        .get("profile")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(args.get("merged").unwrap())
+                .parent()
+                .unwrap_or(Path::new("."))
+                .join("profile.ute")
+        });
+    let profile = Profile::read_from(&profile_path)?;
+    let reader = IntervalFileReader::open(&merged, &profile)?;
+    let intervals: Result<Vec<_>> = reader.intervals().collect();
+    let intervals = intervals?;
+    let specs = match args.get("program") {
+        Some(p) => parse_program(&std::fs::read_to_string(p)?)?,
+        None => predefined_tables(),
+    };
+    let tables = run_tables(&specs, &profile, &intervals)?;
+    let out_dir = args.get("out").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut msg = String::new();
+    for t in &tables {
+        msg.push_str(&format!("=== {} ===\n", t.name));
+        if t.x_labels.first().map(String::as_str) == Some("routine") {
+            msg.push_str(&ute_stats::viewer::named_routine_table(t)?);
+        } else {
+            msg.push_str(&t.to_tsv());
+        }
+        if t.x_labels.len() == 2 {
+            if let Ok(hm) = ute_stats::viewer::heatmap_ascii(t, 0) {
+                msg.push_str(&hm);
+            }
+        }
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join(format!("{}.tsv", t.name)), t.to_tsv())?;
+            if t.x_labels.len() == 2 {
+                if let Ok(svg) = ute_stats::viewer::heatmap_svg(t, 0, 10) {
+                    std::fs::write(dir.join(format!("{}.svg", t.name)), svg)?;
+                }
+            }
+            msg.push_str(&format!("wrote {}/{}.tsv\n", dir.display(), t.name));
+        }
+        msg.push('\n');
+    }
+    Ok(msg)
+}
+
+/// `ute preview`: render the whole-run preview of a SLOG file.
+pub fn cmd_preview(args: &Args) -> Result<String> {
+    let slog = SlogFile::read_from(Path::new(args.require("slog")?))?;
+    let mut msg = ute_view::preview::render_ascii(&slog.preview, 8);
+    let ranges = ute_view::preview::interesting_ranges(&slog.preview, 0.25);
+    msg.push_str("interesting ranges:");
+    for (a, b) in ranges {
+        msg.push_str(&format!(" [{a:.3}s..{b:.3}s]"));
+    }
+    msg.push('\n');
+    if let Some(svg_path) = args.get("svg") {
+        std::fs::write(svg_path, ute_view::preview::render_svg(&slog.preview, 600, 120))?;
+        msg.push_str(&format!("wrote {svg_path}\n"));
+    }
+    Ok(msg)
+}
+
+/// `ute view`: render a time-space diagram of a SLOG file.
+pub fn cmd_view(args: &Args) -> Result<String> {
+    let slog = SlogFile::read_from(Path::new(args.require("slog")?))?;
+    let kind = match args.get("kind").unwrap_or("thread") {
+        "thread" => ViewKind::ThreadActivity,
+        "cpu" => ViewKind::ProcessorActivity,
+        "threadcpu" => ViewKind::ThreadProcessor,
+        "cputhread" => ViewKind::ProcessorThread,
+        "type" => ViewKind::TypeActivity,
+        other => {
+            return Err(UteError::Invalid(format!(
+                "unknown view kind `{other}` (thread|cpu|threadcpu|cputhread|type)"
+            )))
+        }
+    };
+    let window = match args.get("window") {
+        None => None,
+        Some(w) => {
+            let (a, b) = w
+                .split_once(',')
+                .ok_or_else(|| UteError::Invalid("--window wants `start,end` seconds".into()))?;
+            let a: f64 = a.parse().map_err(|_| UteError::Invalid("bad window start".into()))?;
+            let b: f64 = b.parse().map_err(|_| UteError::Invalid("bad window end".into()))?;
+            Some(((a * 1e9) as u64, (b * 1e9) as u64))
+        }
+    };
+    let cfg = ViewConfig {
+        kind,
+        window,
+        connected: args.has("connected"),
+        hide_running: args.has("hide-running"),
+        cpus_per_node: args.get("cpus").map(|c| c.parse().unwrap_or(0)).filter(|&c| c > 0),
+        ..ViewConfig::default()
+    };
+    let view = match args.get("frame-at") {
+        Some(t) => {
+            let secs: f64 = t
+                .parse()
+                .map_err(|_| UteError::Invalid("--frame-at wants seconds".into()))?;
+            ute_view::model::frame_view(&slog, (secs * 1e9) as u64, &cfg)?
+        }
+        None => build_view(&slog, &cfg)?,
+    };
+    let mut msg = ute_view::ascii::render(&view, args.num("width", 100usize)?);
+    if let Some(svg_path) = args.get("svg") {
+        std::fs::write(
+            svg_path,
+            ute_view::svg::render(&view, &ute_view::svg::SvgOptions::default()),
+        )?;
+        msg.push_str(&format!("wrote {svg_path}\n"));
+    }
+    Ok(msg)
+}
+
+/// `ute clockfit`: print per-node clock fits from per-node interval files.
+pub fn cmd_clockfit(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let profile = Profile::read_from(&dir.join("profile.ute"))?;
+    let files = load_interval_files(&dir)?;
+    let estimator = estimator_by_name(args.get("estimator").unwrap_or("rms"))?;
+    let mut msg = String::new();
+    for bytes in &files {
+        let reader = IntervalFileReader::open(bytes, &profile)?;
+        let nf = ute_merge::clockfit::fit_node(&reader, &profile, estimator, !args.has("no-filter"))?;
+        let r = nf.fit.ratio();
+        msg.push_str(&format!(
+            "node {}: ratio {:.9} (drift {:+.3} ppm), {} samples\n",
+            nf.node,
+            r,
+            (1.0 / r - 1.0) * 1e6,
+            nf.samples_used,
+        ));
+    }
+    Ok(msg)
+}
+
+/// `ute pipeline`: trace → convert → merge → slogmerge → stats in one go.
+pub fn cmd_pipeline(args: &Args) -> Result<String> {
+    let mut msg = cmd_trace(args)?;
+    let out = args.require("out")?.to_string();
+    let sub = |pairs: Vec<(&str, String)>| -> Args {
+        let mut a = Args::default();
+        for (k, v) in pairs {
+            a.map.insert(k.to_string(), v);
+        }
+        a
+    };
+    msg.push_str(&cmd_convert(&sub(vec![("in", out.clone())]))?);
+    msg.push_str(&cmd_merge(&sub(vec![
+        ("in", out.clone()),
+        ("out", format!("{out}/merged.ivl")),
+    ]))?);
+    msg.push_str(&cmd_slogmerge(&sub(vec![
+        ("in", out.clone()),
+        ("out", format!("{out}/run.slog")),
+    ]))?);
+    msg.push_str(&cmd_stats(&sub(vec![(
+        "merged",
+        format!("{out}/merged.ivl"),
+    )]))?);
+    Ok(msg)
+}
+
+/// Dispatches one invocation.
+pub fn run(argv: &[String]) -> Result<String> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| UteError::Invalid(USAGE.trim().to_string()))?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "trace" => cmd_trace(&args),
+        "convert" => cmd_convert(&args),
+        "merge" => cmd_merge(&args),
+        "slogmerge" => cmd_slogmerge(&args),
+        "stats" => cmd_stats(&args),
+        "preview" => cmd_preview(&args),
+        "view" => cmd_view(&args),
+        "clockfit" => cmd_clockfit(&args),
+        "pipeline" => cmd_pipeline(&args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(UteError::Invalid(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ute — Unified Trace Environment (SC 2000 reproduction)
+
+commands:
+  trace     --workload NAME --out DIR [--iterations N]
+  convert   --in DIR
+  merge     --in DIR --out FILE [--estimator rms|rmsall|last|piecewise] [--no-filter]
+  slogmerge --in DIR --out FILE [--frames N] [--bins N] [--no-arrows]
+  stats     --merged FILE [--profile FILE] [--program FILE] [--out DIR]
+  preview   --slog FILE [--svg FILE]
+  view      --slog FILE [--kind thread|cpu|threadcpu|cputhread|type]
+            [--window a,b] [--frame-at t] [--connected] [--hide-running]
+            [--cpus N] [--width N] [--svg FILE]
+  clockfit  --in DIR [--estimator ...] [--no-filter]
+  pipeline  --workload NAME --out DIR [--iterations N]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)], flags: &[&str]) -> Args {
+        let mut a = Args::default();
+        for (k, v) in pairs {
+            a.map.insert(k.to_string(), v.to_string());
+        }
+        a.flags = flags.iter().map(|s| s.to_string()).collect();
+        a
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ute_cli_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn args_parse() {
+        let argv: Vec<String> = ["--in", "x", "--no-filter", "--frames", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse(&argv).unwrap();
+        assert_eq!(a.get("in"), Some("x"));
+        assert!(a.has("no-filter"));
+        assert_eq!(a.num("frames", 0usize).unwrap(), 8);
+        assert_eq!(a.num("bins", 99u32).unwrap(), 99);
+        assert!(a.require("out").is_err());
+        assert!(Args::parse(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_cli() {
+        let dir = tmpdir("pipeline");
+        let out = dir.to_str().unwrap();
+        let msg = cmd_pipeline(&args(
+            &[("workload", "pingpong"), ("out", out)],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("traced pingpong"));
+        assert!(msg.contains("merged 2 files"));
+        assert!(msg.contains("slogmerge:"));
+        assert!(msg.contains("mpi_by_routine"));
+        // Artifacts exist.
+        for f in ["trace.0.raw", "trace.0.ivl", "merged.ivl", "run.slog", "profile.ute", "threads.utt"] {
+            assert!(dir.join(f).exists(), "missing {f}");
+        }
+        // Views render from the produced SLOG.
+        let v = cmd_view(&args(
+            &[("slog", &format!("{out}/run.slog")), ("kind", "thread")],
+            &["hide-running"],
+        ))
+        .unwrap();
+        assert!(v.contains("legend:"), "{v}");
+        let p = cmd_preview(&args(&[("slog", &format!("{out}/run.slog"))], &[])).unwrap();
+        assert!(p.contains("interesting ranges:"));
+        let c = cmd_clockfit(&args(&[("in", out)], &[])).unwrap();
+        assert!(c.contains("node 0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_workload() {
+        assert!(run(&["bogus".to_string()]).is_err());
+        let e = cmd_trace(&args(&[("workload", "bogus"), ("out", "/tmp/x")], &[]))
+            .unwrap_err();
+        assert!(e.to_string().contains("unknown workload"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let msg = run(&["help".to_string()]).unwrap();
+        assert!(msg.contains("slogmerge"));
+    }
+
+    #[test]
+    fn custom_stats_program_via_cli() {
+        let dir = tmpdir("stats");
+        let out = dir.to_str().unwrap();
+        cmd_pipeline(&args(&[("workload", "allreduce"), ("out", out)], &[])).unwrap();
+        let prog = dir.join("prog.uts");
+        std::fs::write(
+            &prog,
+            "table name=by_node x=(\"node\", node) y=(\"time\", dura, sum)",
+        )
+        .unwrap();
+        let msg = cmd_stats(&args(
+            &[
+                ("merged", &format!("{out}/merged.ivl")),
+                ("program", prog.to_str().unwrap()),
+            ],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("=== by_node ==="));
+        assert!(msg.lines().any(|l| l.starts_with("node\ttime")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod extended_cli_tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)], flags: &[&str]) -> Args {
+        let mut a = Args::default();
+        for (k, v) in pairs {
+            a.map.insert(k.to_string(), v.to_string());
+        }
+        a.flags = flags.iter().map(|s| s.to_string()).collect();
+        a
+    }
+
+    #[test]
+    fn frame_at_and_stats_out_dir() {
+        let dir = std::env::temp_dir().join(format!("ute_cli_ext_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.to_str().unwrap().to_string();
+        cmd_pipeline(&args(&[("workload", "stencil"), ("out", &out)], &[])).unwrap();
+        // Frame-at view through the CLI.
+        let v = cmd_view(&args(
+            &[
+                ("slog", &format!("{out}/run.slog")),
+                ("frame-at", "0.01"),
+                ("kind", "thread"),
+            ],
+            &["connected", "hide-running"],
+        ))
+        .unwrap();
+        assert!(v.contains("legend:"), "{v}");
+        // Stats with an output directory writes TSVs.
+        let stats_dir = dir.join("tables");
+        let msg = cmd_stats(&args(
+            &[
+                ("merged", &format!("{out}/merged.ivl")),
+                ("out", stats_dir.to_str().unwrap()),
+            ],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        assert!(stats_dir.join("mpi_by_routine.tsv").exists());
+        assert!(stats_dir.join("interesting_by_node_bin.svg").exists());
+        // Piecewise estimator available through merge.
+        let m = cmd_merge(&args(
+            &[
+                ("in", &out),
+                ("out", &format!("{out}/merged_pw.ivl")),
+                ("estimator", "piecewise"),
+            ],
+            &[],
+        ))
+        .unwrap();
+        assert!(m.contains("merged"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! The `ute` binary. All logic lives in the library so the test suite can
+//! drive it; this shim only handles process plumbing.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match ute_cli::run(&argv) {
+        Ok(msg) => print!("{msg}"),
+        Err(e) => {
+            eprintln!("ute: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure 1 reproduction: accumulated timestamp discrepancies.
+//!
+//! "Figure 1 shows the accumulated timestamp discrepancies among 4 local
+//! clocks over a period of roughly 140 seconds. ... The elapsed time of a
+//! reference clock is used as the x axis. It can be seen that the
+//! accumulated discrepancies increase as the elapsed time increases,
+//! regardless of the reference clock."
+//!
+//! [`discrepancy_series`] runs a set of modelled local clocks side by side
+//! and reports, for each sampling instant, every clock's deviation from the
+//! chosen reference clock. The output is what the figure plots.
+
+use ute_core::time::{Duration, Time};
+
+use crate::drift::{ClockParams, LocalClock};
+
+/// One row of the Figure-1 data: the reference clock's elapsed time and
+/// each clock's deviation from the reference, in ticks (signed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscrepancyRow {
+    /// Elapsed time on the reference clock since the first sample, ticks.
+    pub reference_elapsed: u64,
+    /// `clock_i elapsed − reference elapsed` for every clock, in ticks
+    /// (including the reference itself, which is identically zero).
+    pub deviation: Vec<i64>,
+}
+
+/// Computes accumulated discrepancy series for a set of clocks.
+///
+/// * `clocks` — parameters for each local clock (e.g. 4 nodes).
+/// * `reference` — index of the reference clock (x axis).
+/// * `span` — total observed true time (the paper used ~140 s).
+/// * `period` — sampling period.
+///
+/// All clocks are read at the same true instants; deviations are measured
+/// between *elapsed* times so constant power-up offsets cancel, exactly as
+/// in the figure (which starts every curve at zero).
+pub fn discrepancy_series(
+    clocks: &[ClockParams],
+    reference: usize,
+    span: Duration,
+    period: Duration,
+) -> Vec<DiscrepancyRow> {
+    assert!(reference < clocks.len(), "reference index out of range");
+    assert!(period > Duration::ZERO, "period must be positive");
+    let mut instances: Vec<LocalClock> = clocks.iter().cloned().map(LocalClock::new).collect();
+    let first: Vec<u64> = instances
+        .iter_mut()
+        .map(|c| c.read(Time::ZERO).ticks())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut t = Time::ZERO;
+    while t.ticks() <= span.ticks() {
+        let readings: Vec<u64> = instances.iter_mut().map(|c| c.read(t).ticks()).collect();
+        let ref_elapsed = readings[reference] - first[reference];
+        let deviation = readings
+            .iter()
+            .zip(&first)
+            .map(|(r, f)| (r - f) as i64 - ref_elapsed as i64)
+            .collect();
+        rows.push(DiscrepancyRow {
+            reference_elapsed: ref_elapsed,
+            deviation,
+        });
+        t += period;
+    }
+    rows
+}
+
+/// The paper's Figure-1 scenario: four nodes with distinct crystal errors,
+/// observed for 140 seconds at 1-second sampling.
+pub fn figure1_default_params() -> Vec<ClockParams> {
+    vec![
+        ClockParams {
+            offset_ticks: 0,
+            freq_error_ppm: 0.0,
+            temp_walk_ppm: 0.05,
+            temp_bound_ppm: 0.5,
+            seed: 11,
+            ..ClockParams::default()
+        },
+        ClockParams {
+            offset_ticks: 180_000,
+            freq_error_ppm: 14.0,
+            temp_walk_ppm: 0.05,
+            temp_bound_ppm: 0.5,
+            seed: 22,
+            ..ClockParams::default()
+        },
+        ClockParams {
+            offset_ticks: -90_000,
+            freq_error_ppm: -9.0,
+            temp_walk_ppm: 0.05,
+            temp_bound_ppm: 0.5,
+            seed: 33,
+            ..ClockParams::default()
+        },
+        ClockParams {
+            offset_ticks: 40_000,
+            freq_error_ppm: 31.0,
+            temp_walk_ppm: 0.05,
+            temp_bound_ppm: 0.5,
+            seed: 44,
+            ..ClockParams::default()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_deviation_is_zero() {
+        let rows = discrepancy_series(
+            &figure1_default_params(),
+            0,
+            Duration::from_secs(140),
+            Duration::from_secs(1),
+        );
+        assert_eq!(rows.len(), 141);
+        for r in &rows {
+            assert_eq!(r.deviation[0], 0);
+            assert_eq!(r.deviation.len(), 4);
+        }
+    }
+
+    #[test]
+    fn discrepancy_grows_with_elapsed_time() {
+        // The figure's headline property: |deviation| increases over time
+        // for clocks with a different rate than the reference.
+        let rows = discrepancy_series(
+            &figure1_default_params(),
+            0,
+            Duration::from_secs(140),
+            Duration::from_secs(1),
+        );
+        for clock in 1..4 {
+            let early = rows[10].deviation[clock].abs();
+            let late = rows[140].deviation[clock].abs();
+            assert!(
+                late > early * 5,
+                "clock {clock}: expected growth, early {early} late {late}"
+            );
+        }
+        // +14 ppm clock gains ~14 µs/s ⇒ ~1.96 ms at 140 s.
+        let gained = rows[140].deviation[1];
+        assert!(
+            (gained - 1_960_000).abs() < 200_000,
+            "clock 1 gained {gained} ticks"
+        );
+    }
+
+    #[test]
+    fn property_holds_regardless_of_reference() {
+        // "regardless of the reference clock" — re-run with reference 2.
+        let rows = discrepancy_series(
+            &figure1_default_params(),
+            2,
+            Duration::from_secs(140),
+            Duration::from_secs(1),
+        );
+        for clock in [0usize, 1, 3] {
+            let early = rows[10].deviation[clock].abs();
+            let late = rows[140].deviation[clock].abs();
+            assert!(late > early, "clock {clock} vs reference 2");
+        }
+        for r in &rows {
+            assert_eq!(r.deviation[2], 0);
+        }
+    }
+
+    #[test]
+    fn offsets_cancel_in_elapsed_deviation() {
+        // Two clocks with identical rate but different power-up offsets
+        // must show zero accumulated discrepancy.
+        let clocks = vec![
+            ClockParams::with_ppm(10.0, 0),
+            ClockParams::with_ppm(10.0, 5_000),
+        ];
+        let rows = discrepancy_series(&clocks, 0, Duration::from_secs(50), Duration::from_secs(5));
+        for r in &rows {
+            assert!(r.deviation[1].abs() <= 1, "offset leaked: {}", r.deviation[1]);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Drifting local clock model.
+//!
+//! Figure 1 of the paper shows that the accumulated discrepancy between
+//! local clocks grows roughly linearly with elapsed time, because "the
+//! frequency of a clock crystal is directly related to its temperature. It
+//! remains more or less constant unless its temperature changes
+//! dramatically" (§2.2). The model here captures exactly that: a constant
+//! parts-per-million frequency error (the dominant term), a slow bounded
+//! random walk of that frequency standing in for temperature variation, and
+//! read quantization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ute_core::time::{Duration, LocalTime, Time, TICKS_PER_SEC};
+
+/// Static description of one node's local clock.
+#[derive(Debug, Clone)]
+pub struct ClockParams {
+    /// Local reading at true time zero, in ticks (power-up offset).
+    pub offset_ticks: i64,
+    /// Constant frequency error in parts per million. Positive means the
+    /// local clock runs fast. Typical crystal errors are ±1–50 ppm.
+    pub freq_error_ppm: f64,
+    /// Standard deviation of the per-second random walk applied to the
+    /// frequency error (temperature wander), in ppm. Zero disables it.
+    pub temp_walk_ppm: f64,
+    /// The walk is clamped to `freq_error_ppm ± temp_bound_ppm`.
+    pub temp_bound_ppm: f64,
+    /// Read quantization in ticks (timer resolution). Zero or one means
+    /// full nanosecond resolution.
+    pub read_quantum_ticks: u64,
+    /// Seed for the temperature walk.
+    pub seed: u64,
+}
+
+impl Default for ClockParams {
+    fn default() -> Self {
+        ClockParams {
+            offset_ticks: 0,
+            freq_error_ppm: 0.0,
+            temp_walk_ppm: 0.0,
+            temp_bound_ppm: 0.0,
+            read_quantum_ticks: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl ClockParams {
+    /// A perfect clock: no offset, no drift, full resolution.
+    pub fn perfect() -> ClockParams {
+        ClockParams::default()
+    }
+
+    /// A typical crystal with the given constant ppm error and power-up
+    /// offset in microseconds.
+    pub fn with_ppm(freq_error_ppm: f64, offset_us: i64) -> ClockParams {
+        ClockParams {
+            offset_ticks: offset_us * 1_000,
+            freq_error_ppm,
+            ..ClockParams::default()
+        }
+    }
+}
+
+/// A node's free-running local clock.
+///
+/// The clock integrates its (slowly wandering) rate over true time. Reads
+/// must be issued with non-decreasing true time; the returned local
+/// timestamps are guaranteed non-decreasing (a real counter register never
+/// runs backwards).
+#[derive(Debug, Clone)]
+pub struct LocalClock {
+    params: ClockParams,
+    rng: SmallRng,
+    /// True time of the last rate-walk checkpoint, in ticks.
+    walk_at: u64,
+    /// Current frequency error in ppm (wanders if temp_walk_ppm > 0).
+    current_ppm: f64,
+    /// Accumulated local ticks (may lag/lead true time) at `walk_at`,
+    /// excluding the power-up offset, as an exact float integral.
+    accumulated: f64,
+    /// Last value returned, to enforce monotonicity under quantization.
+    last_read: u64,
+}
+
+/// The temperature walk is re-evaluated once per simulated second.
+const WALK_STEP_TICKS: u64 = TICKS_PER_SEC;
+
+impl LocalClock {
+    /// Builds a clock from its parameters.
+    pub fn new(params: ClockParams) -> LocalClock {
+        let rng = SmallRng::seed_from_u64(params.seed ^ 0x5eed_c10c);
+        LocalClock {
+            current_ppm: params.freq_error_ppm,
+            params,
+            rng,
+            walk_at: 0,
+            accumulated: 0.0,
+            last_read: 0,
+        }
+    }
+
+    /// Current effective rate (local ticks per true tick).
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        1.0 + self.current_ppm * 1e-6
+    }
+
+    /// The static parameters this clock was built with.
+    pub fn params(&self) -> &ClockParams {
+        &self.params
+    }
+
+    /// Advances the rate walk up to true-time tick `now`.
+    fn advance(&mut self, now: u64) {
+        while self.walk_at + WALK_STEP_TICKS <= now {
+            self.accumulated += WALK_STEP_TICKS as f64 * self.rate();
+            self.walk_at += WALK_STEP_TICKS;
+            if self.params.temp_walk_ppm > 0.0 {
+                // Gaussian-ish step from the sum of uniforms (Irwin–Hall,
+                // n=3 is plenty for a bounded walk).
+                let u: f64 = (0..3).map(|_| self.rng.gen_range(-1.0..1.0)).sum::<f64>() / 3.0;
+                self.current_ppm += u * self.params.temp_walk_ppm;
+                let lo = self.params.freq_error_ppm - self.params.temp_bound_ppm;
+                let hi = self.params.freq_error_ppm + self.params.temp_bound_ppm;
+                self.current_ppm = self.current_ppm.clamp(lo, hi);
+            }
+        }
+    }
+
+    /// Reads the clock at simulator true time `now`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `now` precedes an earlier read's true time.
+    pub fn read(&mut self, now: Time) -> LocalTime {
+        let now_ticks = now.ticks();
+        debug_assert!(
+            now_ticks >= self.walk_at.saturating_sub(WALK_STEP_TICKS),
+            "clock read went backwards in true time"
+        );
+        self.advance(now_ticks);
+        let partial = (now_ticks - self.walk_at) as f64 * self.rate();
+        let raw = self.params.offset_ticks as f64 + self.accumulated + partial;
+        let mut ticks = if raw <= 0.0 { 0 } else { raw as u64 };
+        let q = self.params.read_quantum_ticks.max(1);
+        ticks -= ticks % q;
+        // The hardware counter is monotone even when quantization would
+        // round a later read below an earlier one.
+        if ticks < self.last_read {
+            ticks = self.last_read;
+        }
+        self.last_read = ticks;
+        LocalTime(ticks)
+    }
+
+    /// The exact (un-quantized) local reading for a true time, ignoring the
+    /// temperature walk — used by tests and by the discrepancy analysis to
+    /// compute closed-form expectations.
+    pub fn ideal_reading(params: &ClockParams, now: Time) -> f64 {
+        params.offset_ticks as f64 + now.ticks() as f64 * (1.0 + params.freq_error_ppm * 1e-6)
+    }
+
+    /// Elapsed local time between two true-time instants under the constant
+    /// part of the drift (no walk).
+    pub fn ideal_elapsed(params: &ClockParams, span: Duration) -> f64 {
+        span.ticks() as f64 * (1.0 + params.freq_error_ppm * 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_tracks_true_time() {
+        let mut c = LocalClock::new(ClockParams::perfect());
+        for s in [0u64, 1, 5, 140] {
+            let t = Time(s * TICKS_PER_SEC);
+            assert_eq!(c.read(t).ticks(), t.ticks());
+        }
+    }
+
+    #[test]
+    fn constant_ppm_drift_accumulates_linearly() {
+        // +20 ppm over 100 s should gain 2 ms.
+        let mut c = LocalClock::new(ClockParams::with_ppm(20.0, 0));
+        let t = Time(100 * TICKS_PER_SEC);
+        let local = c.read(t);
+        let gained = local.ticks() as i64 - t.ticks() as i64;
+        let expect = (100.0 * 20e-6 * TICKS_PER_SEC as f64) as i64;
+        assert!(
+            (gained - expect).abs() < 1_000,
+            "gained {gained}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn offset_applies_at_time_zero() {
+        let mut c = LocalClock::new(ClockParams::with_ppm(0.0, 250));
+        assert_eq!(c.read(Time::ZERO).ticks(), 250_000);
+    }
+
+    #[test]
+    fn negative_drift_lags() {
+        let mut c = LocalClock::new(ClockParams::with_ppm(-50.0, 0));
+        let t = Time(10 * TICKS_PER_SEC);
+        assert!(c.read(t).ticks() < t.ticks());
+    }
+
+    #[test]
+    fn reads_are_monotone_under_quantization() {
+        let mut p = ClockParams::with_ppm(-30.0, 0);
+        p.read_quantum_ticks = 1_000; // microsecond timer
+        let mut c = LocalClock::new(p);
+        let mut last = 0;
+        for i in 0..10_000u64 {
+            let v = c.read(Time(i * 123_457)).ticks();
+            assert!(v >= last, "clock ran backwards at read {i}");
+            assert_eq!(v % 1_000, 0, "quantization violated");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn temperature_walk_stays_bounded() {
+        let mut p = ClockParams::with_ppm(10.0, 0);
+        p.temp_walk_ppm = 0.5;
+        p.temp_bound_ppm = 2.0;
+        p.seed = 42;
+        let mut c = LocalClock::new(p);
+        for s in 1..=600u64 {
+            c.read(Time(s * TICKS_PER_SEC));
+            assert!(
+                (c.current_ppm - 10.0).abs() <= 2.0 + 1e-9,
+                "walk escaped bounds: {}",
+                c.current_ppm
+            );
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let mut p = ClockParams::with_ppm(5.0, 0);
+        p.temp_walk_ppm = 0.2;
+        p.temp_bound_ppm = 1.0;
+        p.seed = 7;
+        let mut a = LocalClock::new(p.clone());
+        let mut b = LocalClock::new(p);
+        for s in 1..=50u64 {
+            let t = Time(s * TICKS_PER_SEC + 17);
+            assert_eq!(a.read(t), b.read(t));
+        }
+    }
+
+    #[test]
+    fn ideal_reading_matches_constant_model() {
+        let p = ClockParams::with_ppm(20.0, 100);
+        let mut c = LocalClock::new(p.clone());
+        let t = Time(50 * TICKS_PER_SEC);
+        let ideal = LocalClock::ideal_reading(&p, t);
+        let actual = c.read(t).ticks() as f64;
+        assert!((ideal - actual).abs() < 2.0, "ideal {ideal} vs actual {actual}");
+    }
+}

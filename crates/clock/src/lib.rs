@@ -1,0 +1,35 @@
+//! # ute-clock — clocks and clock synchronization
+//!
+//! The paper's framework runs on an IBM SP whose nodes carry free-running
+//! local crystal clocks, while the SP switch adapter exposes a globally
+//! synchronized clock that is expensive to read (§2.2). Since we have no SP
+//! hardware, this crate provides a faithful *model* of both:
+//!
+//! * [`drift::LocalClock`] — a per-node clock with an initial offset, a
+//!   parts-per-million frequency error, a slow temperature random walk of
+//!   that frequency, and read quantization. Reading it converts simulator
+//!   true time into local ticks.
+//! * [`global::GlobalClock`] — the switch-adapter clock: true time with a
+//!   coarser read quantum and a (modelled) higher access cost.
+//! * [`sample`] — periodic (global, local) timestamp pairs, the
+//!   "global clock records" each node's sampler thread cuts, including the
+//!   deschedule-between-reads outlier the paper's §5 warns about.
+//! * [`ratio`] — the estimators the merge utility uses to turn those pairs
+//!   into a global-to-local ratio `R`: the paper's choice (root mean square
+//!   of adjacent slope segments), the rejected RMS-of-all-slopes variant,
+//!   the last-pair slope, and the piecewise per-segment fit.
+//! * [`filter`] — outlier rejection for clock samples.
+//! * [`discrepancy`] — reproduces Figure 1: accumulated timestamp
+//!   discrepancies among local clocks against a reference clock.
+
+pub mod discrepancy;
+pub mod drift;
+pub mod filter;
+pub mod global;
+pub mod ratio;
+pub mod sample;
+
+pub use drift::{ClockParams, LocalClock};
+pub use global::GlobalClock;
+pub use ratio::{ClockFit, PiecewiseFit, RatioEstimator};
+pub use sample::ClockSample;

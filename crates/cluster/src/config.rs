@@ -1,0 +1,229 @@
+//! Cluster configuration.
+
+use ute_clock::drift::ClockParams;
+use ute_clock::global::GlobalClock;
+use ute_core::time::Duration;
+use ute_rawtrace::buffer::TraceOptions;
+
+/// The switch network model: a message of `b` bytes sent at time `t`
+/// occupies the sender for `overhead + b/bandwidth` and arrives at
+/// `t + overhead + b/bandwidth + latency`.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Per-message software overhead on the sender.
+    pub overhead: Duration,
+    /// Wire latency through the switch.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // SP-era switch: ~25 µs latency, ~150 MB/s links, ~5 µs overhead.
+        NetworkModel {
+            overhead: Duration::from_micros(5),
+            latency: Duration::from_micros(25),
+            bandwidth: 150_000_000,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Sender-side occupation for a message of `bytes`.
+    pub fn send_time(&self, bytes: u64) -> Duration {
+        self.overhead + self.transfer_time(bytes)
+    }
+
+    /// Pure transfer time of `bytes` at link bandwidth.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        if self.bandwidth == 0 {
+            Duration::ZERO
+        } else {
+            Duration(
+                (bytes as u128 * ute_core::time::TICKS_PER_SEC as u128 / self.bandwidth as u128)
+                    as u64,
+            )
+        }
+    }
+
+    /// Completion time model for a collective over `ntasks` tasks moving
+    /// `bytes` per task: a log₂-tree of point-to-point steps.
+    pub fn collective_time(&self, ntasks: u32, bytes: u64) -> Duration {
+        let rounds = 32 - ntasks.max(1).leading_zeros(); // ceil(log2)+1-ish
+        let per_round = self.latency + self.transfer_time(bytes) + self.overhead;
+        Duration(per_round.ticks() * rounds.max(1) as u64)
+    }
+}
+
+/// Full description of the simulated machine and its tracing setup.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of SMP nodes.
+    pub nodes: u16,
+    /// CPUs per node.
+    pub cpus_per_node: u16,
+    /// MPI tasks placed on each node (ranks are dealt round-robin by
+    /// node-major order: node 0 gets ranks 0..tasks_per_node, etc.).
+    pub tasks_per_node: u16,
+    /// Threads per task; thread 0 is the task's MPI thread.
+    pub threads_per_task: u16,
+    /// Scheduler time quantum.
+    pub quantum: Duration,
+    /// Cost of a context switch (charged on every dispatch).
+    pub ctx_switch: Duration,
+    /// The switch network.
+    pub network: NetworkModel,
+    /// Global-clock sampling period per node (§2.2). Zero disables.
+    pub clock_sample_period: Duration,
+    /// If `Some(k)`, every k-th clock sample on every node suffers a
+    /// deschedule between the global and local reads (the §5 outlier).
+    pub clock_outlier_every: Option<usize>,
+    /// Deschedule length injected into outlier clock samples.
+    pub clock_outlier_delay: Duration,
+    /// Per-node local clock parameters; cycled if shorter than `nodes`.
+    pub clock_params: Vec<ClockParams>,
+    /// The switch-adapter global clock.
+    pub global_clock: GlobalClock,
+    /// Trace options applied on every node.
+    pub trace: TraceOptions,
+    /// Number of system daemon threads per node (they wake periodically
+    /// and burn a short CPU burst, cutting system events).
+    pub daemons_per_node: u16,
+    /// Daemon wake period.
+    pub daemon_period: Duration,
+    /// Daemon burst length.
+    pub daemon_burst: Duration,
+    /// Master seed for deterministic clock/daemon jitter.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            cpus_per_node: 4,
+            tasks_per_node: 1,
+            threads_per_task: 4,
+            quantum: Duration::from_millis(10),
+            ctx_switch: Duration::from_micros(5),
+            network: NetworkModel::default(),
+            clock_sample_period: Duration::from_secs(1),
+            clock_outlier_every: None,
+            clock_outlier_delay: Duration::from_millis(2),
+            clock_params: Vec::new(),
+            global_clock: GlobalClock::default(),
+            trace: TraceOptions::default(),
+            daemons_per_node: 1,
+            daemon_period: Duration::from_millis(100),
+            daemon_burst: Duration::from_micros(200),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total MPI tasks in the job.
+    pub fn total_tasks(&self) -> u32 {
+        self.nodes as u32 * self.tasks_per_node as u32
+    }
+
+    /// The node a rank lives on.
+    pub fn node_of_rank(&self, rank: u32) -> u16 {
+        (rank / self.tasks_per_node as u32) as u16
+    }
+
+    /// Clock parameters for a node (cycling the provided list; defaults to
+    /// distinct mild drifts when the list is empty).
+    pub fn clock_for_node(&self, node: u16) -> ClockParams {
+        if self.clock_params.is_empty() {
+            // Distinct deterministic drifts: ±(5..40) ppm spread by node.
+            let sign = if node.is_multiple_of(2) { 1.0 } else { -1.0 };
+            ClockParams {
+                offset_ticks: node as i64 * 50_000,
+                freq_error_ppm: sign * (5.0 + 7.0 * node as f64),
+                temp_walk_ppm: 0.0,
+                temp_bound_ppm: 0.0,
+                read_quantum_ticks: 1,
+                seed: self.seed ^ node as u64,
+            }
+        } else {
+            let mut p = self.clock_params[node as usize % self.clock_params.len()].clone();
+            p.seed ^= node as u64;
+            p
+        }
+    }
+
+    /// The sPPM scenario of Figures 8–9: 4 nodes, each an 8-way SMP, one
+    /// task per node with four threads (one making MPI calls).
+    pub fn sppm_like() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            cpus_per_node: 8,
+            tasks_per_node: 1,
+            threads_per_task: 4,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_times() {
+        let n = NetworkModel {
+            overhead: Duration::from_micros(5),
+            latency: Duration::from_micros(25),
+            bandwidth: 100_000_000,
+        };
+        // 1 MB at 100 MB/s = 10 ms transfer.
+        assert_eq!(n.transfer_time(1_000_000), Duration::from_millis(10));
+        assert_eq!(n.send_time(0), Duration::from_micros(5));
+        // Collectives grow with log2(ntasks).
+        assert!(n.collective_time(16, 1024) > n.collective_time(4, 1024));
+        assert!(n.collective_time(1, 0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_free_transfer() {
+        let n = NetworkModel {
+            bandwidth: 0,
+            ..NetworkModel::default()
+        };
+        assert_eq!(n.transfer_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn rank_placement() {
+        let c = ClusterConfig {
+            nodes: 4,
+            tasks_per_node: 2,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(c.total_tasks(), 8);
+        assert_eq!(c.node_of_rank(0), 0);
+        assert_eq!(c.node_of_rank(1), 0);
+        assert_eq!(c.node_of_rank(2), 1);
+        assert_eq!(c.node_of_rank(7), 3);
+    }
+
+    #[test]
+    fn default_clocks_are_distinct_per_node() {
+        let c = ClusterConfig::default();
+        let a = c.clock_for_node(0);
+        let b = c.clock_for_node(1);
+        assert_ne!(a.freq_error_ppm, b.freq_error_ppm);
+        assert_ne!(a.offset_ticks, b.offset_ticks);
+    }
+
+    #[test]
+    fn sppm_matches_paper_topology() {
+        let c = ClusterConfig::sppm_like();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.cpus_per_node, 8);
+        assert_eq!(c.threads_per_task, 4);
+        assert_eq!(c.total_tasks(), 4);
+    }
+}

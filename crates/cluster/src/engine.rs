@@ -1,0 +1,1845 @@
+//! The discrete-event simulation engine.
+//!
+//! One event loop drives every node's CPUs, the switch network, the
+//! per-node clock samplers, and the system daemons. All trace records are
+//! cut through each node's [`TraceFacility`] with timestamps read from
+//! that node's *drifting local clock*, so the produced raw files exhibit
+//! the clock-synchronization problem of §1.1 for real.
+//!
+//! Threads block inside MPI receives, waits, collectives and I/O; a
+//! blocked thread is descheduled (cutting `ThreadUndispatch`), its CPU is
+//! handed to the next ready thread, and when it resumes — possibly on a
+//! different CPU (Figure 9's migration) — a new `ThreadDispatch` is cut.
+//! The convert utility later turns those dispatch gaps into the
+//! begin/continuation/end interval pieces of §1.2.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use ute_clock::drift::LocalClock;
+use ute_core::error::{Result, UteError};
+use ute_core::event::{EventCode, MpiOp};
+use ute_core::ids::{
+    CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType,
+};
+use ute_core::time::{Duration, Time};
+use ute_format::thread_table::{ThreadEntry, ThreadTable};
+use ute_rawtrace::facility::TraceFacility;
+use ute_rawtrace::file::RawTraceFile;
+use ute_rawtrace::record::MpiPayload;
+
+use crate::config::ClusterConfig;
+use crate::program::{JobProgram, Op};
+
+/// Fixed CPU cost of entering any MPI wrapper.
+const MPI_ENTRY_COST: Duration = Duration(1_000); // 1 µs
+/// Fixed CPU cost of a syscall.
+const SYSCALL_COST: Duration = Duration(2_000);
+/// Fixed CPU cost of servicing a page fault.
+const PAGE_FAULT_COST: Duration = Duration(10_000);
+/// Fixed CPU cost of marker bookkeeping.
+const MARKER_COST: Duration = Duration(500);
+
+type ThreadIdx = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    /// Blocking receive waiting for (from, tag).
+    Recv { from: u32, tag: u32 },
+    /// Waiting on non-blocking requests.
+    Wait,
+    /// Inside a collective, waiting for completion.
+    Collective { key: u64 },
+    /// Waiting for an I/O completion.
+    Io,
+    /// Daemon asleep between periodic bursts.
+    Sleep,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Running { cpu: u16 },
+    Blocked(BlockReason),
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    /// For posted receives: the (from, tag) signature.
+    recv_sig: Option<(u32, u32)>,
+    complete: bool,
+    /// Message satisfied by (for receives).
+    msg: Option<usize>,
+    /// Whether a Wait/Waitall is currently parked on this request.
+    awaited: bool,
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: u32,
+    dst: u32,
+    tag: u32,
+    bytes: u64,
+    seq: u64,
+    consumed: bool,
+}
+
+#[derive(Debug)]
+struct CollState {
+    op: MpiOp,
+    root: u32,
+    bytes: u64,
+    arrived: Vec<ThreadIdx>,
+    latest: Time,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct SimThread {
+    node: u16,
+    /// MPI rank, or `None` for daemons.
+    rank: Option<u32>,
+    logical: LogicalThreadId,
+    ops: Vec<Op>,
+    pc: usize,
+    /// Micro-phase within the current op.
+    phase: u8,
+    /// Remaining CPU need of the current phase.
+    need: Duration,
+    state: ThreadState,
+    requests: Vec<Request>,
+    /// Consumed message stashed between Recv phases.
+    stash_msg: Option<usize>,
+    /// Outgoing sequence number stashed between Sendrecv phases.
+    stash_seq: u64,
+    /// Open marker local-ids (for MarkerEnd matching).
+    open_markers: Vec<(String, u32)>,
+    /// Per-thread count of collectives entered, for registry keying.
+    coll_seq: u64,
+    /// Daemon flag.
+    daemon: bool,
+    /// Dispatch epoch, to invalidate stale CPU timers.
+    epoch: u64,
+    /// CPU this thread last ran on (soft affinity).
+    last_cpu: Option<u16>,
+    /// CPU time consumed since this dispatch, for quantum accounting
+    /// across consecutive short operations (without this a thread running
+    /// many sub-quantum ops would never be preempted).
+    slice_used: Duration,
+    /// Wakeups since creation; every 8th placement ignores affinity,
+    /// modelling AIX's periodic rebalancing (the source of Figure 9's
+    /// cross-CPU migration on an underloaded SMP).
+    wakes: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Ev {
+    CpuTimer {
+        node: u16,
+        cpu: u16,
+        thread: ThreadIdx,
+        epoch: u64,
+        completes: bool,
+    },
+    MsgArrive {
+        msg: usize,
+    },
+    CollComplete {
+        key: u64,
+    },
+    IoComplete {
+        thread: ThreadIdx,
+    },
+    ClockSample {
+        node: u16,
+        k: usize,
+    },
+    DaemonWake {
+        thread: ThreadIdx,
+    },
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Simulated end time of the job.
+    pub end_time: Time,
+    /// Raw trace records cut across all nodes.
+    pub events_cut: u64,
+    /// Total modelled tracing overhead across nodes.
+    pub trace_overhead: Duration,
+    /// Point-to-point messages delivered.
+    pub messages: u64,
+    /// Collective operations completed.
+    pub collectives: u64,
+    /// Thread dispatches performed.
+    pub dispatches: u64,
+}
+
+/// The output of a run: one raw trace file per node, the ground-truth
+/// thread table, and run statistics.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Per-node raw trace files, indexed by node.
+    pub raw_files: Vec<RawTraceFile>,
+    /// Ground-truth thread table (what the convert utility rebuilds).
+    pub threads: ThreadTable,
+    /// Run statistics.
+    pub stats: SimStats,
+}
+
+/// The simulator.
+pub struct Simulator {
+    cfg: ClusterConfig,
+    threads: Vec<SimThread>,
+    facilities: Vec<TraceFacility>,
+    clocks: Vec<LocalClock>,
+    ready: Vec<VecDeque<ThreadIdx>>,
+    /// `cpus[node][cpu]` = thread currently running there.
+    cpus: Vec<Vec<Option<ThreadIdx>>>,
+    /// Next-fit dispatch pointer per node: the search for a free CPU
+    /// starts after the last one used, the way AIX's dispatcher spread
+    /// wakeups across an SMP — this is what makes threads migrate
+    /// between CPUs (Figure 9).
+    cpu_hint: Vec<u16>,
+    mailbox: Vec<Vec<usize>>,
+    posted_recvs: Vec<VecDeque<(ThreadIdx, usize)>>,
+    msgs: Vec<Msg>,
+    colls: HashMap<u64, CollState>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Scheduled events that can unblock or advance a task thread
+    /// (CPU timers, message arrivals, collective/I-O completions). When
+    /// this hits zero with task threads still blocked, the job is
+    /// deadlocked — infrastructure events (clock samples, daemon wakes)
+    /// alone can never release an MPI block.
+    pending_progress: usize,
+    events: Vec<Option<Ev>>,
+    thread_table: ThreadTable,
+    stats: SimStats,
+    now: Time,
+}
+
+impl Simulator {
+    /// Builds a simulator for a job on a cluster. The job must define one
+    /// task program per rank ([`ClusterConfig::total_tasks`]).
+    pub fn new(cfg: ClusterConfig, job: &JobProgram) -> Result<Simulator> {
+        if job.tasks.len() != cfg.total_tasks() as usize {
+            return Err(UteError::Invalid(format!(
+                "job defines {} tasks but the cluster hosts {}",
+                job.tasks.len(),
+                cfg.total_tasks()
+            )));
+        }
+        if cfg.quantum == Duration::ZERO {
+            return Err(UteError::Invalid(
+                "scheduler quantum must be positive".into(),
+            ));
+        }
+        if cfg.daemons_per_node > 0
+            && (cfg.daemon_period == Duration::ZERO || cfg.daemon_burst == Duration::ZERO)
+        {
+            return Err(UteError::Invalid(
+                "daemon period and burst must be positive when daemons are configured".into(),
+            ));
+        }
+        if cfg.cpus_per_node == 0 {
+            return Err(UteError::Invalid("nodes need at least one CPU".into()));
+        }
+        let mut threads = Vec::new();
+        let mut thread_table = ThreadTable::new();
+        let mut logical_counters = vec![0u16; cfg.nodes as usize];
+        for (rank, task) in job.tasks.iter().enumerate() {
+            let rank = rank as u32;
+            let node = cfg.node_of_rank(rank);
+            if task.threads.is_empty() {
+                return Err(UteError::Invalid(format!("rank {rank} has no threads")));
+            }
+            for (tix, ops) in task.threads.iter().enumerate() {
+                let logical = LogicalThreadId(logical_counters[node as usize]);
+                logical_counters[node as usize] += 1;
+                let idx = threads.len();
+                threads.push(SimThread {
+                    node,
+                    rank: Some(rank),
+                    logical,
+                    ops: ops.clone(),
+                    pc: 0,
+                    phase: 0,
+                    need: Duration::ZERO,
+                    state: ThreadState::Ready,
+                    requests: Vec::new(),
+                    stash_msg: None,
+                    stash_seq: 0,
+                    open_markers: Vec::new(),
+                    coll_seq: 0,
+                    daemon: false,
+                    epoch: 0,
+                    last_cpu: None,
+                    slice_used: Duration::ZERO,
+                    wakes: 0,
+                });
+                thread_table.register(ThreadEntry {
+                    task: TaskId(rank),
+                    pid: Pid(1000 + rank),
+                    system_tid: SystemThreadId(100_000 + idx as u64),
+                    node: NodeId(node),
+                    logical,
+                    ttype: if tix == 0 {
+                        ThreadType::Mpi
+                    } else {
+                        ThreadType::User
+                    },
+                })?;
+            }
+        }
+        // Daemon threads, one batch per node.
+        for node in 0..cfg.nodes {
+            for _ in 0..cfg.daemons_per_node {
+                let logical = LogicalThreadId(logical_counters[node as usize]);
+                logical_counters[node as usize] += 1;
+                let idx = threads.len();
+                threads.push(SimThread {
+                    node,
+                    rank: None,
+                    logical,
+                    ops: Vec::new(),
+                    pc: 0,
+                    phase: 0,
+                    need: Duration::ZERO,
+                    state: ThreadState::Blocked(BlockReason::Sleep),
+                    requests: Vec::new(),
+                    stash_msg: None,
+                    stash_seq: 0,
+                    open_markers: Vec::new(),
+                    coll_seq: 0,
+                    daemon: true,
+                    epoch: 0,
+                    last_cpu: None,
+                    slice_used: Duration::ZERO,
+                    wakes: 0,
+                });
+                thread_table.register(ThreadEntry {
+                    task: TaskId(u32::MAX),
+                    pid: Pid(1),
+                    system_tid: SystemThreadId(100_000 + idx as u64),
+                    node: NodeId(node),
+                    logical,
+                    ttype: ThreadType::System,
+                })?;
+            }
+        }
+        let facilities = (0..cfg.nodes)
+            .map(|n| TraceFacility::new(NodeId(n), cfg.trace.clone()))
+            .collect();
+        let clocks = (0..cfg.nodes)
+            .map(|n| LocalClock::new(cfg.clock_for_node(n)))
+            .collect();
+        let ntasks = cfg.total_tasks() as usize;
+        Ok(Simulator {
+            ready: vec![VecDeque::new(); cfg.nodes as usize],
+            cpus: vec![vec![None; cfg.cpus_per_node as usize]; cfg.nodes as usize],
+            cpu_hint: vec![0; cfg.nodes as usize],
+            mailbox: vec![Vec::new(); ntasks],
+            posted_recvs: vec![VecDeque::new(); ntasks],
+            msgs: Vec::new(),
+            colls: HashMap::new(),
+            queue: BinaryHeap::new(),
+            pending_progress: 0,
+            events: Vec::new(),
+            thread_table,
+            stats: SimStats::default(),
+            now: Time::ZERO,
+            cfg,
+            threads,
+            facilities,
+            clocks,
+        })
+    }
+
+    fn schedule(&mut self, at: Time, ev: Ev) {
+        if is_progress(&ev) {
+            self.pending_progress += 1;
+        }
+        let id = self.events.len();
+        self.events.push(Some(ev));
+        self.queue.push(Reverse((at.ticks(), id as u64, id)));
+    }
+
+    fn local_now(&mut self, node: u16) -> ute_core::time::LocalTime {
+        self.clocks[node as usize].read(self.now)
+    }
+
+    /// Runs the job to completion.
+    pub fn run(mut self) -> Result<SimResult> {
+        // Trace start + initial clock sample per node.
+        for node in 0..self.cfg.nodes {
+            let l = self.local_now(node);
+            self.facilities[node as usize].cut_control(l, true)?;
+        }
+        if self.cfg.clock_sample_period > Duration::ZERO {
+            for node in 0..self.cfg.nodes {
+                self.schedule(Time::ZERO, Ev::ClockSample { node, k: 0 });
+            }
+        }
+        // Daemons get their first wake.
+        for t in 0..self.threads.len() {
+            if self.threads[t].daemon {
+                let jitter = Duration(((t as u64) * 7_919) % self.cfg.daemon_period.ticks().max(1));
+                self.schedule(Time::ZERO + jitter, Ev::DaemonWake { thread: t });
+            }
+        }
+        // Make every task thread ready and fill the CPUs.
+        for t in 0..self.threads.len() {
+            if !self.threads[t].daemon {
+                self.make_ready(t)?;
+            }
+        }
+
+        while let Some(Reverse((at, _, id))) = self.queue.pop() {
+            let ev = self.events[id].take().expect("event consumed twice");
+            if is_progress(&ev) {
+                self.pending_progress -= 1;
+            }
+            self.now = Time(at);
+            self.handle(ev)?;
+            if self.all_tasks_done() {
+                break;
+            }
+            if self.pending_progress == 0 {
+                break; // nothing left that could ever advance a task thread
+            }
+        }
+        if !self.all_tasks_done() {
+            let stuck: Vec<String> = self
+                .threads
+                .iter()
+                .filter(|t| !t.daemon && t.state != ThreadState::Done)
+                .map(|t| {
+                    format!(
+                        "rank {:?} thread {} in {:?} at pc {}",
+                        t.rank, t.logical, t.state, t.pc
+                    )
+                })
+                .collect();
+            return Err(UteError::Invalid(format!(
+                "deadlock: event queue drained with {} thread(s) blocked: {}",
+                stuck.len(),
+                stuck.join("; ")
+            )));
+        }
+        // Trace stop per node, then collect files.
+        self.stats.end_time = self.now;
+        for node in 0..self.cfg.nodes {
+            let l = self.local_now(node);
+            self.facilities[node as usize].cut_control(l, false)?;
+        }
+        for f in &self.facilities {
+            self.stats.events_cut += f.records_cut();
+            self.stats.trace_overhead += f.overhead();
+        }
+        let raw_files = self
+            .facilities
+            .into_iter()
+            .map(|f| f.finish())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SimResult {
+            raw_files,
+            threads: self.thread_table,
+            stats: self.stats,
+        })
+    }
+
+    fn all_tasks_done(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| t.daemon || t.state == ThreadState::Done)
+    }
+
+    fn handle(&mut self, ev: Ev) -> Result<()> {
+        match ev {
+            Ev::CpuTimer {
+                node,
+                cpu,
+                thread,
+                epoch,
+                completes,
+            } => {
+                if self.threads[thread].epoch != epoch
+                    || self.threads[thread].state != (ThreadState::Running { cpu })
+                {
+                    return Ok(()); // stale timer
+                }
+                if completes {
+                    self.threads[thread].need = Duration::ZERO;
+                    self.on_phase_done(thread)?;
+                } else {
+                    // Quantum expiry: preempt only if someone is waiting.
+                    if self.ready[node as usize].is_empty() {
+                        self.threads[thread].slice_used = Duration::ZERO;
+                        self.arm_timer(node, cpu, thread);
+                    } else {
+                        self.undispatch(thread)?;
+                        self.threads[thread].state = ThreadState::Ready;
+                        self.ready[node as usize].push_back(thread);
+                        self.fill_cpu(node, cpu)?;
+                    }
+                }
+            }
+            Ev::MsgArrive { msg } => {
+                let dst = self.msgs[msg].dst;
+                self.stats.messages += 1;
+                // Posted non-blocking receive?
+                let sig = (self.msgs[msg].src, self.msgs[msg].tag);
+                let mut matched_posted = None;
+                for (qi, &(t, req)) in self.posted_recvs[dst as usize].iter().enumerate() {
+                    if self.threads[t].requests[req].recv_sig == Some(sig)
+                        && !self.threads[t].requests[req].complete
+                    {
+                        matched_posted = Some((qi, t, req));
+                        break;
+                    }
+                }
+                if let Some((qi, t, req)) = matched_posted {
+                    self.posted_recvs[dst as usize].remove(qi);
+                    self.msgs[msg].consumed = true;
+                    let r = &mut self.threads[t].requests[req];
+                    r.complete = true;
+                    r.msg = Some(msg);
+                    // Wake a Wait parked on this thread if now satisfied.
+                    if self.threads[t].state == ThreadState::Blocked(BlockReason::Wait)
+                        && self.wait_satisfied(t)
+                    {
+                        self.make_ready(t)?;
+                    }
+                    return Ok(());
+                }
+                self.mailbox[dst as usize].push(msg);
+                // Wake one blocked Recv that matches.
+                let waiter = self.threads.iter().position(|t| {
+                    t.rank == Some(dst)
+                        && t.state
+                            == ThreadState::Blocked(BlockReason::Recv {
+                                from: sig.0,
+                                tag: sig.1,
+                            })
+                });
+                if let Some(t) = waiter {
+                    self.make_ready(t)?;
+                }
+            }
+            Ev::CollComplete { key } => {
+                let parts = {
+                    let c = self.colls.get_mut(&key).expect("collective vanished");
+                    c.done = true;
+                    self.stats.collectives += 1;
+                    c.arrived.clone()
+                };
+                for t in parts {
+                    if self.threads[t].state
+                        == ThreadState::Blocked(BlockReason::Collective { key })
+                    {
+                        self.make_ready(t)?;
+                    }
+                }
+            }
+            Ev::IoComplete { thread } => {
+                if self.threads[thread].state == ThreadState::Blocked(BlockReason::Io) {
+                    self.make_ready(thread)?;
+                }
+            }
+            Ev::ClockSample { node, k } => {
+                let g = self.cfg.global_clock.read(self.now);
+                let delay = match self.cfg.clock_outlier_every {
+                    Some(n) if n > 0 && k > 0 && k % n == 0 => self.cfg.clock_outlier_delay,
+                    _ => self.cfg.global_clock.access_cost,
+                };
+                let l = self.clocks[node as usize].read(self.now + delay);
+                self.facilities[node as usize].cut_clock(l, g)?;
+                self.schedule(
+                    self.now + self.cfg.clock_sample_period,
+                    Ev::ClockSample { node, k: k + 1 },
+                );
+            }
+            Ev::DaemonWake { thread } => {
+                if self.threads[thread].state == ThreadState::Blocked(BlockReason::Sleep) {
+                    self.threads[thread].need = self.cfg.daemon_burst;
+                    self.make_ready(thread)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a thread runnable and dispatches it if a CPU is free.
+    ///
+    /// Placement models AIX's SMP dispatcher: task threads have *soft
+    /// affinity* — they return to the CPU they last ran on when it is
+    /// free — and fall back to a next-fit scan from a rotating per-node
+    /// pointer when it is not. Daemons have no affinity and roam via the
+    /// next-fit pointer. The combination keeps most CPUs idle (Figure 9)
+    /// while still producing the occasional cross-CPU migration when a
+    /// thread wakes to find its old CPU taken.
+    fn make_ready(&mut self, t: ThreadIdx) -> Result<()> {
+        self.threads[t].state = ThreadState::Ready;
+        let node = self.threads[t].node;
+        self.threads[t].wakes += 1;
+        let rebalance = self.threads[t].wakes.is_multiple_of(8);
+        let affinity = if self.threads[t].daemon || rebalance {
+            None
+        } else {
+            self.threads[t].last_cpu
+        };
+        if let Some(cpu) = affinity {
+            if self.cpus[node as usize][cpu as usize].is_none() {
+                return self.dispatch(node, cpu, t);
+            }
+        }
+        let ncpu = self.cpus[node as usize].len() as u16;
+        let hint = self.cpu_hint[node as usize];
+        let free = (0..ncpu)
+            .map(|i| (hint + i) % ncpu)
+            .find(|&c| self.cpus[node as usize][c as usize].is_none());
+        if let Some(cpu) = free {
+            self.cpu_hint[node as usize] = (cpu + 1) % ncpu;
+            self.dispatch(node, cpu, t)
+        } else {
+            self.ready[node as usize].push_back(t);
+            Ok(())
+        }
+    }
+
+    fn dispatch(&mut self, node: u16, cpu: u16, t: ThreadIdx) -> Result<()> {
+        debug_assert_eq!(self.threads[t].state, ThreadState::Ready);
+        self.cpus[node as usize][cpu as usize] = Some(t);
+        self.threads[t].state = ThreadState::Running { cpu };
+        self.threads[t].last_cpu = Some(cpu);
+        self.threads[t].slice_used = Duration::ZERO;
+        self.threads[t].epoch += 1;
+        self.stats.dispatches += 1;
+        let l = self.local_now(node);
+        self.facilities[node as usize].cut_dispatch(
+            l,
+            self.threads[t].logical,
+            CpuId(cpu),
+            true,
+        )?;
+        // If the thread has no pending CPU need, advance its script now to
+        // find the next need (cuts zero-time events at this instant).
+        if self.threads[t].need == Duration::ZERO {
+            self.advance(t)?;
+        } else {
+            self.arm_timer(node, cpu, t);
+        }
+        Ok(())
+    }
+
+    fn undispatch(&mut self, t: ThreadIdx) -> Result<()> {
+        if let ThreadState::Running { cpu } = self.threads[t].state {
+            let node = self.threads[t].node;
+            self.cpus[node as usize][cpu as usize] = None;
+            let l = self.local_now(node);
+            self.facilities[node as usize].cut_dispatch(
+                l,
+                self.threads[t].logical,
+                CpuId(cpu),
+                false,
+            )?;
+            self.threads[t].epoch += 1;
+        }
+        Ok(())
+    }
+
+    fn fill_cpu(&mut self, node: u16, cpu: u16) -> Result<()> {
+        if self.cpus[node as usize][cpu as usize].is_some() {
+            return Ok(());
+        }
+        if let Some(t) = self.ready[node as usize].pop_front() {
+            self.dispatch(node, cpu, t)?;
+        }
+        Ok(())
+    }
+
+    fn arm_timer(&mut self, node: u16, cpu: u16, t: ThreadIdx) {
+        let mut budget = self.cfg.quantum.saturating_sub(self.threads[t].slice_used);
+        if budget == Duration::ZERO {
+            // Quantum exhausted across consecutive short ops.
+            if self.ready[node as usize].is_empty() {
+                // Nobody waiting: renew the quantum in place.
+                self.threads[t].slice_used = Duration::ZERO;
+                budget = self.cfg.quantum;
+            } else {
+                // Route through the normal preemption path immediately.
+                let epoch = self.threads[t].epoch;
+                self.schedule(
+                    self.now,
+                    Ev::CpuTimer {
+                        node,
+                        cpu,
+                        thread: t,
+                        epoch,
+                        completes: false,
+                    },
+                );
+                return;
+            }
+        }
+        let need = self.threads[t].need;
+        let slice = need.min(budget);
+        let completes = slice >= need;
+        // Remaining need shrinks by the slice we are about to run; the
+        // quantum budget shrinks likewise.
+        self.threads[t].need = need.saturating_sub(slice);
+        self.threads[t].slice_used += slice;
+        let at = self.now + self.cfg.ctx_switch + slice;
+        let epoch = self.threads[t].epoch;
+        self.schedule(
+            at,
+            Ev::CpuTimer {
+                node,
+                cpu,
+                thread: t,
+                epoch,
+                completes,
+            },
+        );
+    }
+
+    /// Gives a running thread CPU work: arms the slice timer.
+    fn demand_cpu(&mut self, t: ThreadIdx, d: Duration) {
+        self.threads[t].need = d;
+        if let ThreadState::Running { cpu } = self.threads[t].state {
+            let node = self.threads[t].node;
+            self.arm_timer(node, cpu, t);
+        } else {
+            unreachable!("demand_cpu on non-running thread");
+        }
+    }
+
+    /// Blocks a running thread: undispatch, free the CPU, refill it.
+    fn block(&mut self, t: ThreadIdx, why: BlockReason) -> Result<()> {
+        let ThreadState::Running { cpu } = self.threads[t].state else {
+            unreachable!("block on non-running thread");
+        };
+        let node = self.threads[t].node;
+        self.undispatch(t)?;
+        self.threads[t].state = ThreadState::Blocked(why);
+        self.fill_cpu(node, cpu)
+    }
+
+    fn finish_thread(&mut self, t: ThreadIdx) -> Result<()> {
+        let ThreadState::Running { cpu } = self.threads[t].state else {
+            unreachable!("finish on non-running thread");
+        };
+        let node = self.threads[t].node;
+        self.undispatch(t)?;
+        self.threads[t].state = ThreadState::Done;
+        self.fill_cpu(node, cpu)
+    }
+
+    fn wait_satisfied(&self, t: ThreadIdx) -> bool {
+        self.threads[t]
+            .requests
+            .iter()
+            .filter(|r| r.awaited)
+            .all(|r| r.complete)
+    }
+
+    fn mpi_payload(&self, t: ThreadIdx) -> MpiPayload {
+        MpiPayload::bare(self.threads[t].logical, self.threads[t].rank.unwrap_or(0))
+    }
+
+    fn cut_mpi(&mut self, t: ThreadIdx, op: MpiOp, begin: bool, mut payload: MpiPayload) -> Result<()> {
+        if payload.address == 0 {
+            // Synthetic call-site address, "suitable for a source code
+            // browser" (§2.3.2): one stable address per routine.
+            payload.address = 0x0040_0000 + ((op.code() as u64) << 6);
+        }
+        let node = self.threads[t].node;
+        let l = self.local_now(node);
+        self.facilities[node as usize].cut_mpi(l, op, begin, payload)?;
+        Ok(())
+    }
+
+    /// The phase the thread was burning CPU for has finished; perform its
+    /// completion action and advance the script.
+    fn on_phase_done(&mut self, t: ThreadIdx) -> Result<()> {
+        self.advance(t)
+    }
+
+    /// Drives a *running* thread's script forward. Cuts events for
+    /// zero-time steps at the current instant and stops as soon as the
+    /// thread needs CPU (arming its timer), blocks, or finishes.
+    fn advance(&mut self, t: ThreadIdx) -> Result<()> {
+        loop {
+            // Daemon threads run a fixed burst instead of a script.
+            if self.threads[t].daemon {
+                match self.threads[t].phase {
+                    0 => {
+                        self.threads[t].phase = 1;
+                        let d = self.threads[t].need.max(self.cfg.daemon_burst);
+                        self.demand_cpu(t, d);
+                        return Ok(());
+                    }
+                    _ => {
+                        let node = self.threads[t].node;
+                        let l = self.local_now(node);
+                        let logical = self.threads[t].logical;
+                        self.facilities[node as usize].cut_system(
+                            l,
+                            EventCode::Interrupt,
+                            logical,
+                        )?;
+                        self.threads[t].phase = 0;
+                        self.threads[t].need = Duration::ZERO;
+                        let next = self.now + self.cfg.daemon_period;
+                        self.schedule(next, Ev::DaemonWake { thread: t });
+                        let ThreadState::Running { cpu } = self.threads[t].state else {
+                            unreachable!()
+                        };
+                        let node = self.threads[t].node;
+                        self.undispatch(t)?;
+                        self.threads[t].state = ThreadState::Blocked(BlockReason::Sleep);
+                        self.fill_cpu(node, cpu)?;
+                        return Ok(());
+                    }
+                }
+            }
+
+            let pc = self.threads[t].pc;
+            if pc >= self.threads[t].ops.len() {
+                return self.finish_thread(t);
+            }
+            let op = self.threads[t].ops[pc].clone();
+            let phase = self.threads[t].phase;
+            match (&op, phase) {
+                (Op::Compute(d), 0) => {
+                    self.threads[t].phase = 1;
+                    self.demand_cpu(t, *d);
+                    return Ok(());
+                }
+                (Op::Compute(_), _) => {
+                    self.step_pc(t);
+                }
+
+                (Op::Sendrecv { bytes, .. }, 0) => {
+                    self.cut_mpi(t, MpiOp::Sendrecv, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    let d = MPI_ENTRY_COST + self.cfg.network.send_time(*bytes);
+                    self.demand_cpu(t, d);
+                    return Ok(());
+                }
+                (Op::Sendrecv { to, bytes, tag, .. }, 1) => {
+                    let seq = self.post_message(t, *to, *bytes, *tag);
+                    self.threads[t].stash_seq = seq;
+                    self.threads[t].phase = 2;
+                    // fall through to the receive attempt on the next spin
+                }
+                (Op::Sendrecv { from, tag, .. }, 2) => {
+                    let rank = self.threads[t].rank.expect("sendrecv on daemon");
+                    if let Some(m) = self.take_from_mailbox(rank, *from, *tag) {
+                        self.threads[t].stash_msg = Some(m);
+                        self.threads[t].phase = 3;
+                        let d = self.cfg.network.overhead
+                            + Duration(self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4);
+                        self.demand_cpu(t, d);
+                        return Ok(());
+                    }
+                    return self.block(
+                        t,
+                        BlockReason::Recv {
+                            from: *from,
+                            tag: *tag,
+                        },
+                    );
+                }
+                (Op::Sendrecv { to, bytes, tag, .. }, _) => {
+                    let m = self.threads[t].stash_msg.take().expect("sendrecv lost its message");
+                    let mut p = self.mpi_payload(t);
+                    p.peer = *to;
+                    p.tag = *tag;
+                    p.bytes = *bytes;
+                    // The record's sequence number is the outgoing one; the
+                    // incoming message's own seq matched it to our mailbox.
+                    p.seq = self.threads[t].stash_seq;
+                    let _ = self.msgs[m].bytes;
+                    self.cut_mpi(t, MpiOp::Sendrecv, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::Send { bytes, .. }, 0) => {
+                    self.cut_mpi(t, MpiOp::Send, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    let d = MPI_ENTRY_COST + self.cfg.network.send_time(*bytes);
+                    self.demand_cpu(t, d);
+                    return Ok(());
+                }
+                (Op::Send { to, bytes, tag }, _) => {
+                    let seq = self.post_message(t, *to, *bytes, *tag);
+                    let mut p = self.mpi_payload(t);
+                    p.peer = *to;
+                    p.tag = *tag;
+                    p.bytes = *bytes;
+                    p.seq = seq;
+                    self.cut_mpi(t, MpiOp::Send, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::Isend { bytes, .. }, 0) => {
+                    self.cut_mpi(t, MpiOp::Isend, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    let d = MPI_ENTRY_COST + self.cfg.network.send_time(*bytes);
+                    self.demand_cpu(t, d);
+                    return Ok(());
+                }
+                (Op::Isend { to, bytes, tag }, _) => {
+                    let seq = self.post_message(t, *to, *bytes, *tag);
+                    self.threads[t].requests.push(Request {
+                        recv_sig: None,
+                        complete: true,
+                        msg: None,
+                        awaited: false,
+                    });
+                    let mut p = self.mpi_payload(t);
+                    p.peer = *to;
+                    p.tag = *tag;
+                    p.bytes = *bytes;
+                    p.seq = seq;
+                    self.cut_mpi(t, MpiOp::Isend, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::Irecv { .. }, 0) => {
+                    self.cut_mpi(t, MpiOp::Irecv, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    self.demand_cpu(t, MPI_ENTRY_COST);
+                    return Ok(());
+                }
+                (Op::Irecv { from, tag }, _) => {
+                    let rank = self.threads[t].rank.expect("irecv on daemon");
+                    let req = self.threads[t].requests.len();
+                    self.threads[t].requests.push(Request {
+                        recv_sig: Some((*from, *tag)),
+                        complete: false,
+                        msg: None,
+                        awaited: false,
+                    });
+                    // Match an already-arrived message if present.
+                    if let Some(m) = self.take_from_mailbox(rank, *from, *tag) {
+                        let r = &mut self.threads[t].requests[req];
+                        r.complete = true;
+                        r.msg = Some(m);
+                    } else {
+                        self.posted_recvs[rank as usize].push_back((t, req));
+                    }
+                    let mut p = self.mpi_payload(t);
+                    p.peer = *from;
+                    p.tag = *tag;
+                    self.cut_mpi(t, MpiOp::Irecv, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::Recv { .. }, 0) => {
+                    self.cut_mpi(t, MpiOp::Recv, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    self.demand_cpu(t, MPI_ENTRY_COST);
+                    return Ok(());
+                }
+                (Op::Recv { from, tag }, 1) => {
+                    let rank = self.threads[t].rank.expect("recv on daemon");
+                    if let Some(m) = self.take_from_mailbox(rank, *from, *tag) {
+                        self.threads[t].stash_msg = Some(m);
+                        self.threads[t].phase = 2;
+                        // Copy cost proportional to message size.
+                        let d = self.cfg.network.overhead
+                            + Duration(self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4);
+                        self.demand_cpu(t, d);
+                        return Ok(());
+                    }
+                    return self.block(
+                        t,
+                        BlockReason::Recv {
+                            from: *from,
+                            tag: *tag,
+                        },
+                    );
+                }
+                (Op::Recv { from, tag }, _) => {
+                    let m = self.threads[t].stash_msg.take().expect("recv lost its message");
+                    let mut p = self.mpi_payload(t);
+                    p.peer = *from;
+                    p.tag = *tag;
+                    p.bytes = self.msgs[m].bytes;
+                    p.seq = self.msgs[m].seq;
+                    self.cut_mpi(t, MpiOp::Recv, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::Wait { .. } | Op::Waitall, 0) => {
+                    let op_kind = if matches!(op, Op::Waitall) {
+                        MpiOp::Waitall
+                    } else {
+                        MpiOp::Wait
+                    };
+                    self.cut_mpi(t, op_kind, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    self.demand_cpu(t, MPI_ENTRY_COST);
+                    return Ok(());
+                }
+                (Op::Wait { req }, 1) => {
+                    let ri = *req as usize;
+                    if ri >= self.threads[t].requests.len() {
+                        return Err(UteError::Invalid(format!(
+                            "Wait on request {ri} but only {} posted",
+                            self.threads[t].requests.len()
+                        )));
+                    }
+                    for r in &mut self.threads[t].requests {
+                        r.awaited = false;
+                    }
+                    self.threads[t].requests[ri].awaited = true;
+                    if self.threads[t].requests[ri].complete {
+                        self.threads[t].phase = 2;
+                        continue;
+                    }
+                    return self.block(t, BlockReason::Wait);
+                }
+                (Op::Waitall, 1) => {
+                    for r in &mut self.threads[t].requests {
+                        r.awaited = true;
+                    }
+                    if self.wait_satisfied(t) {
+                        self.threads[t].phase = 2;
+                        continue;
+                    }
+                    return self.block(t, BlockReason::Wait);
+                }
+                (Op::Wait { req }, _) => {
+                    let ri = *req as usize;
+                    let mut p = self.mpi_payload(t);
+                    if let Some(m) = self.threads[t].requests[ri].msg {
+                        p.bytes = self.msgs[m].bytes;
+                        p.seq = self.msgs[m].seq;
+                        p.peer = self.msgs[m].src;
+                        p.tag = self.msgs[m].tag;
+                    }
+                    self.cut_mpi(t, MpiOp::Wait, false, p)?;
+                    self.step_pc(t);
+                }
+                (Op::Waitall, _) => {
+                    self.cut_mpi(t, MpiOp::Waitall, false, self.mpi_payload(t))?;
+                    self.threads[t].requests.clear();
+                    self.posted_recvs
+                        .iter_mut()
+                        .for_each(|q| q.retain(|&(ti, _)| ti != t));
+                    self.step_pc(t);
+                }
+
+                (
+                    Op::Init
+                    | Op::Finalize
+                    | Op::Barrier
+                    | Op::Bcast { .. }
+                    | Op::Reduce { .. }
+                    | Op::Allreduce { .. }
+                    | Op::Alltoall { .. }
+                    | Op::Gather { .. }
+                    | Op::Scatter { .. }
+                    | Op::Allgather { .. },
+                    0,
+                ) => {
+                    let (mpi_op, _, _) = collective_parts(&op);
+                    self.cut_mpi(t, mpi_op, true, self.mpi_payload(t))?;
+                    self.threads[t].phase = 1;
+                    self.demand_cpu(t, MPI_ENTRY_COST);
+                    return Ok(());
+                }
+                (
+                    Op::Init
+                    | Op::Finalize
+                    | Op::Barrier
+                    | Op::Bcast { .. }
+                    | Op::Reduce { .. }
+                    | Op::Allreduce { .. }
+                    | Op::Alltoall { .. }
+                    | Op::Gather { .. }
+                    | Op::Scatter { .. }
+                    | Op::Allgather { .. },
+                    1,
+                ) => {
+                    return self.enter_collective(t, &op);
+                }
+                (
+                    Op::Init
+                    | Op::Finalize
+                    | Op::Barrier
+                    | Op::Bcast { .. }
+                    | Op::Reduce { .. }
+                    | Op::Allreduce { .. }
+                    | Op::Alltoall { .. }
+                    | Op::Gather { .. }
+                    | Op::Scatter { .. }
+                    | Op::Allgather { .. },
+                    _,
+                ) => {
+                    let (mpi_op, root, bytes) = collective_parts(&op);
+                    let mut p = self.mpi_payload(t);
+                    p.peer = root;
+                    p.bytes = bytes;
+                    self.cut_mpi(t, mpi_op, false, p)?;
+                    self.step_pc(t);
+                }
+
+                (Op::MarkerBegin(name), _) => {
+                    let node = self.threads[t].node;
+                    let rank = self.threads[t].rank.unwrap_or(u32::MAX);
+                    let l = self.local_now(node);
+                    let id = self.facilities[node as usize].define_marker(l, rank, name)?;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_marker(l, logical, id, 0x4000 + id as u64, true)?;
+                    self.threads[t].open_markers.push((name.clone(), id));
+                    self.threads[t].phase = 1;
+                    self.step_pc(t);
+                    self.demand_cpu(t, MARKER_COST);
+                    return Ok(());
+                }
+                (Op::MarkerEnd(name), _) => {
+                    let pos = self.threads[t]
+                        .open_markers
+                        .iter()
+                        .rposition(|(n, _)| n == name)
+                        .ok_or_else(|| {
+                            UteError::Invalid(format!("MarkerEnd(\"{name}\") without begin"))
+                        })?;
+                    let (_, id) = self.threads[t].open_markers.remove(pos);
+                    let node = self.threads[t].node;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_marker(l, logical, id, 0x8000 + id as u64, false)?;
+                    self.threads[t].phase = 1;
+                    self.step_pc(t);
+                    self.demand_cpu(t, MARKER_COST);
+                    return Ok(());
+                }
+
+                (Op::Syscall, _) => {
+                    let node = self.threads[t].node;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_system(l, EventCode::Syscall, logical)?;
+                    self.threads[t].phase = 1;
+                    self.step_pc(t);
+                    self.demand_cpu(t, SYSCALL_COST);
+                    return Ok(());
+                }
+                (Op::PageFault, _) => {
+                    let node = self.threads[t].node;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_system(l, EventCode::PageFault, logical)?;
+                    self.threads[t].phase = 1;
+                    self.step_pc(t);
+                    self.demand_cpu(t, PAGE_FAULT_COST);
+                    return Ok(());
+                }
+
+                (Op::Io(d), 0) => {
+                    let node = self.threads[t].node;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_system(l, EventCode::IoStart, logical)?;
+                    self.threads[t].phase = 1;
+                    self.schedule(self.now + *d, Ev::IoComplete { thread: t });
+                    return self.block(t, BlockReason::Io);
+                }
+                (Op::Io(_), _) => {
+                    let node = self.threads[t].node;
+                    let logical = self.threads[t].logical;
+                    let l = self.local_now(node);
+                    self.facilities[node as usize].cut_system(l, EventCode::IoEnd, logical)?;
+                    self.step_pc(t);
+                }
+            }
+        }
+    }
+
+    fn step_pc(&mut self, t: ThreadIdx) {
+        self.threads[t].pc += 1;
+        self.threads[t].phase = 0;
+    }
+
+    fn post_message(&mut self, t: ThreadIdx, to: u32, bytes: u64, tag: u32) -> u64 {
+        let rank = self.threads[t].rank.expect("send from daemon");
+        let node = self.threads[t].node;
+        let seq = self.facilities[node as usize].next_seq(rank);
+        let msg = self.msgs.len();
+        self.msgs.push(Msg {
+            src: rank,
+            dst: to,
+            tag,
+            bytes,
+            seq,
+            consumed: false,
+        });
+        let arrive = self.now + self.cfg.network.latency;
+        self.schedule(arrive, Ev::MsgArrive { msg });
+        seq
+    }
+
+    fn take_from_mailbox(&mut self, rank: u32, from: u32, tag: u32) -> Option<usize> {
+        let q = &mut self.mailbox[rank as usize];
+        let pos = q.iter().position(|&m| {
+            !self.msgs[m].consumed && self.msgs[m].src == from && self.msgs[m].tag == tag
+        })?;
+        let m = q.remove(pos);
+        self.msgs[m].consumed = true;
+        Some(m)
+    }
+
+    fn enter_collective(&mut self, t: ThreadIdx, op: &Op) -> Result<()> {
+        let (mpi_op, root, bytes) = collective_parts(op);
+        let key = self.threads[t].coll_seq;
+        self.threads[t].coll_seq += 1;
+        let ntasks = self.cfg.total_tasks();
+        let now = self.now;
+        let entry = self.colls.entry(key).or_insert_with(|| CollState {
+            op: mpi_op,
+            root,
+            bytes,
+            arrived: Vec::new(),
+            latest: now,
+            done: false,
+        });
+        if entry.op != mpi_op || entry.root != root || entry.bytes != bytes {
+            return Err(UteError::Invalid(format!(
+                "collective mismatch at index {key}: {:?} root {} ({} B) vs {:?} root {} ({} B)",
+                entry.op, entry.root, entry.bytes, mpi_op, root, bytes
+            )));
+        }
+        entry.arrived.push(t);
+        entry.latest = entry.latest.max(now);
+        self.threads[t].phase = 2;
+        if entry.arrived.len() == ntasks as usize {
+            let done_at = entry.latest + self.cfg.network.collective_time(ntasks, bytes);
+            self.schedule(done_at, Ev::CollComplete { key });
+        }
+        self.block(t, BlockReason::Collective { key })
+    }
+}
+
+fn is_progress(ev: &Ev) -> bool {
+    matches!(
+        ev,
+        Ev::CpuTimer { .. } | Ev::MsgArrive { .. } | Ev::CollComplete { .. } | Ev::IoComplete { .. }
+    )
+}
+
+fn collective_parts(op: &Op) -> (MpiOp, u32, u64) {
+    match op {
+        Op::Init => (MpiOp::Init, u32::MAX, 0),
+        Op::Finalize => (MpiOp::Finalize, u32::MAX, 0),
+        Op::Barrier => (MpiOp::Barrier, u32::MAX, 0),
+        Op::Bcast { root, bytes } => (MpiOp::Bcast, *root, *bytes),
+        Op::Reduce { root, bytes } => (MpiOp::Reduce, *root, *bytes),
+        Op::Allreduce { bytes } => (MpiOp::Allreduce, u32::MAX, *bytes),
+        Op::Alltoall { bytes } => (MpiOp::Alltoall, u32::MAX, *bytes),
+        Op::Gather { root, bytes } => (MpiOp::Gather, *root, *bytes),
+        Op::Scatter { root, bytes } => (MpiOp::Scatter, *root, *bytes),
+        Op::Allgather { bytes } => (MpiOp::Allgather, u32::MAX, *bytes),
+        other => unreachable!("not a collective: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TaskProgram;
+    use ute_rawtrace::record::{DispatchPayload, MpiPayload as MP};
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 2,
+            cpus_per_node: 2,
+            tasks_per_node: 1,
+            threads_per_task: 1,
+            daemons_per_node: 0,
+            clock_sample_period: Duration::from_millis(100),
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn run(cfg: ClusterConfig, job: JobProgram) -> SimResult {
+        Simulator::new(cfg, &job).unwrap().run().unwrap()
+    }
+
+    fn events_of(res: &SimResult, node: u16, code: EventCode) -> usize {
+        res.raw_files[node as usize]
+            .events
+            .iter()
+            .filter(|e| e.code == code)
+            .count()
+    }
+
+    #[test]
+    fn ping_pong_matches_sends_and_recvs() {
+        let job = JobProgram {
+            tasks: vec![
+                TaskProgram::single(vec![
+                    Op::Send {
+                        to: 1,
+                        bytes: 4096,
+                        tag: 7,
+                    },
+                    Op::Recv { from: 1, tag: 8 },
+                ]),
+                TaskProgram::single(vec![
+                    Op::Recv { from: 0, tag: 7 },
+                    Op::Send {
+                        to: 0,
+                        bytes: 4096,
+                        tag: 8,
+                    },
+                ]),
+            ],
+        };
+        let res = run(small_cfg(), job);
+        assert_eq!(res.stats.messages, 2);
+        // Each node has exactly one Send begin+end and one Recv begin+end.
+        for node in 0..2 {
+            assert_eq!(events_of(&res, node, EventCode::MpiBegin(MpiOp::Send)), 1);
+            assert_eq!(events_of(&res, node, EventCode::MpiEnd(MpiOp::Send)), 1);
+            assert_eq!(events_of(&res, node, EventCode::MpiBegin(MpiOp::Recv)), 1);
+            assert_eq!(events_of(&res, node, EventCode::MpiEnd(MpiOp::Recv)), 1);
+        }
+        // Seq number on recv end matches the seq on the peer's send end.
+        let send_end = res.raw_files[0]
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::MpiEnd(MpiOp::Send))
+            .unwrap();
+        let recv_end = res.raw_files[1]
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::MpiEnd(MpiOp::Recv))
+            .unwrap();
+        let sp = MP::from_bytes(&send_end.payload).unwrap();
+        let rp = MP::from_bytes(&recv_end.payload).unwrap();
+        assert_eq!(sp.seq, rp.seq);
+        assert_eq!(sp.bytes, 4096);
+        assert_eq!(rp.bytes, 4096);
+        assert_eq!(rp.peer, 0);
+    }
+
+    #[test]
+    fn blocking_recv_deschedules_thread() {
+        // Rank 1's recv must block (sender computes for 50 ms first), so
+        // node 1's trace must contain an undispatch before the recv end.
+        let job = JobProgram {
+            tasks: vec![
+                TaskProgram::single(vec![
+                    Op::Compute(Duration::from_millis(50)),
+                    Op::Send {
+                        to: 1,
+                        bytes: 1024,
+                        tag: 0,
+                    },
+                ]),
+                TaskProgram::single(vec![Op::Recv { from: 0, tag: 0 }]),
+            ],
+        };
+        let res = run(small_cfg(), job);
+        let f = &res.raw_files[1];
+        let recv_begin = f
+            .events
+            .iter()
+            .position(|e| e.code == EventCode::MpiBegin(MpiOp::Recv))
+            .unwrap();
+        let recv_end = f
+            .events
+            .iter()
+            .position(|e| e.code == EventCode::MpiEnd(MpiOp::Recv))
+            .unwrap();
+        let undispatch_between = f.events[recv_begin..recv_end]
+            .iter()
+            .any(|e| e.code == EventCode::ThreadUndispatch);
+        assert!(
+            undispatch_between,
+            "blocking recv should deschedule the thread mid-call"
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let cfg = ClusterConfig {
+            nodes: 2,
+            tasks_per_node: 2,
+            ..small_cfg()
+        };
+        let job = JobProgram::spmd(4, |r| {
+            TaskProgram::single(vec![
+                Op::Compute(Duration::from_millis(r as u64 * 10)),
+                Op::Barrier,
+                Op::Compute(Duration::from_millis(1)),
+            ])
+        });
+        let res = run(cfg, job);
+        assert_eq!(res.stats.collectives, 1);
+        // Barrier end events exist on both nodes.
+        for node in 0..2 {
+            assert_eq!(events_of(&res, node, EventCode::MpiEnd(MpiOp::Barrier)), 2);
+        }
+        // End time is at least the slowest rank's pre-barrier compute.
+        assert!(res.stats.end_time >= Time(30_000_000));
+    }
+
+    #[test]
+    fn collective_mismatch_is_detected() {
+        let job = JobProgram {
+            tasks: vec![
+                TaskProgram::single(vec![Op::Barrier]),
+                TaskProgram::single(vec![Op::Allreduce { bytes: 8 }]),
+            ],
+        };
+        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        assert!(err.to_string().contains("collective mismatch"), "{err}");
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let job = JobProgram {
+            tasks: vec![
+                TaskProgram::single(vec![Op::Recv { from: 1, tag: 0 }]),
+                TaskProgram::single(vec![Op::Recv { from: 0, tag: 0 }]),
+            ],
+        };
+        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn isend_irecv_wait_complete() {
+        let job = JobProgram {
+            tasks: vec![
+                TaskProgram::single(vec![
+                    Op::Irecv { from: 1, tag: 5 },
+                    Op::Isend {
+                        to: 1,
+                        bytes: 2048,
+                        tag: 4,
+                    },
+                    Op::Waitall,
+                ]),
+                TaskProgram::single(vec![
+                    Op::Irecv { from: 0, tag: 4 },
+                    Op::Isend {
+                        to: 0,
+                        bytes: 2048,
+                        tag: 5,
+                    },
+                    Op::Waitall,
+                ]),
+            ],
+        };
+        let res = run(small_cfg(), job);
+        assert_eq!(res.stats.messages, 2);
+        for node in 0..2 {
+            assert_eq!(events_of(&res, node, EventCode::MpiEnd(MpiOp::Waitall)), 1);
+        }
+    }
+
+    #[test]
+    fn quantum_preemption_round_robins_threads() {
+        // One CPU, two compute-bound threads: they must alternate, cutting
+        // many dispatch records.
+        let cfg = ClusterConfig {
+            nodes: 1,
+            cpus_per_node: 1,
+            tasks_per_node: 1,
+            threads_per_task: 2,
+            quantum: Duration::from_millis(5),
+            daemons_per_node: 0,
+            clock_sample_period: Duration::ZERO,
+            ..ClusterConfig::default()
+        };
+        let job = JobProgram {
+            tasks: vec![TaskProgram {
+                threads: vec![
+                    vec![Op::Compute(Duration::from_millis(50))],
+                    vec![Op::Compute(Duration::from_millis(50))],
+                ],
+            }],
+        };
+        let res = run(cfg, job);
+        let dispatches = events_of(&res, 0, EventCode::ThreadDispatch);
+        // 100 ms total work at 5 ms quantum ⇒ ~20 slices.
+        assert!(dispatches >= 15, "expected preemption churn, got {dispatches}");
+        // Both threads appear in dispatch records.
+        let mut seen = std::collections::HashSet::new();
+        for e in &res.raw_files[0].events {
+            if e.code == EventCode::ThreadDispatch {
+                seen.insert(DispatchPayload::from_bytes(&e.payload).unwrap().thread);
+            }
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn threads_migrate_across_cpus() {
+        // More threads than CPUs and frequent blocking: a thread should
+        // eventually be dispatched on different CPUs (Figure 9).
+        let cfg = ClusterConfig {
+            nodes: 1,
+            cpus_per_node: 2,
+            tasks_per_node: 3,
+            threads_per_task: 1,
+            quantum: Duration::from_millis(2),
+            daemons_per_node: 0,
+            clock_sample_period: Duration::ZERO,
+            ..ClusterConfig::default()
+        };
+        let ops: Vec<Op> = (0..20)
+            .flat_map(|_| {
+                vec![
+                    Op::Compute(Duration::from_millis(3)),
+                    Op::Barrier,
+                ]
+            })
+            .collect();
+        let job = JobProgram::spmd(3, |_| TaskProgram::single(ops.clone()));
+        let res = run(cfg, job);
+        let mut cpus_of_thread: HashMap<u16, std::collections::HashSet<u16>> = HashMap::new();
+        for e in &res.raw_files[0].events {
+            if e.code == EventCode::ThreadDispatch {
+                let p = DispatchPayload::from_bytes(&e.payload).unwrap();
+                cpus_of_thread
+                    .entry(p.thread.raw())
+                    .or_default()
+                    .insert(p.cpu.raw());
+            }
+        }
+        assert!(
+            cpus_of_thread.values().any(|s| s.len() > 1),
+            "expected at least one thread to run on multiple CPUs: {cpus_of_thread:?}"
+        );
+    }
+
+    #[test]
+    fn clock_records_cut_periodically_on_every_node() {
+        let cfg = ClusterConfig {
+            clock_sample_period: Duration::from_millis(20),
+            ..small_cfg()
+        };
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![Op::Compute(Duration::from_millis(100))])
+        });
+        let res = run(cfg, job);
+        for node in 0..2 {
+            let n = events_of(&res, node, EventCode::GlobalClock);
+            assert!(n >= 5, "node {node} has only {n} clock records");
+        }
+    }
+
+    #[test]
+    fn markers_define_and_pair() {
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![
+                Op::MarkerBegin("Init".into()),
+                Op::Compute(Duration::from_millis(1)),
+                Op::MarkerBegin("Inner".into()),
+                Op::Compute(Duration::from_millis(1)),
+                Op::MarkerEnd("Inner".into()),
+                Op::MarkerEnd("Init".into()),
+            ])
+        });
+        let res = run(small_cfg(), job);
+        for node in 0..2 {
+            assert_eq!(events_of(&res, node, EventCode::MarkerDef), 2);
+            assert_eq!(events_of(&res, node, EventCode::MarkerBegin), 2);
+            assert_eq!(events_of(&res, node, EventCode::MarkerEnd), 2);
+        }
+    }
+
+    #[test]
+    fn unmatched_marker_end_errors() {
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![Op::MarkerEnd("nope".into())])
+        });
+        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        assert!(err.to_string().contains("without begin"), "{err}");
+    }
+
+    #[test]
+    fn io_blocks_without_cpu() {
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![Op::Io(Duration::from_millis(30))])
+        });
+        let res = run(small_cfg(), job);
+        for node in 0..2 {
+            assert_eq!(events_of(&res, node, EventCode::IoStart), 1);
+            assert_eq!(events_of(&res, node, EventCode::IoEnd), 1);
+        }
+        assert!(res.stats.end_time >= Time(30_000_000));
+    }
+
+    #[test]
+    fn daemons_inject_system_activity() {
+        let cfg = ClusterConfig {
+            daemons_per_node: 2,
+            daemon_period: Duration::from_millis(10),
+            ..small_cfg()
+        };
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![Op::Compute(Duration::from_millis(100))])
+        });
+        let res = run(cfg, job);
+        for node in 0..2 {
+            assert!(events_of(&res, node, EventCode::Interrupt) >= 5);
+        }
+        // Thread table includes system threads.
+        assert_eq!(
+            res.threads.of_type(ThreadType::System).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn timestamps_are_local_and_drift_apart() {
+        // Two nodes computing for 2 s: their trace-stop local timestamps
+        // should differ by the configured drift (±12 ppm each way plus
+        // offsets).
+        let cfg = ClusterConfig {
+            clock_sample_period: Duration::from_millis(500),
+            ..small_cfg()
+        };
+        let job = JobProgram::spmd(2, |_| {
+            TaskProgram::single(vec![Op::Compute(Duration::from_secs(2))])
+        });
+        let res = run(cfg, job);
+        let stop0 = res.raw_files[0]
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::TraceStop)
+            .unwrap()
+            .timestamp;
+        let stop1 = res.raw_files[1]
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::TraceStop)
+            .unwrap()
+            .timestamp;
+        assert_ne!(stop0, stop1, "local clocks should disagree");
+        // Node 0: +5 ppm, offset 0; node 1: -12 ppm, offset 50 µs.
+        let diff = stop0.ticks() as i64 - stop1.ticks() as i64;
+        // Expected ≈ 2 s · 17 ppm − 50 µs = 34 µs − 50 µs = −16 µs.
+        assert!(diff.abs() < 1_000_000, "diff {diff} implausible");
+    }
+
+    #[test]
+    fn per_node_event_streams_are_time_ordered() {
+        let job = JobProgram::spmd(2, |r| {
+            TaskProgram::single(vec![
+                Op::Compute(Duration::from_millis(5)),
+                Op::Send {
+                    to: 1 - r,
+                    bytes: 512,
+                    tag: 1,
+                },
+                Op::Recv { from: 1 - r, tag: 1 },
+                Op::Allreduce { bytes: 64 },
+            ])
+        });
+        let res = run(small_cfg(), job);
+        for f in &res.raw_files {
+            for w in f.events.windows(2) {
+                assert!(
+                    w[0].timestamp <= w[1].timestamp,
+                    "events out of order in node {} trace",
+                    f.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let job = JobProgram::spmd(2, |r| {
+            TaskProgram::single(vec![
+                Op::Compute(Duration::from_millis(3)),
+                Op::Send {
+                    to: 1 - r,
+                    bytes: 256,
+                    tag: 0,
+                },
+                Op::Recv { from: 1 - r, tag: 0 },
+            ])
+        });
+        let a = run(small_cfg(), job.clone());
+        let b = run(small_cfg(), job);
+        assert_eq!(a.raw_files, b.raw_files);
+    }
+
+    #[test]
+    fn wrong_task_count_rejected() {
+        let job = JobProgram::spmd(3, |_| TaskProgram::single(vec![]));
+        assert!(Simulator::new(small_cfg(), &job).is_err());
+    }
+}
+
+#[cfg(test)]
+mod extended_mpi_tests {
+    use super::*;
+    use crate::program::TaskProgram;
+    use ute_rawtrace::record::MpiPayload as MP;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 3,
+            cpus_per_node: 2,
+            tasks_per_node: 1,
+            threads_per_task: 1,
+            daemons_per_node: 0,
+            clock_sample_period: Duration::from_millis(100),
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn init_finalize_bracket_the_job() {
+        let job = JobProgram::spmd(3, |r| {
+            TaskProgram::single(vec![
+                Op::Init,
+                Op::Compute(Duration::from_millis(r as u64 + 1)),
+                Op::Finalize,
+            ])
+        });
+        let res = Simulator::new(cfg(), &job).unwrap().run().unwrap();
+        assert_eq!(res.stats.collectives, 2); // Init + Finalize
+        for f in &res.raw_files {
+            let codes: Vec<EventCode> = f
+                .events
+                .iter()
+                .filter(|e| matches!(e.code, EventCode::MpiBegin(_) | EventCode::MpiEnd(_)))
+                .map(|e| e.code)
+                .collect();
+            assert_eq!(codes.first(), Some(&EventCode::MpiBegin(MpiOp::Init)));
+            assert_eq!(codes.last(), Some(&EventCode::MpiEnd(MpiOp::Finalize)));
+        }
+    }
+
+    #[test]
+    fn sendrecv_ring_exchanges_both_ways() {
+        // Classic shift: everyone sendrecvs to the right / from the left.
+        let job = JobProgram::spmd(3, |r| {
+            TaskProgram::single(vec![
+                Op::Init,
+                Op::Sendrecv {
+                    to: (r + 1) % 3,
+                    from: (r + 2) % 3,
+                    bytes: 4096,
+                    tag: 0,
+                },
+                Op::Finalize,
+            ])
+        });
+        let res = Simulator::new(cfg(), &job).unwrap().run().unwrap();
+        assert_eq!(res.stats.messages, 3);
+        for f in &res.raw_files {
+            let begin = f
+                .events
+                .iter()
+                .filter(|e| e.code == EventCode::MpiBegin(MpiOp::Sendrecv))
+                .count();
+            let ends: Vec<&ute_rawtrace::record::RawEvent> = f
+                .events
+                .iter()
+                .filter(|e| e.code == EventCode::MpiEnd(MpiOp::Sendrecv))
+                .collect();
+            assert_eq!(begin, 1);
+            assert_eq!(ends.len(), 1);
+            let p = MP::from_bytes(&ends[0].payload).unwrap();
+            assert_eq!(p.bytes, 4096);
+            assert!(p.seq > 0);
+        }
+    }
+
+    #[test]
+    fn sendrecv_converts_with_both_byte_fields() {
+        use ute_convert::convert_node;
+        use ute_format::file::IntervalFileReader;
+        use ute_format::profile::Profile;
+        use ute_format::state::StateCode;
+
+        let job = JobProgram::spmd(3, |r| {
+            TaskProgram::single(vec![Op::Sendrecv {
+                to: (r + 1) % 3,
+                from: (r + 2) % 3,
+                bytes: 2048,
+                tag: 0,
+            }])
+        });
+        let res = Simulator::new(cfg(), &job).unwrap().run().unwrap();
+        let profile = Profile::standard();
+        let markers = ute_convert::MarkerMap::build(&res.raw_files).unwrap();
+        let out = convert_node(
+            &res.raw_files[0],
+            &res.threads,
+            &profile,
+            &markers,
+            ute_format::file::FramePolicy::default(),
+        )
+        .unwrap();
+        let r = IntervalFileReader::open(&out.interval_file, &profile).unwrap();
+        let sr = r
+            .intervals()
+            .map(|x| x.unwrap())
+            .find(|iv| {
+                iv.itype.state == StateCode::mpi(MpiOp::Sendrecv)
+                    && iv.itype.bebits.ends_state()
+            })
+            .expect("sendrecv interval present");
+        let sent = sr.extra(&profile, "msgSizeSent").unwrap().as_uint().unwrap();
+        let recvd = sr.extra(&profile, "msgSizeRecvd").unwrap().as_uint().unwrap();
+        assert_eq!(sent, 2048);
+        assert_eq!(recvd, 2048);
+    }
+}
+
+#[cfg(test)]
+mod config_validation_tests {
+    use super::*;
+    use crate::program::TaskProgram;
+
+    fn job() -> JobProgram {
+        JobProgram::spmd(1, |_| {
+            TaskProgram::single(vec![Op::Compute(Duration::from_millis(1))])
+        })
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let base = ClusterConfig {
+            nodes: 1,
+            tasks_per_node: 1,
+            threads_per_task: 1,
+            ..ClusterConfig::default()
+        };
+        let zero_quantum = ClusterConfig {
+            quantum: Duration::ZERO,
+            ..base.clone()
+        };
+        assert!(Simulator::new(zero_quantum, &job()).is_err());
+        let zero_daemon = ClusterConfig {
+            daemons_per_node: 1,
+            daemon_period: Duration::ZERO,
+            ..base.clone()
+        };
+        assert!(Simulator::new(zero_daemon, &job()).is_err());
+        let no_cpus = ClusterConfig {
+            cpus_per_node: 0,
+            ..base.clone()
+        };
+        assert!(Simulator::new(no_cpus, &job()).is_err());
+        assert!(Simulator::new(base, &job()).is_ok());
+    }
+}

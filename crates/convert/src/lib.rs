@@ -1,0 +1,109 @@
+//! # ute-convert — event-to-interval conversion (§3.1)
+//!
+//! "Matching events is the first step in the conversion process. A begin
+//! event is matched with its end event to create an interval, provided
+//! that there is no other events in between. If there are other events,
+//! such as user marker events and thread dispatch events, the interval is
+//! divided into multiple interval pieces."
+//!
+//! The converter walks each node's raw event stream in time order keeping,
+//! per thread, a stack of open states (MPI call, user markers, I/O) plus
+//! the implicit *Running* bottom state. Thread dispatch boundaries and
+//! nested state transitions close the current piece of every affected
+//! state; the piece's bebits record whether it is the first (`Begin`),
+//! an interior (`Continuation`), the final (`End`), or the only
+//! (`Complete`) piece of its state.
+//!
+//! The converter also re-assigns **globally unique marker identifiers**:
+//! the tracing library hands out ids per task without cross-task
+//! communication, so "the identifier for a marker with the string, say
+//! 'Initial Phase', may be different in different tasks. The convert
+//! utility re-assigns a unique identifier to each user-defined marker
+//! string in the trace files."
+
+pub mod marker;
+pub mod matcher;
+
+use crossbeam::thread as cb_thread;
+
+use ute_core::error::{Result, UteError};
+use ute_core::ids::NodeId;
+use ute_format::file::FramePolicy;
+use ute_format::profile::Profile;
+use ute_format::thread_table::ThreadTable;
+use ute_rawtrace::file::RawTraceFile;
+
+pub use marker::MarkerMap;
+pub use matcher::{convert_node, convert_node_opts, ConvertOptions, ConvertOutput, ConvertStats};
+
+/// Converts a whole job's raw trace files into per-node interval files.
+///
+/// The marker map is built over *all* files first (so identical marker
+/// strings from different tasks share one id), then each node is
+/// converted — in parallel when `parallel` is set, one worker per node.
+///
+/// `threads` supplies process/thread identity, which the AIX trace
+/// facility recorded as side metadata; our simulator hands over its
+/// ground-truth table.
+pub fn convert_job(
+    files: &[RawTraceFile],
+    threads: &ThreadTable,
+    profile: &Profile,
+    policy: FramePolicy,
+    parallel: bool,
+) -> Result<Vec<ConvertOutput>> {
+    convert_job_opts(
+        files,
+        threads,
+        profile,
+        &ConvertOptions {
+            policy,
+            lenient: false,
+        },
+        parallel,
+    )
+}
+
+/// [`convert_job`] with explicit [`ConvertOptions`] (e.g. lenient mode
+/// for delayed-start partial traces).
+pub fn convert_job_opts(
+    files: &[RawTraceFile],
+    threads: &ThreadTable,
+    profile: &Profile,
+    opts: &ConvertOptions,
+    parallel: bool,
+) -> Result<Vec<ConvertOutput>> {
+    let markers = MarkerMap::build(files)?;
+    if !parallel || files.len() <= 1 {
+        return files
+            .iter()
+            .map(|f| convert_node_opts(f, threads, profile, &markers, opts))
+            .collect();
+    }
+    let markers = &markers;
+    cb_thread::scope(|s| {
+        let handles: Vec<_> = files
+            .iter()
+            .map(|f| s.spawn(move |_| convert_node_opts(f, threads, profile, markers, opts)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(UteError::Invalid("convert worker panicked".into())),
+            })
+            .collect()
+    })
+    .map_err(|_| UteError::Invalid("convert scope panicked".into()))?
+}
+
+/// Restricts a job-wide thread table to one node's threads.
+pub fn node_threads(threads: &ThreadTable, node: NodeId) -> ThreadTable {
+    let mut t = ThreadTable::new();
+    for e in threads.entries() {
+        if e.node == node {
+            t.register(*e).expect("source table was consistent");
+        }
+    }
+    t
+}

@@ -1,0 +1,165 @@
+//! Interval begin/end bits ("bebits", §2.3.1).
+//!
+//! An interval record has four variants (§1.2): in the simple case an MPI
+//! call executed without interruption produces one **complete** interval.
+//! If execution was not continuous (the thread was descheduled, or a nested
+//! state started) the call is represented by several *interval pieces*: the
+//! first has type **begin**, the last **end**, and any in between are
+//! **continuation** pieces. The two bits are a begin-bit and an end-bit:
+//! a piece that both starts and finishes the state is complete (`11`), one
+//! that only starts it is begin (`10`), only finishes it is end (`01`), and
+//! an interior piece is continuation (`00`).
+
+/// The four interval-piece variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BeBits {
+    /// Interior piece of a split state: neither first nor last.
+    Continuation,
+    /// Final piece of a split state.
+    End,
+    /// First piece of a split state.
+    Begin,
+    /// The whole state in one uninterrupted piece.
+    Complete,
+}
+
+impl BeBits {
+    /// Two-bit encoding: begin-bit in bit 1, end-bit in bit 0.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            BeBits::Continuation => 0b00,
+            BeBits::End => 0b01,
+            BeBits::Begin => 0b10,
+            BeBits::Complete => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit encoding (higher bits must be clear).
+    pub fn from_bits(bits: u8) -> Option<BeBits> {
+        match bits {
+            0b00 => Some(BeBits::Continuation),
+            0b01 => Some(BeBits::End),
+            0b10 => Some(BeBits::Begin),
+            0b11 => Some(BeBits::Complete),
+            _ => None,
+        }
+    }
+
+    /// Builds the variant from the two flags directly.
+    pub fn from_flags(is_first: bool, is_last: bool) -> BeBits {
+        match (is_first, is_last) {
+            (true, true) => BeBits::Complete,
+            (true, false) => BeBits::Begin,
+            (false, true) => BeBits::End,
+            (false, false) => BeBits::Continuation,
+        }
+    }
+
+    /// Whether this piece starts its state.
+    pub fn starts_state(self) -> bool {
+        matches!(self, BeBits::Begin | BeBits::Complete)
+    }
+
+    /// Whether this piece finishes its state.
+    pub fn ends_state(self) -> bool {
+        matches!(self, BeBits::End | BeBits::Complete)
+    }
+}
+
+/// Validates that a sequence of pieces reassembles into whole states:
+/// every state opens with `Begin` (or is a lone `Complete`), contains only
+/// `Continuation` pieces while open, and closes with `End`. Returns the
+/// number of whole states, or `None` if the sequence is malformed (e.g.
+/// `End` without `Begin`, or the sequence ends with a state still open).
+///
+/// This is the invariant the paper relies on to "properly count MPI calls
+/// and associate call fragments that pertain to the same call" (§1.2).
+pub fn count_states(pieces: &[BeBits]) -> Option<usize> {
+    let mut open = false;
+    let mut states = 0usize;
+    for &p in pieces {
+        match p {
+            BeBits::Complete => {
+                if open {
+                    return None;
+                }
+                states += 1;
+            }
+            BeBits::Begin => {
+                if open {
+                    return None;
+                }
+                open = true;
+            }
+            BeBits::Continuation => {
+                if !open {
+                    return None;
+                }
+            }
+            BeBits::End => {
+                if !open {
+                    return None;
+                }
+                open = false;
+                states += 1;
+            }
+        }
+    }
+    if open {
+        None
+    } else {
+        Some(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for b in [
+            BeBits::Continuation,
+            BeBits::End,
+            BeBits::Begin,
+            BeBits::Complete,
+        ] {
+            assert_eq!(BeBits::from_bits(b.to_bits()), Some(b));
+        }
+        assert_eq!(BeBits::from_bits(0b100), None);
+    }
+
+    #[test]
+    fn flags_match_bits() {
+        assert_eq!(BeBits::from_flags(true, true), BeBits::Complete);
+        assert_eq!(BeBits::from_flags(true, false), BeBits::Begin);
+        assert_eq!(BeBits::from_flags(false, true), BeBits::End);
+        assert_eq!(BeBits::from_flags(false, false), BeBits::Continuation);
+        assert!(BeBits::Complete.starts_state() && BeBits::Complete.ends_state());
+        assert!(BeBits::Begin.starts_state() && !BeBits::Begin.ends_state());
+    }
+
+    #[test]
+    fn count_states_accepts_well_formed() {
+        use BeBits::*;
+        assert_eq!(count_states(&[]), Some(0));
+        assert_eq!(count_states(&[Complete]), Some(1));
+        assert_eq!(count_states(&[Begin, End]), Some(1));
+        assert_eq!(count_states(&[Begin, Continuation, Continuation, End]), Some(1));
+        assert_eq!(
+            count_states(&[Complete, Begin, End, Complete, Begin, Continuation, End]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn count_states_rejects_malformed() {
+        use BeBits::*;
+        assert_eq!(count_states(&[End]), None);
+        assert_eq!(count_states(&[Continuation]), None);
+        assert_eq!(count_states(&[Begin]), None); // never closed
+        assert_eq!(count_states(&[Begin, Complete]), None); // nested complete
+        assert_eq!(count_states(&[Begin, Begin]), None);
+        assert_eq!(count_states(&[Begin, End, End]), None);
+    }
+}

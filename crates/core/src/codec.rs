@@ -1,0 +1,311 @@
+//! Little-endian byte codec used by all UTE file formats.
+//!
+//! [`ByteWriter`] appends to a growable buffer and supports back-patching
+//! (needed by the interval-file writer, which links frame directories by
+//! patching `next` offsets on close). [`ByteReader`] reads from a slice and
+//! turns every short read into a [`UteError::Corrupt`] carrying the byte
+//! offset, so format errors in damaged trace files are reported precisely.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{Result, UteError};
+
+/// Clamps a count declared in untrusted input to what the remaining
+/// bytes could possibly hold, so corrupt files cannot drive gigantic
+/// preallocations. Use for every `Vec::with_capacity` sized from a
+/// decoded field.
+pub fn clamped_capacity(declared: usize, min_item_size: usize, remaining: usize) -> usize {
+    declared.min(remaining / min_item_size.max(1)).min(1 << 20)
+}
+
+/// Growable little-endian writer with back-patch support.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// New writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes — the offset the next write lands at.
+    #[inline]
+    pub fn pos(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends a single byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i64`.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends a little-endian IEEE-754 `f64`.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u16` length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "string too long for codec");
+        self.put_u16(s.len() as u16);
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Overwrites 8 bytes at `offset` with a little-endian `u64`.
+    /// Panics if the range was never written.
+    pub fn patch_u64(&mut self, offset: u64, v: u64) {
+        let o = offset as usize;
+        self.buf[o..o + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Overwrites 4 bytes at `offset` with a little-endian `u32`.
+    pub fn patch_u32(&mut self, offset: u64, v: u32) {
+        let o = offset as usize;
+        self.buf[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Slice reader that reports precise offsets on short reads.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    full: &'a [u8],
+    rest: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reads from the start of `data`.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader {
+            full: data,
+            rest: data,
+        }
+    }
+
+    /// Current byte offset from the start of the underlying slice.
+    #[inline]
+    pub fn pos(&self) -> u64 {
+        (self.full.len() - self.rest.len()) as u64
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Whether all bytes were consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.rest.remaining() < n {
+            Err(UteError::corrupt_at(
+                format!("{what}: need {n} bytes, have {}", self.rest.len()),
+                self.pos(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1, "u8")?;
+        Ok(self.rest.get_u8())
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        self.need(2, "u16")?;
+        Ok(self.rest.get_u16_le())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4, "u32")?;
+        Ok(self.rest.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8, "u64")?;
+        Ok(self.rest.get_u64_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        self.need(8, "i64")?;
+        Ok(self.rest.get_i64_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        self.need(8, "f64")?;
+        Ok(self.rest.get_f64_le())
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n, "bytes")?;
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u16()? as usize;
+        let pos = self.pos();
+        let bytes = self.get_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| UteError::corrupt_at("string: invalid utf-8", pos))
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.need(n, "skip")?;
+        self.rest = &self.rest[n..];
+        Ok(())
+    }
+
+    /// Repositions to an absolute offset from the start of the slice.
+    pub fn seek(&mut self, offset: u64) -> Result<()> {
+        let o = offset as usize;
+        if o > self.full.len() {
+            return Err(UteError::corrupt_at("seek past end", offset));
+        }
+        self.rest = &self.full[o..];
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_i64(-42);
+        w.put_f64(2.5);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_read_reports_offset() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        r.get_u8().unwrap();
+        let err = r.get_u32().unwrap_err();
+        match err {
+            UteError::Corrupt { offset, .. } => assert_eq!(offset, Some(1)),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn patch_back_fills() {
+        let mut w = ByteWriter::new();
+        let at = w.pos();
+        w.put_u64(0); // placeholder
+        w.put_u32(7);
+        w.patch_u64(at, 0x55);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 0x55);
+        assert_eq!(r.get_u32().unwrap(), 7);
+    }
+
+    #[test]
+    fn seek_and_skip() {
+        let mut w = ByteWriter::new();
+        for i in 0..10u8 {
+            w.put_u8(i);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.skip(4).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 4);
+        r.seek(9).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 9);
+        assert!(r.seek(11).is_err());
+        assert!(r.skip(1).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u16(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! The common error type for all UTE crates.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, UteError>;
+
+/// Errors produced anywhere in the trace pipeline.
+#[derive(Debug)]
+pub enum UteError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A file did not conform to its format ("what" says which structure,
+    /// at which byte offset when known).
+    Corrupt {
+        /// Which structure failed to parse.
+        what: String,
+        /// Byte offset of the failure, if known.
+        offset: Option<u64>,
+    },
+    /// The profile version recorded in an interval file does not match the
+    /// profile being used to read it (§2.3: "Utilities and programs that
+    /// read interval files check that they are using the correct profile").
+    VersionMismatch {
+        /// Version stored in the profile file.
+        profile: u32,
+        /// Version stored in the interval file header.
+        file: u32,
+    },
+    /// A field, record, marker, or thread lookup failed.
+    NotFound(String),
+    /// A statistics-language program failed to parse.
+    Parse {
+        /// Human-readable description of the syntax error.
+        msg: String,
+        /// Byte position in the program text.
+        pos: usize,
+    },
+    /// A request was structurally valid but semantically impossible
+    /// (e.g. more than 512 threads registered on one node).
+    Invalid(String),
+}
+
+impl UteError {
+    /// Shorthand for a corrupt-format error with no offset.
+    pub fn corrupt(what: impl Into<String>) -> UteError {
+        UteError::Corrupt {
+            what: what.into(),
+            offset: None,
+        }
+    }
+
+    /// Shorthand for a corrupt-format error at a known byte offset.
+    pub fn corrupt_at(what: impl Into<String>, offset: u64) -> UteError {
+        UteError::Corrupt {
+            what: what.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for UteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UteError::Io(e) => write!(f, "i/o error: {e}"),
+            UteError::Corrupt { what, offset } => match offset {
+                Some(o) => write!(f, "corrupt {what} at byte {o}"),
+                None => write!(f, "corrupt {what}"),
+            },
+            UteError::VersionMismatch { profile, file } => write!(
+                f,
+                "profile version mismatch: profile is v{profile}, interval file was written with v{file}"
+            ),
+            UteError::NotFound(what) => write!(f, "not found: {what}"),
+            UteError::Parse { msg, pos } => write!(f, "parse error at {pos}: {msg}"),
+            UteError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UteError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for UteError {
+    fn from(e: io::Error) -> Self {
+        UteError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = UteError::corrupt_at("frame directory", 128);
+        assert_eq!(e.to_string(), "corrupt frame directory at byte 128");
+        let e = UteError::corrupt("hookword");
+        assert_eq!(e.to_string(), "corrupt hookword");
+        let e = UteError::VersionMismatch { profile: 2, file: 1 };
+        assert!(e.to_string().contains("v2"));
+        assert!(e.to_string().contains("v1"));
+        let e = UteError::Parse {
+            msg: "expected ')'".into(),
+            pos: 7,
+        };
+        assert!(e.to_string().contains("at 7"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let ioe = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e: UteError = ioe.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,185 @@
+//! Entity identifiers for nodes, processors, tasks, and threads.
+//!
+//! The trace environment identifies every interval record by the SMP node it
+//! was produced on, the processor the thread was dispatched to, and a
+//! *logical thread id* that is compact (numbered from 0 within each node).
+//! The paper bounds logical thread ids to 512 per node; combined with the
+//! 16-bit node id this supports "more than 2 million threads in a trace
+//! file" (§2.3.2).
+
+use std::fmt;
+
+/// Maximum number of relevant threads per node (paper §2.3.2: "Currently
+/// there could be up to 512 relevant threads per node").
+pub const MAX_THREADS_PER_NODE: u16 = 512;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw numeric value of this id.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the id widened to `usize`, for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one SMP node of the cluster.
+    NodeId,
+    u16
+);
+id_type!(
+    /// Identifies one processor (CPU) within an SMP node.
+    CpuId,
+    u16
+);
+id_type!(
+    /// Identifies one MPI task (rank) across the whole job.
+    TaskId,
+    u32
+);
+id_type!(
+    /// Compact per-node thread id, numbered from 0 on each node.
+    LogicalThreadId,
+    u16
+);
+id_type!(
+    /// Operating-system thread id, unique within a node.
+    SystemThreadId,
+    u64
+);
+id_type!(
+    /// Operating-system process id.
+    Pid,
+    u32
+);
+
+/// The three thread categories kept in the interval-file thread table
+/// (§2.3.3): "MPI threads, user-defined threads, and system threads. This
+/// provides a way to choose specific threads for merging."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadType {
+    /// A thread that issues MPI calls.
+    Mpi,
+    /// A user-created worker thread that does not issue MPI calls.
+    User,
+    /// An operating-system daemon or kernel thread.
+    System,
+}
+
+impl ThreadType {
+    /// Stable on-disk encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ThreadType::Mpi => 0,
+            ThreadType::User => 1,
+            ThreadType::System => 2,
+        }
+    }
+
+    /// Decodes the on-disk byte; rejects unknown values.
+    pub fn from_u8(v: u8) -> Option<ThreadType> {
+        match v {
+            0 => Some(ThreadType::Mpi),
+            1 => Some(ThreadType::User),
+            2 => Some(ThreadType::System),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ThreadType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreadType::Mpi => "mpi",
+            ThreadType::User => "user",
+            ThreadType::System => "system",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-qualified thread address: which node, plus the logical id on
+/// that node. This is the key used when matching records across files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalThreadId {
+    /// The node the thread lives on.
+    pub node: NodeId,
+    /// The thread's compact id within the node.
+    pub thread: LogicalThreadId,
+}
+
+impl fmt::Display for GlobalThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}t{}", self.node, self.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_type_round_trip() {
+        for t in [ThreadType::Mpi, ThreadType::User, ThreadType::System] {
+            assert_eq!(ThreadType::from_u8(t.to_u8()), Some(t));
+        }
+        assert_eq!(ThreadType::from_u8(3), None);
+        assert_eq!(ThreadType::from_u8(255), None);
+    }
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "3");
+        assert_eq!(CpuId(7).index(), 7);
+        assert_eq!(TaskId::from(9u32).raw(), 9);
+        let g = GlobalThreadId {
+            node: NodeId(1),
+            thread: LogicalThreadId(4),
+        };
+        assert_eq!(g.to_string(), "n1t4");
+    }
+
+    #[test]
+    fn global_thread_id_orders_by_node_then_thread() {
+        let a = GlobalThreadId {
+            node: NodeId(0),
+            thread: LogicalThreadId(9),
+        };
+        let b = GlobalThreadId {
+            node: NodeId(1),
+            thread: LogicalThreadId(0),
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn max_threads_constant_matches_paper() {
+        assert_eq!(MAX_THREADS_PER_NODE, 512);
+    }
+}

@@ -1,0 +1,245 @@
+//! Simulated time.
+//!
+//! All timestamps in the framework are integer *ticks*. One tick is one
+//! nanosecond of simulated time, so [`TICKS_PER_SEC`] is 10⁹. Two flavours
+//! of timestamp exist:
+//!
+//! * [`Time`] — a timestamp on the **global** (switch-adapter) clock, or on
+//!   the simulator's true-time axis. All merged interval files use this.
+//! * [`LocalTime`] — a timestamp read from one node's **local** drifting
+//!   clock. Raw trace files and per-node interval files use this; the merge
+//!   utility converts it to [`Time`] using global-clock records (§2.2).
+//!
+//! Keeping the two as distinct types makes it a compile error to mix
+//! unadjusted local timestamps into merged data.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Ticks per simulated second (nanosecond resolution).
+pub const TICKS_PER_SEC: u64 = 1_000_000_000;
+
+/// A span of simulated time, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Duration {
+        Duration(s * TICKS_PER_SEC)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to the nearest
+    /// tick. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        if s <= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration((s * TICKS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// This span expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.as_secs_f64())
+    }
+}
+
+macro_rules! time_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The origin of this time axis.
+            pub const ZERO: $name = $name(0);
+
+            /// Raw tick count since the axis origin.
+            #[inline]
+            pub fn ticks(self) -> u64 {
+                self.0
+            }
+
+            /// Timestamp expressed in fractional seconds since the origin.
+            #[inline]
+            pub fn as_secs_f64(self) -> f64 {
+                self.0 as f64 / TICKS_PER_SEC as f64
+            }
+
+            /// Builds a timestamp from fractional seconds since the origin.
+            pub fn from_secs_f64(s: f64) -> $name {
+                if s <= 0.0 {
+                    $name(0)
+                } else {
+                    $name((s * TICKS_PER_SEC as f64).round() as u64)
+                }
+            }
+
+            /// Distance to an earlier timestamp; zero if `earlier` is later.
+            #[inline]
+            pub fn saturating_since(self, earlier: $name) -> Duration {
+                Duration(self.0.saturating_sub(earlier.0))
+            }
+        }
+
+        impl Add<Duration> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: Duration) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign<Duration> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Duration) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub<Duration> for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: Duration) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign<Duration> for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Duration) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Duration;
+            #[inline]
+            fn sub(self, rhs: $name) -> Duration {
+                Duration(self.0 - rhs.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.9}", self.as_secs_f64())
+            }
+        }
+    };
+}
+
+time_type!(
+    /// A timestamp on the global (switch-adapter / true-time) axis.
+    Time
+);
+time_type!(
+    /// A timestamp read from one node's local drifting clock. Must be
+    /// adjusted against global-clock records before cross-node comparison.
+    LocalTime
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(2).ticks(), 2 * TICKS_PER_SEC);
+        assert_eq!(Duration::from_millis(3).ticks(), 3_000_000);
+        assert_eq!(Duration::from_micros(5).ticks(), 5_000);
+        assert_eq!(Duration::from_secs_f64(0.5).ticks(), TICKS_PER_SEC / 2);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_secs_f64(1.0);
+        let u = t + Duration::from_secs(2);
+        assert_eq!(u.as_secs_f64(), 3.0);
+        assert_eq!(u - t, Duration::from_secs(2));
+        assert_eq!(t.saturating_since(u), Duration::ZERO);
+        assert_eq!(u.saturating_since(t), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn local_time_is_distinct_axis() {
+        // LocalTime and Time are separate types; this test documents that
+        // arithmetic stays within one axis.
+        let l = LocalTime::from_secs_f64(2.5);
+        let l2 = l + Duration::from_millis(500);
+        assert_eq!(l2 - l, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(Time(1_500_000_000).to_string(), "1.500000000");
+        assert_eq!(Duration(250_000_000).to_string(), "0.250000000s");
+    }
+
+    #[test]
+    fn duration_saturating_sub() {
+        let a = Duration::from_secs(1);
+        let b = Duration::from_secs(2);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        assert_eq!(b.saturating_sub(a), Duration::from_secs(1));
+    }
+}

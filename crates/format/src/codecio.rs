@@ -1,0 +1,61 @@
+//! Sidecar file I/O for the thread table.
+//!
+//! The AIX trace facility knew process/thread identity from the kernel;
+//! our simulator hands the same information over as a ground-truth thread
+//! table, persisted next to the raw trace files so the convert utility
+//! can run as a separate process (the `threads.utt` sidecar).
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+
+use crate::thread_table::ThreadTable;
+
+/// Magic bytes opening a thread-table sidecar file.
+pub const MAGIC: &[u8; 8] = b"UTETHRD\0";
+
+/// Serializes a thread table to a sidecar file.
+pub fn write_thread_table_file(path: &std::path::Path, table: &ThreadTable) -> Result<()> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    table.encode(&mut w);
+    std::fs::write(path, w.into_bytes())?;
+    Ok(())
+}
+
+/// Reads a thread-table sidecar file.
+pub fn read_thread_table_file(path: &std::path::Path) -> Result<ThreadTable> {
+    let data = std::fs::read(path)?;
+    let mut r = ByteReader::new(&data);
+    if r.get_bytes(8)? != MAGIC {
+        return Err(UteError::corrupt("thread table sidecar: bad magic"));
+    }
+    ThreadTable::decode(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_table::ThreadEntry;
+    use ute_core::ids::{LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
+
+    #[test]
+    fn sidecar_round_trip() {
+        let mut t = ThreadTable::new();
+        t.register(ThreadEntry {
+            task: TaskId(0),
+            pid: Pid(42),
+            system_tid: SystemThreadId(7),
+            node: NodeId(0),
+            logical: LogicalThreadId(0),
+            ttype: ThreadType::Mpi,
+        })
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("ute_tt_{}.utt", std::process::id()));
+        write_thread_table_file(&path, &t).unwrap();
+        let back = read_thread_table_file(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::write(&path, b"garbage!").unwrap();
+        assert!(read_thread_table_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

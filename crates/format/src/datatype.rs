@@ -1,0 +1,104 @@
+//! Field data types of the description profile.
+//!
+//! Each field of an interval record has "a fixed data type, as specified in
+//! the description profile" (§2.3.2). The type code occupies 4 bits of the
+//! field description word, the element length 8 bits.
+
+use ute_core::error::{Result, UteError};
+
+/// The scalar element types a field can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// IEEE-754 double.
+    F64,
+    /// A single byte of character data (vector of `Char` = string).
+    Char,
+}
+
+impl FieldType {
+    /// 4-bit type code for the field description word.
+    pub fn code(self) -> u8 {
+        match self {
+            FieldType::U8 => 0,
+            FieldType::U16 => 1,
+            FieldType::U32 => 2,
+            FieldType::U64 => 3,
+            FieldType::I64 => 4,
+            FieldType::F64 => 5,
+            FieldType::Char => 6,
+        }
+    }
+
+    /// Inverse of [`FieldType::code`].
+    pub fn from_code(code: u8) -> Result<FieldType> {
+        Ok(match code {
+            0 => FieldType::U8,
+            1 => FieldType::U16,
+            2 => FieldType::U32,
+            3 => FieldType::U64,
+            4 => FieldType::I64,
+            5 => FieldType::F64,
+            6 => FieldType::Char,
+            other => {
+                return Err(UteError::corrupt(format!(
+                    "field description word: unknown data type code {other}"
+                )))
+            }
+        })
+    }
+
+    /// Element size in bytes.
+    pub fn elem_len(self) -> u8 {
+        match self {
+            FieldType::U8 | FieldType::Char => 1,
+            FieldType::U16 => 2,
+            FieldType::U32 => 4,
+            FieldType::U64 | FieldType::I64 | FieldType::F64 => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [FieldType; 7] = [
+        FieldType::U8,
+        FieldType::U16,
+        FieldType::U32,
+        FieldType::U64,
+        FieldType::I64,
+        FieldType::F64,
+        FieldType::Char,
+    ];
+
+    #[test]
+    fn code_round_trip() {
+        for t in ALL {
+            assert_eq!(FieldType::from_code(t.code()).unwrap(), t);
+        }
+        assert!(FieldType::from_code(7).is_err());
+        assert!(FieldType::from_code(15).is_err());
+    }
+
+    #[test]
+    fn element_lengths() {
+        assert_eq!(FieldType::U8.elem_len(), 1);
+        assert_eq!(FieldType::U16.elem_len(), 2);
+        assert_eq!(FieldType::U32.elem_len(), 4);
+        assert_eq!(FieldType::U64.elem_len(), 8);
+        assert_eq!(FieldType::I64.elem_len(), 8);
+        assert_eq!(FieldType::F64.elem_len(), 8);
+        assert_eq!(FieldType::Char.elem_len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Frames and frame directories (§2.3.3, Figure 4).
+//!
+//! "An interval file has multiple frame directories so that utilities and
+//! tools can jump into a specific frame without reading or processing any
+//! record ahead of the frame. The header of a frame directory contains the
+//! size of the frame directory, the number of frames in the frame
+//! directory, and the starting offsets of the previous and next frame
+//! directories. A frame directory has a number of frame entries. Each
+//! entry contains a frame pointer indicating the starting offset of the
+//! frame, the size of the frame, the number of records in the frame, and
+//! the start time and end time of the frame."
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+
+/// Sentinel offset meaning "no previous/next directory".
+pub const NO_DIR: u64 = 0;
+
+/// Encoded size of a directory header: size (4) + nframes (4) + prev (8)
+/// + next (8).
+pub const DIR_HEADER_LEN: usize = 24;
+
+/// Encoded size of one frame entry.
+pub const FRAME_ENTRY_LEN: usize = 36;
+
+/// One frame entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// Absolute file offset of the frame's first record.
+    pub offset: u64,
+    /// Frame size in bytes.
+    pub size: u64,
+    /// Number of records in the frame.
+    pub nrecords: u32,
+    /// Earliest record start time in the frame, in ticks.
+    pub start_time: u64,
+    /// Latest record end time in the frame, in ticks.
+    pub end_time: u64,
+}
+
+impl FrameEntry {
+    /// Whether a timestamp falls within this frame's time span.
+    pub fn contains_time(&self, t: u64) -> bool {
+        self.start_time <= t && t <= self.end_time
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.offset);
+        w.put_u64(self.size);
+        w.put_u32(self.nrecords);
+        w.put_u64(self.start_time);
+        w.put_u64(self.end_time);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<FrameEntry> {
+        Ok(FrameEntry {
+            offset: r.get_u64()?,
+            size: r.get_u64()?,
+            nrecords: r.get_u32()?,
+            start_time: r.get_u64()?,
+            end_time: r.get_u64()?,
+        })
+    }
+}
+
+/// A decoded frame directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDirectory {
+    /// Absolute offset of the previous directory ([`NO_DIR`] if first).
+    pub prev: u64,
+    /// Absolute offset of the next directory ([`NO_DIR`] if last).
+    pub next: u64,
+    /// The frames this directory indexes, in time order.
+    pub entries: Vec<FrameEntry>,
+}
+
+impl FrameDirectory {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        DIR_HEADER_LEN + self.entries.len() * FRAME_ENTRY_LEN
+    }
+
+    /// Serializes the directory.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.encoded_len() as u32);
+        w.put_u32(self.entries.len() as u32);
+        w.put_u64(self.prev);
+        w.put_u64(self.next);
+        for e in &self.entries {
+            e.encode(w);
+        }
+    }
+
+    /// Byte offset of the `next` pointer within an encoded directory,
+    /// used by the writer to back-patch the chain.
+    pub const NEXT_FIELD_OFFSET: u64 = 16;
+
+    /// Deserializes a directory.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<FrameDirectory> {
+        let at = r.pos();
+        let size = r.get_u32()? as usize;
+        let nframes = r.get_u32()? as usize;
+        if size != DIR_HEADER_LEN + nframes * FRAME_ENTRY_LEN {
+            return Err(UteError::corrupt_at(
+                format!("frame directory: size {size} inconsistent with {nframes} frames"),
+                at,
+            ));
+        }
+        if r.remaining() < nframes * FRAME_ENTRY_LEN {
+            return Err(UteError::corrupt_at(
+                format!("frame directory: {nframes} entries exceed remaining bytes"),
+                at,
+            ));
+        }
+        let prev = r.get_u64()?;
+        let next = r.get_u64()?;
+        let mut entries = Vec::with_capacity(nframes);
+        for _ in 0..nframes {
+            entries.push(FrameEntry::decode(r)?);
+        }
+        Ok(FrameDirectory { prev, next, entries })
+    }
+
+    /// Finds the frame whose time span contains `t`, if any; otherwise the
+    /// first frame starting after `t` (so lookups between frames land on
+    /// the next activity). `None` if `t` is past every frame here.
+    pub fn find_frame(&self, t: u64) -> Option<&FrameEntry> {
+        // Entries are time-ordered: binary search on end_time.
+        let i = self.entries.partition_point(|e| e.end_time < t);
+        self.entries.get(i)
+    }
+
+    /// Total records across this directory's frames.
+    pub fn total_records(&self) -> u64 {
+        self.entries.iter().map(|e| e.nrecords as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> FrameDirectory {
+        FrameDirectory {
+            prev: NO_DIR,
+            next: 4096,
+            entries: vec![
+                FrameEntry {
+                    offset: 100,
+                    size: 500,
+                    nrecords: 10,
+                    start_time: 0,
+                    end_time: 99,
+                },
+                FrameEntry {
+                    offset: 600,
+                    size: 700,
+                    nrecords: 14,
+                    start_time: 100,
+                    end_time: 250,
+                },
+                FrameEntry {
+                    offset: 1300,
+                    size: 300,
+                    nrecords: 6,
+                    start_time: 300,
+                    end_time: 420,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = dir();
+        let mut w = ByteWriter::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), d.encoded_len());
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(FrameDirectory::decode(&mut r).unwrap(), d);
+    }
+
+    #[test]
+    fn inconsistent_size_rejected() {
+        let d = dir();
+        let mut w = ByteWriter::new();
+        d.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[0] = bytes[0].wrapping_add(1); // corrupt size
+        let mut r = ByteReader::new(&bytes);
+        assert!(FrameDirectory::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn find_frame_by_time() {
+        let d = dir();
+        assert_eq!(d.find_frame(0).unwrap().offset, 100);
+        assert_eq!(d.find_frame(99).unwrap().offset, 100);
+        assert_eq!(d.find_frame(150).unwrap().offset, 600);
+        // Gap between 250 and 300 resolves to the following frame.
+        assert_eq!(d.find_frame(275).unwrap().offset, 1300);
+        assert_eq!(d.find_frame(420).unwrap().offset, 1300);
+        assert!(d.find_frame(421).is_none());
+    }
+
+    #[test]
+    fn totals() {
+        assert_eq!(dir().total_records(), 30);
+    }
+
+    #[test]
+    fn next_field_offset_is_where_next_lives() {
+        let mut d = dir();
+        let mut w = ByteWriter::new();
+        d.encode(&mut w);
+        // Patch next via the documented offset and re-decode.
+        w.patch_u64(FrameDirectory::NEXT_FIELD_OFFSET, 9999);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = FrameDirectory::decode(&mut r).unwrap();
+        d.next = 9999;
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,646 @@
+//! The description profile (§2.3.1, Figure 3).
+//!
+//! "A description profile file contains a header followed by interval
+//! record specifications. The header includes a version ID, the number of
+//! interval record types, and arrays of strings for record and field
+//! names. ... Each field in a record is described through the use of one
+//! field description word, including a vector bit, a counter length, a
+//! data type, an element length, a field selection attribute, and a field
+//! name index."
+//!
+//! The field-selection attribute is a bit index into the *field selection
+//! mask* stored in each interval file's header; a field exists in a given
+//! file only when its bit is set. "This design accommodates the case that
+//! a given record type may have a different number of fields in individual
+//! and merged interval files" — per-node files omit the `node` field (the
+//! whole file belongs to one node), the merged file includes it.
+
+use std::collections::BTreeMap;
+
+use ute_core::bebits::BeBits;
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+use ute_core::event::MpiOp;
+
+use crate::datatype::FieldType;
+use crate::record::IntervalType;
+use crate::state::StateCode;
+use crate::value::{decode_value, Value};
+
+/// Magic bytes opening a profile file.
+pub const MAGIC: &[u8; 8] = b"UTEPRF\0\0";
+
+/// Version of the standard profile built by [`Profile::standard`].
+pub const STANDARD_VERSION: u32 = 1;
+
+/// Selection bit shared by every field that exists in all interval files.
+pub const SELECT_CORE: u8 = 0;
+/// Selection bit of the `node` field (merged files only).
+pub const SELECT_NODE: u8 = 1;
+
+/// Field selection mask of a per-node interval file (no `node` field).
+pub const MASK_PER_NODE: u32 = 1 << SELECT_CORE;
+/// Field selection mask of a merged interval file.
+pub const MASK_MERGED: u32 = (1 << SELECT_CORE) | (1 << SELECT_NODE);
+
+/// One field description, packed on disk into a single 32-bit word:
+///
+/// ```text
+/// bit 31      vector bit
+/// bits 30-29  counter length code (0→1, 1→2, 2→4 bytes)
+/// bits 28-25  data type code
+/// bits 24-17  element length in bytes
+/// bits 16-12  field selection attribute (bit index into the mask)
+/// bits 11-0   field name index
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Index into the profile's field-name array.
+    pub name_idx: u16,
+    /// Element data type.
+    pub ftype: FieldType,
+    /// Whether the field is a vector (counter + elements).
+    pub vector: bool,
+    /// Vector counter length in bytes (1, 2, or 4); meaningless if scalar.
+    pub counter_len: u8,
+    /// Which bit of the file's selection mask gates this field.
+    pub select_bit: u8,
+}
+
+impl FieldSpec {
+    /// A scalar field gated by [`SELECT_CORE`].
+    pub fn scalar(name_idx: u16, ftype: FieldType) -> FieldSpec {
+        FieldSpec {
+            name_idx,
+            ftype,
+            vector: false,
+            counter_len: 0,
+            select_bit: SELECT_CORE,
+        }
+    }
+
+    /// A vector field gated by [`SELECT_CORE`].
+    pub fn vector(name_idx: u16, ftype: FieldType, counter_len: u8) -> FieldSpec {
+        FieldSpec {
+            name_idx,
+            ftype,
+            vector: true,
+            counter_len,
+            select_bit: SELECT_CORE,
+        }
+    }
+
+    /// Packs into the on-disk field description word.
+    pub fn to_word(self) -> u32 {
+        let counter_code: u32 = match self.counter_len {
+            0 | 1 => 0,
+            2 => 1,
+            4 => 2,
+            other => panic!("unsupported counter length {other}"),
+        };
+        ((self.vector as u32) << 31)
+            | (counter_code << 29)
+            | ((self.ftype.code() as u32) << 25)
+            | ((self.ftype.elem_len() as u32) << 17)
+            | (((self.select_bit & 0x1f) as u32) << 12)
+            | (self.name_idx as u32 & 0x0fff)
+    }
+
+    /// Unpacks the on-disk field description word.
+    pub fn from_word(word: u32) -> Result<FieldSpec> {
+        let vector = word >> 31 == 1;
+        let counter_len = match (word >> 29) & 0b11 {
+            0 => 1,
+            1 => 2,
+            2 => 4,
+            _ => return Err(UteError::corrupt("field word: bad counter length code")),
+        };
+        let ftype = FieldType::from_code(((word >> 25) & 0x0f) as u8)?;
+        let elem_len = ((word >> 17) & 0xff) as u8;
+        if elem_len != ftype.elem_len() {
+            return Err(UteError::corrupt(format!(
+                "field word: element length {elem_len} inconsistent with type {ftype:?}"
+            )));
+        }
+        Ok(FieldSpec {
+            name_idx: (word & 0x0fff) as u16,
+            ftype,
+            vector,
+            counter_len: if vector { counter_len } else { 0 },
+            select_bit: ((word >> 12) & 0x1f) as u8,
+        })
+    }
+
+    /// Whether this field exists in a file with the given selection mask.
+    pub fn present_in(self, mask: u32) -> bool {
+        mask & (1 << self.select_bit) != 0
+    }
+}
+
+/// One interval-record specification (Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSpec {
+    /// The interval type this spec describes.
+    pub itype: IntervalType,
+    /// Index into the profile's record-name array.
+    pub name_idx: u16,
+    /// Field descriptions, in on-disk order.
+    pub fields: Vec<FieldSpec>,
+}
+
+/// A parsed description profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Version ID, cross-checked against interval-file headers.
+    pub version: u32,
+    /// Record name array.
+    pub record_names: Vec<String>,
+    /// Field name array.
+    pub field_names: Vec<String>,
+    /// Record specifications keyed by packed interval type.
+    pub specs: BTreeMap<u32, RecordSpec>,
+}
+
+impl Profile {
+    /// An empty profile with the given version.
+    pub fn new(version: u32) -> Profile {
+        Profile {
+            version,
+            record_names: Vec::new(),
+            field_names: Vec::new(),
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// Interns a field name, returning its index.
+    pub fn intern_field_name(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.field_names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        assert!(self.field_names.len() < 0x1000, "field name space exhausted");
+        self.field_names.push(name.to_string());
+        (self.field_names.len() - 1) as u16
+    }
+
+    /// Interns a record name, returning its index.
+    pub fn intern_record_name(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.record_names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.record_names.push(name.to_string());
+        (self.record_names.len() - 1) as u16
+    }
+
+    /// Looks up a field name's index.
+    pub fn field_name_index(&self, name: &str) -> Option<u16> {
+        self.field_names.iter().position(|n| n == name).map(|i| i as u16)
+    }
+
+    /// Registers a record spec.
+    pub fn add_record(&mut self, spec: RecordSpec) {
+        self.specs.insert(spec.itype.to_u32(), spec);
+    }
+
+    /// The spec for an interval type, if defined.
+    pub fn spec_for(&self, itype: IntervalType) -> Option<&RecordSpec> {
+        self.specs.get(&itype.to_u32())
+    }
+
+    /// Number of record types defined.
+    pub fn record_type_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The record name of an interval type.
+    pub fn record_name(&self, itype: IntervalType) -> Option<&str> {
+        self.spec_for(itype)
+            .and_then(|s| self.record_names.get(s.name_idx as usize))
+            .map(|s| s.as_str())
+    }
+
+    /// Reads a named scalar item straight out of an encoded record body —
+    /// the Rust form of the paper's `getItemByName` (§2.4). Returns
+    /// `Ok(None)` when the record's type has no such field or the field is
+    /// masked out of this file.
+    pub fn get_item_by_name(&self, mask: u32, body: &[u8], name: &str) -> Result<Option<Value>> {
+        let Some(target) = self.field_name_index(name) else {
+            return Ok(None);
+        };
+        let mut r = ByteReader::new(body);
+        let itype_raw = r.get_u32()?;
+        let itype = IntervalType::from_u32(itype_raw)?;
+        let Some(spec) = self.spec_for(itype) else {
+            return Err(UteError::NotFound(format!(
+                "record spec for interval type {itype_raw:#010x}"
+            )));
+        };
+        // The leading u32 we just consumed *is* the first field (recType);
+        // report it directly if asked for.
+        let mut fields = spec.fields.iter();
+        match fields.next() {
+            Some(first) if first.present_in(mask) => {
+                if first.name_idx == target {
+                    return Ok(Some(Value::Uint(itype_raw as u64)));
+                }
+            }
+            _ => {
+                return Err(UteError::corrupt(
+                    "record spec must begin with a present recType field",
+                ))
+            }
+        }
+        for f in fields {
+            if !f.present_in(mask) {
+                continue;
+            }
+            let v = decode_value(&mut r, f.ftype, f.vector, f.counter_len)?;
+            if f.name_idx == target {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether the named field of an interval type is a vector field —
+    /// §2.4's "to determine if a field is a vector field".
+    pub fn field_is_vector(&self, itype: IntervalType, name: &str) -> Option<bool> {
+        let idx = self.field_name_index(name)?;
+        self.spec_for(itype)?
+            .fields
+            .iter()
+            .find(|f| f.name_idx == idx)
+            .map(|f| f.vector)
+    }
+
+    /// Reads a character-vector field straight off a record body as a
+    /// string — §2.4's "to get a vector field such as a character string".
+    pub fn get_string_by_name(&self, mask: u32, body: &[u8], name: &str) -> Result<Option<String>> {
+        Ok(self
+            .get_item_by_name(mask, body, name)?
+            .and_then(|v| v.as_str().map(str::to_string)))
+    }
+
+    /// Serializes the profile file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(self.version);
+        w.put_u16(self.record_names.len() as u16);
+        for n in &self.record_names {
+            w.put_str(n);
+        }
+        w.put_u16(self.field_names.len() as u16);
+        for n in &self.field_names {
+            w.put_str(n);
+        }
+        w.put_u32(self.specs.len() as u32);
+        for spec in self.specs.values() {
+            // Figure 3 layout: record type (4), num fields (1),
+            // record name index (2), reserved (1), field words (4 each).
+            w.put_u32(spec.itype.to_u32());
+            w.put_u8(spec.fields.len() as u8);
+            w.put_u16(spec.name_idx);
+            w.put_u8(0);
+            for f in &spec.fields {
+                w.put_u32(f.to_word());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a profile file.
+    pub fn from_bytes(data: &[u8]) -> Result<Profile> {
+        let mut r = ByteReader::new(data);
+        if r.get_bytes(8)? != MAGIC {
+            return Err(UteError::corrupt("profile file: bad magic"));
+        }
+        let version = r.get_u32()?;
+        let mut p = Profile::new(version);
+        let nrec = r.get_u16()?;
+        for _ in 0..nrec {
+            p.record_names.push(r.get_str()?);
+        }
+        let nfld = r.get_u16()?;
+        for _ in 0..nfld {
+            p.field_names.push(r.get_str()?);
+        }
+        let nspec = r.get_u32()?;
+        for _ in 0..nspec {
+            let itype = IntervalType::from_u32(r.get_u32()?)?;
+            let nfields = r.get_u8()?;
+            let name_idx = r.get_u16()?;
+            r.skip(1)?; // reserved
+            let mut fields = Vec::with_capacity(nfields as usize);
+            for _ in 0..nfields {
+                fields.push(FieldSpec::from_word(r.get_u32()?)?);
+            }
+            if name_idx as usize >= p.record_names.len() {
+                return Err(UteError::corrupt("record spec: name index out of range"));
+            }
+            p.add_record(RecordSpec {
+                itype,
+                name_idx,
+                fields,
+            });
+        }
+        Ok(p)
+    }
+
+    /// Writes the profile to disk (conventionally `profile.ute`).
+    pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a profile from disk.
+    pub fn read_from(path: &std::path::Path) -> Result<Profile> {
+        Profile::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Builds the standard UTE profile covering every state the tracing
+    /// environment produces. All four bebits variants of a state share the
+    /// same field layout.
+    pub fn standard() -> Profile {
+        let mut p = Profile::new(STANDARD_VERSION);
+        // Intern common field names first so their indices are stable.
+        let f_rectype = p.intern_field_name("recType");
+        let f_start = p.intern_field_name("start");
+        let f_dura = p.intern_field_name("dura");
+        let f_cpu = p.intern_field_name("cpu");
+        let f_node = p.intern_field_name("node");
+        let f_thread = p.intern_field_name("thread");
+        let f_rank = p.intern_field_name("rank");
+        let f_peer = p.intern_field_name("peer");
+        let f_tag = p.intern_field_name("tag");
+        let f_sent = p.intern_field_name("msgSizeSent");
+        let f_recvd = p.intern_field_name("msgSizeRecvd");
+        let f_seq = p.intern_field_name("seq");
+        let f_addr = p.intern_field_name("address");
+        let f_addr_end = p.intern_field_name("addressEnd");
+        let f_marker = p.intern_field_name("markerId");
+        let f_gtime = p.intern_field_name("globalTime");
+        let f_reqseqs = p.intern_field_name("reqSeqs");
+
+        let common = |_p: &Profile| -> Vec<FieldSpec> {
+            vec![
+                FieldSpec::scalar(f_rectype, FieldType::U32),
+                FieldSpec::scalar(f_start, FieldType::U64),
+                FieldSpec::scalar(f_dura, FieldType::U64),
+                FieldSpec::scalar(f_cpu, FieldType::U16),
+                FieldSpec {
+                    select_bit: SELECT_NODE,
+                    ..FieldSpec::scalar(f_node, FieldType::U16)
+                },
+                FieldSpec::scalar(f_thread, FieldType::U16),
+            ]
+        };
+
+        let register = |p: &mut Profile, state: StateCode, extras: Vec<FieldSpec>| {
+            let name_idx = p.intern_record_name(&state.name());
+            for bebits in [
+                BeBits::Complete,
+                BeBits::Begin,
+                BeBits::Continuation,
+                BeBits::End,
+            ] {
+                let mut fields = common(p);
+                fields.extend(extras.iter().copied());
+                p.add_record(RecordSpec {
+                    itype: IntervalType { state, bebits },
+                    name_idx,
+                    fields,
+                });
+            }
+        };
+
+        // Plain states with no extra fields.
+        for s in [
+            StateCode::RUNNING,
+            StateCode::SYSCALL,
+            StateCode::PAGE_FAULT,
+            StateCode::IO,
+            StateCode::INTERRUPT,
+        ] {
+            register(&mut p, s, vec![]);
+        }
+        // User markers: marker id plus begin/end instruction addresses
+        // ("A user marker interval may have up to two such fields",
+        // §2.3.2).
+        register(
+            &mut p,
+            StateCode::MARKER,
+            vec![
+                FieldSpec::scalar(f_marker, FieldType::U32),
+                FieldSpec::scalar(f_addr, FieldType::U64),
+                FieldSpec::scalar(f_addr_end, FieldType::U64),
+            ],
+        );
+        // Global-clock records: the paired global timestamp.
+        register(
+            &mut p,
+            StateCode::CLOCK,
+            vec![FieldSpec::scalar(f_gtime, FieldType::U64)],
+        );
+        // MPI states.
+        for op in MpiOp::ALL {
+            let mut extras = vec![FieldSpec::scalar(f_rank, FieldType::U32)];
+            if op.is_p2p_send() || op.is_p2p_recv() {
+                extras.push(FieldSpec::scalar(f_peer, FieldType::U32));
+                extras.push(FieldSpec::scalar(f_tag, FieldType::U32));
+                if op.is_p2p_send() {
+                    extras.push(FieldSpec::scalar(f_sent, FieldType::U64));
+                }
+                if op.is_p2p_recv() {
+                    extras.push(FieldSpec::scalar(f_recvd, FieldType::U64));
+                }
+                extras.push(FieldSpec::scalar(f_seq, FieldType::U64));
+            } else if op.is_collective() {
+                extras.push(FieldSpec::scalar(f_peer, FieldType::U32));
+                extras.push(FieldSpec::scalar(f_sent, FieldType::U64));
+            }
+            if op == MpiOp::Waitall {
+                extras.push(FieldSpec::vector(f_reqseqs, FieldType::U64, 2));
+            }
+            extras.push(FieldSpec::scalar(f_addr, FieldType::U64));
+            register(&mut p, StateCode::mpi(op), extras);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_word_round_trip() {
+        let specs = [
+            FieldSpec::scalar(0, FieldType::U32),
+            FieldSpec::scalar(4095, FieldType::F64),
+            FieldSpec::vector(7, FieldType::Char, 2),
+            FieldSpec::vector(9, FieldType::U64, 4),
+            FieldSpec {
+                select_bit: 31,
+                ..FieldSpec::scalar(1, FieldType::U16)
+            },
+        ];
+        for s in specs {
+            let back = FieldSpec::from_word(s.to_word()).unwrap();
+            assert_eq!(back, s, "word {:#010x}", s.to_word());
+        }
+    }
+
+    #[test]
+    fn corrupt_field_words_rejected() {
+        // Type code 7 is unknown.
+        let word = 7u32 << 25 | (1 << 17);
+        assert!(FieldSpec::from_word(word).is_err());
+        // Element length inconsistent with type (U32 says 4).
+        let s = FieldSpec::scalar(0, FieldType::U32);
+        let word = s.to_word() & !(0xff << 17) | (2 << 17);
+        assert!(FieldSpec::from_word(word).is_err());
+    }
+
+    #[test]
+    fn standard_profile_structure() {
+        let p = Profile::standard();
+        // 7 basic states + 17 MPI ops, times 4 bebits variants.
+        assert_eq!(p.record_type_count(), (7 + 17) * 4);
+        // Figure 6's field names exist.
+        for n in ["start", "node", "cpu", "dura", "thread", "recType"] {
+            assert!(p.field_name_index(n).is_some(), "missing field {n}");
+        }
+        assert!(p.field_name_index("msgSizeSent").is_some());
+        // The node field is gated by the NODE selection bit.
+        let spec = p
+            .spec_for(IntervalType {
+                state: StateCode::RUNNING,
+                bebits: BeBits::Complete,
+            })
+            .unwrap();
+        let node_idx = p.field_name_index("node").unwrap();
+        let node_field = spec.fields.iter().find(|f| f.name_idx == node_idx).unwrap();
+        assert!(!node_field.present_in(MASK_PER_NODE));
+        assert!(node_field.present_in(MASK_MERGED));
+    }
+
+    #[test]
+    fn profile_file_round_trip() {
+        let p = Profile::standard();
+        let bytes = p.to_bytes();
+        let back = Profile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn profile_rejects_bad_magic_and_truncation() {
+        let mut bytes = Profile::standard().to_bytes();
+        let ok_len = bytes.len();
+        bytes[2] = b'X';
+        assert!(Profile::from_bytes(&bytes).is_err());
+        bytes[2] = b'E';
+        assert!(Profile::from_bytes(&bytes[..ok_len - 3]).is_err());
+    }
+
+    #[test]
+    fn record_name_lookup() {
+        let p = Profile::standard();
+        let itype = IntervalType {
+            state: StateCode::mpi(MpiOp::Send),
+            bebits: BeBits::Begin,
+        };
+        assert_eq!(p.record_name(itype), Some("MPI_Send"));
+        // All four variants share the name.
+        let itype2 = IntervalType {
+            state: StateCode::mpi(MpiOp::Send),
+            bebits: BeBits::End,
+        };
+        assert_eq!(p.record_name(itype2), Some("MPI_Send"));
+    }
+
+    #[test]
+    fn spec_sizes_match_figure_3() {
+        // Figure 3: record type (4) + num fields (1) + name index (2)
+        // + reserved (1) + 4 bytes per field.
+        let mut p = Profile::new(9);
+        let f = p.intern_field_name("recType");
+        let n = p.intern_record_name("X");
+        let spec = RecordSpec {
+            itype: IntervalType {
+                state: StateCode(0x42),
+                bebits: BeBits::Complete,
+            },
+            name_idx: n,
+            fields: vec![
+                FieldSpec::scalar(f, FieldType::U32),
+                FieldSpec::scalar(f, FieldType::U64),
+            ],
+        };
+        p.add_record(spec);
+        let with = p.to_bytes().len();
+        let empty = {
+            let mut q = Profile::new(9);
+            q.intern_field_name("recType");
+            q.intern_record_name("X");
+            q.to_bytes().len()
+        };
+        assert_eq!(with - empty, 4 + 1 + 2 + 1 + 2 * 4);
+    }
+}
+
+#[cfg(test)]
+mod api_completeness_tests {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+
+    #[test]
+    fn field_is_vector_distinguishes() {
+        let p = Profile::standard();
+        let waitall = IntervalType::complete(StateCode::mpi(MpiOp::Waitall));
+        assert_eq!(p.field_is_vector(waitall, "reqSeqs"), Some(true));
+        assert_eq!(p.field_is_vector(waitall, "rank"), Some(false));
+        assert_eq!(p.field_is_vector(waitall, "nope"), None);
+        let send = IntervalType::complete(StateCode::mpi(MpiOp::Send));
+        assert_eq!(p.field_is_vector(send, "reqSeqs"), None);
+    }
+
+    #[test]
+    fn get_string_by_name_reads_char_vectors() {
+        // Build a one-off profile with a string field to exercise the
+        // char-vector path end to end.
+        let mut p = Profile::new(7);
+        let f_rectype = p.intern_field_name("recType");
+        let f_label = p.intern_field_name("label");
+        let n = p.intern_record_name("Tagged");
+        let itype = IntervalType {
+            state: StateCode(0x60),
+            bebits: ute_core::bebits::BeBits::Complete,
+        };
+        p.add_record(RecordSpec {
+            itype,
+            name_idx: n,
+            fields: vec![
+                FieldSpec::scalar(f_rectype, FieldType::U32),
+                FieldSpec::vector(f_label, FieldType::Char, 2),
+            ],
+        });
+        let iv = crate::record::Interval::basic(
+            itype,
+            0,
+            0,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        )
+        .with_extra(&p, "label", Value::Str("hello world".into()));
+        let body = iv.encode_body(&p, MASK_PER_NODE).unwrap();
+        assert_eq!(
+            p.get_string_by_name(MASK_PER_NODE, &body, "label").unwrap(),
+            Some("hello world".to_string())
+        );
+        assert_eq!(
+            p.get_string_by_name(MASK_PER_NODE, &body, "recType").unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Interval state codes.
+//!
+//! An interval represents "a time span or region for a running thread.
+//! Typical time spans include MPI routines, user marker regions, and a
+//! Running state if a thread is running but not inside any MPI routine or
+//! user-marked code segments" (§3.3). Each such state kind gets a 16-bit
+//! code; combined with the two bebits it forms the on-disk interval type.
+
+use std::fmt;
+
+use ute_core::event::MpiOp;
+
+/// Base of the MPI state block.
+pub const MPI_STATE_BASE: u16 = 0x0100;
+
+/// A 16-bit interval state code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateCode(pub u16);
+
+impl StateCode {
+    /// The default state: thread running outside any traced region.
+    pub const RUNNING: StateCode = StateCode(0x0001);
+    /// A user-marked region (the marker id is a record field).
+    pub const MARKER: StateCode = StateCode(0x0002);
+    /// A global-clock record carried through into the interval file
+    /// (zero duration; the global timestamp is a record field).
+    pub const CLOCK: StateCode = StateCode(0x0003);
+    /// Kernel activity: system call.
+    pub const SYSCALL: StateCode = StateCode(0x0010);
+    /// Kernel activity: page-fault service.
+    pub const PAGE_FAULT: StateCode = StateCode(0x0011);
+    /// Kernel activity: I/O operation.
+    pub const IO: StateCode = StateCode(0x0012);
+    /// Kernel activity: interrupt handling.
+    pub const INTERRUPT: StateCode = StateCode(0x0013);
+
+    /// The state code for an MPI routine.
+    pub fn mpi(op: MpiOp) -> StateCode {
+        StateCode(MPI_STATE_BASE + op.code())
+    }
+
+    /// If this is an MPI state, which routine.
+    pub fn as_mpi(self) -> Option<MpiOp> {
+        if self.0 >= MPI_STATE_BASE {
+            MpiOp::from_code(self.0 - MPI_STATE_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this state is "interesting" in the sense of the statistics
+    /// utility's pre-defined tables: "an interesting interval is one for a
+    /// state other than the default state of Running" (§3.2). Clock
+    /// records are bookkeeping, not activity, so they are excluded too.
+    pub fn is_interesting(self) -> bool {
+        self != StateCode::RUNNING && self != StateCode::CLOCK
+    }
+
+    /// Display name of the state.
+    pub fn name(self) -> String {
+        match self {
+            StateCode::RUNNING => "Running".to_string(),
+            StateCode::MARKER => "Marker".to_string(),
+            StateCode::CLOCK => "GlobalClock".to_string(),
+            StateCode::SYSCALL => "Syscall".to_string(),
+            StateCode::PAGE_FAULT => "PageFault".to_string(),
+            StateCode::IO => "IO".to_string(),
+            StateCode::INTERRUPT => "Interrupt".to_string(),
+            other => match other.as_mpi() {
+                Some(op) => op.name().to_string(),
+                None => format!("State({:#06x})", other.0),
+            },
+        }
+    }
+
+    /// All state codes the standard profile defines.
+    pub fn standard_states() -> Vec<StateCode> {
+        let mut v = vec![
+            StateCode::RUNNING,
+            StateCode::MARKER,
+            StateCode::CLOCK,
+            StateCode::SYSCALL,
+            StateCode::PAGE_FAULT,
+            StateCode::IO,
+            StateCode::INTERRUPT,
+        ];
+        v.extend(MpiOp::ALL.iter().map(|&op| StateCode::mpi(op)));
+        v
+    }
+}
+
+impl fmt::Display for StateCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpi_states_round_trip() {
+        for op in MpiOp::ALL {
+            let s = StateCode::mpi(op);
+            assert_eq!(s.as_mpi(), Some(op));
+            assert_eq!(s.name(), op.name());
+        }
+        assert_eq!(StateCode::RUNNING.as_mpi(), None);
+    }
+
+    #[test]
+    fn standard_states_are_distinct() {
+        let all = StateCode::standard_states();
+        let set: std::collections::HashSet<u16> = all.iter().map(|s| s.0).collect();
+        assert_eq!(set.len(), all.len());
+        assert_eq!(all.len(), 7 + MpiOp::ALL.len());
+    }
+
+    #[test]
+    fn interesting_excludes_running_and_clock() {
+        assert!(!StateCode::RUNNING.is_interesting());
+        assert!(!StateCode::CLOCK.is_interesting());
+        assert!(StateCode::mpi(MpiOp::Send).is_interesting());
+        assert!(StateCode::MARKER.is_interesting());
+        assert!(StateCode::SYSCALL.is_interesting());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(StateCode::RUNNING.name(), "Running");
+        assert_eq!(StateCode::mpi(MpiOp::Allreduce).name(), "MPI_Allreduce");
+        assert_eq!(StateCode(0x7777).name(), "State(0x7777)");
+    }
+}

@@ -1,0 +1,249 @@
+//! The thread table (§2.3.3).
+//!
+//! "The thread table consists of a number of thread entries. Each thread
+//! entry contains the MPI task ID, process ID, system thread ID, node ID,
+//! the logical thread ID, and a thread type. Each interval record has a
+//! logical thread ID to identify the associated thread, thus helps reduce
+//! the size of the interval file. Threads in a thread table are
+//! partitioned into three categories: MPI threads, user-defined threads,
+//! and system threads."
+
+use std::collections::HashMap;
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+use ute_core::ids::{
+    LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType, MAX_THREADS_PER_NODE,
+};
+
+/// One thread-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadEntry {
+    /// The MPI task (rank) the thread belongs to; `u32::MAX` for system
+    /// threads that belong to no task.
+    pub task: TaskId,
+    /// Owning process id.
+    pub pid: Pid,
+    /// Operating-system thread id.
+    pub system_tid: SystemThreadId,
+    /// The node the thread runs on.
+    pub node: NodeId,
+    /// Compact per-node id used by interval records.
+    pub logical: LogicalThreadId,
+    /// MPI / user / system category.
+    pub ttype: ThreadType,
+}
+
+impl ThreadEntry {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.task.raw());
+        w.put_u32(self.pid.raw());
+        w.put_u64(self.system_tid.raw());
+        w.put_u16(self.node.raw());
+        w.put_u16(self.logical.raw());
+        w.put_u8(self.ttype.to_u8());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<ThreadEntry> {
+        Ok(ThreadEntry {
+            task: TaskId(r.get_u32()?),
+            pid: Pid(r.get_u32()?),
+            system_tid: SystemThreadId(r.get_u64()?),
+            node: NodeId(r.get_u16()?),
+            logical: LogicalThreadId(r.get_u16()?),
+            ttype: {
+                let b = r.get_u8()?;
+                ThreadType::from_u8(b)
+                    .ok_or_else(|| UteError::corrupt(format!("thread entry: bad type byte {b}")))?
+            },
+        })
+    }
+}
+
+/// The thread table of an interval file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadTable {
+    entries: Vec<ThreadEntry>,
+    by_key: HashMap<(NodeId, LogicalThreadId), usize>,
+}
+
+impl ThreadTable {
+    /// An empty table.
+    pub fn new() -> ThreadTable {
+        ThreadTable::default()
+    }
+
+    /// Registers a thread. Enforces the paper's 512-threads-per-node bound
+    /// and uniqueness of (node, logical id).
+    pub fn register(&mut self, entry: ThreadEntry) -> Result<()> {
+        if entry.logical.raw() >= MAX_THREADS_PER_NODE {
+            return Err(UteError::Invalid(format!(
+                "logical thread id {} exceeds the {MAX_THREADS_PER_NODE}-per-node bound",
+                entry.logical
+            )));
+        }
+        let key = (entry.node, entry.logical);
+        if self.by_key.contains_key(&key) {
+            return Err(UteError::Invalid(format!(
+                "duplicate thread (node {}, logical {})",
+                entry.node, entry.logical
+            )));
+        }
+        self.by_key.insert(key, self.entries.len());
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[ThreadEntry] {
+        &self.entries
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a thread by (node, logical id).
+    pub fn lookup(&self, node: NodeId, logical: LogicalThreadId) -> Option<&ThreadEntry> {
+        self.by_key.get(&(node, logical)).map(|&i| &self.entries[i])
+    }
+
+    /// All threads of one category — "This provides a way to choose
+    /// specific threads for merging" (§2.3.3).
+    pub fn of_type(&self, ttype: ThreadType) -> impl Iterator<Item = &ThreadEntry> {
+        self.entries.iter().filter(move |e| e.ttype == ttype)
+    }
+
+    /// Merges another table into this one (used by the merge utility);
+    /// duplicate (node, logical) pairs are an error.
+    pub fn absorb(&mut self, other: &ThreadTable) -> Result<()> {
+        for e in &other.entries {
+            self.register(*e)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes: entry count then entries.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode(w);
+        }
+    }
+
+    /// Deserializes.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<ThreadTable> {
+        let n = r.get_u32()?;
+        let mut t = ThreadTable::new();
+        for _ in 0..n {
+            t.register(ThreadEntry::decode(r)?)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: u16, logical: u16, ttype: ThreadType) -> ThreadEntry {
+        ThreadEntry {
+            task: TaskId(node as u32 * 10 + logical as u32),
+            pid: Pid(1000 + logical as u32),
+            system_tid: SystemThreadId(77_000 + logical as u64),
+            node: NodeId(node),
+            logical: LogicalThreadId(logical),
+            ttype,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = ThreadTable::new();
+        t.register(entry(0, 0, ThreadType::Mpi)).unwrap();
+        t.register(entry(0, 1, ThreadType::User)).unwrap();
+        t.register(entry(1, 0, ThreadType::System)).unwrap();
+        assert_eq!(t.len(), 3);
+        let e = t.lookup(NodeId(0), LogicalThreadId(1)).unwrap();
+        assert_eq!(e.ttype, ThreadType::User);
+        assert!(t.lookup(NodeId(2), LogicalThreadId(0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut t = ThreadTable::new();
+        t.register(entry(0, 0, ThreadType::Mpi)).unwrap();
+        assert!(t.register(entry(0, 0, ThreadType::User)).is_err());
+    }
+
+    #[test]
+    fn per_node_bound_enforced() {
+        let mut t = ThreadTable::new();
+        assert!(t.register(entry(0, 511, ThreadType::User)).is_ok());
+        assert!(t.register(entry(0, 512, ThreadType::User)).is_err());
+    }
+
+    #[test]
+    fn categories() {
+        let mut t = ThreadTable::new();
+        t.register(entry(0, 0, ThreadType::Mpi)).unwrap();
+        t.register(entry(0, 1, ThreadType::User)).unwrap();
+        t.register(entry(0, 2, ThreadType::User)).unwrap();
+        t.register(entry(0, 3, ThreadType::System)).unwrap();
+        assert_eq!(t.of_type(ThreadType::User).count(), 2);
+        assert_eq!(t.of_type(ThreadType::Mpi).count(), 1);
+        assert_eq!(t.of_type(ThreadType::System).count(), 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut t = ThreadTable::new();
+        for n in 0..3u16 {
+            for l in 0..4u16 {
+                let ty = match l {
+                    0 => ThreadType::Mpi,
+                    3 => ThreadType::System,
+                    _ => ThreadType::User,
+                };
+                t.register(entry(n, l, ty)).unwrap();
+            }
+        }
+        let mut w = ByteWriter::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = ThreadTable::decode(&mut r).unwrap();
+        assert_eq!(back, t);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_distinct_nodes() {
+        let mut a = ThreadTable::new();
+        a.register(entry(0, 0, ThreadType::Mpi)).unwrap();
+        let mut b = ThreadTable::new();
+        b.register(entry(1, 0, ThreadType::Mpi)).unwrap();
+        a.absorb(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        // Absorbing the same table again collides.
+        assert!(a.absorb(&b).is_err());
+    }
+
+    #[test]
+    fn corrupt_type_byte_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        entry(0, 0, ThreadType::Mpi).encode(&mut w);
+        let mut bytes = w.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 9; // invalid ThreadType
+        let mut r = ByteReader::new(&bytes);
+        assert!(ThreadTable::decode(&mut r).is_err());
+    }
+}

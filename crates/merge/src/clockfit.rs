@@ -1,0 +1,300 @@
+//! Per-node clock fitting from the CLOCK records embedded in interval
+//! files.
+//!
+//! The convert utility carries every global-clock record through as a
+//! zero-duration `CLOCK` interval whose `start` is the local timestamp
+//! and whose `globalTime` field is the paired global timestamp. This
+//! module extracts those pairs, optionally filters the §5 deschedule
+//! outliers, and fits the node's [`ClockFit`].
+
+use ute_clock::filter::filter_outliers_default;
+use ute_clock::ratio::{ClockFit, PiecewiseFit, RatioEstimator};
+use ute_clock::sample::ClockSample;
+use ute_core::error::{Result, UteError};
+use ute_core::time::{Duration, LocalTime, Time};
+use ute_format::file::IntervalFileReader;
+use ute_format::profile::Profile;
+use ute_format::state::StateCode;
+
+/// A node's fitted clock mapping: a single global ratio, or (§2.2's
+/// alternative) one ratio per slope segment.
+#[derive(Debug, Clone)]
+pub enum FitKind {
+    /// One linear mapping for the whole trace.
+    Linear(ClockFit),
+    /// Per-segment ratios: "this approach effectively partitions the
+    /// total elapsed time into n segments, each of which has its own
+    /// global to local clock ratio".
+    Piecewise(PiecewiseFit),
+}
+
+impl FitKind {
+    /// Maps a local timestamp to the global axis.
+    pub fn adjust(&self, local: LocalTime) -> Time {
+        match self {
+            FitKind::Linear(f) => f.adjust(local),
+            FitKind::Piecewise(f) => f.adjust(local),
+        }
+    }
+
+    /// Scales a local duration starting at `local` to the global axis.
+    pub fn adjust_duration(&self, local: LocalTime, d: Duration) -> Duration {
+        match self {
+            FitKind::Linear(f) => f.adjust_duration(d),
+            FitKind::Piecewise(f) => f.adjust_duration(local, d),
+        }
+    }
+
+    /// The effective single ratio, for reporting (piecewise reports the
+    /// mean of its segment ratios).
+    pub fn ratio(&self) -> f64 {
+        match self {
+            FitKind::Linear(f) => f.ratio,
+            FitKind::Piecewise(_) => f64::NAN,
+        }
+    }
+}
+
+/// A node's fitted clock mapping.
+#[derive(Debug, Clone)]
+pub struct NodeFit {
+    /// The node this fit belongs to.
+    pub node: u16,
+    /// The local→global mapping.
+    pub fit: FitKind,
+    /// How many clock samples survived filtering.
+    pub samples_used: usize,
+}
+
+/// Pulls the (G, L) pairs out of a per-node interval file.
+pub fn extract_clock_samples(
+    reader: &IntervalFileReader<'_>,
+    profile: &Profile,
+) -> Result<Vec<ClockSample>> {
+    let mut out = Vec::new();
+    for iv in reader.intervals() {
+        let iv = iv?;
+        if iv.itype.state != StateCode::CLOCK {
+            continue;
+        }
+        let g = iv
+            .extra(profile, "globalTime")
+            .and_then(|v| v.as_uint())
+            .ok_or_else(|| UteError::corrupt("CLOCK record without globalTime"))?;
+        out.push(ClockSample::new(Time(g), LocalTime(iv.start)));
+    }
+    Ok(out)
+}
+
+/// Fits one node's clock from its interval file's clock records.
+///
+/// With fewer than two usable samples the identity mapping anchored at
+/// the first sample (or zero) is used — there is nothing to estimate.
+pub fn fit_node(
+    reader: &IntervalFileReader<'_>,
+    profile: &Profile,
+    estimator: RatioEstimator,
+    filter: bool,
+) -> Result<NodeFit> {
+    let raw = extract_clock_samples(reader, profile)?;
+    let samples = if filter {
+        filter_outliers_default(&raw)
+    } else {
+        raw
+    };
+    let fit = if samples.len() >= 2 {
+        match estimator {
+            RatioEstimator::Piecewise => FitKind::Piecewise(PiecewiseFit::fit(&samples)?),
+            other => FitKind::Linear(ClockFit::fit(&samples, other)?),
+        }
+    } else {
+        let anchor = samples.first().copied().unwrap_or(ClockSample::new(
+            Time::ZERO,
+            LocalTime::ZERO,
+        ));
+        FitKind::Linear(ClockFit {
+            origin_global: anchor.global,
+            origin_local: anchor.local,
+            ratio: 1.0,
+        })
+    };
+    Ok(NodeFit {
+        node: reader.node,
+        fit,
+        samples_used: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+    use ute_format::file::{FramePolicy, IntervalFileWriter};
+    use ute_format::profile::MASK_PER_NODE;
+    use ute_format::record::{Interval, IntervalType};
+    use ute_format::thread_table::ThreadTable;
+    use ute_format::value::Value;
+
+    fn clock_file(profile: &Profile, pairs: &[(u64, u64)]) -> Vec<u8> {
+        let mut w = IntervalFileWriter::new(
+            profile,
+            MASK_PER_NODE,
+            3,
+            &ThreadTable::new(),
+            &[],
+            FramePolicy::default(),
+        );
+        for &(g, l) in pairs {
+            let iv = Interval::basic(
+                IntervalType::complete(StateCode::CLOCK),
+                l,
+                0,
+                CpuId(0),
+                NodeId(3),
+                LogicalThreadId(0),
+            )
+            .with_extra(profile, "globalTime", Value::Uint(g));
+            w.push(&iv).unwrap();
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn extract_and_fit() {
+        let p = Profile::standard();
+        // Local clock runs at half speed, offset 100: L = (G-100)/2 + 50.
+        let pairs: Vec<(u64, u64)> = (0..10)
+            .map(|i| {
+                let g = 100 + i * 1_000_000;
+                (g, 50 + (g - 100) / 2)
+            })
+            .collect();
+        let bytes = clock_file(&p, &pairs);
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        let samples = extract_clock_samples(&r, &p).unwrap();
+        assert_eq!(samples.len(), 10);
+        let nf = fit_node(&r, &p, RatioEstimator::RmsSegments, true).unwrap();
+        assert_eq!(nf.node, 3);
+        assert!((nf.fit.ratio() - 2.0).abs() < 1e-9, "ratio {}", nf.fit.ratio());
+        // Adjusting a local timestamp recovers its global time.
+        let adj = nf.fit.adjust(LocalTime(50 + 2_000_000 / 2));
+        assert_eq!(adj.ticks(), 100 + 2_000_000);
+    }
+
+    #[test]
+    fn single_sample_falls_back_to_identity_ratio() {
+        let p = Profile::standard();
+        let bytes = clock_file(&p, &[(500, 80)]);
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        let nf = fit_node(&r, &p, RatioEstimator::RmsSegments, true).unwrap();
+        assert_eq!(nf.fit.ratio(), 1.0);
+        assert_eq!(nf.fit.adjust(LocalTime(90)).ticks(), 510);
+    }
+
+    #[test]
+    fn no_samples_identity_at_zero() {
+        let p = Profile::standard();
+        let bytes = clock_file(&p, &[]);
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        let nf = fit_node(&r, &p, RatioEstimator::RmsSegments, false).unwrap();
+        assert_eq!(nf.samples_used, 0);
+        assert_eq!(nf.fit.adjust(LocalTime(42)).ticks(), 42);
+    }
+
+    #[test]
+    fn outlier_filtering_improves_fit() {
+        let p = Profile::standard();
+        let mut pairs: Vec<(u64, u64)> = (0..60u64)
+            .map(|i| (i * 1_000_000_000, i * 1_000_000_000))
+            .collect();
+        pairs[30].1 += 4_000_000; // 4 ms deschedule outlier
+        let bytes = clock_file(&p, &pairs);
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        let dirty = fit_node(&r, &p, RatioEstimator::RmsSegments, false).unwrap();
+        let clean = fit_node(&r, &p, RatioEstimator::RmsSegments, true).unwrap();
+        assert_eq!(clean.samples_used, 59);
+        assert!((clean.fit.ratio() - 1.0).abs() < (dirty.fit.ratio() - 1.0).abs());
+    }
+}
+
+#[cfg(test)]
+mod piecewise_tests {
+    use super::*;
+    use crate::clockfit::tests_support::clock_file_with;
+    use ute_format::file::IntervalFileReader;
+
+    #[test]
+    fn piecewise_estimator_yields_piecewise_fit() {
+        let p = Profile::standard();
+        // Rate steps from 2.0 to 0.5 halfway through.
+        let pairs: Vec<(u64, u64)> = (0..20u64)
+            .map(|i| {
+                let g = i * 1_000_000;
+                let l = if i < 10 {
+                    g / 2
+                } else {
+                    10 * 500_000 + (g - 10 * 1_000_000) * 2
+                };
+                (g, l)
+            })
+            .collect();
+        let bytes = clock_file_with(&p, &pairs);
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        let nf = fit_node(&r, &p, RatioEstimator::Piecewise, false).unwrap();
+        assert!(matches!(nf.fit, FitKind::Piecewise(_)));
+        // Anchor points map exactly under the piecewise fit …
+        for &(g, l) in &pairs {
+            assert_eq!(nf.fit.adjust(LocalTime(l)).ticks(), g);
+        }
+        // … while the single-ratio fit is visibly wrong mid-segment.
+        let lin = fit_node(&r, &p, RatioEstimator::RmsSegments, false).unwrap();
+        let probe = pairs[5];
+        let pw_err =
+            (nf.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
+        let lin_err =
+            (lin.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
+        assert!(pw_err <= 1);
+        assert!(lin_err > 1_000, "linear error only {lin_err}");
+        // Durations scale by the segment's own ratio.
+        let d1 = nf.fit.adjust_duration(LocalTime(pairs[2].1), Duration(100));
+        let d2 = nf.fit.adjust_duration(LocalTime(pairs[15].1), Duration(100));
+        assert_eq!(d1.ticks(), 200); // first half: local runs at half speed
+        assert_eq!(d2.ticks(), 50); // second half: local runs at double speed
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+    use ute_format::file::{FramePolicy, IntervalFileWriter};
+    use ute_format::profile::MASK_PER_NODE;
+    use ute_format::record::{Interval, IntervalType};
+    use ute_format::thread_table::ThreadTable;
+    use ute_format::value::Value;
+
+    /// Builds a per-node interval file holding only CLOCK records.
+    pub(crate) fn clock_file_with(profile: &Profile, pairs: &[(u64, u64)]) -> Vec<u8> {
+        let mut w = IntervalFileWriter::new(
+            profile,
+            MASK_PER_NODE,
+            3,
+            &ThreadTable::new(),
+            &[],
+            FramePolicy::default(),
+        );
+        for &(g, l) in pairs {
+            let iv = Interval::basic(
+                IntervalType::complete(StateCode::CLOCK),
+                l,
+                0,
+                CpuId(0),
+                NodeId(3),
+                LogicalThreadId(0),
+            )
+            .with_extra(profile, "globalTime", Value::Uint(g));
+            w.push(&iv).unwrap();
+        }
+        w.finish()
+    }
+}

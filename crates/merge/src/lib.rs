@@ -1,0 +1,29 @@
+//! # ute-merge — the merge / `slogmerge` utility (§2.2, §3.1, §3.3)
+//!
+//! Merges per-node interval files into one globally-timed interval file:
+//!
+//! 1. **Alignment** — "the first global clock records in individual trace
+//!    files are used to determine the starting point in time for records
+//!    in each trace file";
+//! 2. **Drift adjustment** — subsequent clock records give the
+//!    global-to-local ratio `R` (RMS of slope segments by default; see
+//!    [`ute_clock::ratio`] for the alternatives), and every record's
+//!    local start `S` and duration `D` become `R·S`-style global values;
+//! 3. **K-way merge** — "a balanced tree in which each tree node holds
+//!    the pointer to the next interval in the corresponding interval
+//!    file. Tree nodes are sorted by end time";
+//! 4. **Unification pseudo-intervals** — "the merge utility provides
+//!    additional zero-duration continuation intervals at the beginning of
+//!    each frame" representing the nested outer states open there (§3.3),
+//!    so a viewer can jump into any frame and still know the enclosing
+//!    states;
+//! 5. Optionally, **SLOG conversion** ([`merger::slogmerge`]) — the same
+//!    merge pipeline emitting a [`ute_slog::SlogFile`] for visualization.
+
+pub mod clockfit;
+pub mod kway;
+pub mod merger;
+
+pub use clockfit::{extract_clock_samples, fit_node, NodeFit};
+pub use kway::{BalancedTreeMerge, NaiveMerge};
+pub use merger::{merge_files, slogmerge, MergeOptions, MergeOutput, MergeStats};

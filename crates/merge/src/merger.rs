@@ -1,0 +1,562 @@
+//! The merge pipeline.
+
+use ute_clock::ratio::RatioEstimator;
+use ute_core::bebits::BeBits;
+use ute_core::error::{Result, UteError};
+use ute_core::ids::ThreadType;
+use ute_core::time::{Duration, LocalTime};
+use ute_format::file::{FramePolicy, IntervalFileReader, IntervalFileWriter, MERGED_NODE};
+use ute_format::profile::{Profile, MASK_MERGED};
+use ute_format::record::{Interval, IntervalType};
+use ute_format::state::StateCode;
+use ute_format::thread_table::ThreadTable;
+use ute_slog::builder::{BuildOptions, SlogBuilder};
+use ute_slog::file::SlogFile;
+
+use crate::clockfit::{fit_node, NodeFit};
+
+/// The merged stream plus the tables needed to write or visualize it.
+type MergedStream = (Vec<Interval>, ThreadTable, Vec<(u32, String)>, MergeStats);
+use crate::kway::{BalancedTreeMerge, MergeSource};
+
+/// Merge configuration.
+#[derive(Debug, Clone)]
+pub struct MergeOptions {
+    /// Which §2.2 estimator computes each node's ratio `R`.
+    pub estimator: RatioEstimator,
+    /// Whether to drop §5 deschedule outliers before fitting.
+    pub filter_outliers: bool,
+    /// Frame policy of the merged output file.
+    pub policy: FramePolicy,
+    /// If set, only records of threads with these types are merged —
+    /// §2.3.3: the thread-table categories "provide a way to choose
+    /// specific threads for merging". Clock records always pass.
+    pub thread_types: Option<Vec<ThreadType>>,
+    /// Whether to add the §3.3 zero-duration continuation intervals at
+    /// the head of each output frame.
+    pub frame_pseudo_intervals: bool,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        MergeOptions {
+            estimator: RatioEstimator::RmsSegments,
+            filter_outliers: true,
+            policy: FramePolicy::default(),
+            thread_types: None,
+            frame_pseudo_intervals: true,
+        }
+    }
+}
+
+/// Merge statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MergeStats {
+    /// Records read across all inputs.
+    pub records_in: u64,
+    /// Records written to the merged file (including pseudo records).
+    pub records_out: u64,
+    /// §3.3 pseudo continuation records added at frame heads.
+    pub pseudo_added: u64,
+    /// Per-node clock fits used for adjustment.
+    pub fits: Vec<NodeFit>,
+}
+
+/// The merged interval file plus statistics.
+#[derive(Debug)]
+pub struct MergeOutput {
+    /// Serialized merged interval file ([`MASK_MERGED`]).
+    pub merged: Vec<u8>,
+    /// Statistics.
+    pub stats: MergeStats,
+}
+
+struct IvSource {
+    items: std::vec::IntoIter<Interval>,
+}
+
+impl MergeSource for IvSource {
+    type Item = Interval;
+
+    fn next_item(&mut self) -> Option<Interval> {
+        self.items.next()
+    }
+
+    fn end_of(item: &Interval) -> u64 {
+        item.end()
+    }
+}
+
+/// Decodes, clock-adjusts, filters, and k-way merges the input files into
+/// one globally-timed stream. Shared by [`merge_files`] and [`slogmerge`].
+fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result<MergedStream> {
+    let mut stats = MergeStats::default();
+    let mut union_threads = ThreadTable::new();
+    let mut markers: Vec<(u32, String)> = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
+
+    for bytes in files {
+        let reader = IntervalFileReader::open(bytes, profile)?;
+        union_threads.absorb(&reader.threads)?;
+        for (id, name) in &reader.markers {
+            match markers.iter().find(|(i, _)| i == id) {
+                Some((_, existing)) if existing != name => {
+                    return Err(UteError::Invalid(format!(
+                        "marker id {id} names both \"{existing}\" and \"{name}\"; \
+                         inputs were not converted together"
+                    )));
+                }
+                Some(_) => {}
+                None => markers.push((*id, name.clone())),
+            }
+        }
+        let nf = fit_node(&reader, profile, opts.estimator, opts.filter_outliers)?;
+        let mut adjusted = Vec::new();
+        for iv in reader.intervals() {
+            let mut iv = iv?;
+            stats.records_in += 1;
+            if let Some(types) = &opts.thread_types {
+                if iv.itype.state != StateCode::CLOCK {
+                    let ttype = reader
+                        .threads
+                        .lookup(iv.node, iv.thread)
+                        .map(|e| e.ttype)
+                        .ok_or_else(|| {
+                            UteError::corrupt(format!(
+                                "record references unknown thread (node {}, logical {})",
+                                iv.node, iv.thread
+                            ))
+                        })?;
+                    if !types.contains(&ttype) {
+                        continue;
+                    }
+                }
+            }
+            let local_start = LocalTime(iv.start);
+            iv.start = nf.fit.adjust(local_start).ticks();
+            iv.duration = nf.fit.adjust_duration(local_start, Duration(iv.duration)).ticks();
+            adjusted.push(iv);
+        }
+        // Linear adjustment preserves end-time order up to rounding;
+        // restore strict order where rounding introduced 1-tick swaps.
+        adjusted.sort_by_key(|iv| iv.end());
+        stats.fits.push(nf);
+        sources.push(IvSource {
+            items: adjusted.into_iter(),
+        });
+    }
+
+    markers.sort_by_key(|(id, _)| *id);
+    let merged: Vec<Interval> = BalancedTreeMerge::new(sources).collect();
+    Ok((merged, union_threads, markers, stats))
+}
+
+/// Tracks open states per thread to synthesize the §3.3 frame-head
+/// pseudo continuation records.
+#[derive(Default)]
+struct OpenTracker {
+    open: std::collections::HashMap<(u16, u16), Vec<Interval>>,
+}
+
+impl OpenTracker {
+    fn observe(&mut self, iv: &Interval) {
+        if iv.itype.state == StateCode::CLOCK {
+            return;
+        }
+        let key = (iv.node.raw(), iv.thread.raw());
+        match iv.itype.bebits {
+            BeBits::Begin => self.open.entry(key).or_default().push(iv.clone()),
+            BeBits::End => {
+                if let Some(stack) = self.open.get_mut(&key) {
+                    if let Some(pos) = stack.iter().rposition(|o| o.itype.state == iv.itype.state)
+                    {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            BeBits::Complete | BeBits::Continuation => {}
+        }
+    }
+
+    /// Zero-duration continuation records for every state open at `at`.
+    fn pseudo_records(&self, at: u64) -> Vec<Interval> {
+        let mut keys: Vec<_> = self.open.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for k in keys {
+            for open in &self.open[&k] {
+                let mut p = open.clone();
+                p.itype = IntervalType {
+                    state: open.itype.state,
+                    bebits: BeBits::Continuation,
+                };
+                p.start = at;
+                p.duration = 0;
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Merges per-node interval files into one merged interval file.
+pub fn merge_files(
+    files: &[&[u8]],
+    profile: &Profile,
+    opts: &MergeOptions,
+) -> Result<MergeOutput> {
+    let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
+    let mut writer = IntervalFileWriter::new(
+        profile,
+        MASK_MERGED,
+        MERGED_NODE,
+        &threads,
+        &markers,
+        opts.policy,
+    );
+    let mut tracker = OpenTracker::default();
+    let mut pushed: u64 = 0;
+    let mut last_end: u64 = 0;
+    let frame_len = opts.policy.max_records_per_frame as u64;
+    for iv in &merged {
+        if opts.frame_pseudo_intervals && pushed > 0 && pushed.is_multiple_of(frame_len) {
+            for p in tracker.pseudo_records(last_end) {
+                writer.push(&p)?;
+                pushed += 1;
+                stats.pseudo_added += 1;
+            }
+        }
+        writer.push(iv)?;
+        pushed += 1;
+        last_end = iv.end();
+        tracker.observe(iv);
+    }
+    stats.records_out = writer.record_count();
+    Ok(MergeOutput {
+        merged: writer.finish(),
+        stats,
+    })
+}
+
+/// The `slogmerge` utility: the same merge pipeline, emitting a SLOG file
+/// for Jumpshot-style visualization (plus the merged stream statistics).
+pub fn slogmerge(
+    files: &[&[u8]],
+    profile: &Profile,
+    opts: &MergeOptions,
+    build: BuildOptions,
+) -> Result<(SlogFile, MergeStats)> {
+    let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
+    stats.records_out = merged.len() as u64;
+    let slog = SlogBuilder::new(profile, build).build(&merged, &threads, &markers)?;
+    Ok((slog, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId};
+    use ute_format::profile::MASK_PER_NODE;
+    use ute_format::thread_table::ThreadEntry;
+    use ute_format::value::Value;
+
+    /// Builds a per-node file whose local clock runs at `rate` (local
+    /// ticks per global tick) from global origin 0, containing clock
+    /// records every second plus one MPI_Barrier piece per second.
+    fn node_file(profile: &Profile, node: u16, rate: f64, secs: u64) -> Vec<u8> {
+        let mut threads = ThreadTable::new();
+        threads
+            .register(ThreadEntry {
+                task: TaskId(node as u32),
+                pid: Pid(1),
+                system_tid: SystemThreadId(node as u64),
+                node: NodeId(node),
+                logical: LogicalThreadId(0),
+                ttype: ThreadType::Mpi,
+            })
+            .unwrap();
+        let mut w = IntervalFileWriter::new(
+            profile,
+            MASK_PER_NODE,
+            node,
+            &threads,
+            &[(1, "Phase".to_string())],
+            FramePolicy::default(),
+        );
+        let local = |g: u64| (g as f64 * rate) as u64;
+        let mut records: Vec<Interval> = Vec::new();
+        for s in 0..=secs {
+            let g = s * 1_000_000_000;
+            records.push(
+                Interval::basic(
+                    IntervalType::complete(StateCode::CLOCK),
+                    local(g),
+                    0,
+                    CpuId(0),
+                    NodeId(node),
+                    LogicalThreadId(0),
+                )
+                .with_extra(profile, "globalTime", Value::Uint(g)),
+            );
+            if s < secs {
+                records.push(
+                    Interval::basic(
+                        IntervalType::complete(StateCode::mpi(
+                            ute_core::event::MpiOp::Barrier,
+                        )),
+                        local(g + 200_000_000),
+                        (100_000_000_f64 * rate) as u64,
+                        CpuId(0),
+                        NodeId(node),
+                        LogicalThreadId(0),
+                    )
+                    .with_extra(profile, "rank", Value::Uint(node as u64))
+                    .with_extra(profile, "peer", Value::Uint(u32::MAX as u64))
+                    .with_extra(profile, "msgSizeSent", Value::Uint(0))
+                    .with_extra(profile, "address", Value::Uint(0)),
+                );
+            }
+        }
+        records.sort_by_key(|iv| iv.end());
+        for iv in &records {
+            w.push(iv).unwrap();
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn merged_output_is_globally_aligned_and_ordered() {
+        let p = Profile::standard();
+        let f0 = node_file(&p, 0, 1.0 + 100e-6, 10); // +100 ppm
+        let f1 = node_file(&p, 1, 1.0 - 80e-6, 10); // −80 ppm
+        let out = merge_files(&[&f0, &f1], &p, &MergeOptions::default()).unwrap();
+        let r = IntervalFileReader::open(&out.merged, &p).unwrap();
+        let ivs: Vec<Interval> = r.intervals().map(|x| x.unwrap()).collect();
+        // End-ordered.
+        for w in ivs.windows(2) {
+            assert!(w[0].end() <= w[1].end());
+        }
+        // Barriers from both nodes happened at the same *global* instants
+        // (200 ms into each second); after adjustment they should agree
+        // within a few µs despite the ±100 ppm local drift.
+        let barriers: Vec<&Interval> = ivs
+            .iter()
+            .filter(|iv| iv.itype.state == StateCode::mpi(ute_core::event::MpiOp::Barrier))
+            .collect();
+        assert_eq!(barriers.len(), 20);
+        for pair in barriers.chunks(2) {
+            let d = pair[0].start as i64 - pair[1].start as i64;
+            assert!(d.abs() < 10_000, "barrier misalignment {d} ticks");
+            assert_ne!(pair[0].node, pair[1].node);
+        }
+        assert_eq!(out.stats.fits.len(), 2);
+        assert!((out.stats.fits[0].fit.ratio() - 1.0 / (1.0 + 100e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merged_file_has_node_field_and_union_tables() {
+        let p = Profile::standard();
+        let f0 = node_file(&p, 0, 1.0, 2);
+        let f1 = node_file(&p, 1, 1.0, 2);
+        let out = merge_files(&[&f0, &f1], &p, &MergeOptions::default()).unwrap();
+        let r = IntervalFileReader::open(&out.merged, &p).unwrap();
+        assert_eq!(r.mask, MASK_MERGED);
+        assert_eq!(r.node, MERGED_NODE);
+        assert_eq!(r.threads.len(), 2);
+        assert_eq!(r.markers.len(), 1);
+        let nodes: std::collections::HashSet<u16> = r
+            .intervals()
+            .map(|iv| iv.unwrap().node.raw())
+            .collect();
+        assert_eq!(nodes.len(), 2, "records from both nodes present");
+    }
+
+    #[test]
+    fn conflicting_marker_tables_rejected() {
+        let p = Profile::standard();
+        let f0 = node_file(&p, 0, 1.0, 1);
+        // Build a second file with marker id 1 bound to a different name.
+        let mut threads = ThreadTable::new();
+        threads
+            .register(ThreadEntry {
+                task: TaskId(9),
+                pid: Pid(1),
+                system_tid: SystemThreadId(9),
+                node: NodeId(9),
+                logical: LogicalThreadId(0),
+                ttype: ThreadType::Mpi,
+            })
+            .unwrap();
+        let w = IntervalFileWriter::new(
+            &p,
+            MASK_PER_NODE,
+            9,
+            &threads,
+            &[(1, "Different".to_string())],
+            FramePolicy::default(),
+        );
+        let f9 = w.finish();
+        let err = merge_files(&[&f0, &f9], &p, &MergeOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("marker id 1"), "{err}");
+    }
+
+    #[test]
+    fn thread_type_filter_selects_threads() {
+        let p = Profile::standard();
+        let f0 = node_file(&p, 0, 1.0, 3);
+        let opts = MergeOptions {
+            thread_types: Some(vec![ThreadType::User]), // node files hold MPI threads
+            ..MergeOptions::default()
+        };
+        let out = merge_files(&[&f0], &p, &opts).unwrap();
+        let r = IntervalFileReader::open(&out.merged, &p).unwrap();
+        // Only the CLOCK records survive.
+        for iv in r.intervals() {
+            assert_eq!(iv.unwrap().itype.state, StateCode::CLOCK);
+        }
+    }
+
+    /// Builds a file holding one long split state (Begin … End) plus many
+    /// small complete intervals so the merged file spans several frames.
+    fn split_state_file(profile: &Profile, n_middle: u64) -> Vec<u8> {
+        let mut threads = ThreadTable::new();
+        threads
+            .register(ThreadEntry {
+                task: TaskId(0),
+                pid: Pid(1),
+                system_tid: SystemThreadId(0),
+                node: NodeId(0),
+                logical: LogicalThreadId(0),
+                ttype: ThreadType::Mpi,
+            })
+            .unwrap();
+        let mut w = IntervalFileWriter::new(
+            profile,
+            MASK_PER_NODE,
+            0,
+            &threads,
+            &[],
+            FramePolicy::default(),
+        );
+        let marker_begin = Interval::basic(
+            IntervalType {
+                state: StateCode::MARKER,
+                bebits: BeBits::Begin,
+            },
+            0,
+            10,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        )
+        .with_extra(profile, "markerId", Value::Uint(1))
+        .with_extra(profile, "address", Value::Uint(0))
+        .with_extra(profile, "addressEnd", Value::Uint(0));
+        w.push(&marker_begin).unwrap();
+        for i in 0..n_middle {
+            let iv = Interval::basic(
+                IntervalType::complete(StateCode::RUNNING),
+                20 + i * 10,
+                10,
+                CpuId(0),
+                NodeId(0),
+                LogicalThreadId(0),
+            );
+            w.push(&iv).unwrap();
+        }
+        let end_t = 20 + n_middle * 10 + 5;
+        let marker_end = Interval::basic(
+            IntervalType {
+                state: StateCode::MARKER,
+                bebits: BeBits::End,
+            },
+            end_t,
+            10,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        )
+        .with_extra(profile, "markerId", Value::Uint(1))
+        .with_extra(profile, "address", Value::Uint(0))
+        .with_extra(profile, "addressEnd", Value::Uint(0));
+        w.push(&marker_end).unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn frame_head_pseudo_continuations_added() {
+        let p = Profile::standard();
+        // 40 middle records with 8-record frames → several frame
+        // boundaries inside the open marker.
+        let f = split_state_file(&p, 40);
+        let opts = MergeOptions {
+            policy: FramePolicy {
+                max_records_per_frame: 8,
+                max_frames_per_dir: 2,
+            },
+            filter_outliers: false,
+            ..MergeOptions::default()
+        };
+        let out = merge_files(&[&f], &p, &opts).unwrap();
+        assert!(out.stats.pseudo_added >= 4, "added {}", out.stats.pseudo_added);
+        let r = IntervalFileReader::open(&out.merged, &p).unwrap();
+        // Every frame after the first that starts inside the marker must
+        // begin with a zero-duration Marker continuation record.
+        let dirs: Vec<_> = r.directories().map(|d| d.unwrap()).collect();
+        let mut frames_checked = 0;
+        let marker_end_time = 20 + 40 * 10 + 5 + 10;
+        for dir in &dirs {
+            for e in &dir.entries {
+                if e.start_time > 10 && e.end_time < marker_end_time as u64 {
+                    let ivs = r.frame_intervals(e).unwrap();
+                    let head = &ivs[0];
+                    assert_eq!(head.itype.state, StateCode::MARKER, "frame head");
+                    assert_eq!(head.itype.bebits, BeBits::Continuation);
+                    assert_eq!(head.duration, 0);
+                    frames_checked += 1;
+                }
+            }
+        }
+        assert!(frames_checked >= 3, "only {frames_checked} frames checked");
+        // Disabling the feature removes them.
+        let out2 = merge_files(
+            &[&f],
+            &p,
+            &MergeOptions {
+                frame_pseudo_intervals: false,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(out2.stats.pseudo_added, 0);
+    }
+
+    #[test]
+    fn slogmerge_produces_viewable_slog() {
+        let p = Profile::standard();
+        let f0 = node_file(&p, 0, 1.0 + 50e-6, 5);
+        let f1 = node_file(&p, 1, 1.0 - 50e-6, 5);
+        let (slog, stats) = slogmerge(
+            &[&f0, &f1],
+            &p,
+            &MergeOptions::default(),
+            BuildOptions {
+                nframes: 8,
+                preview_bins: 16,
+                arrows: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(slog.frames.len(), 8);
+        assert_eq!(slog.threads.len(), 2);
+        assert!(stats.records_out > 0);
+        // Preview knows about the barrier time.
+        assert!(slog
+            .preview
+            .counts
+            .contains_key(&StateCode::mpi(ute_core::event::MpiOp::Barrier).0));
+        // Round-trips to bytes.
+        let bytes = slog.to_bytes();
+        assert_eq!(SlogFile::from_bytes(&bytes).unwrap(), slog);
+    }
+}

@@ -1,0 +1,296 @@
+//! The per-node trace buffer.
+//!
+//! §2.1: "a mechanism is provided to specify a set of trace options, such
+//! as the name prefix of the trace files, trace buffer size, and events to
+//! be traced. By default tracing starts at the start of program execution.
+//! The user can also delay trace generation until a later point to trace
+//! only a portion of the code to substantially reduce the amount of trace
+//! data."
+//!
+//! Records are encoded into a fixed-size in-memory buffer; when it fills,
+//! the buffer either flushes to the backing store (the common mode) or
+//! drops further records (single-buffer mode), with drops counted so the
+//! loss is visible.
+
+use ute_core::error::Result;
+use ute_core::event::EventClass;
+use ute_core::time::LocalTime;
+
+use crate::cost::{CostLedger, CostModel};
+use crate::record::RawEvent;
+
+/// What happens when the trace buffer fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferMode {
+    /// Flush the buffer to the backing store and keep tracing.
+    #[default]
+    Flush,
+    /// Stop collecting: further records are dropped (and counted).
+    StopWhenFull,
+}
+
+/// Trace options, per §2.1.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Name prefix of the trace files (one per node: `<prefix>.<node>.raw`).
+    pub file_prefix: String,
+    /// Trace buffer size in bytes.
+    pub buffer_size: usize,
+    /// Bitmask of enabled [`EventClass`]es (bit index = `class.bit()`).
+    pub enabled_classes: u8,
+    /// If set, records cut before this local time are discarded (delayed
+    /// trace start).
+    pub start_after: Option<LocalTime>,
+    /// Behaviour on buffer full.
+    pub mode: BufferMode,
+    /// Modelled per-record costs.
+    pub cost: CostModel,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            file_prefix: "trace".into(),
+            buffer_size: 1 << 20,
+            enabled_classes: 0xff,
+            start_after: None,
+            mode: BufferMode::Flush,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl TraceOptions {
+    /// Enables only the listed classes (Control is always kept enabled so
+    /// trace start/stop bookkeeping survives).
+    pub fn with_classes(mut self, classes: &[EventClass]) -> TraceOptions {
+        let mut mask = 1u8 << EventClass::Control.bit();
+        for c in classes {
+            mask |= 1 << c.bit();
+        }
+        self.enabled_classes = mask;
+        self
+    }
+
+    /// Whether a class is enabled.
+    pub fn class_enabled(&self, class: EventClass) -> bool {
+        self.enabled_classes & (1 << class.bit()) != 0
+    }
+}
+
+/// The in-memory trace buffer and its flush/drop accounting.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    opts: TraceOptions,
+    /// Current in-flight buffer contents.
+    buf: ute_core::codec::ByteWriter,
+    /// Flushed output (becomes the raw file body).
+    flushed: Vec<u8>,
+    /// Number of flushes performed.
+    pub flush_count: u64,
+    /// Records dropped (StopWhenFull mode, or cut before delayed start).
+    pub dropped: u64,
+    /// Tracing-overhead ledger.
+    pub ledger: CostLedger,
+    /// Whether tracing is currently on (between start and stop).
+    active: bool,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer with the given options; tracing starts active
+    /// unless a delayed start is configured.
+    pub fn new(opts: TraceOptions) -> TraceBuffer {
+        TraceBuffer {
+            buf: ute_core::codec::ByteWriter::with_capacity(opts.buffer_size.min(1 << 16)),
+            flushed: Vec::new(),
+            flush_count: 0,
+            dropped: 0,
+            ledger: CostLedger::default(),
+            active: true,
+            opts,
+        }
+    }
+
+    /// The options this buffer was built with.
+    pub fn options(&self) -> &TraceOptions {
+        &self.opts
+    }
+
+    /// Turns tracing off (records are dropped but still cost the enable
+    /// test).
+    pub fn stop(&mut self) {
+        self.active = false;
+    }
+
+    /// Turns tracing back on.
+    pub fn start(&mut self) {
+        self.active = true;
+    }
+
+    /// Cuts a record. Returns `true` if it was inserted, `false` if it was
+    /// filtered (class disabled, before delayed start, tracing stopped, or
+    /// buffer full in [`BufferMode::StopWhenFull`]).
+    pub fn cut(&mut self, event: &RawEvent, wrapped: bool) -> Result<bool> {
+        if !self.active || !self.opts.class_enabled(event.code.class()) {
+            self.ledger.charge_rejected(&self.opts.cost);
+            return Ok(false);
+        }
+        if let Some(after) = self.opts.start_after {
+            if event.timestamp < after {
+                self.ledger.charge_rejected(&self.opts.cost);
+                self.dropped += 1;
+                return Ok(false);
+            }
+        }
+        let need = event.encoded_len();
+        if self.buf.pos() as usize + need > self.opts.buffer_size {
+            match self.opts.mode {
+                BufferMode::Flush => self.flush(),
+                BufferMode::StopWhenFull => {
+                    self.ledger.charge_rejected(&self.opts.cost);
+                    self.dropped += 1;
+                    return Ok(false);
+                }
+            }
+        }
+        event.encode(&mut self.buf)?;
+        self.ledger.charge_cut(&self.opts.cost, wrapped);
+        Ok(true)
+    }
+
+    /// Flushes the in-flight buffer to the backing store.
+    pub fn flush(&mut self) {
+        if self.buf.pos() > 0 {
+            self.flushed.extend_from_slice(self.buf.as_bytes());
+            self.buf = ute_core::codec::ByteWriter::with_capacity(self.opts.buffer_size.min(1 << 16));
+            self.flush_count += 1;
+        }
+    }
+
+    /// Flushes and returns the complete raw byte stream of every record
+    /// cut so far.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush();
+        self.flushed
+    }
+
+    /// Bytes currently pending in the in-flight buffer.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.pos() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::codec::ByteReader;
+    use ute_core::event::EventCode;
+
+    fn ev(t: u64) -> RawEvent {
+        RawEvent::new(EventCode::Syscall, LocalTime(t), vec![0; 4])
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<RawEvent> {
+        let mut r = ByteReader::new(bytes);
+        let mut out = Vec::new();
+        while !r.is_empty() {
+            out.push(RawEvent::decode(&mut r).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn cut_and_finish_round_trip() {
+        let mut b = TraceBuffer::new(TraceOptions::default());
+        for t in 0..100 {
+            assert!(b.cut(&ev(t), false).unwrap());
+        }
+        let events = decode_all(&b.finish());
+        assert_eq!(events.len(), 100);
+        assert_eq!(events[7].timestamp, LocalTime(7));
+    }
+
+    #[test]
+    fn small_buffer_flushes() {
+        let opts = TraceOptions {
+            buffer_size: 64, // fits 4 records of 16 bytes
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::new(opts);
+        for t in 0..10 {
+            assert!(b.cut(&ev(t), false).unwrap());
+        }
+        assert!(b.flush_count >= 2, "expected flushes, got {}", b.flush_count);
+        assert_eq!(decode_all(&b.finish()).len(), 10);
+    }
+
+    #[test]
+    fn stop_when_full_drops_and_counts() {
+        let opts = TraceOptions {
+            buffer_size: 32, // 2 records
+            mode: BufferMode::StopWhenFull,
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::new(opts);
+        let mut inserted = 0;
+        for t in 0..10 {
+            if b.cut(&ev(t), false).unwrap() {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 2);
+        assert_eq!(b.dropped, 8);
+        assert_eq!(decode_all(&b.finish()).len(), 2);
+    }
+
+    #[test]
+    fn class_mask_filters() {
+        let opts = TraceOptions::default().with_classes(&[EventClass::Mpi]);
+        let mut b = TraceBuffer::new(opts);
+        // Syscall is System class — disabled.
+        assert!(!b.cut(&ev(1), false).unwrap());
+        let mpi = RawEvent::new(
+            EventCode::MpiBegin(ute_core::event::MpiOp::Send),
+            LocalTime(2),
+            vec![],
+        );
+        assert!(b.cut(&mpi, true).unwrap());
+        assert_eq!(b.ledger.records_cut, 1);
+        assert_eq!(b.ledger.tests_rejected, 1);
+    }
+
+    #[test]
+    fn delayed_start_discards_early_records() {
+        let opts = TraceOptions {
+            start_after: Some(LocalTime(50)),
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::new(opts);
+        assert!(!b.cut(&ev(10), false).unwrap());
+        assert!(b.cut(&ev(60), false).unwrap());
+        assert_eq!(b.dropped, 1);
+        let events = decode_all(&b.finish());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].timestamp, LocalTime(60));
+    }
+
+    #[test]
+    fn stop_start_toggle() {
+        let mut b = TraceBuffer::new(TraceOptions::default());
+        assert!(b.cut(&ev(1), false).unwrap());
+        b.stop();
+        assert!(!b.cut(&ev(2), false).unwrap());
+        b.start();
+        assert!(b.cut(&ev(3), false).unwrap());
+        assert_eq!(decode_all(&b.finish()).len(), 2);
+    }
+
+    #[test]
+    fn overhead_ledger_charges_costs() {
+        let mut b = TraceBuffer::new(TraceOptions::default());
+        b.cut(&ev(1), false).unwrap();
+        b.cut(&ev(2), true).unwrap();
+        let m = CostModel::default();
+        assert_eq!(b.ledger.total, m.cut() + m.cut_wrapped());
+    }
+}

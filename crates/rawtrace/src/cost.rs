@@ -1,0 +1,136 @@
+//! The three-part cost model of cutting a trace record (§2.1).
+//!
+//! "The cost of cutting an ordinary trace record has three parts. The first
+//! is the cost of testing whether the event is enabled and then calling the
+//! trace buffer insertion routine. The second is the cost of the trace
+//! buffer insertion routine. The third is the cost of wrapper routines in
+//! the tracing library, whose cost varies depending on individual MPI
+//! wrappers. ... the average cost of cutting a trace record is fairly small
+//! (a small fraction of one micro second) for the first two parts."
+//!
+//! The cluster simulator charges these modelled costs to the traced thread
+//! so tracing overhead perturbs the simulated run the way real tracing
+//! perturbs a real run.
+
+use ute_core::time::Duration;
+
+/// Modelled per-record costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Part 1: enable-mask test + call into the insertion routine.
+    pub test_cost: Duration,
+    /// Part 2: the trace-buffer insertion routine itself.
+    pub insert_cost: Duration,
+    /// Part 3: the wrapper routine around an MPI call (varies per wrapper;
+    /// this is the average).
+    pub wrapper_cost: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // "a small fraction of one micro second" for parts 1+2 on a
+        // then-modern PowerPC: model 50 ns + 150 ns, with a 300 ns wrapper.
+        CostModel {
+            test_cost: Duration(50),
+            insert_cost: Duration(150),
+            wrapper_cost: Duration(300),
+        }
+    }
+}
+
+impl CostModel {
+    /// A free tracing facility (for tests that want undisturbed timing).
+    pub fn free() -> CostModel {
+        CostModel {
+            test_cost: Duration::ZERO,
+            insert_cost: Duration::ZERO,
+            wrapper_cost: Duration::ZERO,
+        }
+    }
+
+    /// Cost of cutting one enabled non-wrapper record (parts 1+2).
+    pub fn cut(&self) -> Duration {
+        self.test_cost + self.insert_cost
+    }
+
+    /// Cost of a record cut from inside an MPI wrapper (parts 1+2+3).
+    pub fn cut_wrapped(&self) -> Duration {
+        self.test_cost + self.insert_cost + self.wrapper_cost
+    }
+
+    /// Cost of testing a *disabled* event (part 1's test only).
+    pub fn test_only(&self) -> Duration {
+        self.test_cost
+    }
+}
+
+/// Running totals of tracing overhead charged to a node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostLedger {
+    /// Records actually inserted.
+    pub records_cut: u64,
+    /// Events tested but found disabled.
+    pub tests_rejected: u64,
+    /// Total modelled time charged.
+    pub total: Duration,
+}
+
+impl CostLedger {
+    /// Charges one enabled cut.
+    pub fn charge_cut(&mut self, model: &CostModel, wrapped: bool) {
+        self.records_cut += 1;
+        self.total += if wrapped {
+            model.cut_wrapped()
+        } else {
+            model.cut()
+        };
+    }
+
+    /// Charges one disabled test.
+    pub fn charge_rejected(&mut self, model: &CostModel) {
+        self.tests_rejected += 1;
+        self.total += model.test_only();
+    }
+
+    /// Mean overhead per cut record, if any were cut.
+    pub fn mean_per_record(&self) -> Option<Duration> {
+        self.total
+            .ticks()
+            .checked_div(self.records_cut)
+            .map(Duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_are_submicrosecond_for_parts_1_and_2() {
+        let m = CostModel::default();
+        assert!(m.cut() < Duration::from_micros(1), "paper: fraction of a µs");
+        assert!(m.cut_wrapped() > m.cut());
+        assert!(m.test_only() < m.cut());
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let m = CostModel::default();
+        let mut l = CostLedger::default();
+        l.charge_cut(&m, false);
+        l.charge_cut(&m, true);
+        l.charge_rejected(&m);
+        assert_eq!(l.records_cut, 2);
+        assert_eq!(l.tests_rejected, 1);
+        assert_eq!(
+            l.total,
+            m.cut() + m.cut_wrapped() + m.test_only()
+        );
+        assert!(l.mean_per_record().unwrap() >= m.cut());
+    }
+
+    #[test]
+    fn empty_ledger_has_no_mean() {
+        assert_eq!(CostLedger::default().mean_per_record(), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! The per-node tracing facility handle.
+//!
+//! This is what the simulator's node (or an instrumented program) holds: a
+//! thread-safe wrapper over the trace buffer with typed cut methods for
+//! every record the wrappers produce. It also owns:
+//!
+//! * the per-node **point-to-point sequence counter** — "The tracing
+//!   library also adds a unique sequence number to each point-to-point
+//!   message passing event record so that utilities can match sends with
+//!   corresponding receives" (§2.1);
+//! * the **task-local marker registry** — "To minimize overhead, the
+//!   tracing library assigns an identifier for the string without any
+//!   cross-task communication" (§3.1), which is why the same string can
+//!   receive different ids in different tasks and the convert utility must
+//!   re-unify them.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use ute_core::error::Result;
+use ute_core::event::{EventCode, MpiOp};
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+use ute_core::time::{LocalTime, Time};
+
+use crate::buffer::{TraceBuffer, TraceOptions};
+use crate::file::RawTraceFile;
+use crate::record::{
+    ClockPayload, DispatchPayload, MarkerDefPayload, MarkerPayload, MpiPayload, RawEvent,
+};
+
+struct Inner {
+    buffer: TraceBuffer,
+    /// Next point-to-point sequence number on this node, per task rank
+    /// (each task numbers its own sends).
+    next_seq: HashMap<u32, u64>,
+    /// Task-local marker ids: (rank, marker string) → local id. Ids are
+    /// assigned in call order per task, so identical strings may receive
+    /// different ids in different tasks.
+    marker_ids: HashMap<(u32, String), u32>,
+    next_marker_id: HashMap<u32, u32>,
+}
+
+/// Thread-safe per-node tracing facility.
+pub struct TraceFacility {
+    node: NodeId,
+    inner: Mutex<Inner>,
+}
+
+impl TraceFacility {
+    /// Creates the facility for one node.
+    pub fn new(node: NodeId, opts: TraceOptions) -> TraceFacility {
+        TraceFacility {
+            node,
+            inner: Mutex::new(Inner {
+                buffer: TraceBuffer::new(opts),
+                next_seq: HashMap::new(),
+                marker_ids: HashMap::new(),
+                next_marker_id: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The node this facility traces.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Allocates the next point-to-point sequence number for a sending
+    /// task. The pair (sender rank, seq) is unique job-wide.
+    pub fn next_seq(&self, rank: u32) -> u64 {
+        let mut g = self.inner.lock();
+        let c = g.next_seq.entry(rank).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Defines (or looks up) a user marker string for a task, cutting a
+    /// MarkerDef record on first definition. Returns the task-local id.
+    pub fn define_marker(&self, now: LocalTime, rank: u32, name: &str) -> Result<u32> {
+        let mut g = self.inner.lock();
+        if let Some(&id) = g.marker_ids.get(&(rank, name.to_string())) {
+            return Ok(id);
+        }
+        let next = g.next_marker_id.entry(rank).or_insert(0);
+        *next += 1;
+        let id = *next;
+        g.marker_ids.insert((rank, name.to_string()), id);
+        let payload = MarkerDefPayload {
+            local_id: id,
+            rank,
+            name: name.to_string(),
+        };
+        let ev = RawEvent::new(EventCode::MarkerDef, now, payload.to_bytes());
+        g.buffer.cut(&ev, false)?;
+        Ok(id)
+    }
+
+    /// Cuts a trace start/stop control record.
+    pub fn cut_control(&self, now: LocalTime, start: bool) -> Result<bool> {
+        let code = if start {
+            EventCode::TraceStart
+        } else {
+            EventCode::TraceStop
+        };
+        self.cut_raw(RawEvent::new(code, now, vec![]), false)
+    }
+
+    /// Cuts a thread dispatch record.
+    pub fn cut_dispatch(
+        &self,
+        now: LocalTime,
+        thread: LogicalThreadId,
+        cpu: CpuId,
+        on: bool,
+    ) -> Result<bool> {
+        let code = if on {
+            EventCode::ThreadDispatch
+        } else {
+            EventCode::ThreadUndispatch
+        };
+        let payload = DispatchPayload { thread, cpu }.to_bytes();
+        self.cut_raw(RawEvent::new(code, now, payload), false)
+    }
+
+    /// Cuts a global-clock record pairing `global` with the record's own
+    /// local timestamp `now`.
+    pub fn cut_clock(&self, now: LocalTime, global: Time) -> Result<bool> {
+        let payload = ClockPayload { global }.to_bytes();
+        self.cut_raw(RawEvent::new(EventCode::GlobalClock, now, payload), false)
+    }
+
+    /// Cuts a marker begin/end record.
+    pub fn cut_marker(
+        &self,
+        now: LocalTime,
+        thread: LogicalThreadId,
+        local_id: u32,
+        address: u64,
+        begin: bool,
+    ) -> Result<bool> {
+        let code = if begin {
+            EventCode::MarkerBegin
+        } else {
+            EventCode::MarkerEnd
+        };
+        let payload = MarkerPayload {
+            thread,
+            local_id,
+            address,
+        }
+        .to_bytes();
+        self.cut_raw(RawEvent::new(code, now, payload), false)
+    }
+
+    /// Cuts an MPI begin/end record (wrapper cost applies).
+    pub fn cut_mpi(
+        &self,
+        now: LocalTime,
+        op: MpiOp,
+        begin: bool,
+        payload: MpiPayload,
+    ) -> Result<bool> {
+        let code = if begin {
+            EventCode::MpiBegin(op)
+        } else {
+            EventCode::MpiEnd(op)
+        };
+        self.cut_raw(RawEvent::new(code, now, payload.to_bytes()), true)
+    }
+
+    /// Cuts a system-activity record (syscall, page fault, I/O, interrupt).
+    pub fn cut_system(
+        &self,
+        now: LocalTime,
+        code: EventCode,
+        thread: LogicalThreadId,
+    ) -> Result<bool> {
+        let payload = DispatchPayload {
+            thread,
+            cpu: CpuId(0),
+        }
+        .to_bytes();
+        self.cut_raw(RawEvent::new(code, now, payload), false)
+    }
+
+    /// Cuts an arbitrary pre-built record.
+    pub fn cut_raw(&self, event: RawEvent, wrapped: bool) -> Result<bool> {
+        self.inner.lock().buffer.cut(&event, wrapped)
+    }
+
+    /// Suspends tracing (delayed-start / partial-trace workflows).
+    pub fn stop(&self) {
+        self.inner.lock().buffer.stop();
+    }
+
+    /// Resumes tracing.
+    pub fn start(&self) {
+        self.inner.lock().buffer.start();
+    }
+
+    /// Total records cut so far.
+    pub fn records_cut(&self) -> u64 {
+        self.inner.lock().buffer.ledger.records_cut
+    }
+
+    /// Total modelled tracing overhead charged so far.
+    pub fn overhead(&self) -> ute_core::time::Duration {
+        self.inner.lock().buffer.ledger.total
+    }
+
+    /// Finishes tracing and produces the node's raw trace file.
+    pub fn finish(self) -> Result<RawTraceFile> {
+        let inner = self.inner.into_inner();
+        let body = inner.buffer.finish();
+        RawTraceFile::from_buffer_bytes(self.node, &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MpiPayload;
+
+    fn facility() -> TraceFacility {
+        TraceFacility::new(NodeId(1), TraceOptions::default())
+    }
+
+    #[test]
+    fn seq_numbers_are_per_rank_and_increasing() {
+        let f = facility();
+        assert_eq!(f.next_seq(0), 1);
+        assert_eq!(f.next_seq(0), 2);
+        assert_eq!(f.next_seq(1), 1);
+        assert_eq!(f.next_seq(0), 3);
+    }
+
+    #[test]
+    fn marker_definition_is_task_local_and_cut_once() {
+        let f = facility();
+        let a = f.define_marker(LocalTime(1), 0, "Initial Phase").unwrap();
+        let a2 = f.define_marker(LocalTime(2), 0, "Initial Phase").unwrap();
+        assert_eq!(a, a2);
+        // Different task defining the same string after another marker gets
+        // a *different* id — the cross-task collision §3.1 describes.
+        f.define_marker(LocalTime(3), 1, "Other").unwrap();
+        let b = f.define_marker(LocalTime(4), 1, "Initial Phase").unwrap();
+        assert_ne!(a, b);
+        let file = f.finish().unwrap();
+        let defs: Vec<_> = file
+            .events
+            .iter()
+            .filter(|e| e.code == EventCode::MarkerDef)
+            .collect();
+        assert_eq!(defs.len(), 3); // one per unique (rank, string)
+    }
+
+    #[test]
+    fn typed_cuts_produce_decodable_records() {
+        let f = facility();
+        f.cut_control(LocalTime(0), true).unwrap();
+        f.cut_dispatch(LocalTime(5), LogicalThreadId(2), CpuId(1), true)
+            .unwrap();
+        f.cut_clock(LocalTime(10), Time(9)).unwrap();
+        f.cut_mpi(
+            LocalTime(20),
+            MpiOp::Send,
+            true,
+            MpiPayload::bare(LogicalThreadId(2), 0),
+        )
+        .unwrap();
+        f.cut_system(LocalTime(30), EventCode::PageFault, LogicalThreadId(2))
+            .unwrap();
+        let file = f.finish().unwrap();
+        assert_eq!(file.events.len(), 5);
+        assert_eq!(file.events[0].code, EventCode::TraceStart);
+        let d = DispatchPayload::from_bytes(&file.events[1].payload).unwrap();
+        assert_eq!(d.cpu, CpuId(1));
+        let c = ClockPayload::from_bytes(&file.events[2].payload).unwrap();
+        assert_eq!(c.global, Time(9));
+        assert_eq!(file.events[3].code, EventCode::MpiBegin(MpiOp::Send));
+    }
+
+    #[test]
+    fn overhead_accumulates_per_cut() {
+        let f = facility();
+        f.cut_control(LocalTime(0), true).unwrap();
+        let after_one = f.overhead();
+        f.cut_mpi(
+            LocalTime(1),
+            MpiOp::Barrier,
+            true,
+            MpiPayload::bare(LogicalThreadId(0), 0),
+        )
+        .unwrap();
+        assert!(f.overhead() > after_one);
+        assert_eq!(f.records_cut(), 2);
+    }
+
+    #[test]
+    fn facility_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let f = Arc::new(facility());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for k in 0..100u64 {
+                        f.cut_system(
+                            LocalTime(i * 1000 + k),
+                            EventCode::Syscall,
+                            LogicalThreadId(i as u16),
+                        )
+                        .unwrap();
+                        f.next_seq(i as u32);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let f = Arc::try_unwrap(f).unwrap_or_else(|_| panic!("refs remain"));
+        assert_eq!(f.finish().unwrap().events.len(), 400);
+    }
+}

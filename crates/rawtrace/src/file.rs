@@ -1,0 +1,235 @@
+//! The on-disk raw trace file — one per SMP node (§2.0: "multiple raw
+//! trace files, one on each node").
+//!
+//! Layout: a small header (magic, format version, node id, tick rate,
+//! record count) followed by the concatenated raw records in the order
+//! they were cut. Records carry *local* timestamps; nothing in this file
+//! is clock-adjusted.
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+use ute_core::ids::NodeId;
+use ute_core::time::TICKS_PER_SEC;
+
+use crate::record::RawEvent;
+
+/// Magic bytes opening every raw trace file.
+pub const MAGIC: &[u8; 8] = b"UTERAW\0\0";
+
+/// Current raw-format version.
+pub const VERSION: u32 = 1;
+
+/// An in-memory raw trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTraceFile {
+    /// The node that produced this file.
+    pub node: NodeId,
+    /// Local-clock tick rate (ticks per second) recorded for reference.
+    pub tick_rate: u64,
+    /// The records, in cut order.
+    pub events: Vec<RawEvent>,
+}
+
+impl RawTraceFile {
+    /// Builds a file wrapper around already-decoded events.
+    pub fn new(node: NodeId, events: Vec<RawEvent>) -> RawTraceFile {
+        RawTraceFile {
+            node,
+            tick_rate: TICKS_PER_SEC,
+            events,
+        }
+    }
+
+    /// Builds a file from the raw byte stream a [`crate::TraceBuffer`]
+    /// produced.
+    pub fn from_buffer_bytes(node: NodeId, body: &[u8]) -> Result<RawTraceFile> {
+        let mut r = ByteReader::new(body);
+        let mut events = Vec::new();
+        while !r.is_empty() {
+            events.push(RawEvent::decode(&mut r)?);
+        }
+        Ok(RawTraceFile::new(node, events))
+    }
+
+    /// Serializes header + records.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(VERSION);
+        w.put_u16(self.node.raw());
+        w.put_u64(self.tick_rate);
+        w.put_u64(self.events.len() as u64);
+        for e in &self.events {
+            e.encode(&mut w)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Parses a serialized raw trace file.
+    pub fn from_bytes(data: &[u8]) -> Result<RawTraceFile> {
+        let mut r = RawTraceReader::open(data)?;
+        let cap = ute_core::codec::clamped_capacity(
+            r.record_count as usize,
+            crate::hookword::FIXED_PREFIX,
+            data.len(),
+        );
+        let mut events = Vec::with_capacity(cap);
+        while let Some(e) = r.next_event()? {
+            events.push(e);
+        }
+        Ok(RawTraceFile {
+            node: r.node,
+            tick_rate: r.tick_rate,
+            events,
+        })
+    }
+
+    /// Writes the file to disk.
+    pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Reads a file from disk.
+    pub fn read_from(path: &std::path::Path) -> Result<RawTraceFile> {
+        let data = std::fs::read(path)?;
+        RawTraceFile::from_bytes(&data)
+    }
+
+    /// The conventional per-node file name: `<prefix>.<node>.raw`.
+    pub fn file_name(prefix: &str, node: NodeId) -> String {
+        format!("{prefix}.{}.raw", node.raw())
+    }
+}
+
+/// Streaming reader over a serialized raw trace file.
+#[derive(Debug)]
+pub struct RawTraceReader<'a> {
+    /// The node that produced the file.
+    pub node: NodeId,
+    /// Recorded tick rate.
+    pub tick_rate: u64,
+    /// Declared number of records.
+    pub record_count: u64,
+    seen: u64,
+    r: ByteReader<'a>,
+}
+
+impl<'a> RawTraceReader<'a> {
+    /// Validates the header and positions at the first record.
+    pub fn open(data: &'a [u8]) -> Result<RawTraceReader<'a>> {
+        let mut r = ByteReader::new(data);
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(UteError::corrupt("raw trace file: bad magic"));
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(UteError::VersionMismatch {
+                profile: VERSION,
+                file: version,
+            });
+        }
+        let node = NodeId(r.get_u16()?);
+        let tick_rate = r.get_u64()?;
+        let record_count = r.get_u64()?;
+        Ok(RawTraceReader {
+            node,
+            tick_rate,
+            record_count,
+            seen: 0,
+            r,
+        })
+    }
+
+    /// Reads the next record, or `None` after the declared count.
+    pub fn next_event(&mut self) -> Result<Option<RawEvent>> {
+        if self.seen >= self.record_count {
+            return Ok(None);
+        }
+        let ev = RawEvent::decode(&mut self.r)?;
+        self.seen += 1;
+        Ok(Some(ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::EventCode;
+    use ute_core::time::LocalTime;
+
+    fn sample_file() -> RawTraceFile {
+        let events = (0..50)
+            .map(|t| RawEvent::new(EventCode::Syscall, LocalTime(t * 10), vec![t as u8; 3]))
+            .collect();
+        RawTraceFile::new(NodeId(3), events)
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let f = sample_file();
+        let bytes = f.to_bytes().unwrap();
+        let back = RawTraceFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn round_trip_disk() {
+        let dir = std::env::temp_dir().join("ute_rawtrace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(RawTraceFile::file_name("t", NodeId(3)));
+        let f = sample_file();
+        f.write_to(&path).unwrap();
+        let back = RawTraceFile::read_from(&path).unwrap();
+        assert_eq!(back, f);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_file().to_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            RawTraceFile::from_bytes(&bytes),
+            Err(UteError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_reported() {
+        let mut bytes = sample_file().to_bytes().unwrap();
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            RawTraceFile::from_bytes(&bytes),
+            Err(UteError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        let bytes = sample_file().to_bytes().unwrap();
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(RawTraceFile::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn file_name_convention() {
+        assert_eq!(RawTraceFile::file_name("run1", NodeId(2)), "run1.2.raw");
+    }
+
+    #[test]
+    fn buffer_bytes_round_trip() {
+        use crate::buffer::{TraceBuffer, TraceOptions};
+        let mut b = TraceBuffer::new(TraceOptions::default());
+        for t in 0..20 {
+            b.cut(
+                &RawEvent::new(EventCode::PageFault, LocalTime(t), vec![]),
+                false,
+            )
+            .unwrap();
+        }
+        let f = RawTraceFile::from_buffer_bytes(NodeId(0), &b.finish()).unwrap();
+        assert_eq!(f.events.len(), 20);
+    }
+}

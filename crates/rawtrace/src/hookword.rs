@@ -1,0 +1,105 @@
+//! The hookword: "a one-word record header ... which identifies the event
+//! type and record length" (§2.1).
+//!
+//! Layout (32 bits): event type in the upper 16 bits, total record length
+//! in bytes (hookword + timestamp + payload) in the lower 16 bits. The
+//! fixed part of every record is the 4-byte hookword plus the 8-byte local
+//! timestamp, so the minimum legal length is 12 and the payload may be up
+//! to `u16::MAX − 12` bytes.
+
+use ute_core::error::{Result, UteError};
+use ute_core::event::EventCode;
+
+/// Size of the fixed record prefix: hookword (4) + timestamp (8).
+pub const FIXED_PREFIX: usize = 12;
+
+/// Maximum payload bytes a single record can carry.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize - FIXED_PREFIX;
+
+/// A decoded hookword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hookword {
+    /// The record's event type.
+    pub code: EventCode,
+    /// Total record length in bytes, including the hookword itself and the
+    /// timestamp.
+    pub length: u16,
+}
+
+impl Hookword {
+    /// Builds a hookword for a record with `payload_len` payload bytes.
+    pub fn new(code: EventCode, payload_len: usize) -> Result<Hookword> {
+        if payload_len > MAX_PAYLOAD {
+            return Err(UteError::Invalid(format!(
+                "raw record payload of {payload_len} bytes exceeds maximum {MAX_PAYLOAD}"
+            )));
+        }
+        Ok(Hookword {
+            code,
+            length: (FIXED_PREFIX + payload_len) as u16,
+        })
+    }
+
+    /// Packs into the on-disk word.
+    pub fn to_u32(self) -> u32 {
+        ((self.code.to_u16() as u32) << 16) | self.length as u32
+    }
+
+    /// Unpacks the on-disk word, validating both halves.
+    pub fn from_u32(word: u32) -> Result<Hookword> {
+        let raw_code = (word >> 16) as u16;
+        let length = (word & 0xffff) as u16;
+        let code = EventCode::from_u16(raw_code)
+            .ok_or_else(|| UteError::corrupt(format!("hookword: unknown event type {raw_code:#06x}")))?;
+        if (length as usize) < FIXED_PREFIX {
+            return Err(UteError::corrupt(format!(
+                "hookword: record length {length} shorter than fixed prefix"
+            )));
+        }
+        Ok(Hookword { code, length })
+    }
+
+    /// Payload bytes that follow the fixed prefix.
+    pub fn payload_len(self) -> usize {
+        self.length as usize - FIXED_PREFIX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::MpiOp;
+
+    #[test]
+    fn round_trip() {
+        let codes = [
+            EventCode::TraceStart,
+            EventCode::ThreadDispatch,
+            EventCode::GlobalClock,
+            EventCode::MpiBegin(MpiOp::Send),
+            EventCode::MpiEnd(MpiOp::Allreduce),
+        ];
+        for code in codes {
+            for payload in [0usize, 4, 16, 255, MAX_PAYLOAD] {
+                let h = Hookword::new(code, payload).unwrap();
+                let back = Hookword::from_u32(h.to_u32()).unwrap();
+                assert_eq!(back, h);
+                assert_eq!(back.payload_len(), payload);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        assert!(Hookword::new(EventCode::TraceStart, MAX_PAYLOAD + 1).is_err());
+    }
+
+    #[test]
+    fn corrupt_words_rejected() {
+        // Unknown event type.
+        assert!(Hookword::from_u32(0x0abc_0010).is_err());
+        // Length below fixed prefix.
+        let bad = ((EventCode::TraceStart.to_u16() as u32) << 16) | 4;
+        assert!(Hookword::from_u32(bad).is_err());
+    }
+}

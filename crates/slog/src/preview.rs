@@ -1,0 +1,205 @@
+//! The whole-run preview (§4, Figure 7).
+//!
+//! "State counters accumulated during construction of the SLOG file and
+//! proportional allocation of event durations to a fixed number of time
+//! bins allow quick display of the entire run." The preview is what lets
+//! a user spot the initialization, iteration, and termination phases and
+//! click a time instant to jump to its frame.
+
+use std::collections::BTreeMap;
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::Result;
+use ute_format::state::StateCode;
+
+/// Per-state time-binned duration histogram plus state counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Preview {
+    /// Start of the previewed span, global ticks.
+    pub span_start: u64,
+    /// End of the previewed span, global ticks.
+    pub span_end: u64,
+    /// Number of time bins.
+    pub nbins: u32,
+    /// Per state: total record count over the run.
+    pub counts: BTreeMap<u16, u64>,
+    /// Per state: duration ticks allocated proportionally to each bin.
+    pub bins: BTreeMap<u16, Vec<u64>>,
+}
+
+impl Preview {
+    /// An empty preview over a span.
+    pub fn new(span_start: u64, span_end: u64, nbins: u32) -> Preview {
+        assert!(nbins > 0, "preview needs at least one bin");
+        Preview {
+            span_start,
+            span_end: span_end.max(span_start + 1),
+            nbins,
+            counts: BTreeMap::new(),
+            bins: BTreeMap::new(),
+        }
+    }
+
+    /// Width of one bin in ticks (at least 1).
+    pub fn bin_width(&self) -> u64 {
+        ((self.span_end - self.span_start) / self.nbins as u64).max(1)
+    }
+
+    /// Accumulates one interval piece: its duration is split across the
+    /// bins it overlaps, proportionally to the overlap.
+    pub fn add(&mut self, state: StateCode, start: u64, duration: u64) {
+        *self.counts.entry(state.0).or_insert(0) += 1;
+        if duration == 0 {
+            return;
+        }
+        let bins = self
+            .bins
+            .entry(state.0)
+            .or_insert_with(|| vec![0; self.nbins as usize]);
+        let w = ((self.span_end - self.span_start) / self.nbins as u64).max(1);
+        let end = start + duration;
+        let first = start.saturating_sub(self.span_start) / w;
+        let last = (end.saturating_sub(self.span_start).saturating_sub(1)) / w;
+        let last = last.min(self.nbins as u64 - 1);
+        let first = first.min(self.nbins as u64 - 1);
+        for b in first..=last {
+            let b_start = self.span_start + b * w;
+            let b_end = if b == self.nbins as u64 - 1 {
+                self.span_end
+            } else {
+                b_start + w
+            };
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            bins[b as usize] += overlap;
+        }
+    }
+
+    /// Total "interesting" duration per bin: everything except Running
+    /// and clock bookkeeping (§3.2's definition).
+    pub fn interesting_per_bin(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.nbins as usize];
+        for (state, bins) in &self.bins {
+            if StateCode(*state).is_interesting() {
+                for (o, b) in out.iter_mut().zip(bins) {
+                    *o += b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the preview.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.span_start);
+        w.put_u64(self.span_end);
+        w.put_u32(self.nbins);
+        w.put_u32(self.counts.len() as u32);
+        for (state, count) in &self.counts {
+            w.put_u16(*state);
+            w.put_u64(*count);
+        }
+        w.put_u32(self.bins.len() as u32);
+        for (state, bins) in &self.bins {
+            w.put_u16(*state);
+            for b in bins {
+                w.put_u64(*b);
+            }
+        }
+    }
+
+    /// Deserializes a preview.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Preview> {
+        let span_start = r.get_u64()?;
+        let span_end = r.get_u64()?;
+        let nbins = r.get_u32()?;
+        let ncounts = r.get_u32()?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..ncounts {
+            let s = r.get_u16()?;
+            counts.insert(s, r.get_u64()?);
+        }
+        let nstates = r.get_u32()?;
+        let mut bins = BTreeMap::new();
+        for _ in 0..nstates {
+            let s = r.get_u16()?;
+            let mut v = Vec::with_capacity(ute_core::codec::clamped_capacity(
+                nbins as usize,
+                8,
+                r.remaining(),
+            ));
+            for _ in 0..nbins {
+                v.push(r.get_u64()?);
+            }
+            bins.insert(s, v);
+        }
+        Ok(Preview {
+            span_start,
+            span_end,
+            nbins,
+            counts,
+            bins,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::MpiOp;
+
+    #[test]
+    fn proportional_allocation_conserves_duration() {
+        let mut p = Preview::new(0, 1000, 10);
+        // Interval [50, 250): overlaps bins 0 (50), 1 (100), 2 (50).
+        p.add(StateCode::mpi(MpiOp::Send), 50, 200);
+        let bins = &p.bins[&StateCode::mpi(MpiOp::Send).0];
+        assert_eq!(bins[0], 50);
+        assert_eq!(bins[1], 100);
+        assert_eq!(bins[2], 50);
+        assert_eq!(bins.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn counts_include_zero_duration() {
+        let mut p = Preview::new(0, 100, 4);
+        p.add(StateCode::SYSCALL, 10, 0);
+        p.add(StateCode::SYSCALL, 20, 0);
+        assert_eq!(p.counts[&StateCode::SYSCALL.0], 2);
+        assert!(!p.bins.contains_key(&StateCode::SYSCALL.0));
+    }
+
+    #[test]
+    fn interesting_excludes_running() {
+        let mut p = Preview::new(0, 100, 2);
+        p.add(StateCode::RUNNING, 0, 100);
+        p.add(StateCode::mpi(MpiOp::Barrier), 0, 40);
+        let i = p.interesting_per_bin();
+        assert_eq!(i[0], 40);
+        assert_eq!(i[1], 0);
+    }
+
+    #[test]
+    fn out_of_span_clamps() {
+        let mut p = Preview::new(100, 200, 2);
+        // Entirely after the span: clamps to last bin.
+        p.add(StateCode::IO, 500, 50);
+        let bins = &p.bins[&StateCode::IO.0];
+        assert_eq!(bins[1], 0); // no overlap with [150,200)
+        // Spanning the end boundary is clipped to overlap only.
+        p.add(StateCode::MARKER, 190, 100);
+        assert_eq!(p.bins[&StateCode::MARKER.0][1], 10);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut p = Preview::new(0, 10_000, 16);
+        p.add(StateCode::RUNNING, 0, 5_000);
+        p.add(StateCode::mpi(MpiOp::Recv), 2_000, 3_000);
+        p.add(StateCode::SYSCALL, 1, 0);
+        let mut w = ByteWriter::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(Preview::decode(&mut r).unwrap(), p);
+    }
+}

@@ -1,0 +1,214 @@
+//! SLOG records: states on timelines, and message arrows.
+//!
+//! A SLOG record is either a **state** (one interval piece drawn as a
+//! colored bar on a timeline) or an **arrow** (a point-to-point message
+//! drawn from the sender's timeline to the receiver's). Either kind can
+//! be a **pseudo-interval record**: a copy placed into a frame it merely
+//! overlaps, "that supplies whatever data is needed from other frames to
+//! complete the visualization of the current frame" (§4).
+
+use ute_core::bebits::BeBits;
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+
+use ute_format::state::StateCode;
+
+/// A state bar on a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlogState {
+    /// Timeline index (position in the SLOG thread table).
+    pub timeline: u32,
+    /// The state drawn.
+    pub state: StateCode,
+    /// Which piece of its state this record is.
+    pub bebits: BeBits,
+    /// Copied into this frame from another frame.
+    pub pseudo: bool,
+    /// Start time, global ticks.
+    pub start: u64,
+    /// Duration, global ticks.
+    pub duration: u64,
+    /// Node the thread lives on.
+    pub node: u16,
+    /// CPU the piece ran on.
+    pub cpu: u16,
+    /// Unified marker id for marker states (0 otherwise).
+    pub marker_id: u32,
+}
+
+impl SlogState {
+    /// End time.
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+}
+
+/// A message arrow between timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlogArrow {
+    /// Copied into this frame from another frame.
+    pub pseudo: bool,
+    /// Sender timeline index.
+    pub src_timeline: u32,
+    /// Receiver timeline index.
+    pub dst_timeline: u32,
+    /// When the send started, global ticks.
+    pub send_time: u64,
+    /// When the receive completed, global ticks.
+    pub recv_time: u64,
+    /// Message payload bytes.
+    pub bytes: u64,
+    /// The matching sequence number.
+    pub seq: u64,
+}
+
+/// Any SLOG record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlogRecord {
+    /// A state bar.
+    State(SlogState),
+    /// A message arrow.
+    Arrow(SlogArrow),
+}
+
+const TAG_STATE: u8 = 1;
+const TAG_ARROW: u8 = 2;
+
+impl SlogRecord {
+    /// The record's latest timestamp (used for frame assignment checks).
+    pub fn end(&self) -> u64 {
+        match self {
+            SlogRecord::State(s) => s.end(),
+            SlogRecord::Arrow(a) => a.recv_time,
+        }
+    }
+
+    /// The record's earliest timestamp.
+    pub fn start(&self) -> u64 {
+        match self {
+            SlogRecord::State(s) => s.start,
+            SlogRecord::Arrow(a) => a.send_time,
+        }
+    }
+
+    /// Whether this is a pseudo copy.
+    pub fn is_pseudo(&self) -> bool {
+        match self {
+            SlogRecord::State(s) => s.pseudo,
+            SlogRecord::Arrow(a) => a.pseudo,
+        }
+    }
+
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            SlogRecord::State(s) => {
+                w.put_u8(TAG_STATE);
+                w.put_u8((s.pseudo as u8) << 2 | s.bebits.to_bits());
+                w.put_u32(s.timeline);
+                w.put_u16(s.state.0);
+                w.put_u64(s.start);
+                w.put_u64(s.duration);
+                w.put_u16(s.node);
+                w.put_u16(s.cpu);
+                w.put_u32(s.marker_id);
+            }
+            SlogRecord::Arrow(a) => {
+                w.put_u8(TAG_ARROW);
+                w.put_u8(a.pseudo as u8);
+                w.put_u32(a.src_timeline);
+                w.put_u32(a.dst_timeline);
+                w.put_u64(a.send_time);
+                w.put_u64(a.recv_time);
+                w.put_u64(a.bytes);
+                w.put_u64(a.seq);
+            }
+        }
+    }
+
+    /// Deserializes one record.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<SlogRecord> {
+        match r.get_u8()? {
+            TAG_STATE => {
+                let flags = r.get_u8()?;
+                let bebits = BeBits::from_bits(flags & 0b11).expect("2-bit value");
+                Ok(SlogRecord::State(SlogState {
+                    pseudo: flags & 0b100 != 0,
+                    bebits,
+                    timeline: r.get_u32()?,
+                    state: StateCode(r.get_u16()?),
+                    start: r.get_u64()?,
+                    duration: r.get_u64()?,
+                    node: r.get_u16()?,
+                    cpu: r.get_u16()?,
+                    marker_id: r.get_u32()?,
+                }))
+            }
+            TAG_ARROW => Ok(SlogRecord::Arrow(SlogArrow {
+                pseudo: r.get_u8()? != 0,
+                src_timeline: r.get_u32()?,
+                dst_timeline: r.get_u32()?,
+                send_time: r.get_u64()?,
+                recv_time: r.get_u64()?,
+                bytes: r.get_u64()?,
+                seq: r.get_u64()?,
+            })),
+            other => Err(UteError::corrupt(format!("slog record: unknown tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::MpiOp;
+
+    #[test]
+    fn state_round_trip() {
+        let s = SlogRecord::State(SlogState {
+            timeline: 7,
+            state: StateCode::mpi(MpiOp::Send),
+            bebits: BeBits::Begin,
+            pseudo: true,
+            start: 1000,
+            duration: 50,
+            node: 2,
+            cpu: 3,
+            marker_id: 0,
+        });
+        let mut w = ByteWriter::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(SlogRecord::decode(&mut r).unwrap(), s);
+        assert!(s.is_pseudo());
+        assert_eq!(s.start(), 1000);
+        assert_eq!(s.end(), 1050);
+    }
+
+    #[test]
+    fn arrow_round_trip() {
+        let a = SlogRecord::Arrow(SlogArrow {
+            pseudo: false,
+            src_timeline: 0,
+            dst_timeline: 5,
+            send_time: 100,
+            recv_time: 900,
+            bytes: 1 << 16,
+            seq: 42,
+        });
+        let mut w = ByteWriter::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(SlogRecord::decode(&mut r).unwrap(), a);
+        assert_eq!(a.start(), 100);
+        assert_eq!(a.end(), 900);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut r = ByteReader::new(&[9u8]);
+        assert!(SlogRecord::decode(&mut r).is_err());
+    }
+}

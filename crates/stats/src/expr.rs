@@ -1,0 +1,277 @@
+//! Expressions over interval-record fields.
+//!
+//! Field names come from the description profile (`node`, `cpu`,
+//! `thread`, `dura`, `msgSizeSent`, …). Time-valued fields (`start`,
+//! `dura`, `end`) are exposed in *seconds*, matching the paper's example
+//! `condition=(start < 2)` meaning "started during the first 2 seconds".
+//! Two synthetic fields are provided: `state` (the numeric state code)
+//! and `interesting` (1 for states other than Running/clock bookkeeping).
+//! The builtin `bin(e, n)` maps a time expression to one of `n` equal
+//! bins over the run's span.
+
+use ute_core::error::{Result, UteError};
+use ute_core::time::TICKS_PER_SEC;
+use ute_format::profile::Profile;
+use ute_format::record::Interval;
+
+/// Evaluation context: the run's time span (for `bin`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalContext {
+    /// Span start, seconds.
+    pub span_start: f64,
+    /// Span end, seconds.
+    pub span_end: f64,
+}
+
+/// A parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Num(f64),
+    /// A field reference by name.
+    Field(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// `bin(expr, n)`: which of `n` equal time bins `expr` falls in.
+    TimeBin(Box<Expr>, u32),
+}
+
+/// Binary operators, loosest first in precedence climbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// Precedence level (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+}
+
+fn truthy(v: f64) -> bool {
+    v != 0.0
+}
+
+fn field_value(profile: &Profile, iv: &Interval, name: &str) -> Result<f64> {
+    Ok(match name {
+        "start" => iv.start as f64 / TICKS_PER_SEC as f64,
+        "dura" | "duration" => iv.duration as f64 / TICKS_PER_SEC as f64,
+        "end" => iv.end() as f64 / TICKS_PER_SEC as f64,
+        "node" => iv.node.raw() as f64,
+        "cpu" | "processor" => iv.cpu.raw() as f64,
+        "thread" => iv.thread.raw() as f64,
+        "recType" => iv.itype.to_u32() as f64,
+        "state" => iv.itype.state.0 as f64,
+        "interesting" => {
+            if iv.itype.state.is_interesting() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        other => iv
+            .extra(profile, other)
+            .and_then(|v| v.as_float())
+            .ok_or_else(|| {
+                UteError::NotFound(format!("field {other} on a {} record", iv.itype.state))
+            })?,
+    })
+}
+
+impl Expr {
+    /// Evaluates against one interval record.
+    pub fn eval(&self, ctx: &EvalContext, profile: &Profile, iv: &Interval) -> Result<f64> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Field(name) => field_value(profile, iv, name)?,
+            Expr::Neg(e) => -e.eval(ctx, profile, iv)?,
+            Expr::TimeBin(e, n) => {
+                let t = e.eval(ctx, profile, iv)?;
+                let span = (ctx.span_end - ctx.span_start).max(f64::MIN_POSITIVE);
+                let b = ((t - ctx.span_start) / span * *n as f64).floor();
+                b.clamp(0.0, *n as f64 - 1.0)
+            }
+            Expr::Bin(op, a, b) => {
+                let x = a.eval(ctx, profile, iv)?;
+                match op {
+                    // Short-circuiting boolean ops.
+                    BinOp::And => {
+                        if !truthy(x) {
+                            0.0
+                        } else if truthy(b.eval(ctx, profile, iv)?) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    BinOp::Or => {
+                        if truthy(x) || truthy(b.eval(ctx, profile, iv)?) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => {
+                        let y = b.eval(ctx, profile, iv)?;
+                        match op {
+                            BinOp::Eq => (x == y) as u8 as f64,
+                            BinOp::Ne => (x != y) as u8 as f64,
+                            BinOp::Lt => (x < y) as u8 as f64,
+                            BinOp::Le => (x <= y) as u8 as f64,
+                            BinOp::Gt => (x > y) as u8 as f64,
+                            BinOp::Ge => (x >= y) as u8 as f64,
+                            BinOp::Add => x + y,
+                            BinOp::Sub => x - y,
+                            BinOp::Mul => x * y,
+                            BinOp::Div => x / y,
+                            BinOp::And | BinOp::Or => unreachable!(),
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    /// Convenience constructor for a field reference.
+    pub fn field(name: &str) -> Expr {
+        Expr::Field(name.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+    use ute_format::record::IntervalType;
+    use ute_format::state::StateCode;
+    use ute_format::value::Value;
+
+    fn iv(profile: &Profile) -> Interval {
+        Interval::basic(
+            IntervalType::complete(StateCode::mpi(ute_core::event::MpiOp::Send)),
+            1_500_000_000, // 1.5 s
+            250_000_000,   // 0.25 s
+            CpuId(2),
+            NodeId(1),
+            LogicalThreadId(3),
+        )
+        .with_extra(profile, "rank", Value::Uint(4))
+        .with_extra(profile, "peer", Value::Uint(0))
+        .with_extra(profile, "tag", Value::Uint(9))
+        .with_extra(profile, "msgSizeSent", Value::Uint(4096))
+        .with_extra(profile, "seq", Value::Uint(1))
+        .with_extra(profile, "address", Value::Uint(0))
+    }
+
+    fn eval(e: &Expr) -> f64 {
+        let p = Profile::standard();
+        let ctx = EvalContext {
+            span_start: 0.0,
+            span_end: 10.0,
+        };
+        e.eval(&ctx, &p, &iv(&p)).unwrap()
+    }
+
+    #[test]
+    fn field_access_in_seconds() {
+        assert_eq!(eval(&Expr::field("start")), 1.5);
+        assert_eq!(eval(&Expr::field("dura")), 0.25);
+        assert_eq!(eval(&Expr::field("end")), 1.75);
+        assert_eq!(eval(&Expr::field("node")), 1.0);
+        assert_eq!(eval(&Expr::field("cpu")), 2.0);
+        assert_eq!(eval(&Expr::field("msgSizeSent")), 4096.0);
+        assert_eq!(eval(&Expr::field("interesting")), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(Expr::field("start")),
+            Box::new(Expr::Num(2.0)),
+        );
+        assert_eq!(eval(&e), 1.0);
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::field("start")),
+            Box::new(Expr::Neg(Box::new(Expr::Num(0.5)))),
+        );
+        assert_eq!(eval(&e), 1.0);
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::field("interesting")),
+            Box::new(Expr::Bin(
+                BinOp::Ge,
+                Box::new(Expr::field("msgSizeSent")),
+                Box::new(Expr::Num(4096.0)),
+            )),
+        );
+        assert_eq!(eval(&e), 1.0);
+    }
+
+    #[test]
+    fn time_bins() {
+        // 1.5 s into a 10 s span with 50 bins → bin 7.
+        let e = Expr::TimeBin(Box::new(Expr::field("start")), 50);
+        assert_eq!(eval(&e), 7.0);
+        // Values past the end clamp into the last bin.
+        let e = Expr::TimeBin(Box::new(Expr::Num(99.0)), 50);
+        assert_eq!(eval(&e), 49.0);
+        let e = Expr::TimeBin(Box::new(Expr::Num(-1.0)), 50);
+        assert_eq!(eval(&e), 0.0);
+    }
+
+    #[test]
+    fn unknown_field_errors() {
+        let p = Profile::standard();
+        let ctx = EvalContext::default();
+        let e = Expr::field("bogus");
+        assert!(e.eval(&ctx, &p, &iv(&p)).is_err());
+        // A field another record type has, but Send doesn't.
+        let e = Expr::field("markerId");
+        assert!(e.eval(&ctx, &p, &iv(&p)).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        // interesting && markerId — markerId is missing on a Send record,
+        // but the left side is evaluated first; when it is 0 the right
+        // side must not be evaluated.
+        let p = Profile::standard();
+        let ctx = EvalContext::default();
+        let running = Interval::basic(
+            IntervalType::complete(StateCode::RUNNING),
+            0,
+            1,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        );
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::field("interesting")),
+            Box::new(Expr::field("markerId")),
+        );
+        assert_eq!(e.eval(&ctx, &p, &running).unwrap(), 0.0);
+    }
+}

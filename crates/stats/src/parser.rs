@@ -1,0 +1,416 @@
+//! Parser for the declarative table language (§3.2).
+//!
+//! ```text
+//! table name=sample condition=(start < 2)
+//!       x=("node", node) x=("processor", cpu)
+//!       y=("avg(duration)", dura, avg)
+//! ```
+
+use ute_core::error::{Result, UteError};
+
+use crate::expr::{BinOp, Expr};
+use crate::table::{Agg, TableSpec};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    LParen,
+    RParen,
+    Comma,
+    Assign,
+    Op(BinOp),
+    Minus, // ambiguous: subtraction or negation
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> UteError {
+        UteError::Parse {
+            msg: msg.to_string(),
+            pos: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let at = self.pos;
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'#' => {
+                    while self.peek().map(|c| c != b'\n').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                }
+                b'(' => {
+                    out.push((Tok::LParen, at));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((Tok::RParen, at));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((Tok::Comma, at));
+                    self.pos += 1;
+                }
+                b'+' => {
+                    out.push((Tok::Op(BinOp::Add), at));
+                    self.pos += 1;
+                }
+                b'-' => {
+                    out.push((Tok::Minus, at));
+                    self.pos += 1;
+                }
+                b'*' => {
+                    out.push((Tok::Op(BinOp::Mul), at));
+                    self.pos += 1;
+                }
+                b'/' => {
+                    out.push((Tok::Op(BinOp::Div), at));
+                    self.pos += 1;
+                }
+                b'<' | b'>' | b'=' | b'!' | b'&' | b'|' => {
+                    let two = (c, self.src.get(self.pos + 1).copied());
+                    let (tok, len) = match two {
+                        (b'<', Some(b'=')) => (Tok::Op(BinOp::Le), 2),
+                        (b'>', Some(b'=')) => (Tok::Op(BinOp::Ge), 2),
+                        (b'=', Some(b'=')) => (Tok::Op(BinOp::Eq), 2),
+                        (b'!', Some(b'=')) => (Tok::Op(BinOp::Ne), 2),
+                        (b'&', Some(b'&')) => (Tok::Op(BinOp::And), 2),
+                        (b'|', Some(b'|')) => (Tok::Op(BinOp::Or), 2),
+                        (b'<', _) => (Tok::Op(BinOp::Lt), 1),
+                        (b'>', _) => (Tok::Op(BinOp::Gt), 1),
+                        (b'=', _) => (Tok::Assign, 1),
+                        _ => return Err(self.err("unexpected operator character")),
+                    };
+                    out.push((tok, at));
+                    self.pos += len;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b'"').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated string"));
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    out.push((Tok::Str(s), at));
+                }
+                b'0'..=b'9' | b'.' => {
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .map(|c| c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E')
+                        .unwrap_or(false)
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| self.err(&format!("bad number `{s}`")))?;
+                    out.push((Tok::Num(v), at));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                        .unwrap_or(false)
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string();
+                    out.push((Tok::Ident(s), at));
+                }
+                other => {
+                    return Err(self.err(&format!("unexpected character `{}`", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> UteError {
+        let pos = self
+            .toks
+            .get(self.pos)
+            .or(self.toks.last())
+            .map(|(_, p)| *p)
+            .unwrap_or(0);
+        UteError::Parse {
+            msg: msg.to_string(),
+            pos,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    /// Precedence-climbing expression parser.
+    fn expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op(op)) => *op,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.next();
+            let rhs = self.expr(op.precedence() + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Minus) => Ok(Expr::Neg(Box::new(self.atom()?))),
+            Some(Tok::LParen) => {
+                let e = self.expr(1)?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "bin" => {
+                self.expect(&Tok::LParen, "`(` after bin")?;
+                let e = self.expr(1)?;
+                self.expect(&Tok::Comma, "`,` in bin(expr, n)")?;
+                let n = match self.next() {
+                    Some(Tok::Num(v)) if v >= 1.0 && v.fract() == 0.0 => v as u32,
+                    _ => return Err(self.err("bin() needs a positive integer bin count")),
+                };
+                self.expect(&Tok::RParen, "`)` after bin arguments")?;
+                Ok(Expr::TimeBin(Box::new(e), n))
+            }
+            Some(Tok::Ident(name)) => Ok(Expr::Field(name)),
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn table(&mut self) -> Result<TableSpec> {
+        let mut spec = TableSpec {
+            name: String::new(),
+            condition: None,
+            xs: Vec::new(),
+            ys: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(kw)) if kw == "table" => break,
+                None => break,
+                _ => {}
+            }
+            let key = self.ident("table attribute (name/condition/x/y)")?;
+            self.expect(&Tok::Assign, "`=`")?;
+            match key.as_str() {
+                "name" => spec.name = self.ident("table name")?,
+                "condition" => {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let e = self.expr(1)?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    spec.condition = Some(e);
+                }
+                "x" => {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let label = match self.next() {
+                        Some(Tok::Str(s)) => s,
+                        _ => return Err(self.err("x needs a quoted label")),
+                    };
+                    self.expect(&Tok::Comma, "`,`")?;
+                    let e = self.expr(1)?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    spec.xs.push((label, e));
+                }
+                "y" => {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let label = match self.next() {
+                        Some(Tok::Str(s)) => s,
+                        _ => return Err(self.err("y needs a quoted label")),
+                    };
+                    self.expect(&Tok::Comma, "`,`")?;
+                    let e = self.expr(1)?;
+                    self.expect(&Tok::Comma, "`,` before the aggregator")?;
+                    let agg = match self.ident("aggregator")?.as_str() {
+                        "avg" => Agg::Avg,
+                        "sum" => Agg::Sum,
+                        "count" => Agg::Count,
+                        "min" => Agg::Min,
+                        "max" => Agg::Max,
+                        other => {
+                            return Err(self.err(&format!("unknown aggregator `{other}`")))
+                        }
+                    };
+                    self.expect(&Tok::RParen, "`)`")?;
+                    spec.ys.push((label, e, agg));
+                }
+                other => return Err(self.err(&format!("unknown table attribute `{other}`"))),
+            }
+        }
+        if spec.name.is_empty() {
+            return Err(self.err("table needs a name"));
+        }
+        if spec.ys.is_empty() {
+            return Err(self.err("table needs at least one y"));
+        }
+        Ok(spec)
+    }
+}
+
+/// Parses a whole program: one or more `table …` declarations.
+pub fn parse_program(src: &str) -> Result<Vec<TableSpec>> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        match p.next() {
+            Some(Tok::Ident(kw)) if kw == "table" => out.push(p.table()?),
+            _ => return Err(p.err("expected `table`")),
+        }
+    }
+    if out.is_empty() {
+        return Err(UteError::Parse {
+            msg: "program declares no tables".into(),
+            pos: 0,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let spec = parse_program(
+            r#"table name=sample condition=(start < 2)
+               x=("node", node) x=("processor", cpu)
+               y=("avg(duration)", dura, avg)"#,
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 1);
+        let t = &spec[0];
+        assert_eq!(t.name, "sample");
+        assert!(t.condition.is_some());
+        assert_eq!(t.xs.len(), 2);
+        assert_eq!(t.xs[0].0, "node");
+        assert_eq!(t.ys.len(), 1);
+        assert_eq!(t.ys[0].0, "avg(duration)");
+        assert_eq!(t.ys[0].2, Agg::Avg);
+    }
+
+    #[test]
+    fn parses_multiple_tables_and_comments() {
+        let spec = parse_program(
+            "# Figure 6 style\n\
+             table name=a y=(\"n\", dura, count)\n\
+             table name=b condition=(interesting && dura > 0.001) \
+             x=(\"bin\", bin(start, 50)) y=(\"sum\", dura, sum)",
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec[1].xs[0].1, Expr::TimeBin(Box::new(Expr::field("start")), 50));
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let spec = parse_program(
+            "table name=t condition=(start + 1 * 2 < 4 && node == 0) y=(\"c\", dura, count)",
+        )
+        .unwrap();
+        // (start + (1*2)) < 4) && (node == 0)
+        match spec[0].condition.as_ref().unwrap() {
+            Expr::Bin(BinOp::And, l, _) => match l.as_ref() {
+                Expr::Bin(BinOp::Lt, add, _) => {
+                    assert!(matches!(add.as_ref(), Expr::Bin(BinOp::Add, _, _)))
+                }
+                other => panic!("wrong tree: {other:?}"),
+            },
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let spec =
+            parse_program("table name=t condition=(end - start > -0.5) y=(\"c\", dura, count)")
+                .unwrap();
+        assert!(spec[0].condition.is_some());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_program("table name=t y=(\"c\", dura, weird)").unwrap_err();
+        match err {
+            UteError::Parse { msg, .. } => assert!(msg.contains("weird"), "{msg}"),
+            other => panic!("wrong error {other}"),
+        }
+        assert!(parse_program("").is_err());
+        assert!(parse_program("table y=(\"c\", dura, count)").is_err()); // no name
+        assert!(parse_program("table name=t").is_err()); // no y
+        assert!(parse_program("table name=t y=(\"c\", dura, count) garbage").is_err());
+        assert!(parse_program("table name=t condition=(start < ) y=(\"c\", dura, count)").is_err());
+        assert!(parse_program("table name=t y=(\"c\", bin(start, 0), count)").is_err());
+    }
+}

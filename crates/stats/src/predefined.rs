@@ -1,0 +1,91 @@
+//! The pre-defined statistics tables (§3.2).
+//!
+//! "The statistics program generates a set of pre-defined tables when it
+//! is not given user-defined table specifications. A statistics viewer
+//! was developed to visualize these pre-defined tables."
+
+use crate::parser::parse_program;
+use crate::table::TableSpec;
+
+/// The Figure 6 table: "the sum of the duration of interesting intervals
+/// per node and per 50 equally sized time bins of the execution of the
+/// program. Here, an interesting interval is one for a state other than
+/// the default state of Running."
+pub const INTERESTING_BY_NODE_BIN: &str = r#"
+table name=interesting_by_node_bin
+      condition=(interesting)
+      x=("node", node)
+      x=("bin", bin(start, 50))
+      y=("sum(duration)", dura, sum)
+"#;
+
+/// Per-MPI-routine call counts and duration statistics.
+pub const MPI_BY_ROUTINE: &str = r#"
+table name=mpi_by_routine
+      condition=(state >= 256)
+      x=("routine", state)
+      y=("calls", dura, count)
+      y=("total(duration)", dura, sum)
+      y=("avg(duration)", dura, avg)
+      y=("max(duration)", dura, max)
+"#;
+
+/// Bytes sent per (source node, peer rank) — the Figure 5 question
+/// ("total bytes sent") broken out by destination.
+pub const BYTES_BY_NODE_PEER: &str = r#"
+table name=bytes_by_node_peer
+      condition=(state >= 256 && msgSizeSent > 0)
+      x=("node", node)
+      x=("peer", peer)
+      y=("bytes", msgSizeSent, sum)
+      y=("messages", msgSizeSent, count)
+"#;
+
+/// Per-thread busy time split by state category.
+pub const BUSY_BY_THREAD: &str = r#"
+table name=busy_by_thread
+      x=("node", node)
+      x=("thread", thread)
+      x=("interesting", interesting)
+      y=("time", dura, sum)
+"#;
+
+/// Parses all pre-defined specifications.
+pub fn predefined_tables() -> Vec<TableSpec> {
+    let mut out = Vec::new();
+    for src in [
+        INTERESTING_BY_NODE_BIN,
+        MPI_BY_ROUTINE,
+        BYTES_BY_NODE_PEER,
+        BUSY_BY_THREAD,
+    ] {
+        out.extend(parse_program(src).expect("predefined tables must parse"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_predefined_tables_parse() {
+        let t = predefined_tables();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].name, "interesting_by_node_bin");
+        assert_eq!(t[0].xs.len(), 2);
+        assert_eq!(t[1].name, "mpi_by_routine");
+        assert_eq!(t[1].ys.len(), 4);
+        assert_eq!(t[2].name, "bytes_by_node_peer");
+        assert_eq!(t[3].name, "busy_by_thread");
+    }
+
+    #[test]
+    fn figure6_table_uses_50_bins() {
+        let t = predefined_tables();
+        match &t[0].xs[1].1 {
+            crate::expr::Expr::TimeBin(_, n) => assert_eq!(*n, 50),
+            other => panic!("expected bin expression, got {other:?}"),
+        }
+    }
+}

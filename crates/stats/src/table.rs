@@ -1,0 +1,190 @@
+//! Table specifications and generated tables.
+
+use std::collections::BTreeMap;
+
+use crate::expr::Expr;
+
+/// Aggregation functions for `y` expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Number of selected records (the expression value is ignored).
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Accumulator for one (group, y) cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cell {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Cell {
+    /// Folds one value in.
+    pub fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Finalizes under an aggregator.
+    pub fn finish(&self, agg: Agg) -> f64 {
+        match agg {
+            Agg::Sum => self.sum,
+            Agg::Count => self.count as f64,
+            Agg::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            Agg::Min => self.min,
+            Agg::Max => self.max,
+        }
+    }
+}
+
+/// One `table …` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: String,
+    /// Row filter; `None` selects everything.
+    pub condition: Option<Expr>,
+    /// Free variables: (label, expression).
+    pub xs: Vec<(String, Expr)>,
+    /// Dependent values: (label, expression, aggregator).
+    pub ys: Vec<(String, Expr, Agg)>,
+}
+
+/// Orders f64 group keys totally (NaN sorts last).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Key(pub f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A generated table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Column labels of the free variables.
+    pub x_labels: Vec<String>,
+    /// Column labels of the dependent values.
+    pub y_labels: Vec<String>,
+    /// Rows sorted by their x tuple.
+    pub rows: BTreeMap<Vec<Key>, Vec<f64>>,
+}
+
+impl Table {
+    /// Renders as tab-separated values, header first — "The generated
+    /// tables is a tab-separated-value text file" (§3.2).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (i, l) in self.x_labels.iter().chain(&self.y_labels).enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push_str(l);
+        }
+        out.push('\n');
+        for (xs, ys) in &self.rows {
+            let mut first = true;
+            for v in xs.iter().map(|k| k.0).chain(ys.iter().copied()) {
+                if !first {
+                    out.push('\t');
+                }
+                first = false;
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", v as i64));
+                } else {
+                    out.push_str(&format!("{v:.6}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up one row's y values by x tuple.
+    pub fn row(&self, xs: &[f64]) -> Option<&Vec<f64>> {
+        let key: Vec<Key> = xs.iter().map(|&v| Key(v)).collect();
+        self.rows.get(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_aggregations() {
+        let mut c = Cell::default();
+        for v in [3.0, 1.0, 2.0] {
+            c.add(v);
+        }
+        assert_eq!(c.finish(Agg::Sum), 6.0);
+        assert_eq!(c.finish(Agg::Count), 3.0);
+        assert_eq!(c.finish(Agg::Avg), 2.0);
+        assert_eq!(c.finish(Agg::Min), 1.0);
+        assert_eq!(c.finish(Agg::Max), 3.0);
+        assert_eq!(Cell::default().finish(Agg::Avg), 0.0);
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut rows = BTreeMap::new();
+        rows.insert(vec![Key(0.0), Key(1.0)], vec![2.5]);
+        rows.insert(vec![Key(0.0), Key(0.0)], vec![7.0]);
+        let t = Table {
+            name: "sample".into(),
+            x_labels: vec!["node".into(), "processor".into()],
+            y_labels: vec!["avg(duration)".into()],
+            rows,
+        };
+        let tsv = t.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "node\tprocessor\tavg(duration)");
+        assert_eq!(lines[1], "0\t0\t7");
+        assert_eq!(lines[2], "0\t1\t2.500000");
+        assert_eq!(t.row(&[0.0, 1.0]), Some(&vec![2.5]));
+        assert_eq!(t.row(&[9.0, 9.0]), None);
+    }
+
+    #[test]
+    fn keys_order_totally() {
+        let mut v = [Key(f64::NAN), Key(1.0), Key(-1.0)];
+        v.sort();
+        assert_eq!(v[0], Key(-1.0));
+        assert_eq!(v[1], Key(1.0));
+        assert!(v[2].0.is_nan());
+    }
+}

@@ -1,0 +1,276 @@
+//! The statistics viewer (§3.2, Figure 6).
+//!
+//! Renders generated tables headlessly: an ASCII heat map for
+//! two-free-variable tables (Figure 6 is node × time-bin), an ASCII bar
+//! chart for one-free-variable tables, and SVG equivalents of both.
+
+use ute_core::error::{Result, UteError};
+
+use crate::table::Table;
+
+const SHADES: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+
+fn max_y(table: &Table, y_idx: usize) -> f64 {
+    table
+        .rows
+        .values()
+        .map(|ys| ys[y_idx])
+        .fold(0.0_f64, f64::max)
+}
+
+/// ASCII heat map of a table with exactly two free variables: rows from
+/// the first x, columns from the second, intensity from the y value.
+pub fn heatmap_ascii(table: &Table, y_idx: usize) -> Result<String> {
+    if table.x_labels.len() != 2 {
+        return Err(UteError::Invalid(format!(
+            "heatmap needs 2 free variables, table `{}` has {}",
+            table.name,
+            table.x_labels.len()
+        )));
+    }
+    let mut rows: Vec<f64> = Vec::new();
+    let mut cols: Vec<f64> = Vec::new();
+    for key in table.rows.keys() {
+        if !rows.contains(&key[0].0) {
+            rows.push(key[0].0);
+        }
+        if !cols.contains(&key[1].0) {
+            cols.push(key[1].0);
+        }
+    }
+    rows.sort_by(f64::total_cmp);
+    cols.sort_by(f64::total_cmp);
+    let peak = max_y(table, y_idx).max(f64::MIN_POSITIVE);
+    let mut out = format!(
+        "{} — {} (rows: {}, cols: {})\n",
+        table.name, table.y_labels[y_idx], table.x_labels[0], table.x_labels[1]
+    );
+    for r in &rows {
+        out.push_str(&format!("{:>8} |", format!("{r:.0}")));
+        for c in &cols {
+            let v = table.row(&[*r, *c]).map(|ys| ys[y_idx]).unwrap_or(0.0);
+            let shade = ((v / peak) * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[shade.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n",
+        "",
+        "-".repeat(cols.len())
+    ));
+    Ok(out)
+}
+
+/// ASCII bar chart for a table with exactly one free variable.
+pub fn bars_ascii(table: &Table, y_idx: usize, width: usize) -> Result<String> {
+    if table.x_labels.len() != 1 {
+        return Err(UteError::Invalid(format!(
+            "bar chart needs 1 free variable, table `{}` has {}",
+            table.name,
+            table.x_labels.len()
+        )));
+    }
+    let peak = max_y(table, y_idx).max(f64::MIN_POSITIVE);
+    let mut out = format!("{} — {}\n", table.name, table.y_labels[y_idx]);
+    for (key, ys) in &table.rows {
+        let v = ys[y_idx];
+        let n = ((v / peak) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:>10} | {:<width$} {:.6}\n",
+            format!("{:.0}", key[0].0),
+            "█".repeat(n),
+            v,
+            width = width
+        ));
+    }
+    Ok(out)
+}
+
+/// SVG heat map of a two-free-variable table (the Figure 6 viewer).
+pub fn heatmap_svg(table: &Table, y_idx: usize, cell: u32) -> Result<String> {
+    if table.x_labels.len() != 2 {
+        return Err(UteError::Invalid("heatmap needs 2 free variables".into()));
+    }
+    let mut rows: Vec<f64> = Vec::new();
+    let mut cols: Vec<f64> = Vec::new();
+    for key in table.rows.keys() {
+        if !rows.contains(&key[0].0) {
+            rows.push(key[0].0);
+        }
+        if !cols.contains(&key[1].0) {
+            cols.push(key[1].0);
+        }
+    }
+    rows.sort_by(f64::total_cmp);
+    cols.sort_by(f64::total_cmp);
+    let peak = max_y(table, y_idx).max(f64::MIN_POSITIVE);
+    let margin = 60u32;
+    let w = margin + cols.len() as u32 * cell + 10;
+    let h = 30 + rows.len() as u32 * cell + 10;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\">\n\
+         <text x=\"4\" y=\"16\" font-family=\"monospace\" font-size=\"12\">{} — {}</text>\n",
+        table.name, table.y_labels[y_idx]
+    );
+    for (ri, r) in rows.iter().enumerate() {
+        svg.push_str(&format!(
+            "<text x=\"4\" y=\"{}\" font-family=\"monospace\" font-size=\"10\">{} {:.0}</text>\n",
+            30 + ri as u32 * cell + cell / 2 + 4,
+            table.x_labels[0],
+            r
+        ));
+        for (ci, c) in cols.iter().enumerate() {
+            let v = table.row(&[*r, *c]).map(|ys| ys[y_idx]).unwrap_or(0.0);
+            let frac = (v / peak).clamp(0.0, 1.0);
+            let shade = (255.0 - frac * 200.0) as u32;
+            svg.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"{cell}\" height=\"{cell}\" \
+                 fill=\"rgb({shade},{shade},255)\" stroke=\"#ccc\"/>\n",
+                margin + ci as u32 * cell,
+                30 + ri as u32 * cell,
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Key;
+    use std::collections::BTreeMap;
+
+    fn two_x_table() -> Table {
+        let mut rows = BTreeMap::new();
+        for node in 0..2 {
+            for bin in 0..5 {
+                rows.insert(
+                    vec![Key(node as f64), Key(bin as f64)],
+                    vec![(node + 1) as f64 * bin as f64],
+                );
+            }
+        }
+        Table {
+            name: "interesting_by_node_bin".into(),
+            x_labels: vec!["node".into(), "bin".into()],
+            y_labels: vec!["sum(duration)".into()],
+            rows,
+        }
+    }
+
+    #[test]
+    fn heatmap_ascii_shape() {
+        let t = two_x_table();
+        let s = heatmap_ascii(&t, 0).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 rows + axis
+        assert!(lines[1].contains('|'));
+        // Peak cell (node 1, bin 4) renders the darkest shade.
+        assert!(lines[2].ends_with('@'), "line: {:?}", lines[2]);
+    }
+
+    #[test]
+    fn heatmap_rejects_wrong_arity() {
+        let mut t = two_x_table();
+        t.x_labels.pop();
+        assert!(heatmap_ascii(&t, 0).is_err());
+        assert!(heatmap_svg(&t, 0, 8).is_err());
+    }
+
+    #[test]
+    fn bars_render() {
+        let mut rows = BTreeMap::new();
+        rows.insert(vec![Key(0.0)], vec![1.0]);
+        rows.insert(vec![Key(1.0)], vec![4.0]);
+        let t = Table {
+            name: "t".into(),
+            x_labels: vec!["node".into()],
+            y_labels: vec!["time".into()],
+            rows,
+        };
+        let s = bars_ascii(&t, 0, 20).unwrap();
+        assert!(s.contains("████████████████████")); // the peak bar
+        assert!(bars_ascii(&two_x_table(), 0, 10).is_err());
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let t = two_x_table();
+        let svg = heatmap_svg(&t, 0, 10).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 10);
+    }
+}
+
+/// Renders a table whose first free variable is a state code (like the
+/// pre-defined `mpi_by_routine`) with routine *names* instead of numeric
+/// codes — the form the statistics viewer shows users.
+pub fn named_routine_table(table: &Table) -> Result<String> {
+    if table.x_labels.is_empty() {
+        return Err(UteError::Invalid(
+            "routine table needs the routine as its first free variable".into(),
+        ));
+    }
+    let mut out = String::new();
+    out.push_str(&table.x_labels[0]);
+    for l in table.x_labels.iter().skip(1).chain(&table.y_labels) {
+        out.push('\t');
+        out.push_str(l);
+    }
+    out.push('\n');
+    for (xs, ys) in &table.rows {
+        let code = xs[0].0 as u16;
+        out.push_str(&ute_format::state::StateCode(code).name());
+        for v in xs.iter().skip(1).map(|k| k.0).chain(ys.iter().copied()) {
+            out.push('\t');
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v:.6}"));
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod named_tests {
+    use super::*;
+    use crate::table::Key;
+    use std::collections::BTreeMap;
+    use ute_core::event::MpiOp;
+    use ute_format::state::StateCode;
+
+    #[test]
+    fn routine_codes_become_names() {
+        let mut rows = BTreeMap::new();
+        rows.insert(
+            vec![Key(StateCode::mpi(MpiOp::Send).0 as f64)],
+            vec![3.0, 0.25],
+        );
+        rows.insert(
+            vec![Key(StateCode::mpi(MpiOp::Allreduce).0 as f64)],
+            vec![1.0, 0.5],
+        );
+        let t = Table {
+            name: "mpi_by_routine".into(),
+            x_labels: vec!["routine".into()],
+            y_labels: vec!["calls".into(), "total(duration)".into()],
+            rows,
+        };
+        let s = named_routine_table(&t).unwrap();
+        assert!(s.contains("MPI_Send\t3\t0.250000"), "{s}");
+        assert!(s.contains("MPI_Allreduce\t1\t0.500000"));
+        let empty = Table {
+            name: "x".into(),
+            x_labels: vec![],
+            y_labels: vec![],
+            rows: BTreeMap::new(),
+        };
+        assert!(named_routine_table(&empty).is_err());
+    }
+}

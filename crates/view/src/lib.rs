@@ -1,0 +1,31 @@
+//! # ute-view — time-space diagram rendering (§1.2, §4)
+//!
+//! The paper modified the Argonne **Jumpshot** viewer; a Java GUI is out
+//! of scope here, so this crate renders the same diagrams headlessly to
+//! ASCII (for terminals and tests) and SVG (for documents). Every view
+//! §1.2 enumerates is implemented, all derived from the *same* SLOG data:
+//!
+//! * **Thread-activity view** — activities along one timeline per thread,
+//!   either as raw interval pieces or with pieces connected into nested
+//!   states ([`model::ViewKind::ThreadActivity`] + `connected`);
+//! * **Processor-activity view** — one timeline per CPU ("must be a view
+//!   of interval pieces, since threads may jump among processors");
+//! * **Thread-processor view** — thread timelines colored by the CPU the
+//!   piece ran on (showing migration);
+//! * **Processor-thread view** — CPU timelines colored by thread
+//!   (showing processor allocation);
+//! * **Type view** — record type as the discriminator along the y axis.
+//!
+//! Plus the Figure 7 machinery: the whole-run **preview** histogram
+//! ([`preview`]) and **frame-windowed** display ([`model::frame_view`])
+//! that renders a single frame using its pseudo-interval records, so
+//! display cost is independent of file size.
+
+pub mod ascii;
+pub mod model;
+pub mod nest;
+pub mod preview;
+pub mod svg;
+
+pub use model::{build_view, frame_view, Bar, View, ViewConfig, ViewKind};
+pub use nest::{connect_pieces, NestedSpan};

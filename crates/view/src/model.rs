@@ -1,0 +1,576 @@
+//! View construction: from SLOG records to rows, bars and arrows.
+
+use std::collections::BTreeMap;
+
+use ute_core::error::{Result, UteError};
+use ute_format::state::StateCode;
+use ute_slog::file::SlogFile;
+use ute_slog::record::{SlogRecord, SlogState};
+
+use crate::nest::connect_pieces;
+
+/// Which time-space diagram to build (§1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// One timeline per thread, colored by activity.
+    ThreadActivity,
+    /// One timeline per processor, colored by activity.
+    ProcessorActivity,
+    /// One timeline per thread, colored by the processor it ran on.
+    ThreadProcessor,
+    /// One timeline per processor, colored by the thread running there.
+    ProcessorThread,
+    /// One timeline per record type, colored by node.
+    TypeActivity,
+}
+
+/// View construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewConfig {
+    /// Which diagram.
+    pub kind: ViewKind,
+    /// Optional time window; `None` = the whole run.
+    pub window: Option<(u64, u64)>,
+    /// Include pseudo records (needed for windowed views).
+    pub include_pseudo: bool,
+    /// Thread-activity only: connect pieces into nested states.
+    pub connected: bool,
+    /// Force this many CPU rows per node (so idle CPUs show as empty
+    /// timelines, as in Figure 9); `None` = only CPUs seen in records.
+    pub cpus_per_node: Option<u16>,
+    /// Hide Running states (reduces clutter in activity views).
+    pub hide_running: bool,
+}
+
+impl Default for ViewConfig {
+    fn default() -> Self {
+        ViewConfig {
+            kind: ViewKind::ThreadActivity,
+            window: None,
+            include_pseudo: true,
+            connected: false,
+            cpus_per_node: None,
+            hide_running: false,
+        }
+    }
+}
+
+/// One drawn bar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bar {
+    /// Row index into [`View::rows`].
+    pub row: usize,
+    /// Start tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+    /// Legend key the bar is colored by.
+    pub color: String,
+    /// Nesting depth (connected mode; 0 otherwise).
+    pub depth: u8,
+    /// Whether the bar came from a pseudo record or was clipped.
+    pub pseudo: bool,
+}
+
+/// One drawn arrow (thread views only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrowLine {
+    /// Source row.
+    pub from_row: usize,
+    /// Destination row.
+    pub to_row: usize,
+    /// Send time.
+    pub t0: u64,
+    /// Receive time.
+    pub t1: u64,
+    /// Whether this is a pseudo copy.
+    pub pseudo: bool,
+}
+
+/// A built view, ready for a renderer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// What kind of diagram this is.
+    pub kind: ViewKind,
+    /// Row labels, top to bottom.
+    pub rows: Vec<String>,
+    /// The bars.
+    pub bars: Vec<Bar>,
+    /// The arrows.
+    pub arrows: Vec<ArrowLine>,
+    /// Rendered time window.
+    pub t0: u64,
+    /// End of the rendered time window.
+    pub t1: u64,
+    /// Legend: color keys in first-use order.
+    pub legend: Vec<String>,
+}
+
+fn thread_label(slog: &SlogFile, timeline: u32) -> String {
+    match slog.threads.entries().get(timeline as usize) {
+        Some(e) => format!(
+            "n{} t{} ({}{})",
+            e.node,
+            e.logical,
+            e.ttype,
+            if e.task.raw() == u32::MAX {
+                String::new()
+            } else {
+                format!(" rank {}", e.task)
+            }
+        ),
+        None => format!("timeline {timeline}"),
+    }
+}
+
+fn overlaps(s: &SlogState, w: (u64, u64)) -> bool {
+    s.start < w.1 && s.end().max(s.start + 1) > w.0
+}
+
+/// Builds a view over the whole file or a window of it.
+pub fn build_view(slog: &SlogFile, cfg: &ViewConfig) -> Result<View> {
+    let span = (slog.preview.span_start, slog.preview.span_end);
+    let window = cfg.window.unwrap_or(span);
+    if window.0 >= window.1 {
+        return Err(UteError::Invalid("empty view window".into()));
+    }
+    // Collect the states (and arrows) that overlap the window. When a
+    // window is given, walk only the frames it touches — the §4
+    // scalability property.
+    let mut states: Vec<SlogState> = Vec::new();
+    let mut arrows_raw = Vec::new();
+    let mut seen_arrows = std::collections::HashSet::new();
+    let frames: Vec<&ute_slog::file::SlogFrame> = slog
+        .frames
+        .iter()
+        .filter(|f| f.t_start < window.1 && f.t_end > window.0)
+        .collect();
+    let mut seen_states = std::collections::HashSet::new();
+    for f in frames {
+        for rec in &f.records {
+            match rec {
+                SlogRecord::State(s) => {
+                    if !cfg.include_pseudo && s.pseudo {
+                        continue;
+                    }
+                    if cfg.hide_running && s.state == StateCode::RUNNING {
+                        continue;
+                    }
+                    if overlaps(s, window) {
+                        // The same state may appear in several frames
+                        // (pseudo copies) — dedup by identity.
+                        let key = (s.timeline, s.start, s.duration, s.state.0, s.bebits.to_bits());
+                        if seen_states.insert(key) {
+                            states.push(*s);
+                        }
+                    }
+                }
+                SlogRecord::Arrow(a) => {
+                    if a.send_time < window.1 && a.recv_time > window.0 {
+                        let key = (a.src_timeline, a.seq, a.send_time);
+                        if seen_arrows.insert(key) {
+                            arrows_raw.push(*a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    build_from_states(slog, cfg, window, states, arrows_raw)
+}
+
+/// Builds a view of exactly one frame — "Scalability in the time it takes
+/// to display this frame (independence from the size of the SLOG file)
+/// comes from the combination of this preview and the frame index" (§4).
+pub fn frame_view(slog: &SlogFile, t: u64, cfg: &ViewConfig) -> Result<View> {
+    let frame = slog
+        .frame_at(t)
+        .ok_or_else(|| UteError::NotFound(format!("no frame contains time {t}")))?;
+    let mut cfg = *cfg;
+    cfg.window = Some((frame.t_start, frame.t_end));
+    build_view(slog, &cfg)
+}
+
+fn build_from_states(
+    slog: &SlogFile,
+    cfg: &ViewConfig,
+    window: (u64, u64),
+    states: Vec<SlogState>,
+    arrows_raw: Vec<ute_slog::record::SlogArrow>,
+) -> Result<View> {
+    // Row key → (sort key, label).
+    let mut rows: BTreeMap<(u32, u32), String> = BTreeMap::new();
+    let row_key = |s: &SlogState| -> (u32, u32) {
+        match cfg.kind {
+            ViewKind::ThreadActivity | ViewKind::ThreadProcessor => (0, s.timeline),
+            ViewKind::ProcessorActivity | ViewKind::ProcessorThread => {
+                (s.node as u32, s.cpu as u32)
+            }
+            ViewKind::TypeActivity => (0, s.state.0 as u32),
+        }
+    };
+    // Pre-seed rows so empty timelines still render.
+    match cfg.kind {
+        ViewKind::ThreadActivity | ViewKind::ThreadProcessor => {
+            for (i, _) in slog.threads.entries().iter().enumerate() {
+                rows.insert((0, i as u32), thread_label(slog, i as u32));
+            }
+        }
+        ViewKind::ProcessorActivity | ViewKind::ProcessorThread => {
+            if let Some(ncpu) = cfg.cpus_per_node {
+                let nodes: std::collections::BTreeSet<u16> =
+                    slog.threads.entries().iter().map(|e| e.node.raw()).collect();
+                for node in nodes {
+                    for cpu in 0..ncpu {
+                        rows.insert(
+                            (node as u32, cpu as u32),
+                            format!("n{node} cpu{cpu}"),
+                        );
+                    }
+                }
+            }
+        }
+        ViewKind::TypeActivity => {}
+    }
+    for s in &states {
+        rows.entry(row_key(s)).or_insert_with(|| match cfg.kind {
+            ViewKind::ThreadActivity | ViewKind::ThreadProcessor => thread_label(slog, s.timeline),
+            ViewKind::ProcessorActivity | ViewKind::ProcessorThread => {
+                format!("n{} cpu{}", s.node, s.cpu)
+            }
+            ViewKind::TypeActivity => s.state.name(),
+        });
+    }
+    let row_index: BTreeMap<(u32, u32), usize> = rows
+        .keys()
+        .enumerate()
+        .map(|(i, k)| (*k, i))
+        .collect();
+
+    let color_of = |s: &SlogState| -> String {
+        match cfg.kind {
+            ViewKind::ThreadActivity | ViewKind::ProcessorActivity => {
+                if s.state == StateCode::MARKER {
+                    let name = slog
+                        .markers
+                        .iter()
+                        .find(|(id, _)| *id == s.marker_id)
+                        .map(|(_, n)| n.as_str())
+                        .unwrap_or("Marker");
+                    format!("Marker:{name}")
+                } else {
+                    s.state.name()
+                }
+            }
+            ViewKind::ThreadProcessor => format!("n{} cpu{}", s.node, s.cpu),
+            ViewKind::ProcessorThread => format!("t{}", s.timeline),
+            ViewKind::TypeActivity => format!("node {}", s.node),
+        }
+    };
+
+    let mut bars = Vec::new();
+    let mut legend: Vec<String> = Vec::new();
+    let mut push_bar = |bar: Bar, legend: &mut Vec<String>| {
+        if !legend.contains(&bar.color) {
+            legend.push(bar.color.clone());
+        }
+        bars.push(bar);
+    };
+
+    if cfg.connected && cfg.kind == ViewKind::ThreadActivity {
+        // Group pieces per timeline and connect them.
+        let mut per_row: BTreeMap<u32, Vec<SlogState>> = BTreeMap::new();
+        for s in &states {
+            per_row.entry(s.timeline).or_default().push(*s);
+        }
+        for (timeline, pieces) in per_row {
+            let row = row_index[&(0, timeline)];
+            for span in connect_pieces(&pieces, window.0, window.1) {
+                if cfg.hide_running && span.state == StateCode::RUNNING {
+                    continue;
+                }
+                let color = if span.state == StateCode::MARKER {
+                    let name = slog
+                        .markers
+                        .iter()
+                        .find(|(id, _)| *id == span.marker_id)
+                        .map(|(_, n)| n.as_str())
+                        .unwrap_or("Marker");
+                    format!("Marker:{name}")
+                } else {
+                    span.state.name()
+                };
+                push_bar(
+                    Bar {
+                        row,
+                        start: span.start.max(window.0),
+                        end: span.end.min(window.1),
+                        color,
+                        depth: span.depth,
+                        pseudo: span.clipped,
+                    },
+                    &mut legend,
+                );
+            }
+        }
+    } else {
+        for s in &states {
+            let row = row_index[&row_key(s)];
+            push_bar(
+                Bar {
+                    row,
+                    start: s.start.max(window.0),
+                    end: s.end().min(window.1).max(s.start.max(window.0)),
+                    color: color_of(s),
+                    depth: 0,
+                    pseudo: s.pseudo,
+                },
+                &mut legend,
+            );
+        }
+    }
+
+    // Arrows only make sense on thread timelines.
+    let arrows = if matches!(cfg.kind, ViewKind::ThreadActivity | ViewKind::ThreadProcessor) {
+        arrows_raw
+            .iter()
+            .filter_map(|a| {
+                let from_row = *row_index.get(&(0, a.src_timeline))?;
+                let to_row = *row_index.get(&(0, a.dst_timeline))?;
+                Some(ArrowLine {
+                    from_row,
+                    to_row,
+                    t0: a.send_time.max(window.0),
+                    t1: a.recv_time.min(window.1),
+                    pseudo: a.pseudo,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(View {
+        kind: cfg.kind,
+        rows: rows.into_values().collect(),
+        bars,
+        arrows,
+        t0: window.0,
+        t1: window.1,
+        legend,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::bebits::BeBits;
+    use ute_core::event::MpiOp;
+    use ute_core::ids::{LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
+    use ute_format::thread_table::{ThreadEntry, ThreadTable};
+    use ute_slog::file::SlogFrame;
+    use ute_slog::preview::Preview;
+
+    fn state(timeline: u32, st: StateCode, start: u64, dur: u64, cpu: u16, node: u16) -> SlogRecord {
+        SlogRecord::State(SlogState {
+            timeline,
+            state: st,
+            bebits: BeBits::Complete,
+            pseudo: false,
+            start,
+            duration: dur,
+            node,
+            cpu,
+            marker_id: 0,
+        })
+    }
+
+    fn sample_slog() -> SlogFile {
+        let mut threads = ThreadTable::new();
+        for (node, logical, ttype) in [
+            (0u16, 0u16, ThreadType::Mpi),
+            (0, 1, ThreadType::User),
+            (1, 0, ThreadType::Mpi),
+        ] {
+            threads
+                .register(ThreadEntry {
+                    task: TaskId(node as u32),
+                    pid: Pid(1),
+                    system_tid: SystemThreadId(logical as u64),
+                    node: NodeId(node),
+                    logical: LogicalThreadId(logical),
+                    ttype,
+                })
+                .unwrap();
+        }
+        let mut preview = Preview::new(0, 1000, 10);
+        preview.add(StateCode::RUNNING, 0, 1000);
+        SlogFile {
+            threads,
+            markers: vec![],
+            preview,
+            frames: vec![
+                SlogFrame {
+                    t_start: 0,
+                    t_end: 500,
+                    records: vec![
+                        state(0, StateCode::mpi(MpiOp::Send), 100, 50, 0, 0),
+                        state(1, StateCode::RUNNING, 0, 400, 1, 0),
+                        state(2, StateCode::mpi(MpiOp::Recv), 120, 200, 2, 1),
+                        SlogRecord::Arrow(ute_slog::record::SlogArrow {
+                            pseudo: false,
+                            src_timeline: 0,
+                            dst_timeline: 2,
+                            send_time: 100,
+                            recv_time: 320,
+                            bytes: 64,
+                            seq: 1,
+                        }),
+                    ],
+                },
+                SlogFrame {
+                    t_start: 500,
+                    t_end: 1000,
+                    records: vec![state(0, StateCode::mpi(MpiOp::Barrier), 600, 100, 3, 0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn thread_activity_has_one_row_per_thread() {
+        let slog = sample_slog();
+        let v = build_view(&slog, &ViewConfig::default()).unwrap();
+        assert_eq!(v.rows.len(), 3);
+        assert!(v.rows[0].contains("mpi"));
+        assert_eq!(v.bars.len(), 4);
+        assert_eq!(v.arrows.len(), 1);
+        assert!(v.legend.contains(&"MPI_Send".to_string()));
+    }
+
+    #[test]
+    fn processor_views_key_rows_by_cpu() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                kind: ViewKind::ProcessorActivity,
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        // CPUs seen: n0 cpu0, n0 cpu1, n0 cpu3, n1 cpu2.
+        assert_eq!(v.rows.len(), 4);
+        assert!(v.rows.contains(&"n0 cpu3".to_string()));
+        assert!(v.arrows.is_empty(), "no arrows on processor timelines");
+    }
+
+    #[test]
+    fn forced_cpu_rows_show_idle_processors() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                kind: ViewKind::ProcessorActivity,
+                cpus_per_node: Some(8),
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(v.rows.len(), 16); // 2 nodes × 8 CPUs, mostly idle
+    }
+
+    #[test]
+    fn thread_processor_view_colors_by_cpu() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                kind: ViewKind::ThreadProcessor,
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(v.legend.iter().any(|c| c == "n0 cpu0"));
+        assert!(v.legend.iter().any(|c| c == "n1 cpu2"));
+    }
+
+    #[test]
+    fn processor_thread_view_colors_by_thread() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                kind: ViewKind::ProcessorThread,
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(v.legend.iter().any(|c| c == "t0"));
+    }
+
+    #[test]
+    fn type_view_rows_are_states() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                kind: ViewKind::TypeActivity,
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(v.rows.contains(&"MPI_Send".to_string()));
+        assert!(v.legend.contains(&"node 0".to_string()));
+    }
+
+    #[test]
+    fn windowing_filters_and_clips() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                window: Some((550, 800)),
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        // Only the barrier overlaps.
+        assert_eq!(v.bars.len(), 1);
+        assert_eq!(v.bars[0].start, 600);
+        assert_eq!(v.bars[0].end, 700);
+        assert!(build_view(
+            &slog,
+            &ViewConfig {
+                window: Some((5, 5)),
+                ..ViewConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn frame_view_uses_frame_bounds() {
+        let slog = sample_slog();
+        let v = frame_view(&slog, 700, &ViewConfig::default()).unwrap();
+        assert_eq!((v.t0, v.t1), (500, 1000));
+        assert_eq!(v.bars.len(), 1);
+        assert!(frame_view(&slog, 99_999, &ViewConfig::default()).is_err());
+    }
+
+    #[test]
+    fn hide_running_drops_running_bars() {
+        let slog = sample_slog();
+        let v = build_view(
+            &slog,
+            &ViewConfig {
+                hide_running: true,
+                ..ViewConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(v.bars.iter().all(|b| b.color != "Running"));
+        assert_eq!(v.bars.len(), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Reconstruction of connected, nested states from interval pieces
+//! (§3.3, "Unification of Interval Pieces").
+//!
+//! A thread-activity view "could be a view of interval pieces with no
+//! nested states, or a view with connected and nested states". Connecting
+//! means: the Begin piece of a state and its End piece (with any
+//! Continuation pieces between) collapse into one span from the Begin's
+//! start to the End's end, drawn at its nesting depth.
+//!
+//! When rendering a *window* (one frame), pieces may be cut off at both
+//! sides. The §3.3 pseudo records make this work: a `Continuation` (or
+//! `End`) piece with no opening in the window means the state was already
+//! open — its span extends to the window start; an unclosed `Begin`
+//! extends to the window end.
+
+use ute_core::bebits::BeBits;
+use ute_format::state::StateCode;
+use ute_slog::record::SlogState;
+
+/// One reconstructed state span on a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestedSpan {
+    /// The state.
+    pub state: StateCode,
+    /// Span start (ticks).
+    pub start: u64,
+    /// Span end (ticks).
+    pub end: u64,
+    /// Nesting depth (0 = outermost).
+    pub depth: u8,
+    /// Marker id for marker states.
+    pub marker_id: u32,
+    /// Whether either edge was clipped by the window.
+    pub clipped: bool,
+}
+
+/// Connects the pieces of ONE timeline (already filtered, any order)
+/// into nested spans over the window `[w_start, w_end]`.
+pub fn connect_pieces(pieces: &[SlogState], w_start: u64, w_end: u64) -> Vec<NestedSpan> {
+    let mut sorted: Vec<&SlogState> = pieces.iter().collect();
+    sorted.sort_by_key(|p| (p.start, p.end()));
+    let mut out = Vec::new();
+    // Stack of currently-open states: (state, open_start, marker, clipped).
+    let mut stack: Vec<(StateCode, u64, u32, bool)> = Vec::new();
+    for p in sorted {
+        match p.bebits {
+            BeBits::Complete => {
+                out.push(NestedSpan {
+                    state: p.state,
+                    start: p.start,
+                    end: p.end(),
+                    depth: stack.len() as u8,
+                    marker_id: p.marker_id,
+                    clipped: false,
+                });
+            }
+            BeBits::Begin => {
+                stack.push((p.state, p.start, p.marker_id, false));
+            }
+            BeBits::Continuation => {
+                // Keeps its state open. If nothing matching is open, the
+                // state began before the window: open it from w_start.
+                if !stack.iter().any(|(s, ..)| *s == p.state) {
+                    stack.insert(0, (p.state, w_start, p.marker_id, true));
+                }
+            }
+            BeBits::End => {
+                if let Some(pos) = stack.iter().rposition(|(s, ..)| *s == p.state) {
+                    let (state, start, marker, clipped) = stack.remove(pos);
+                    out.push(NestedSpan {
+                        state,
+                        start,
+                        end: p.end(),
+                        depth: pos as u8,
+                        marker_id: marker,
+                        clipped,
+                    });
+                } else {
+                    // End with no visible opening: state spans from the
+                    // window start.
+                    out.push(NestedSpan {
+                        state: p.state,
+                        start: w_start,
+                        end: p.end(),
+                        depth: 0,
+                        marker_id: p.marker_id,
+                        clipped: true,
+                    });
+                }
+            }
+        }
+    }
+    // States still open at the window edge extend to w_end.
+    for (depth, (state, start, marker, _)) in stack.into_iter().enumerate() {
+        out.push(NestedSpan {
+            state,
+            start,
+            end: w_end,
+            depth: depth as u8,
+            marker_id: marker,
+            clipped: true,
+        });
+    }
+    out.sort_by_key(|s| (s.start, s.depth));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::MpiOp;
+
+    fn piece(state: StateCode, bebits: BeBits, start: u64, dur: u64) -> SlogState {
+        SlogState {
+            timeline: 0,
+            state,
+            bebits,
+            pseudo: false,
+            start,
+            duration: dur,
+            node: 0,
+            cpu: 0,
+            marker_id: if state == StateCode::MARKER { 7 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn complete_pieces_pass_through() {
+        let p = vec![piece(StateCode::mpi(MpiOp::Send), BeBits::Complete, 10, 5)];
+        let spans = connect_pieces(&p, 0, 100);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start, 10);
+        assert_eq!(spans[0].end, 15);
+        assert_eq!(spans[0].depth, 0);
+        assert!(!spans[0].clipped);
+    }
+
+    #[test]
+    fn begin_continuation_end_collapse() {
+        let s = StateCode::mpi(MpiOp::Recv);
+        let p = vec![
+            piece(s, BeBits::Begin, 10, 5),
+            piece(s, BeBits::Continuation, 30, 5),
+            piece(s, BeBits::End, 50, 10),
+        ];
+        let spans = connect_pieces(&p, 0, 100);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (10, 60));
+    }
+
+    #[test]
+    fn nesting_depths() {
+        // Marker [0,100] wrapping a Send [20,40].
+        let p = vec![
+            piece(StateCode::MARKER, BeBits::Begin, 0, 20),
+            piece(StateCode::mpi(MpiOp::Send), BeBits::Complete, 20, 20),
+            piece(StateCode::MARKER, BeBits::End, 40, 60),
+        ];
+        let spans = connect_pieces(&p, 0, 100);
+        assert_eq!(spans.len(), 2);
+        let marker = spans.iter().find(|s| s.state == StateCode::MARKER).unwrap();
+        let send = spans
+            .iter()
+            .find(|s| s.state == StateCode::mpi(MpiOp::Send))
+            .unwrap();
+        assert_eq!(marker.depth, 0);
+        assert_eq!((marker.start, marker.end), (0, 100));
+        assert_eq!(marker.marker_id, 7);
+        assert_eq!(send.depth, 1);
+    }
+
+    #[test]
+    fn window_clipping_via_pseudo_continuation() {
+        // §3.3's scenario: the window only contains a zero-duration
+        // continuation piece of an outer marker — the viewer must still
+        // display the marker across the window.
+        let p = vec![piece(StateCode::MARKER, BeBits::Continuation, 500, 0)];
+        let spans = connect_pieces(&p, 400, 600);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (400, 600));
+        assert!(spans[0].clipped);
+    }
+
+    #[test]
+    fn dangling_end_and_begin_clip_to_window() {
+        let s = StateCode::mpi(MpiOp::Barrier);
+        let p = vec![piece(s, BeBits::End, 450, 10)];
+        let spans = connect_pieces(&p, 400, 600);
+        assert_eq!((spans[0].start, spans[0].end), (400, 460));
+        assert!(spans[0].clipped);
+
+        let p = vec![piece(s, BeBits::Begin, 550, 10)];
+        let spans = connect_pieces(&p, 400, 600);
+        assert_eq!((spans[0].start, spans[0].end), (550, 600));
+        assert!(spans[0].clipped);
+    }
+
+    #[test]
+    fn sequential_states_keep_depth_zero() {
+        let s = StateCode::mpi(MpiOp::Send);
+        let p = vec![
+            piece(s, BeBits::Complete, 0, 10),
+            piece(s, BeBits::Complete, 20, 10),
+            piece(s, BeBits::Complete, 40, 10),
+        ];
+        let spans = connect_pieces(&p, 0, 100);
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|x| x.depth == 0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Rendering the whole-run preview (Figure 7's smaller window).
+//!
+//! The preview draws the per-bin interesting-activity histogram so a user
+//! can "identify the initialization and termination phases of this run,
+//! and the 'typical' iteration phase in the middle", then pick an instant
+//! to jump to its frame.
+
+use ute_slog::preview::Preview;
+
+/// ASCII preview: a column chart of interesting activity per time bin,
+/// `height` characters tall.
+pub fn render_ascii(preview: &Preview, height: usize) -> String {
+    let height = height.max(2);
+    let bins = preview.interesting_per_bin();
+    let peak = bins.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for level in (0..height).rev() {
+        let threshold = (level as u64 * peak) / height as u64;
+        for &b in &bins {
+            out.push(if b > threshold { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(bins.len()));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:.3}s – {:.3}s, peak interesting time/bin {:.6}s\n",
+        preview.span_start as f64 / 1e9,
+        preview.span_end as f64 / 1e9,
+        peak as f64 / 1e9,
+    ));
+    out
+}
+
+/// SVG preview histogram.
+pub fn render_svg(preview: &Preview, width: u32, height: u32) -> String {
+    let bins = preview.interesting_per_bin();
+    let peak = bins.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let bw = width as f64 / bins.len().max(1) as f64;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n\
+         <text x=\"4\" y=\"14\" font-family=\"monospace\" font-size=\"11\">preview: \
+         interesting activity, {:.3}s – {:.3}s</text>\n",
+        width + 10,
+        height + 40,
+        preview.span_start as f64 / 1e9,
+        preview.span_end as f64 / 1e9,
+    );
+    for (i, &b) in bins.iter().enumerate() {
+        let h = (b as f64 / peak * height as f64).round();
+        svg.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#0072B2\"/>\n",
+            5.0 + i as f64 * bw,
+            20.0 + height as f64 - h,
+            (bw - 1.0).max(0.5),
+            h,
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Suggests "interesting time ranges" from the preview, the way Figure 6's
+/// caption reads the statistics view: contiguous runs of bins whose
+/// interesting activity exceeds `frac` of the peak bin.
+pub fn interesting_ranges(preview: &Preview, frac: f64) -> Vec<(f64, f64)> {
+    let bins = preview.interesting_per_bin();
+    let peak = bins.iter().copied().max().unwrap_or(0) as f64;
+    let threshold = peak * frac;
+    let w = (preview.span_end - preview.span_start) as f64 / bins.len().max(1) as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, &b) in bins.iter().enumerate() {
+        if b as f64 > threshold && peak > 0.0 {
+            let t0 = (preview.span_start as f64 + i as f64 * w) / 1e9;
+            let t1 = (preview.span_start as f64 + (i + 1) as f64 * w) / 1e9;
+            match out.last_mut() {
+                Some(last) if (last.1 - t0).abs() < 1e-12 => last.1 = t1,
+                _ => out.push((t0, t1)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_format::state::StateCode;
+
+    fn preview() -> Preview {
+        let mut p = Preview::new(0, 10_000_000_000, 10); // 10 s, 10 bins
+        // Busy at the start (bins 0-1), quiet middle, busy end (bin 9).
+        p.add(StateCode::MARKER, 0, 2_000_000_000);
+        p.add(StateCode::MARKER, 9_000_000_000, 1_000_000_000);
+        p.add(StateCode::RUNNING, 0, 10_000_000_000); // not interesting
+        p
+    }
+
+    #[test]
+    fn ascii_histogram_shape() {
+        let s = render_ascii(&preview(), 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6); // 4 levels + axis + caption
+        // Top level: only the full-height bins (0,1,9) are dark.
+        let top: Vec<char> = lines[0].chars().collect();
+        assert_eq!(top[0], '█');
+        assert_eq!(top[1], '█');
+        assert_eq!(top[5], ' ');
+        assert_eq!(top[9], '█');
+    }
+
+    #[test]
+    fn svg_has_bars() {
+        let s = render_svg(&preview(), 200, 60);
+        assert!(s.starts_with("<svg"));
+        assert_eq!(s.matches("<rect").count(), 10);
+    }
+
+    #[test]
+    fn interesting_ranges_found() {
+        let r = interesting_ranges(&preview(), 0.5);
+        // Bins 0-1 merge into [0,2); bin 9 is [9,10).
+        assert_eq!(r.len(), 2);
+        assert!((r[0].0 - 0.0).abs() < 1e-9 && (r[0].1 - 2.0).abs() < 1e-9);
+        assert!((r[1].0 - 9.0).abs() < 1e-9 && (r[1].1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_preview_does_not_panic() {
+        let p = Preview::new(0, 1, 5);
+        assert!(!render_ascii(&p, 3).is_empty());
+        assert!(interesting_ranges(&p, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! SVG rendering of views, for documents and reports.
+
+use crate::model::View;
+
+/// A small qualitative palette (colorblind-friendly Okabe–Ito plus a few
+/// extras), cycled across legend keys.
+const PALETTE: [&str; 12] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+    "#7F3C8D", "#11A579", "#3969AC", "#80BA5A",
+];
+
+/// SVG rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Drawable width of the timeline area, pixels.
+    pub width: u32,
+    /// Height of one timeline row, pixels.
+    pub row_height: u32,
+    /// Left margin for row labels, pixels.
+    pub label_width: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 900,
+            row_height: 18,
+            label_width: 180,
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the view as a standalone SVG document with a legend.
+pub fn render(view: &View, opts: &SvgOptions) -> String {
+    let span = (view.t1 - view.t0).max(1) as f64;
+    let x_of = |t: u64| -> f64 {
+        opts.label_width as f64 + (t.saturating_sub(view.t0)) as f64 / span * opts.width as f64
+    };
+    let color_of = |key: &str| -> &str {
+        let idx = view
+            .legend
+            .iter()
+            .position(|k| k == key)
+            .unwrap_or(0);
+        PALETTE[idx % PALETTE.len()]
+    };
+    let rows_h = view.rows.len() as u32 * opts.row_height;
+    let legend_rows = view.legend.len().div_ceil(4) as u32;
+    let total_w = opts.label_width + opts.width + 20;
+    let total_h = 30 + rows_h + 30 + legend_rows * 16 + 10;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{total_h}\" \
+         font-family=\"monospace\">\n\
+         <text x=\"4\" y=\"16\" font-size=\"13\">{:?} view, {:.3}s – {:.3}s</text>\n",
+        view.kind,
+        view.t0 as f64 / 1e9,
+        view.t1 as f64 / 1e9,
+    );
+    // Row labels and baselines.
+    for (i, label) in view.rows.iter().enumerate() {
+        let y = 30 + i as u32 * opts.row_height;
+        svg.push_str(&format!(
+            "<text x=\"4\" y=\"{}\" font-size=\"10\">{}</text>\n",
+            y + opts.row_height / 2 + 3,
+            esc(label)
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#eee\"/>\n",
+            opts.label_width,
+            y + opts.row_height / 2,
+            opts.label_width + opts.width,
+            y + opts.row_height / 2
+        ));
+    }
+    // Bars: outer (shallow) first so nesting draws on top, inset by depth.
+    let mut bars = view.bars.clone();
+    bars.sort_by_key(|b| b.depth);
+    for b in &bars {
+        let y = 30 + b.row as u32 * opts.row_height;
+        let inset = (b.depth as u32 * 3).min(opts.row_height / 2 - 2);
+        let x0 = x_of(b.start);
+        let x1 = x_of(b.end).max(x0 + 0.5);
+        svg.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{}\" width=\"{:.1}\" height=\"{}\" fill=\"{}\"{}>\
+             <title>{}</title></rect>\n",
+            x0,
+            y + 2 + inset,
+            x1 - x0,
+            opts.row_height - 4 - 2 * inset,
+            color_of(&b.color),
+            if b.pseudo { " opacity=\"0.55\"" } else { "" },
+            esc(&format!(
+                "{} [{:.6}s – {:.6}s]",
+                b.color,
+                b.start as f64 / 1e9,
+                b.end as f64 / 1e9
+            )),
+        ));
+    }
+    // Arrows.
+    for a in &view.arrows {
+        let y0 = 30 + a.from_row as u32 * opts.row_height + opts.row_height / 2;
+        let y1 = 30 + a.to_row as u32 * opts.row_height + opts.row_height / 2;
+        svg.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{y0}\" x2=\"{:.1}\" y2=\"{y1}\" stroke=\"black\" \
+             stroke-width=\"1\"{} marker-end=\"url(#arrow)\"/>\n",
+            x_of(a.t0),
+            x_of(a.t1),
+            if a.pseudo {
+                " stroke-dasharray=\"4 2\""
+            } else {
+                ""
+            }
+        ));
+    }
+    svg.push_str(
+        "<defs><marker id=\"arrow\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" refY=\"3\" \
+         orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\"/></marker></defs>\n",
+    );
+    // Legend.
+    let ly = 30 + rows_h + 20;
+    for (i, key) in view.legend.iter().enumerate() {
+        let x = 10 + (i % 4) as u32 * (total_w / 4);
+        let y = ly + (i / 4) as u32 * 16;
+        svg.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{y}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{}\" font-size=\"10\">{}</text>\n",
+            color_of(key),
+            x + 14,
+            y + 9,
+            esc(key)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ArrowLine, Bar, ViewKind};
+
+    fn view() -> View {
+        View {
+            kind: ViewKind::ThreadActivity,
+            rows: vec!["row <0>".into(), "row1".into()],
+            bars: vec![
+                Bar {
+                    row: 0,
+                    start: 0,
+                    end: 100,
+                    color: "Running".into(),
+                    depth: 0,
+                    pseudo: false,
+                },
+                Bar {
+                    row: 1,
+                    start: 50,
+                    end: 80,
+                    color: "MPI_Send".into(),
+                    depth: 0,
+                    pseudo: true,
+                },
+            ],
+            arrows: vec![ArrowLine {
+                from_row: 0,
+                to_row: 1,
+                t0: 10,
+                t1: 70,
+                pseudo: true,
+            }],
+            t0: 0,
+            t1: 100,
+            legend: vec!["Running".into(), "MPI_Send".into()],
+        }
+    }
+
+    #[test]
+    fn svg_structure() {
+        let s = render(&view(), &SvgOptions::default());
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert_eq!(s.matches("<rect").count(), 2 + 2); // bars + legend swatches
+        assert!(s.contains("stroke-dasharray"), "pseudo arrow dashed");
+        assert!(s.contains("opacity=\"0.55\""), "pseudo bar translucent");
+        assert!(s.contains("&lt;0&gt;"), "labels escaped");
+    }
+
+    #[test]
+    fn distinct_legend_keys_get_distinct_colors() {
+        let s = render(&view(), &SvgOptions::default());
+        assert!(s.contains(PALETTE[0]));
+        assert!(s.contains(PALETTE[1]));
+    }
+}

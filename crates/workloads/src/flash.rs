@@ -1,0 +1,192 @@
+//! A FLASH-shaped workload (Figures 6–7).
+//!
+//! The FLASH run in the paper shows three busy phases separated by quiet
+//! stretches: "the program is doing something interesting during the time
+//! ranges from the start of the program to 948 seconds, between 1117 and
+//! 1422 seconds, and from 1658 seconds to the end of the program." The
+//! quiet stretches are pure computation (only the Running state), the
+//! busy ones mix MPI, I/O and markers. This script reproduces that phase
+//! profile at an adjustable scale, with rank-dependent load imbalance
+//! standing in for adaptive mesh refinement.
+
+use ute_cluster::config::ClusterConfig;
+use ute_cluster::program::{JobProgram, Op, TaskProgram};
+use ute_core::time::Duration;
+
+use crate::Workload;
+
+/// FLASH workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashParams {
+    /// Iterations inside each busy phase.
+    pub iters_per_phase: u32,
+    /// Mesh-block exchange bytes.
+    pub block_bytes: u64,
+    /// Base compute per iteration.
+    pub compute: Duration,
+    /// Quiet-phase pure-compute length.
+    pub quiet: Duration,
+}
+
+impl Default for FlashParams {
+    fn default() -> Self {
+        FlashParams {
+            iters_per_phase: 6,
+            block_bytes: 32 << 10,
+            compute: Duration::from_millis(3),
+            quiet: Duration::from_millis(120),
+        }
+    }
+}
+
+fn busy_phase(p: &FlashParams, name: &str, rank: u32, ntasks: u32) -> Vec<Op> {
+    let right = (rank + 1) % ntasks;
+    let left = (rank + ntasks - 1) % ntasks;
+    let mut ops = vec![Op::MarkerBegin(name.to_string())];
+    for i in 0..p.iters_per_phase {
+        // AMR-style imbalance: some ranks carry more blocks some steps.
+        let skew = 1 + ((rank + i) % 3) as u64;
+        ops.push(Op::Compute(Duration(p.compute.ticks() * skew)));
+        ops.push(Op::Irecv { from: left, tag: 10 });
+        ops.push(Op::Isend {
+            to: right,
+            bytes: p.block_bytes,
+            tag: 10,
+        });
+        ops.push(Op::Waitall);
+        ops.push(Op::Allreduce { bytes: 64 });
+        if i % 3 == 2 {
+            // Checkpoint-ish I/O plus a gather to rank 0.
+            ops.push(Op::Gather {
+                root: 0,
+                bytes: 1 << 10,
+            });
+            ops.push(Op::Io(Duration::from_millis(2)));
+        }
+    }
+    ops.push(Op::MarkerEnd(name.to_string()));
+    ops
+}
+
+/// Builds the FLASH-shaped job: 4 nodes, 1 task per node, 2 threads per
+/// task (MPI thread + one worker).
+pub fn workload(p: FlashParams) -> Workload {
+    let config = ClusterConfig {
+        nodes: 4,
+        cpus_per_node: 4,
+        tasks_per_node: 1,
+        threads_per_task: 2,
+        ..ClusterConfig::default()
+    };
+    let ntasks = config.total_tasks();
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let mut mpi = Vec::new();
+        // Initialization phase: read-in (I/O on rank 0 + bcast), setup.
+        mpi.push(Op::MarkerBegin("Initialization".into()));
+        if rank == 0 {
+            mpi.push(Op::Io(Duration::from_millis(5)));
+        }
+        mpi.push(Op::Bcast {
+            root: 0,
+            bytes: 1 << 16,
+        });
+        mpi.extend(busy_phase(&p, "InitSweep", rank, ntasks));
+        mpi.push(Op::MarkerEnd("Initialization".into()));
+        // Quiet phase 1: pure computation — nothing "interesting".
+        mpi.push(Op::Compute(p.quiet));
+        // Middle busy phase.
+        mpi.extend(busy_phase(&p, "Evolution", rank, ntasks));
+        // Quiet phase 2.
+        mpi.push(Op::Compute(p.quiet));
+        // Termination: final reduce + checkpoint on rank 0.
+        mpi.push(Op::MarkerBegin("Termination".into()));
+        mpi.extend(busy_phase(&p, "FinalSweep", rank, ntasks));
+        mpi.push(Op::Reduce {
+            root: 0,
+            bytes: 1 << 12,
+        });
+        if rank == 0 {
+            mpi.push(Op::Io(Duration::from_millis(8)));
+        }
+        mpi.push(Op::MarkerEnd("Termination".into()));
+
+        let worker: Vec<Op> = (0..3 * p.iters_per_phase)
+            .map(|_| Op::Compute(p.compute))
+            .collect();
+        TaskProgram {
+            threads: vec![mpi, worker],
+        }
+    });
+    Workload {
+        name: "flash",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+    use ute_core::event::EventCode;
+
+    #[test]
+    fn runs_and_has_three_marker_phases() {
+        let w = workload(FlashParams {
+            iters_per_phase: 3,
+            ..FlashParams::default()
+        });
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // Marker strings include the three top-level phases on each node.
+        for f in &res.raw_files {
+            let defs: Vec<String> = f
+                .events
+                .iter()
+                .filter(|e| e.code == EventCode::MarkerDef)
+                .map(|e| {
+                    ute_rawtrace::record::MarkerDefPayload::from_bytes(&e.payload)
+                        .unwrap()
+                        .name
+                })
+                .collect();
+            for phase in ["Initialization", "Evolution", "Termination"] {
+                assert!(
+                    defs.iter().any(|d| d == phase),
+                    "missing {phase} on node {}",
+                    f.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_phases_have_no_mpi() {
+        // The run's middle contains a stretch at least `quiet` long with
+        // no MPI events on any node.
+        let w = workload(FlashParams {
+            iters_per_phase: 2,
+            quiet: Duration::from_millis(200),
+            ..FlashParams::default()
+        });
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let mut mpi_times: Vec<u64> = Vec::new();
+        for f in &res.raw_files {
+            for e in &f.events {
+                if matches!(e.code, EventCode::MpiBegin(_) | EventCode::MpiEnd(_)) {
+                    mpi_times.push(e.timestamp.ticks());
+                }
+            }
+        }
+        mpi_times.sort_unstable();
+        let max_gap = mpi_times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_gap >= 190_000_000,
+            "expected a ≥190 ms quiet gap, max was {} ms",
+            max_gap / 1_000_000
+        );
+    }
+}

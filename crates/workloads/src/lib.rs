@@ -1,0 +1,75 @@
+//! # ute-workloads — synthetic programs for the trace environment
+//!
+//! The paper's evaluation traces real codes we cannot run: the **ASCI
+//! sPPM** benchmark (Figures 8–9) and the **FLASH** adaptive-mesh
+//! astrophysics code (Figures 6–7), plus an unnamed "test program with 4
+//! MPI tasks, each of which has 4 threads" scaled to produce the raw
+//! event counts of Table 1. This crate provides program scripts with the
+//! same *shape*:
+//!
+//! * [`sppm`] — 4 nodes × 8-way SMP, one task per node, four threads per
+//!   task of which one makes MPI calls; nearest-neighbour exchange plus
+//!   collectives; one worker thread left idle (both visible in Figure 8).
+//! * [`flash`] — phased execution: an MPI-heavy initialization, a long
+//!   quiet compute phase, a busy middle iteration phase, another quiet
+//!   phase, and an MPI-heavy termination — producing Figure 6/7's
+//!   "interesting time ranges" profile.
+//! * [`micro`] — ping-pong, halo-exchange stencil, and allreduce-sweep
+//!   microbenchmarks.
+//! * [`scaling`] — the Table 1 generator: 4 tasks × 4 threads with a size
+//!   knob that scales the number of raw events produced.
+
+pub mod flash;
+pub mod micro;
+pub mod patterns;
+pub mod scaling;
+pub mod sppm;
+
+use ute_cluster::{ClusterConfig, JobProgram};
+
+/// A named, runnable workload: a cluster and the job to run on it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// The machine.
+    pub config: ClusterConfig,
+    /// The program.
+    pub job: JobProgram,
+}
+
+/// All stock workloads at small default sizes.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        sppm::workload(sppm::SppmParams::default()),
+        flash::workload(flash::FlashParams::default()),
+        micro::ping_pong(16, 1 << 14),
+        micro::stencil(4, 8, 1 << 12),
+        micro::allreduce_sweep(4, 6),
+        micro::sendrecv_shift(3, 4, 2048),
+        patterns::wavefront(4, 4, 4096),
+        patterns::master_worker(3, 3, 8192),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+
+    #[test]
+    fn every_stock_workload_runs_to_completion() {
+        for w in all_workloads() {
+            let res = Simulator::new(w.config.clone(), &w.job)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                res.stats.events_cut > 0,
+                "{} produced no trace records",
+                w.name
+            );
+            assert_eq!(res.raw_files.len(), w.config.nodes as usize);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Microbenchmark workloads: ping-pong, halo-exchange stencil, and an
+//! allreduce sweep. Useful for exercising specific code paths of the
+//! trace pipeline and for the ablation benches.
+
+use ute_cluster::config::ClusterConfig;
+use ute_cluster::program::{JobProgram, Op, TaskProgram};
+use ute_core::time::Duration;
+
+use crate::Workload;
+
+/// Two ranks exchanging `rounds` messages of `bytes` each way.
+pub fn ping_pong(rounds: u32, bytes: u64) -> Workload {
+    let config = ClusterConfig {
+        nodes: 2,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(2, |rank| {
+        let peer = 1 - rank;
+        let mut ops = Vec::new();
+        for r in 0..rounds {
+            if rank == 0 {
+                ops.push(Op::Send {
+                    to: peer,
+                    bytes,
+                    tag: r,
+                });
+                ops.push(Op::Recv { from: peer, tag: r });
+            } else {
+                ops.push(Op::Recv { from: peer, tag: r });
+                ops.push(Op::Send {
+                    to: peer,
+                    bytes,
+                    tag: r,
+                });
+            }
+        }
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "ping_pong",
+        config,
+        job,
+    }
+}
+
+/// A 1-D halo-exchange stencil over `ntasks` ranks for `steps` steps.
+pub fn stencil(ntasks: u32, steps: u32, halo_bytes: u64) -> Workload {
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 2,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let left = (rank + ntasks - 1) % ntasks;
+        let right = (rank + 1) % ntasks;
+        let mut ops = Vec::new();
+        for _ in 0..steps {
+            ops.push(Op::Compute(Duration::from_millis(2)));
+            ops.push(Op::Irecv { from: left, tag: 0 });
+            ops.push(Op::Irecv { from: right, tag: 1 });
+            ops.push(Op::Isend {
+                to: right,
+                bytes: halo_bytes,
+                tag: 0,
+            });
+            ops.push(Op::Isend {
+                to: left,
+                bytes: halo_bytes,
+                tag: 1,
+            });
+            ops.push(Op::Waitall);
+        }
+        TaskProgram {
+            threads: vec![ops, vec![Op::Compute(Duration::from_millis(2 * steps as u64))]],
+        }
+    });
+    Workload {
+        name: "stencil",
+        config,
+        job,
+    }
+}
+
+/// `rounds` allreduces of doubling sizes, over `ntasks` single-thread
+/// ranks — a latency/bandwidth sweep through the collective path.
+pub fn allreduce_sweep(ntasks: u32, rounds: u32) -> Workload {
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 1,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(ntasks, |_| {
+        let mut ops = Vec::new();
+        for r in 0..rounds {
+            ops.push(Op::Compute(Duration::from_micros(500)));
+            ops.push(Op::Allreduce {
+                bytes: 8u64 << r,
+            });
+        }
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "allreduce_sweep",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+
+    #[test]
+    fn ping_pong_message_count() {
+        let w = ping_pong(10, 1024);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        assert_eq!(res.stats.messages, 20);
+    }
+
+    #[test]
+    fn stencil_runs_with_wraparound() {
+        let w = stencil(5, 4, 2048);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // 5 ranks × 4 steps × 2 sends.
+        assert_eq!(res.stats.messages, 40);
+    }
+
+    #[test]
+    fn allreduce_sweep_counts_collectives() {
+        let w = allreduce_sweep(3, 5);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        assert_eq!(res.stats.collectives, 5);
+    }
+}
+
+/// A ring shift using MPI_Sendrecv, bracketed by MPI_Init/Finalize: each
+/// round every rank exchanges `bytes` with both neighbours in one call.
+pub fn sendrecv_shift(ntasks: u32, rounds: u32, bytes: u64) -> Workload {
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let mut ops = vec![Op::Init];
+        for r in 0..rounds {
+            ops.push(Op::Compute(Duration::from_micros(400)));
+            ops.push(Op::Sendrecv {
+                to: (rank + 1) % ntasks,
+                from: (rank + ntasks - 1) % ntasks,
+                bytes,
+                tag: r,
+            });
+        }
+        ops.push(Op::Finalize);
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "sendrecv_shift",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod sendrecv_tests {
+    use super::*;
+    use ute_cluster::Simulator;
+
+    #[test]
+    fn shift_completes_with_one_message_per_rank_per_round() {
+        let w = sendrecv_shift(4, 5, 1024);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        assert_eq!(res.stats.messages, 20);
+        assert_eq!(res.stats.collectives, 2); // Init + Finalize
+    }
+}

@@ -1,0 +1,149 @@
+//! Additional communication patterns beyond the paper's two codes:
+//! a Sweep3D-style pipelined wavefront and a master–worker task farm.
+//! Both stress parts of the pipeline the ring exchanges do not — long
+//! dependency chains (arrows marching diagonally across timelines) and
+//! strongly asymmetric roles (one hot timeline, many idle-ish ones).
+
+use ute_cluster::config::ClusterConfig;
+use ute_cluster::program::{JobProgram, Op, TaskProgram};
+use ute_core::time::Duration;
+
+use crate::Workload;
+
+/// A 1-D pipelined wavefront over `ntasks` ranks, `sweeps` fronts deep:
+/// each rank receives from its left neighbour, computes, and forwards to
+/// its right neighbour — rank 0 originates, the last rank sinks.
+pub fn wavefront(ntasks: u32, sweeps: u32, bytes: u64) -> Workload {
+    assert!(ntasks >= 2, "wavefront needs at least two ranks");
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let mut ops = vec![Op::MarkerBegin("sweep".into())];
+        for s in 0..sweeps {
+            if rank > 0 {
+                ops.push(Op::Recv {
+                    from: rank - 1,
+                    tag: s,
+                });
+            }
+            ops.push(Op::Compute(Duration::from_micros(800)));
+            if rank < ntasks - 1 {
+                ops.push(Op::Send {
+                    to: rank + 1,
+                    bytes,
+                    tag: s,
+                });
+            }
+        }
+        ops.push(Op::MarkerEnd("sweep".into()));
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "wavefront",
+        config,
+        job,
+    }
+}
+
+/// A master–worker task farm: rank 0 scatters `rounds` work items to each
+/// worker and collects results; workers compute between receive and send.
+pub fn master_worker(workers: u32, rounds: u32, bytes: u64) -> Workload {
+    let ntasks = workers + 1;
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let mut ops = Vec::new();
+        if rank == 0 {
+            ops.push(Op::MarkerBegin("farm".into()));
+            for r in 0..rounds {
+                for w in 1..=workers {
+                    ops.push(Op::Send {
+                        to: w,
+                        bytes,
+                        tag: r,
+                    });
+                }
+                for w in 1..=workers {
+                    ops.push(Op::Recv { from: w, tag: r });
+                }
+            }
+            ops.push(Op::MarkerEnd("farm".into()));
+        } else {
+            for r in 0..rounds {
+                ops.push(Op::Recv { from: 0, tag: r });
+                // Uneven work: higher ranks carry more.
+                ops.push(Op::Compute(Duration::from_micros(300 * rank as u64)));
+                ops.push(Op::Send {
+                    to: 0,
+                    bytes: bytes / 2,
+                    tag: r,
+                });
+            }
+        }
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "master_worker",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+    use ute_core::event::{EventCode, MpiOp};
+
+    #[test]
+    fn wavefront_pipelines_in_rank_order() {
+        let w = wavefront(5, 3, 4096);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // (ntasks−1) hops per sweep.
+        assert_eq!(res.stats.messages, 4 * 3);
+        // The pipeline implies rank k's first send happens after rank
+        // k−1's: check first MPI_Send end timestamps are increasing in
+        // rank (nodes host ranks in order and clocks drift only ppm-scale,
+        // far below the 800 µs stage compute).
+        let mut first_send: Vec<u64> = Vec::new();
+        for f in &res.raw_files[..4] {
+            let t = f
+                .events
+                .iter()
+                .find(|e| e.code == EventCode::MpiEnd(MpiOp::Send))
+                .map(|e| e.timestamp.ticks())
+                .unwrap();
+            first_send.push(t);
+        }
+        for w in first_send.windows(2) {
+            assert!(w[0] < w[1], "wavefront order violated: {first_send:?}");
+        }
+    }
+
+    #[test]
+    fn master_worker_farm_completes() {
+        let w = master_worker(3, 4, 8192);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // Per round: 3 sends out + 3 results back.
+        assert_eq!(res.stats.messages, 4 * 6);
+        // The master cut the most MPI records.
+        let mpi_count = |node: usize| {
+            res.raw_files[node]
+                .events
+                .iter()
+                .filter(|e| matches!(e.code, EventCode::MpiBegin(_)))
+                .count()
+        };
+        assert!(mpi_count(0) > mpi_count(1));
+    }
+}

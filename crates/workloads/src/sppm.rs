@@ -1,0 +1,139 @@
+//! An sPPM-shaped workload (Figures 8–9).
+//!
+//! "The benchmark was executed in 4 nodes, each of which is an 8-way SMP.
+//! There were four threads per MPI process, one of which made MPI calls.
+//! One can see system activity on the non-MPI threads, and observe that
+//! one thread is idle during this part of the computation." The real code
+//! solves 3-D gas dynamics with the piecewise parabolic method; what the
+//! trace framework sees is its communication/compute *shape*: compute
+//! bursts on worker threads, nearest-neighbour boundary exchange plus
+//! periodic collectives on the MPI thread.
+
+use ute_cluster::config::ClusterConfig;
+use ute_cluster::program::{JobProgram, Op, TaskProgram};
+use ute_core::time::Duration;
+
+use crate::Workload;
+
+/// sPPM workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SppmParams {
+    /// Number of timesteps.
+    pub steps: u32,
+    /// Boundary-exchange message size per neighbour, bytes.
+    pub halo_bytes: u64,
+    /// Compute per step on the MPI thread.
+    pub mpi_compute: Duration,
+    /// Compute per step on each busy worker thread.
+    pub worker_compute: Duration,
+}
+
+impl Default for SppmParams {
+    fn default() -> Self {
+        SppmParams {
+            steps: 8,
+            halo_bytes: 64 << 10,
+            mpi_compute: Duration::from_millis(4),
+            worker_compute: Duration::from_millis(6),
+        }
+    }
+}
+
+/// Builds the sPPM-shaped job for the paper's 4 × 8-way topology.
+pub fn workload(p: SppmParams) -> Workload {
+    let config = ClusterConfig::sppm_like();
+    let ntasks = config.total_tasks();
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let left = (rank + ntasks - 1) % ntasks;
+        let right = (rank + 1) % ntasks;
+        // MPI thread: per step, exchange halos with both neighbours then
+        // reduce a timestep value.
+        let mut mpi = vec![Op::MarkerBegin("sPPM step loop".into())];
+        for _ in 0..p.steps {
+            mpi.push(Op::Compute(p.mpi_compute));
+            mpi.push(Op::Irecv { from: left, tag: 1 });
+            mpi.push(Op::Irecv { from: right, tag: 2 });
+            mpi.push(Op::Isend {
+                to: right,
+                bytes: p.halo_bytes,
+                tag: 1,
+            });
+            mpi.push(Op::Isend {
+                to: left,
+                bytes: p.halo_bytes,
+                tag: 2,
+            });
+            mpi.push(Op::Waitall);
+            mpi.push(Op::Allreduce { bytes: 8 });
+        }
+        mpi.push(Op::MarkerEnd("sPPM step loop".into()));
+
+        // Two busy workers with occasional system activity; the fourth
+        // thread is idle after a token start-up compute (Figure 8's idle
+        // thread).
+        let mut busy = Vec::new();
+        for s in 0..p.steps {
+            busy.push(Op::Compute(p.worker_compute));
+            if s % 3 == 0 {
+                busy.push(Op::Syscall);
+            }
+            if s % 5 == 4 {
+                busy.push(Op::PageFault);
+            }
+        }
+        let idle = vec![Op::Compute(Duration::from_micros(200))];
+
+        TaskProgram {
+            threads: vec![mpi, busy.clone(), busy, idle],
+        }
+    });
+    Workload {
+        name: "sppm",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+    use ute_core::event::{EventCode, MpiOp};
+
+    #[test]
+    fn topology_matches_figures_8_and_9() {
+        let w = workload(SppmParams::default());
+        assert_eq!(w.config.nodes, 4);
+        assert_eq!(w.config.cpus_per_node, 8);
+        assert_eq!(w.job.tasks.len(), 4);
+        for t in &w.job.tasks {
+            assert_eq!(t.threads.len(), 4);
+        }
+    }
+
+    #[test]
+    fn produces_halo_traffic_and_idle_thread() {
+        let w = workload(SppmParams {
+            steps: 3,
+            ..SppmParams::default()
+        });
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // 4 ranks × 3 steps × 2 isends.
+        assert_eq!(res.stats.messages, 24);
+        assert_eq!(res.stats.collectives, 3);
+        // System activity appears on the traces (worker syscalls + daemons).
+        let sys = res.raw_files[0]
+            .events
+            .iter()
+            .filter(|e| e.code == EventCode::Syscall)
+            .count();
+        assert!(sys > 0);
+        // Waitall events present on every node.
+        for f in &res.raw_files {
+            assert!(f
+                .events
+                .iter()
+                .any(|e| e.code == EventCode::MpiEnd(MpiOp::Waitall)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Clock synchronization walkthrough (§1.1, §2.2, Figure 1).
+//!
+//! 1. Reproduce Figure 1: accumulated timestamp discrepancies among four
+//!    local clocks over ~140 s.
+//! 2. Sample (global, local) clock pairs the way each node's sampler
+//!    thread does, including the §5 deschedule outlier.
+//! 3. Compare the paper's RMS-of-slope-segments estimator against the
+//!    alternatives it discusses, with and without outlier filtering.
+//!
+//! Run with: `cargo run --example clock_sync`
+
+use ute::clock::discrepancy::{discrepancy_series, figure1_default_params};
+use ute::clock::drift::LocalClock;
+use ute::clock::filter::filter_outliers_default;
+use ute::clock::global::GlobalClock;
+use ute::clock::ratio::{rms_all_slopes, rms_segments, ClockFit, RatioEstimator};
+use ute::clock::sample::{sample_clocks, SamplerConfig};
+use ute::core::time::{Duration, LocalTime, Time};
+
+fn main() {
+    // ---- Figure 1 -----------------------------------------------------
+    println!("=== Figure 1: accumulated discrepancy vs reference clock 0 ===");
+    let rows = discrepancy_series(
+        &figure1_default_params(),
+        0,
+        Duration::from_secs(140),
+        Duration::from_secs(10),
+    );
+    println!("{:>8} {:>12} {:>12} {:>12}", "t (s)", "clock1 (µs)", "clock2 (µs)", "clock3 (µs)");
+    for r in &rows {
+        println!(
+            "{:>8.0} {:>12.1} {:>12.1} {:>12.1}",
+            r.reference_elapsed as f64 / 1e9,
+            r.deviation[1] as f64 / 1e3,
+            r.deviation[2] as f64 / 1e3,
+            r.deviation[3] as f64 / 1e3,
+        );
+    }
+
+    // ---- sampling and fitting ------------------------------------------
+    println!("\n=== ratio estimation on a +37 ppm clock with outliers ===");
+    let params = ute::clock::drift::ClockParams::with_ppm(37.0, 120);
+    let global = GlobalClock::ideal();
+    let mut local = LocalClock::new(params);
+    let cfg = SamplerConfig {
+        period: Duration::from_secs(1),
+        outlier_every: Some(25), // a deschedule every 25th sample (§5)
+        outlier_delay: Duration::from_millis(3),
+    };
+    let samples = sample_clocks(&global, &mut local, &cfg, Time::ZERO, Time::from_secs_f64(140.0));
+    let truth = 1.0 / (1.0 + 37e-6);
+    println!("true global/local ratio R = {truth:.9}");
+
+    let report = |name: &str, r: f64| {
+        println!(
+            "  {name:<28} R = {r:.9}  (error {:+.3} ppm)",
+            (r - truth) / truth * 1e6
+        );
+    };
+    report("RMS of segments (paper)", rms_segments(&samples));
+    report("RMS of all slopes", rms_all_slopes(&samples));
+    let filtered = filter_outliers_default(&samples);
+    println!(
+        "  outlier filter kept {}/{} samples",
+        filtered.len(),
+        samples.len()
+    );
+    report("RMS of segments, filtered", rms_segments(&filtered));
+
+    // ---- adjusting a timestamp -----------------------------------------
+    let fit = ClockFit::fit(&filtered, RatioEstimator::RmsSegments).unwrap();
+    let some_local = LocalTime(70_000_000_000);
+    println!(
+        "\nlocal timestamp {} adjusts to global {}",
+        some_local,
+        fit.adjust(some_local)
+    );
+    let err = (rms_segments(&filtered) - truth).abs() / truth * 1e6;
+    assert!(err < 1.0, "filtered estimator should be sub-ppm, got {err:.3} ppm");
+    println!("filtered estimate is within {err:.3} ppm of the truth.");
+}

@@ -1,0 +1,42 @@
+//! # UTE — Unified Trace Environment
+//!
+//! A Rust reproduction of the SC 2000 performance framework *"From Trace
+//! Generation to Visualization: A Performance Framework for Distributed
+//! Parallel Systems"* (Wu, Bolmarcich, Snir, Wootton, Parpia, Chan, Lusk,
+//! Gropp).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — shared ids, time, event codes, bebits, errors, byte codec.
+//! * [`clock`] — drifting local clocks, the switch-adapter global clock,
+//!   and the clock-synchronization estimators of §2.2.
+//! * [`rawtrace`] — the AIX-trace-facility substitute: hookwords, trace
+//!   buffers, per-node raw trace files.
+//! * [`cluster`] — a discrete-event simulator of an SMP cluster running
+//!   multi-threaded MPI programs, standing in for the IBM SP.
+//! * [`format`] — the self-defining interval file format and its API
+//!   (§2.3–§2.4).
+//! * [`convert`] — the event→interval conversion utility (§3.1).
+//! * [`merge`] — the merge / `slogmerge` utility with clock adjustment
+//!   (§2.2, §3.1, §3.3).
+//! * [`slog`] — the SLOG scalable log format with frames, pseudo-intervals
+//!   and preview data (§4).
+//! * [`stats`] — the declarative statistics generator and viewer (§3.2).
+//! * [`view`] — headless time-space diagram rendering (Jumpshot
+//!   substitute, §4).
+//! * [`workloads`] — synthetic sPPM-like / FLASH-like programs and the
+//!   scaling workloads used by the paper's Table 1.
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline of Figure 2.
+
+pub use ute_clock as clock;
+pub use ute_cluster as cluster;
+pub use ute_convert as convert;
+pub use ute_core as core;
+pub use ute_format as format;
+pub use ute_merge as merge;
+pub use ute_rawtrace as rawtrace;
+pub use ute_slog as slog;
+pub use ute_stats as stats;
+pub use ute_view as view;
+pub use ute_workloads as workloads;

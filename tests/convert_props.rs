@@ -1,0 +1,191 @@
+//! Property tests for the event→interval converter: for *any* valid
+//! per-thread activity history, the produced pieces must reassemble into
+//! exactly the original calls, and the pieces of each state must tile the
+//! thread's dispatched time inside that state.
+
+use proptest::prelude::*;
+
+use ute::convert::{convert_node, MarkerMap};
+use ute::core::bebits::count_states;
+use ute::core::event::{EventCode, MpiOp};
+use ute::core::ids::{
+    CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType,
+};
+use ute::core::time::LocalTime;
+use ute::format::file::{FramePolicy, IntervalFileReader};
+use ute::format::profile::Profile;
+use ute::format::record::Interval;
+use ute::format::state::StateCode;
+use ute::format::thread_table::{ThreadEntry, ThreadTable};
+use ute::rawtrace::file::RawTraceFile;
+use ute::rawtrace::record::{DispatchPayload, MpiPayload, RawEvent};
+
+/// One abstract action of the generated history.
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    /// Deschedule then re-dispatch (possibly on another CPU).
+    Yield { cpu: u16 },
+    /// A complete MPI call with a deschedule inside iff `blocked`.
+    Call { op_idx: u8, blocked: bool },
+    /// Plain running time.
+    Run,
+}
+
+fn arb_act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0u16..4).prop_map(|cpu| Act::Yield { cpu }),
+        (0u8..4, any::<bool>()).prop_map(|(op_idx, blocked)| Act::Call { op_idx, blocked }),
+        Just(Act::Run),
+    ]
+}
+
+const OPS: [MpiOp; 4] = [MpiOp::Send, MpiOp::Recv, MpiOp::Barrier, MpiOp::Allreduce];
+
+/// Renders a history into a raw event stream, returning the stream plus
+/// the ground truth: number of calls per op and total in-call time.
+fn render(acts: &[Act]) -> (Vec<RawEvent>, [usize; 4], u64) {
+    let thread = LogicalThreadId(0);
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    let mut cpu = 0u16;
+    let step = |t: &mut u64| {
+        *t += 10;
+        *t
+    };
+    let dispatch = |on: bool, cpu: u16, at: u64| {
+        RawEvent::new(
+            if on {
+                EventCode::ThreadDispatch
+            } else {
+                EventCode::ThreadUndispatch
+            },
+            LocalTime(at),
+            DispatchPayload {
+                thread,
+                cpu: CpuId(cpu),
+            }
+            .to_bytes(),
+        )
+    };
+    let mpi = |op: MpiOp, begin: bool, at: u64| {
+        RawEvent::new(
+            if begin {
+                EventCode::MpiBegin(op)
+            } else {
+                EventCode::MpiEnd(op)
+            },
+            LocalTime(at),
+            MpiPayload::bare(thread, 0).to_bytes(),
+        )
+    };
+    events.push(dispatch(true, cpu, step(&mut t)));
+    let mut calls = [0usize; 4];
+    let mut in_call = 0u64;
+    for act in acts {
+        match *act {
+            Act::Yield { cpu: next } => {
+                events.push(dispatch(false, cpu, step(&mut t)));
+                cpu = next;
+                events.push(dispatch(true, cpu, step(&mut t)));
+            }
+            Act::Run => {
+                t += 25;
+            }
+            Act::Call { op_idx, blocked } => {
+                let op = OPS[op_idx as usize];
+                calls[op_idx as usize] += 1;
+                let begin_at = step(&mut t);
+                events.push(mpi(op, true, begin_at));
+                if blocked {
+                    events.push(dispatch(false, cpu, step(&mut t)));
+                    // blocked gap does not count as in-call CPU time
+                    let off_at = t;
+                    t += 100;
+                    events.push(dispatch(true, cpu, step(&mut t)));
+                    let end_at = step(&mut t);
+                    events.push(mpi(op, false, end_at));
+                    in_call += (off_at - begin_at) + (end_at - (off_at + 100 + 10));
+                } else {
+                    let end_at = step(&mut t);
+                    events.push(mpi(op, false, end_at));
+                    in_call += end_at - begin_at;
+                }
+            }
+        }
+    }
+    events.push(dispatch(false, cpu, step(&mut t)));
+    (events, calls, in_call)
+}
+
+fn table() -> ThreadTable {
+    let mut t = ThreadTable::new();
+    t.register(ThreadEntry {
+        task: TaskId(0),
+        pid: Pid(1),
+        system_tid: SystemThreadId(1),
+        node: NodeId(0),
+        logical: LogicalThreadId(0),
+        ttype: ThreadType::Mpi,
+    })
+    .unwrap();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pieces_reassemble_and_tile(acts in prop::collection::vec(arb_act(), 0..40)) {
+        let (events, calls, in_call) = render(&acts);
+        let profile = Profile::standard();
+        let file = RawTraceFile::new(NodeId(0), events);
+        let markers = MarkerMap::default();
+        let out = convert_node(&file, &table(), &profile, &markers, FramePolicy::tiny()).unwrap();
+        let r = IntervalFileReader::open(&out.interval_file, &profile).unwrap();
+        let ivs: Vec<Interval> = r.intervals().map(|x| x.unwrap()).collect();
+
+        // 1. Per MPI op: piece sequences are well-formed and count the
+        //    exact number of calls the history made.
+        for (i, op) in OPS.iter().enumerate() {
+            let state = StateCode::mpi(*op);
+            let seq: Vec<_> = ivs
+                .iter()
+                .filter(|iv| iv.itype.state == state)
+                .map(|iv| iv.itype.bebits)
+                .collect();
+            let n = count_states(&seq);
+            prop_assert_eq!(
+                n,
+                Some(calls[i]),
+                "op {} pieces {:?}",
+                op,
+                seq
+            );
+        }
+
+        // 2. The summed duration of MPI pieces equals the time the thread
+        //    spent dispatched inside calls.
+        let piece_time: u64 = ivs
+            .iter()
+            .filter(|iv| iv.itype.state.as_mpi().is_some())
+            .map(|iv| iv.duration)
+            .sum();
+        prop_assert_eq!(piece_time, in_call);
+
+        // 3. No two pieces on the thread overlap (they tile the timeline).
+        let mut spans: Vec<(u64, u64)> = ivs
+            .iter()
+            .filter(|iv| iv.itype.state != StateCode::CLOCK && iv.duration > 0)
+            .map(|iv| (iv.start, iv.end()))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(
+                w[0].1 <= w[1].0,
+                "overlapping pieces {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
