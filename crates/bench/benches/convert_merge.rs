@@ -21,22 +21,18 @@ fn bench_utilities(c: &mut Criterion) {
         let sim = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
         let raw_events: u64 = sim.raw_files.iter().map(|f| f.events.len() as u64).sum();
         group.throughput(Throughput::Elements(raw_events));
-        group.bench_with_input(
-            BenchmarkId::new("convert", raw_events),
-            &sim,
-            |b, sim| {
-                b.iter(|| {
-                    convert_job(
-                        &sim.raw_files,
-                        &sim.threads,
-                        &profile,
-                        FramePolicy::default(),
-                        false,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("convert", raw_events), &sim, |b, sim| {
+            b.iter(|| {
+                convert_job(
+                    &sim.raw_files,
+                    &sim.threads,
+                    &profile,
+                    FramePolicy::default(),
+                    false,
+                )
+                .unwrap()
+            })
+        });
         let converted = convert_job(
             &sim.raw_files,
             &sim.threads,
@@ -45,7 +41,10 @@ fn bench_utilities(c: &mut Criterion) {
             false,
         )
         .unwrap();
-        let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+        let refs: Vec<&[u8]> = converted
+            .iter()
+            .map(|c| c.interval_file.as_slice())
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("slogmerge", raw_events),
             &refs,

@@ -68,9 +68,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("from_intervals", n), &ivs, |b, ivs| {
             b.iter(|| {
                 // Intervals draw directly.
-                ivs.iter()
-                    .filter(|(s, d)| *s < w1 && s + d > w0)
-                    .count()
+                ivs.iter().filter(|(s, d)| *s < w1 && s + d > w0).count()
             })
         });
     }

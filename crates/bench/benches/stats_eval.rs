@@ -38,7 +38,9 @@ fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats_engine");
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
-    group.bench_function("parse_program", |b| b.iter(|| parse_program(PROGRAM).unwrap()));
+    group.bench_function("parse_program", |b| {
+        b.iter(|| parse_program(PROGRAM).unwrap())
+    });
     let profile = Profile::standard();
     let specs = parse_program(PROGRAM).unwrap();
     for n in [10_000u64, 100_000] {

@@ -45,7 +45,13 @@ fn scenario(
         outlier_every: outliers,
         outlier_delay: Duration::from_millis(3),
     };
-    let samples = sample_clocks(&global, &mut clock, &cfg, Time::ZERO, Time::from_secs_f64(140.0));
+    let samples = sample_clocks(
+        &global,
+        &mut clock,
+        &cfg,
+        Time::ZERO,
+        Time::from_secs_f64(140.0),
+    );
     // Ground truth from a fresh identical clock read off-schedule.
     let mut probe_clock = LocalClock::new(params);
     let truth: Vec<(Time, LocalTime)> = (0..280)
@@ -81,9 +87,16 @@ fn main() {
     println!("# Ablation — clock-ratio estimators (§2.2)");
 
     // 1. Constant drift: everything should basically tie.
-    let (samples, truth) = scenario("constant +25 ppm drift", ClockParams::with_ppm(25.0, 500), None);
+    let (samples, truth) = scenario(
+        "constant +25 ppm drift",
+        ClockParams::with_ppm(25.0, 500),
+        None,
+    );
     let rows = report(&samples, &truth);
-    assert!(rows.iter().all(|(_, e)| *e < 2_000.0), "constant case should be easy");
+    assert!(
+        rows.iter().all(|(_, e)| *e < 2_000.0),
+        "constant case should be easy"
+    );
 
     // 2. Deschedule outliers, unfiltered then filtered.
     let (samples, truth) = scenario(

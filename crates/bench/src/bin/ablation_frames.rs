@@ -21,7 +21,8 @@ use ute_format::state::StateCode;
 use ute_format::thread_table::ThreadTable;
 
 fn build_file(profile: &Profile, n: u64, policy: FramePolicy) -> Vec<u8> {
-    let mut w = IntervalFileWriter::new(profile, MASK_PER_NODE, 0, &ThreadTable::new(), &[], policy);
+    let mut w =
+        IntervalFileWriter::new(profile, MASK_PER_NODE, 0, &ThreadTable::new(), &[], policy);
     for i in 0..n {
         let iv = Interval::basic(
             IntervalType::complete(StateCode::RUNNING),
@@ -57,7 +58,7 @@ fn main() {
         let bytes = build_file(&profile, n, FramePolicy::default());
         let reader = IntervalFileReader::open(&bytes, &profile).unwrap();
         let target = n * 1_000 * 9 / 10; // 90% into the run
-        // (a) frame-indexed access: walk directory chain, decode 1 frame.
+                                         // (a) frame-indexed access: walk directory chain, decode 1 frame.
         let (_, seek_s) = timed(
             || {
                 let e = reader.find_frame(target).unwrap().unwrap();
@@ -99,7 +100,10 @@ fn main() {
     );
 
     println!("\n# frame size vs single-frame display cost (320k records)");
-    println!("{:>18} {:>14} {:>16}", "records/frame", "seek+decode (us)", "frame records");
+    println!(
+        "{:>18} {:>14} {:>16}",
+        "records/frame", "seek+decode (us)", "frame records"
+    );
     for per_frame in [256usize, 1024, 4096, 16384] {
         let bytes = build_file(
             &profile,

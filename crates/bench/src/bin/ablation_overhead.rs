@@ -71,7 +71,10 @@ fn main() {
     assert_eq!(free_oh, 0.0);
     assert!(free_end <= full_end);
     let per_record = full_oh / full_ev as f64;
-    println!("# modelled cost per record: {:.0} ns (paper: 'a small fraction of one microsecond')", per_record * 1e9);
+    println!(
+        "# modelled cost per record: {:.0} ns (paper: 'a small fraction of one microsecond')",
+        per_record * 1e9
+    );
     assert!(per_record < 1e-6);
     println!("# OK: enable mask and delayed start shed data; overhead scales with records cut");
 }

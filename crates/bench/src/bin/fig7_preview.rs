@@ -64,8 +64,6 @@ fn main() {
         ute_view::svg::render(&view, &ute_view::svg::SvgOptions::default()),
     )
     .unwrap();
-    println!(
-        "\nwrote target/figures/fig7_preview.svg and fig7_frame.svg"
-    );
+    println!("\nwrote target/figures/fig7_preview.svg and fig7_frame.svg");
     println!("# OK: preview -> frame index -> self-contained frame display");
 }

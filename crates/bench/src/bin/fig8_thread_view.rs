@@ -46,7 +46,9 @@ fn main() {
         "MPI activity visible"
     );
     assert!(
-        view.legend.iter().any(|k| k == "Syscall" || k == "PageFault" || k == "Interrupt"),
+        view.legend
+            .iter()
+            .any(|k| k == "Syscall" || k == "PageFault" || k == "Interrupt"),
         "system activity on non-MPI threads visible: {:?}",
         view.legend
     );
@@ -64,6 +66,9 @@ fn main() {
             label.contains("user") && busy_per_row.get(i).copied().unwrap_or(0) < span / 50
         })
         .count();
-    assert!(idle_rows >= 4, "expected ≥4 idle worker threads, found {idle_rows}");
+    assert!(
+        idle_rows >= 4,
+        "expected ≥4 idle worker threads, found {idle_rows}"
+    );
     println!("# OK: MPI threads busy, system activity present, {idle_rows} idle worker threads");
 }

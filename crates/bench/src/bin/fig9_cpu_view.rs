@@ -58,8 +58,14 @@ fn main() {
         .count();
     let total_busy: u64 = busy_per_row.values().sum();
     let utilization = total_busy as f64 / (span as f64 * view.rows.len() as f64);
-    assert!(idle_cpus >= 10, "expected mostly-idle CPUs, got {idle_cpus}/32");
-    assert!(utilization < 0.5, "aggregate CPU utilization {utilization:.2} too high");
+    assert!(
+        idle_cpus >= 10,
+        "expected mostly-idle CPUs, got {idle_cpus}/32"
+    );
+    assert!(
+        utilization < 0.5,
+        "aggregate CPU utilization {utilization:.2} too high"
+    );
 
     // "MPI threads jump from one CPU to another": at least one MPI
     // thread's pieces appear on more than one CPU of its node.

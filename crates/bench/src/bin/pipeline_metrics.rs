@@ -1,0 +1,36 @@
+//! Pipeline self-observability report: runs the full Figure-2 pipeline
+//! on the sppm workload through `ute report` and writes every metric
+//! the framework collects about itself to `BENCH_pipeline.json`.
+//!
+//! Run: `cargo run -p ute-bench --bin pipeline_metrics [--release]`
+
+use ute_cli::{cmd_report, Args};
+
+fn main() {
+    let out = std::env::temp_dir().join(format!("ute_bench_pipeline_{}", std::process::id()));
+    std::fs::create_dir_all(&out).unwrap();
+    let argv: Vec<String> = ["--workload", "sppm", "--out", out.to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let json = cmd_report(&Args::parse(&argv).unwrap()).unwrap();
+    std::fs::write("BENCH_pipeline.json", &json).unwrap();
+    std::fs::remove_dir_all(&out).ok();
+
+    let snap = ute_obs::snapshot();
+    println!("# pipeline self-metrics (sppm) -> BENCH_pipeline.json\n");
+    for name in [
+        "cluster/events_simulated",
+        "rawtrace/records_cut",
+        "convert/records_in",
+        "convert/intervals_out",
+        "merge/records_in",
+        "merge/comparisons",
+        "slog/records_out",
+        "format/frames_written",
+        "stats/rows_emitted",
+    ] {
+        println!("{name}: {}", snap.counter(name).unwrap_or(0));
+    }
+    println!("\nfull report: BENCH_pipeline.json ({} bytes)", json.len());
+}

@@ -55,7 +55,10 @@ fn main() {
         // slogmerge (merge + SLOG conversion): time per raw event, as in
         // the paper ("the slogmerge utility also converts the file format
         // to SLOG").
-        let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+        let refs: Vec<&[u8]> = converted
+            .iter()
+            .map(|c| c.interval_file.as_slice())
+            .collect();
         let t0 = Instant::now();
         let (_slog, _stats) = slogmerge(
             &refs,

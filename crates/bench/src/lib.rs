@@ -48,7 +48,10 @@ pub fn run_pipeline(w: Workload, build: BuildOptions) -> Result<PipelineRun> {
     )?;
     let t_convert = t0.elapsed().as_secs_f64();
 
-    let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let refs: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
     let t0 = Instant::now();
     let merged = merge_files(&refs, &profile, &MergeOptions::default())?;
     let t_merge = t0.elapsed().as_secs_f64();
@@ -69,7 +72,11 @@ pub fn run_pipeline(w: Workload, build: BuildOptions) -> Result<PipelineRun> {
 
 /// Total raw events across a run's trace files.
 pub fn total_raw_events(run: &PipelineRun) -> u64 {
-    run.sim.raw_files.iter().map(|f| f.events.len() as u64).sum()
+    run.sim
+        .raw_files
+        .iter()
+        .map(|f| f.events.len() as u64)
+        .sum()
 }
 
 /// Decodes the merged interval stream.

@@ -16,6 +16,16 @@
 //!
 //! Every command is implemented as a library function returning its
 //! textual output so the test suite exercises them end to end.
+//!
+//! Two observability switches apply to every subcommand: `--metrics`
+//! prints the per-stage metrics table (TSV) to stderr after the command
+//! finishes, and `--self-trace FILE` captures the run's own pipeline
+//! spans and writes them as a UTE interval file — the framework traced
+//! with its own format (view it with `ute preview --ivl FILE`). The
+//! `report` subcommand runs the whole pipeline and emits every metric
+//! as machine-readable JSON.
+
+pub mod selftrace;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -44,8 +54,24 @@ pub struct Args {
     flags: Vec<String>,
 }
 
+/// The bare switches the CLI knows. Every other `--key` takes a value;
+/// keeping this list explicit is what lets `Args::parse` reject
+/// `--in --no-filter` (a valued key swallowing a switch) instead of
+/// silently demoting `--in` to a flag.
+const KNOWN_SWITCHES: &[&str] = &[
+    "no-filter",
+    "no-arrows",
+    "connected",
+    "hide-running",
+    "metrics",
+];
+
 impl Args {
     /// Parses `--key value` and bare `--switch` arguments.
+    ///
+    /// Switches are recognized by name ([`KNOWN_SWITCHES`]); any other
+    /// `--key` must be followed by a value, and a `--key` followed by
+    /// another `--token` (or the end of the argument list) is an error.
     pub fn parse(argv: &[String]) -> Result<Args> {
         let mut a = Args::default();
         let mut i = 0;
@@ -55,12 +81,14 @@ impl Args {
                 return Err(UteError::Invalid(format!("unexpected argument `{k}`")));
             }
             let key = k.trim_start_matches("--").to_string();
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+            if KNOWN_SWITCHES.contains(&key.as_str()) {
+                a.flags.push(key);
+                i += 1;
+            } else if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                 a.map.insert(key, argv[i + 1].clone());
                 i += 2;
             } else {
-                a.flags.push(key);
-                i += 1;
+                return Err(UteError::Invalid(format!("missing value for --{key}")));
             }
         }
         Ok(a)
@@ -131,6 +159,7 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
     let out = PathBuf::from(args.require("out")?);
     std::fs::create_dir_all(&out)?;
     let w = workload_by_name(name, iterations)?;
+    let _span = ute_obs::Span::enter("trace", format!("simulate {name}"));
     let res = Simulator::new(w.config, &w.job)?.run()?;
     for f in &res.raw_files {
         f.write_to(&out.join(RawTraceFile::file_name("trace", f.node)))?;
@@ -146,7 +175,13 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
     ))
 }
 
-fn load_raw_dir(dir: &Path) -> Result<(Vec<RawTraceFile>, ute_format::thread_table::ThreadTable, Profile)> {
+fn load_raw_dir(
+    dir: &Path,
+) -> Result<(
+    Vec<RawTraceFile>,
+    ute_format::thread_table::ThreadTable,
+    Profile,
+)> {
     let threads = read_thread_table_file(&dir.join("threads.utt"))?;
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
     let mut files = Vec::new();
@@ -265,15 +300,12 @@ pub fn cmd_slogmerge(args: &Args) -> Result<String> {
 /// `ute stats`: run the statistics utility over a merged interval file.
 pub fn cmd_stats(args: &Args) -> Result<String> {
     let merged = std::fs::read(args.require("merged")?)?;
-    let profile_path = args
-        .get("profile")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            Path::new(args.get("merged").unwrap())
-                .parent()
-                .unwrap_or(Path::new("."))
-                .join("profile.ute")
-        });
+    let profile_path = args.get("profile").map(PathBuf::from).unwrap_or_else(|| {
+        Path::new(args.get("merged").unwrap())
+            .parent()
+            .unwrap_or(Path::new("."))
+            .join("profile.ute")
+    });
     let profile = Profile::read_from(&profile_path)?;
     let reader = IntervalFileReader::open(&merged, &profile)?;
     let intervals: Result<Vec<_>> = reader.intervals().collect();
@@ -314,9 +346,24 @@ pub fn cmd_stats(args: &Args) -> Result<String> {
     Ok(msg)
 }
 
-/// `ute preview`: render the whole-run preview of a SLOG file.
+/// `ute preview`: render the whole-run preview of a SLOG file, or of a
+/// standard-profile interval file (`--ivl`, e.g. a `--self-trace`
+/// output) by building an in-memory SLOG from it first.
 pub fn cmd_preview(args: &Args) -> Result<String> {
-    let slog = SlogFile::read_from(Path::new(args.require("slog")?))?;
+    let slog = match args.get("ivl") {
+        Some(ivl) => {
+            let bytes = std::fs::read(ivl)?;
+            let profile = Profile::standard();
+            let reader = IntervalFileReader::open(&bytes, &profile)?;
+            let intervals: Result<Vec<_>> = reader.intervals().collect();
+            ute_slog::builder::SlogBuilder::new(&profile, BuildOptions::default()).build(
+                &intervals?,
+                &reader.threads,
+                &reader.markers,
+            )?
+        }
+        None => SlogFile::read_from(Path::new(args.require("slog")?))?,
+    };
     let mut msg = ute_view::preview::render_ascii(&slog.preview, 8);
     let ranges = ute_view::preview::interesting_ranges(&slog.preview, 0.25);
     msg.push_str("interesting ranges:");
@@ -325,7 +372,10 @@ pub fn cmd_preview(args: &Args) -> Result<String> {
     }
     msg.push('\n');
     if let Some(svg_path) = args.get("svg") {
-        std::fs::write(svg_path, ute_view::preview::render_svg(&slog.preview, 600, 120))?;
+        std::fs::write(
+            svg_path,
+            ute_view::preview::render_svg(&slog.preview, 600, 120),
+        )?;
         msg.push_str(&format!("wrote {svg_path}\n"));
     }
     Ok(msg)
@@ -352,8 +402,12 @@ pub fn cmd_view(args: &Args) -> Result<String> {
             let (a, b) = w
                 .split_once(',')
                 .ok_or_else(|| UteError::Invalid("--window wants `start,end` seconds".into()))?;
-            let a: f64 = a.parse().map_err(|_| UteError::Invalid("bad window start".into()))?;
-            let b: f64 = b.parse().map_err(|_| UteError::Invalid("bad window end".into()))?;
+            let a: f64 = a
+                .parse()
+                .map_err(|_| UteError::Invalid("bad window start".into()))?;
+            let b: f64 = b
+                .parse()
+                .map_err(|_| UteError::Invalid("bad window end".into()))?;
             Some(((a * 1e9) as u64, (b * 1e9) as u64))
         }
     };
@@ -362,7 +416,10 @@ pub fn cmd_view(args: &Args) -> Result<String> {
         window,
         connected: args.has("connected"),
         hide_running: args.has("hide-running"),
-        cpus_per_node: args.get("cpus").map(|c| c.parse().unwrap_or(0)).filter(|&c| c > 0),
+        cpus_per_node: args
+            .get("cpus")
+            .map(|c| c.parse().unwrap_or(0))
+            .filter(|&c| c > 0),
         ..ViewConfig::default()
     };
     let view = match args.get("frame-at") {
@@ -394,7 +451,8 @@ pub fn cmd_clockfit(args: &Args) -> Result<String> {
     let mut msg = String::new();
     for bytes in &files {
         let reader = IntervalFileReader::open(bytes, &profile)?;
-        let nf = ute_merge::clockfit::fit_node(&reader, &profile, estimator, !args.has("no-filter"))?;
+        let nf =
+            ute_merge::clockfit::fit_node(&reader, &profile, estimator, !args.has("no-filter"))?;
         let r = nf.fit.ratio();
         msg.push_str(&format!(
             "node {}: ratio {:.9} (drift {:+.3} ppm), {} samples\n",
@@ -434,13 +492,31 @@ pub fn cmd_pipeline(args: &Args) -> Result<String> {
     Ok(msg)
 }
 
-/// Dispatches one invocation.
+/// `ute report`: run the full pipeline with metrics from zero and emit
+/// every counter, gauge, and histogram as machine-readable JSON.
+pub fn cmd_report(args: &Args) -> Result<String> {
+    ute_obs::reset();
+    cmd_pipeline(args)?;
+    let mut json = ute_obs::snapshot().to_json();
+    json.push('\n');
+    Ok(json)
+}
+
+/// Dispatches one invocation. The `--metrics` and `--self-trace FILE`
+/// switches work on every subcommand: the former prints the metrics
+/// table (TSV) to stderr when the command finishes, the latter writes
+/// the run's own spans as a UTE interval file.
 pub fn run(argv: &[String]) -> Result<String> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| UteError::Invalid(USAGE.trim().to_string()))?;
     let args = Args::parse(rest)?;
-    match cmd.as_str() {
+    let self_trace = args.get("self-trace").map(PathBuf::from);
+    if self_trace.is_some() {
+        ute_obs::span::set_capture(true);
+        ute_obs::span::drain_spans();
+    }
+    let result = match cmd.as_str() {
         "trace" => cmd_trace(&args),
         "convert" => cmd_convert(&args),
         "merge" => cmd_merge(&args),
@@ -450,11 +526,27 @@ pub fn run(argv: &[String]) -> Result<String> {
         "view" => cmd_view(&args),
         "clockfit" => cmd_clockfit(&args),
         "pipeline" => cmd_pipeline(&args),
+        "report" => cmd_report(&args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(UteError::Invalid(format!(
             "unknown command `{other}`\n{USAGE}"
         ))),
+    };
+    let mut msg = result?;
+    if let Some(path) = self_trace {
+        ute_obs::span::set_capture(false);
+        let spans = ute_obs::span::drain_spans();
+        selftrace::write_self_trace(&spans, &path)?;
+        msg.push_str(&format!(
+            "wrote self-trace {} ({} spans)\n",
+            path.display(),
+            spans.len()
+        ));
     }
+    if args.has("metrics") {
+        eprint!("{}", ute_obs::snapshot().to_tsv());
+    }
+    Ok(msg)
 }
 
 /// Usage text.
@@ -467,12 +559,18 @@ commands:
   merge     --in DIR --out FILE [--estimator rms|rmsall|last|piecewise] [--no-filter]
   slogmerge --in DIR --out FILE [--frames N] [--bins N] [--no-arrows]
   stats     --merged FILE [--profile FILE] [--program FILE] [--out DIR]
-  preview   --slog FILE [--svg FILE]
+  preview   --slog FILE | --ivl FILE [--svg FILE]
   view      --slog FILE [--kind thread|cpu|threadcpu|cputhread|type]
             [--window a,b] [--frame-at t] [--connected] [--hide-running]
             [--cpus N] [--width N] [--svg FILE]
   clockfit  --in DIR [--estimator ...] [--no-filter]
   pipeline  --workload NAME --out DIR [--iterations N]
+  report    --workload NAME --out DIR [--iterations N]   (metrics as JSON)
+
+observability (any command):
+  --metrics            print the per-stage metrics table (TSV) to stderr
+  --self-trace FILE    write this run's own spans as a UTE interval file
+                       (view with `ute preview --ivl FILE`)
 ";
 
 #[cfg(test)]
@@ -509,21 +607,60 @@ mod tests {
         assert!(Args::parse(&["oops".to_string()]).is_err());
     }
 
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn valued_key_missing_its_value_is_an_error() {
+        // The ambiguous case: `--in` swallowed by the next switch. The
+        // old parser silently demoted `--in` to a bare flag; now it is
+        // a hard error naming the key.
+        let e = Args::parse(&argv(&["--in", "--no-filter"])).unwrap_err();
+        assert!(e.to_string().contains("missing value for --in"), "{e}");
+        // Same at the end of the argument list.
+        let e = Args::parse(&argv(&["--workload", "sppm", "--out"])).unwrap_err();
+        assert!(e.to_string().contains("missing value for --out"), "{e}");
+        // Two valued keys back to back.
+        let e = Args::parse(&argv(&["--in", "--out", "x"])).unwrap_err();
+        assert!(e.to_string().contains("missing value for --in"), "{e}");
+    }
+
+    #[test]
+    fn switches_and_values_interleave() {
+        let a = Args::parse(&argv(&[
+            "--metrics",
+            "--in",
+            "dir",
+            "--no-arrows",
+            "--self-trace",
+            "self.ivl",
+        ]))
+        .unwrap();
+        assert!(a.has("metrics"));
+        assert!(a.has("no-arrows"));
+        assert_eq!(a.get("in"), Some("dir"));
+        assert_eq!(a.get("self-trace"), Some("self.ivl"));
+    }
+
     #[test]
     fn full_pipeline_through_cli() {
         let dir = tmpdir("pipeline");
         let out = dir.to_str().unwrap();
-        let msg = cmd_pipeline(&args(
-            &[("workload", "pingpong"), ("out", out)],
-            &[],
-        ))
-        .unwrap();
+        let msg = cmd_pipeline(&args(&[("workload", "pingpong"), ("out", out)], &[])).unwrap();
         assert!(msg.contains("traced pingpong"));
         assert!(msg.contains("merged 2 files"));
         assert!(msg.contains("slogmerge:"));
         assert!(msg.contains("mpi_by_routine"));
         // Artifacts exist.
-        for f in ["trace.0.raw", "trace.0.ivl", "merged.ivl", "run.slog", "profile.ute", "threads.utt"] {
+        for f in [
+            "trace.0.raw",
+            "trace.0.ivl",
+            "merged.ivl",
+            "run.slog",
+            "profile.ute",
+            "threads.utt",
+        ] {
             assert!(dir.join(f).exists(), "missing {f}");
         }
         // Views render from the produced SLOG.
@@ -543,8 +680,7 @@ mod tests {
     #[test]
     fn unknown_command_and_workload() {
         assert!(run(&["bogus".to_string()]).is_err());
-        let e = cmd_trace(&args(&[("workload", "bogus"), ("out", "/tmp/x")], &[]))
-            .unwrap_err();
+        let e = cmd_trace(&args(&[("workload", "bogus"), ("out", "/tmp/x")], &[])).unwrap_err();
         assert!(e.to_string().contains("unknown workload"));
     }
 

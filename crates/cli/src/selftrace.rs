@@ -1,0 +1,147 @@
+//! The self-trace sink: the framework dogfoods its own format.
+//!
+//! Spans captured by `ute-obs` during a run are re-emitted as UTE
+//! interval records — one timeline per pipeline stage, one MARKER
+//! interval per span — producing a file the framework's own viewers
+//! (`ute preview --ivl`, `ute view`) can open. The file uses the
+//! standard profile and node 0, with span start/duration expressed in
+//! nanoseconds since the process epoch.
+
+use std::path::Path;
+
+use ute_core::error::Result;
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
+use ute_format::file::{FramePolicy, IntervalFileWriter};
+use ute_format::profile::{Profile, MASK_PER_NODE};
+use ute_format::record::{Interval, IntervalType};
+use ute_format::state::StateCode;
+use ute_format::thread_table::{ThreadEntry, ThreadTable};
+use ute_format::value::Value;
+use ute_obs::FinishedSpan;
+
+/// Serializes captured spans into a per-node interval file (standard
+/// profile, node 0). Each distinct stage becomes a logical thread;
+/// each distinct span label becomes a marker name.
+pub fn self_trace_bytes(spans: &[FinishedSpan]) -> Result<Vec<u8>> {
+    let profile = Profile::standard();
+
+    // Stage → timeline, in order of first appearance.
+    let mut stages: Vec<&'static str> = Vec::new();
+    for s in spans {
+        if !stages.contains(&s.stage) {
+            stages.push(s.stage);
+        }
+    }
+    let mut threads = ThreadTable::new();
+    for (i, _) in stages.iter().enumerate() {
+        threads.register(ThreadEntry {
+            task: TaskId(i as u32),
+            pid: Pid(1),
+            system_tid: SystemThreadId(i as u64),
+            node: NodeId(0),
+            logical: LogicalThreadId(i as u16),
+            ttype: ThreadType::User,
+        })?;
+    }
+
+    // Label → marker id, in order of first appearance (ids from 1).
+    let mut markers: Vec<(u32, String)> = Vec::new();
+    let marker_of = |markers: &mut Vec<(u32, String)>, label: &str| -> u32 {
+        if let Some((id, _)) = markers.iter().find(|(_, n)| n == label) {
+            *id
+        } else {
+            let id = markers.len() as u32 + 1;
+            markers.push((id, label.to_string()));
+            id
+        }
+    };
+
+    let mut records: Vec<Interval> = Vec::with_capacity(spans.len());
+    for s in spans {
+        let lane = stages.iter().position(|st| *st == s.stage).unwrap() as u16;
+        let marker_id = marker_of(&mut markers, &s.label);
+        records.push(
+            Interval::basic(
+                IntervalType::complete(StateCode::MARKER),
+                s.start_ns,
+                s.dur_ns,
+                CpuId(0),
+                NodeId(0),
+                LogicalThreadId(lane),
+            )
+            .with_extra(&profile, "markerId", Value::Uint(marker_id as u64))
+            .with_extra(&profile, "address", Value::Uint(0))
+            .with_extra(&profile, "addressEnd", Value::Uint(0)),
+        );
+    }
+    // The writer requires ascending end-time order (spans are logged in
+    // drop order, which is close to but not exactly end-ordered).
+    records.sort_by_key(|iv| iv.end());
+
+    let mut w = IntervalFileWriter::new(
+        &profile,
+        MASK_PER_NODE,
+        0,
+        &threads,
+        &markers,
+        FramePolicy::default(),
+    );
+    for iv in &records {
+        w.push(iv)?;
+    }
+    Ok(w.finish())
+}
+
+/// Writes the self-trace interval file for `spans` to `path`.
+pub fn write_self_trace(spans: &[FinishedSpan], path: &Path) -> Result<()> {
+    std::fs::write(path, self_trace_bytes(spans)?)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_format::file::IntervalFileReader;
+
+    fn span(stage: &'static str, label: &str, start: u64, dur: u64) -> FinishedSpan {
+        FinishedSpan {
+            stage,
+            label: label.to_string(),
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_as_intervals() {
+        let spans = vec![
+            span("convert", "convert node 0", 10, 100),
+            span("convert", "convert node 1", 20, 50),
+            span("merge", "merge node 0", 200, 40),
+        ];
+        let bytes = self_trace_bytes(&spans).unwrap();
+        let p = Profile::standard();
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        assert_eq!(r.threads.len(), 2); // convert + merge lanes
+        assert_eq!(r.markers.len(), 3);
+        let ivs: Vec<Interval> = r.intervals().map(|x| x.unwrap()).collect();
+        assert_eq!(ivs.len(), 3);
+        for w in ivs.windows(2) {
+            assert!(w[0].end() <= w[1].end());
+        }
+        // The node-1 convert span kept its timing and marker binding.
+        let iv = ivs.iter().find(|iv| iv.start == 20).unwrap();
+        assert_eq!(iv.duration, 50);
+        let id = iv.extra(&p, "markerId").and_then(|v| v.as_uint()).unwrap();
+        let name = &r.markers.iter().find(|(i, _)| *i as u64 == id).unwrap().1;
+        assert_eq!(name, "convert node 1");
+    }
+
+    #[test]
+    fn empty_span_log_still_writes_a_valid_file() {
+        let bytes = self_trace_bytes(&[]).unwrap();
+        let p = Profile::standard();
+        let r = IntervalFileReader::open(&bytes, &p).unwrap();
+        assert_eq!(r.intervals().count(), 0);
+    }
+}

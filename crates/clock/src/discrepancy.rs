@@ -181,7 +181,11 @@ mod tests {
         ];
         let rows = discrepancy_series(&clocks, 0, Duration::from_secs(50), Duration::from_secs(5));
         for r in &rows {
-            assert!(r.deviation[1].abs() <= 1, "offset leaked: {}", r.deviation[1]);
+            assert!(
+                r.deviation[1].abs() <= 1,
+                "offset leaked: {}",
+                r.deviation[1]
+            );
         }
     }
 }

@@ -260,6 +260,9 @@ mod tests {
         let t = Time(50 * TICKS_PER_SEC);
         let ideal = LocalClock::ideal_reading(&p, t);
         let actual = c.read(t).ticks() as f64;
-        assert!((ideal - actual).abs() < 2.0, "ideal {ideal} vs actual {actual}");
+        assert!(
+            (ideal - actual).abs() < 2.0,
+            "ideal {ideal} vs actual {actual}"
+        );
     }
 }

@@ -56,7 +56,11 @@ pub fn filter_outliers(samples: &[ClockSample], tolerance_ppm: f64) -> Vec<Clock
     let mut keep = vec![true; samples.len()];
     for i in 0..samples.len() {
         let left_dev = if i > 0 { deviant(slopes[i - 1]) } else { true };
-        let right_dev = if i < slopes.len() { deviant(slopes[i]) } else { true };
+        let right_dev = if i < slopes.len() {
+            deviant(slopes[i])
+        } else {
+            true
+        };
         // A sample is an outlier when every slope it participates in is
         // deviant. (Interior: both; edges: their single slope.)
         if left_dev && right_dev {

@@ -287,7 +287,8 @@ mod tests {
         // A local timestamp mid-trace should map back to within a few µs of
         // the true time that produced it.
         let true_t = Time(70 * TICKS_PER_SEC);
-        let local = LocalTime(LocalClock::ideal_reading(&ClockParams::with_ppm(ppm, 123), true_t) as u64);
+        let local =
+            LocalTime(LocalClock::ideal_reading(&ClockParams::with_ppm(ppm, 123), true_t) as u64);
         let adjusted = fit.adjust(local);
         let err = adjusted.ticks() as i64 - true_t.ticks() as i64;
         assert!(err.abs() < 5_000, "adjust error {err} ticks");
@@ -346,7 +347,8 @@ mod tests {
         let piece = PiecewiseFit::fit(&samples).unwrap();
         // Evaluate at sample 30 (inside first half) against ground truth.
         let probe = samples[30];
-        let lin_err = (linear.adjust(probe.local).ticks() as i64 - probe.global.ticks() as i64).abs();
+        let lin_err =
+            (linear.adjust(probe.local).ticks() as i64 - probe.global.ticks() as i64).abs();
         let pw_err = (piece.adjust(probe.local).ticks() as i64 - probe.global.ticks() as i64).abs();
         assert!(pw_err <= 2, "piecewise should nail anchors, err {pw_err}");
         assert!(
@@ -378,7 +380,13 @@ mod tests {
         // Before the first anchor, clamp to the aligned start.
         assert_eq!(pw.adjust(LocalTime(0)).ticks(), 1_000);
         // Duration scaling picks the right segment.
-        assert_eq!(pw.adjust_duration(LocalTime(2_500), Duration(100)).ticks(), 200);
-        assert_eq!(pw.adjust_duration(LocalTime(1_500), Duration(100)).ticks(), 100);
+        assert_eq!(
+            pw.adjust_duration(LocalTime(2_500), Duration(100)).ticks(),
+            200
+        );
+        assert_eq!(
+            pw.adjust_duration(LocalTime(1_500), Duration(100)).ticks(),
+            100
+        );
     }
 }

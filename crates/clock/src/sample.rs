@@ -67,7 +67,10 @@ pub fn sample_clocks(
     start: Time,
     end: Time,
 ) -> Vec<ClockSample> {
-    assert!(cfg.period > Duration::ZERO, "sampling period must be positive");
+    assert!(
+        cfg.period > Duration::ZERO,
+        "sampling period must be positive"
+    );
     let mut out = Vec::new();
     let mut t = start;
     let mut k = 0usize;

@@ -19,9 +19,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use ute_clock::drift::LocalClock;
 use ute_core::error::{Result, UteError};
 use ute_core::event::{EventCode, MpiOp};
-use ute_core::ids::{
-    CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType,
-};
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
 use ute_core::time::{Duration, Time};
 use ute_format::thread_table::{ThreadEntry, ThreadTable};
 use ute_rawtrace::facility::TraceFacility;
@@ -396,7 +394,11 @@ impl Simulator {
             }
         }
 
+        let obs_events = ute_obs::counter("cluster/events_simulated");
+        let obs_queue = ute_obs::gauge("cluster/queue_depth_max");
         while let Some(Reverse((at, _, id))) = self.queue.pop() {
+            obs_events.inc();
+            obs_queue.set_max(self.queue.len() as f64 + 1.0);
             let ev = self.events[id].take().expect("event consumed twice");
             if is_progress(&ev) {
                 self.pending_progress -= 1;
@@ -438,6 +440,10 @@ impl Simulator {
             self.stats.events_cut += f.records_cut();
             self.stats.trace_overhead += f.overhead();
         }
+        ute_obs::counter("cluster/records_cut").add(self.stats.events_cut);
+        ute_obs::counter("cluster/messages").add(self.stats.messages);
+        ute_obs::counter("cluster/collectives").add(self.stats.collectives);
+        ute_obs::counter("cluster/dispatches").add(self.stats.dispatches);
         let raw_files = self
             .facilities
             .into_iter()
@@ -749,7 +755,13 @@ impl Simulator {
         MpiPayload::bare(self.threads[t].logical, self.threads[t].rank.unwrap_or(0))
     }
 
-    fn cut_mpi(&mut self, t: ThreadIdx, op: MpiOp, begin: bool, mut payload: MpiPayload) -> Result<()> {
+    fn cut_mpi(
+        &mut self,
+        t: ThreadIdx,
+        op: MpiOp,
+        begin: bool,
+        mut payload: MpiPayload,
+    ) -> Result<()> {
         if payload.address == 0 {
             // Synthetic call-site address, "suitable for a source code
             // browser" (§2.3.2): one stable address per routine.
@@ -841,7 +853,9 @@ impl Simulator {
                         self.threads[t].stash_msg = Some(m);
                         self.threads[t].phase = 3;
                         let d = self.cfg.network.overhead
-                            + Duration(self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4);
+                            + Duration(
+                                self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4,
+                            );
                         self.demand_cpu(t, d);
                         return Ok(());
                     }
@@ -854,7 +868,10 @@ impl Simulator {
                     );
                 }
                 (Op::Sendrecv { to, bytes, tag, .. }, _) => {
-                    let m = self.threads[t].stash_msg.take().expect("sendrecv lost its message");
+                    let m = self.threads[t]
+                        .stash_msg
+                        .take()
+                        .expect("sendrecv lost its message");
                     let mut p = self.mpi_payload(t);
                     p.peer = *to;
                     p.tag = *tag;
@@ -952,7 +969,9 @@ impl Simulator {
                         self.threads[t].phase = 2;
                         // Copy cost proportional to message size.
                         let d = self.cfg.network.overhead
-                            + Duration(self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4);
+                            + Duration(
+                                self.cfg.network.transfer_time(self.msgs[m].bytes).ticks() / 4,
+                            );
                         self.demand_cpu(t, d);
                         return Ok(());
                     }
@@ -965,7 +984,10 @@ impl Simulator {
                     );
                 }
                 (Op::Recv { from, tag }, _) => {
-                    let m = self.threads[t].stash_msg.take().expect("recv lost its message");
+                    let m = self.threads[t]
+                        .stash_msg
+                        .take()
+                        .expect("recv lost its message");
                     let mut p = self.mpi_payload(t);
                     p.peer = *from;
                     p.tag = *tag;
@@ -1097,7 +1119,13 @@ impl Simulator {
                     let id = self.facilities[node as usize].define_marker(l, rank, name)?;
                     let logical = self.threads[t].logical;
                     let l = self.local_now(node);
-                    self.facilities[node as usize].cut_marker(l, logical, id, 0x4000 + id as u64, true)?;
+                    self.facilities[node as usize].cut_marker(
+                        l,
+                        logical,
+                        id,
+                        0x4000 + id as u64,
+                        true,
+                    )?;
                     self.threads[t].open_markers.push((name.clone(), id));
                     self.threads[t].phase = 1;
                     self.step_pc(t);
@@ -1116,7 +1144,13 @@ impl Simulator {
                     let node = self.threads[t].node;
                     let logical = self.threads[t].logical;
                     let l = self.local_now(node);
-                    self.facilities[node as usize].cut_marker(l, logical, id, 0x8000 + id as u64, false)?;
+                    self.facilities[node as usize].cut_marker(
+                        l,
+                        logical,
+                        id,
+                        0x8000 + id as u64,
+                        false,
+                    )?;
                     self.threads[t].phase = 1;
                     self.step_pc(t);
                     self.demand_cpu(t, MARKER_COST);
@@ -1231,7 +1265,10 @@ impl Simulator {
 fn is_progress(ev: &Ev) -> bool {
     matches!(
         ev,
-        Ev::CpuTimer { .. } | Ev::MsgArrive { .. } | Ev::CollComplete { .. } | Ev::IoComplete { .. }
+        Ev::CpuTimer { .. }
+            | Ev::MsgArrive { .. }
+            | Ev::CollComplete { .. }
+            | Ev::IoComplete { .. }
     )
 }
 
@@ -1401,7 +1438,10 @@ mod tests {
                 TaskProgram::single(vec![Op::Allreduce { bytes: 8 }]),
             ],
         };
-        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        let err = Simulator::new(small_cfg(), &job)
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("collective mismatch"), "{err}");
     }
 
@@ -1413,7 +1453,10 @@ mod tests {
                 TaskProgram::single(vec![Op::Recv { from: 0, tag: 0 }]),
             ],
         };
-        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        let err = Simulator::new(small_cfg(), &job)
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("deadlock"), "{err}");
     }
 
@@ -1473,7 +1516,10 @@ mod tests {
         let res = run(cfg, job);
         let dispatches = events_of(&res, 0, EventCode::ThreadDispatch);
         // 100 ms total work at 5 ms quantum ⇒ ~20 slices.
-        assert!(dispatches >= 15, "expected preemption churn, got {dispatches}");
+        assert!(
+            dispatches >= 15,
+            "expected preemption churn, got {dispatches}"
+        );
         // Both threads appear in dispatch records.
         let mut seen = std::collections::HashSet::new();
         for e in &res.raw_files[0].events {
@@ -1499,12 +1545,7 @@ mod tests {
             ..ClusterConfig::default()
         };
         let ops: Vec<Op> = (0..20)
-            .flat_map(|_| {
-                vec![
-                    Op::Compute(Duration::from_millis(3)),
-                    Op::Barrier,
-                ]
-            })
+            .flat_map(|_| vec![Op::Compute(Duration::from_millis(3)), Op::Barrier])
             .collect();
         let job = JobProgram::spmd(3, |_| TaskProgram::single(ops.clone()));
         let res = run(cfg, job);
@@ -1565,7 +1606,10 @@ mod tests {
         let job = JobProgram::spmd(2, |_| {
             TaskProgram::single(vec![Op::MarkerEnd("nope".into())])
         });
-        let err = Simulator::new(small_cfg(), &job).unwrap().run().unwrap_err();
+        let err = Simulator::new(small_cfg(), &job)
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("without begin"), "{err}");
     }
 
@@ -1597,10 +1641,7 @@ mod tests {
             assert!(events_of(&res, node, EventCode::Interrupt) >= 5);
         }
         // Thread table includes system threads.
-        assert_eq!(
-            res.threads.of_type(ThreadType::System).count(),
-            4
-        );
+        assert_eq!(res.threads.of_type(ThreadType::System).count(), 4);
     }
 
     #[test]
@@ -1645,7 +1686,10 @@ mod tests {
                     bytes: 512,
                     tag: 1,
                 },
-                Op::Recv { from: 1 - r, tag: 1 },
+                Op::Recv {
+                    from: 1 - r,
+                    tag: 1,
+                },
                 Op::Allreduce { bytes: 64 },
             ])
         });
@@ -1671,7 +1715,10 @@ mod tests {
                     bytes: 256,
                     tag: 0,
                 },
-                Op::Recv { from: 1 - r, tag: 0 },
+                Op::Recv {
+                    from: 1 - r,
+                    tag: 0,
+                },
             ])
         });
         let a = run(small_cfg(), job.clone());
@@ -1794,12 +1841,19 @@ mod extended_mpi_tests {
             .intervals()
             .map(|x| x.unwrap())
             .find(|iv| {
-                iv.itype.state == StateCode::mpi(MpiOp::Sendrecv)
-                    && iv.itype.bebits.ends_state()
+                iv.itype.state == StateCode::mpi(MpiOp::Sendrecv) && iv.itype.bebits.ends_state()
             })
             .expect("sendrecv interval present");
-        let sent = sr.extra(&profile, "msgSizeSent").unwrap().as_uint().unwrap();
-        let recvd = sr.extra(&profile, "msgSizeRecvd").unwrap().as_uint().unwrap();
+        let sent = sr
+            .extra(&profile, "msgSizeSent")
+            .unwrap()
+            .as_uint()
+            .unwrap();
+        let recvd = sr
+            .extra(&profile, "msgSizeRecvd")
+            .unwrap()
+            .as_uint()
+            .unwrap();
         assert_eq!(sent, 2048);
         assert_eq!(recvd, 2048);
     }

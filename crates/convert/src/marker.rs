@@ -94,10 +94,7 @@ mod tests {
         // Task 0 defines "Init" as local id 1; task 1 defines "Other" as
         // 1 and "Init" as 2 — the §3.1 collision.
         let f0 = RawTraceFile::new(NodeId(0), vec![def(0, 1, "Init", 10)]);
-        let f1 = RawTraceFile::new(
-            NodeId(1),
-            vec![def(1, 1, "Other", 5), def(1, 2, "Init", 6)],
-        );
+        let f1 = RawTraceFile::new(NodeId(1), vec![def(1, 1, "Other", 5), def(1, 2, "Init", 6)]);
         let m = MarkerMap::build(&[f0, f1]).unwrap();
         assert_eq!(m.len(), 2);
         let init = m.id_of("Init").unwrap();

@@ -60,6 +60,8 @@ pub struct ConvertStats {
     pub force_closed: u64,
     /// Unmatched ends clipped to trace start (lenient mode only).
     pub clipped_starts: u64,
+    /// Deepest open-state stack seen on any thread.
+    pub max_stack: u64,
 }
 
 /// One node's conversion result.
@@ -199,6 +201,7 @@ pub fn convert_node_opts(
 ) -> Result<ConvertOutput> {
     let policy = opts.policy;
     let node = file.node;
+    let _span = ute_obs::Span::enter("convert", format!("convert node {}", node.raw()));
     let table = node_threads(threads, node);
     let writer = IntervalFileWriter::new(
         profile,
@@ -216,12 +219,24 @@ pub fn convert_node_opts(
     };
     let mut cursors: HashMap<LogicalThreadId, ThreadCursor> = HashMap::new();
     let mut last_time = LocalTime(0);
-    let trace_start = file.events.first().map(|e| e.timestamp).unwrap_or(LocalTime(0));
+    let trace_start = file
+        .events
+        .first()
+        .map(|e| e.timestamp)
+        .unwrap_or(LocalTime(0));
 
     for ev in &file.events {
         em.stats.events_in += 1;
         last_time = last_time.max(ev.timestamp);
-        step(&mut em, &mut cursors, &table, markers, ev, opts, trace_start)?;
+        step(
+            &mut em,
+            &mut cursors,
+            &table,
+            markers,
+            ev,
+            opts,
+            trace_start,
+        )?;
     }
     // Force-close anything still open at the end of the trace.
     let mut leftover: Vec<LogicalThreadId> = cursors.keys().copied().collect();
@@ -243,12 +258,21 @@ pub fn convert_node_opts(
         }
         while let Some(mut open) = cur.stack.pop() {
             if let Some(ps) = open.piece_start.take() {
-                let bebits = if open.emitted { BeBits::End } else { BeBits::Complete };
+                let bebits = if open.emitted {
+                    BeBits::End
+                } else {
+                    BeBits::Complete
+                };
                 em.emit(open.state, bebits, ps, last_time, cpu, tid, &open.extras)?;
                 em.stats.force_closed += 1;
             }
         }
     }
+    ute_obs::counter("convert/records_in").add(em.stats.events_in);
+    ute_obs::counter("convert/intervals_out").add(em.stats.intervals_out);
+    ute_obs::counter("convert/force_closed").add(em.stats.force_closed);
+    ute_obs::counter("convert/clipped_starts").add(em.stats.clipped_starts);
+    ute_obs::gauge("convert/match_stack_max").set_max(em.stats.max_stack as f64);
     Ok(ConvertOutput {
         node,
         interval_file: em.writer.finish(),
@@ -315,7 +339,11 @@ fn mpi_extras(p: &MpiPayload, op: MpiOp) -> StateExtras {
         } else {
             None
         },
-        recvd: if op.is_p2p_recv() { Some(p.bytes) } else { None },
+        recvd: if op.is_p2p_recv() {
+            Some(p.bytes)
+        } else {
+            None
+        },
         seq: Some(p.seq),
         address: Some(p.address),
         ..StateExtras::default()
@@ -403,6 +431,7 @@ fn step(
                 emitted: false,
                 extras: mpi_extras(&p, op),
             });
+            em.stats.max_stack = em.stats.max_stack.max(cur.stack.len() as u64);
             Ok(())
         }
 
@@ -442,7 +471,11 @@ fn step(
                     op.name()
                 ))
             })?;
-            let bebits = if open.emitted { BeBits::End } else { BeBits::Complete };
+            let bebits = if open.emitted {
+                BeBits::End
+            } else {
+                BeBits::Complete
+            };
             em.emit(open.state, bebits, ps, now, cpu, p.thread, &open.extras)?;
             resume_top(cur, now);
             Ok(())
@@ -472,6 +505,7 @@ fn step(
                     ..StateExtras::default()
                 },
             });
+            em.stats.max_stack = em.stats.max_stack.max(cur.stack.len() as u64);
             Ok(())
         }
 
@@ -513,7 +547,11 @@ fn step(
             let ps = open.piece_start.take().ok_or_else(|| {
                 UteError::corrupt("marker ended while its thread was descheduled".to_string())
             })?;
-            let bebits = if open.emitted { BeBits::End } else { BeBits::Complete };
+            let bebits = if open.emitted {
+                BeBits::End
+            } else {
+                BeBits::Complete
+            };
             em.emit(open.state, bebits, ps, now, cpu, p.thread, &open.extras)?;
             resume_top(cur, now);
             Ok(())
@@ -553,6 +591,7 @@ fn step(
                 emitted: false,
                 extras: StateExtras::default(),
             });
+            em.stats.max_stack = em.stats.max_stack.max(cur.stack.len() as u64);
             Ok(())
         }
 
@@ -580,7 +619,11 @@ fn step(
             }
             let cpu = cur.cpu.unwrap_or(CpuId(0));
             let ps = open.piece_start.take().unwrap_or(now);
-            let bebits = if open.emitted { BeBits::End } else { BeBits::Complete };
+            let bebits = if open.emitted {
+                BeBits::End
+            } else {
+                BeBits::Complete
+            };
             em.emit(open.state, bebits, ps, now, cpu, p.thread, &open.extras)?;
             resume_top(cur, now);
             Ok(())
@@ -645,8 +688,8 @@ mod tests {
         let profile = Profile::standard();
         let file = RawTraceFile::new(NodeId(0), events);
         let markers = MarkerMap::build(std::slice::from_ref(&file)).unwrap();
-        let out = convert_node(&file, &table(), &profile, &markers, FramePolicy::default())
-            .unwrap();
+        let out =
+            convert_node(&file, &table(), &profile, &markers, FramePolicy::default()).unwrap();
         (profile, out.interval_file, out.stats)
     }
 
@@ -673,10 +716,7 @@ mod tests {
         assert_eq!(send.itype.bebits, BeBits::Complete);
         assert_eq!(send.start, 100);
         assert_eq!(send.duration, 200);
-        assert_eq!(
-            send.extra(&p, "msgSizeSent"),
-            Some(&Value::Uint(4096))
-        );
+        assert_eq!(send.extra(&p, "msgSizeSent"), Some(&Value::Uint(4096)));
         assert_eq!(send.extra(&p, "seq"), Some(&Value::Uint(7)));
         let runnings: Vec<_> = ivs
             .iter()
@@ -711,7 +751,10 @@ mod tests {
         assert_eq!(pieces[1].start, 500);
         assert_eq!(pieces[1].end(), 600);
         assert_eq!(pieces[1].cpu, CpuId(1)); // migrated
-        assert_eq!(pieces[1].extra(&p, "msgSizeRecvd"), Some(&Value::Uint(2048)));
+        assert_eq!(
+            pieces[1].extra(&p, "msgSizeRecvd"),
+            Some(&Value::Uint(2048))
+        );
     }
 
     #[test]
@@ -851,13 +894,14 @@ mod tests {
 
     #[test]
     fn unmatched_end_is_corrupt() {
-        let events = vec![dispatch(0, 0, 0, true), mpi(MpiOp::Send, false, 0, 10, 0, 0)];
+        let events = vec![
+            dispatch(0, 0, 0, true),
+            mpi(MpiOp::Send, false, 0, 10, 0, 0),
+        ];
         let profile = Profile::standard();
         let file = RawTraceFile::new(NodeId(0), events);
         let markers = MarkerMap::default();
-        assert!(
-            convert_node(&file, &table(), &profile, &markers, FramePolicy::default()).is_err()
-        );
+        assert!(convert_node(&file, &table(), &profile, &markers, FramePolicy::default()).is_err());
     }
 
     #[test]
@@ -1096,8 +1140,14 @@ mod lenient_marker_io_tests {
         assert_eq!(out.stats.clipped_starts, 2);
         let r = IntervalFileReader::open(&out.interval_file, &profile).unwrap();
         let ivs: Vec<Interval> = r.intervals().map(|x| x.unwrap()).collect();
-        let io = ivs.iter().find(|iv| iv.itype.state == StateCode::IO).unwrap();
-        assert_eq!((io.start, io.end(), io.itype.bebits), (1_000, 1_500, BeBits::End));
+        let io = ivs
+            .iter()
+            .find(|iv| iv.itype.state == StateCode::IO)
+            .unwrap();
+        assert_eq!(
+            (io.start, io.end(), io.itype.bebits),
+            (1_000, 1_500, BeBits::End)
+        );
         let marker = ivs
             .iter()
             .find(|iv| iv.itype.state == StateCode::MARKER)

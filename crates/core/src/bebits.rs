@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(count_states(&[]), Some(0));
         assert_eq!(count_states(&[Complete]), Some(1));
         assert_eq!(count_states(&[Begin, End]), Some(1));
-        assert_eq!(count_states(&[Begin, Continuation, Continuation, End]), Some(1));
+        assert_eq!(
+            count_states(&[Begin, Continuation, Continuation, End]),
+            Some(1)
+        );
         assert_eq!(
             count_states(&[Complete, Begin, End, Complete, Begin, Continuation, End]),
             Some(4)

@@ -104,7 +104,10 @@ mod tests {
         assert_eq!(e.to_string(), "corrupt frame directory at byte 128");
         let e = UteError::corrupt("hookword");
         assert_eq!(e.to_string(), "corrupt hookword");
-        let e = UteError::VersionMismatch { profile: 2, file: 1 };
+        let e = UteError::VersionMismatch {
+            profile: 2,
+            file: 1,
+        };
         assert!(e.to_string().contains("v2"));
         assert!(e.to_string().contains("v1"));
         let e = UteError::Parse {

@@ -351,10 +351,7 @@ mod tests {
 
     #[test]
     fn classes() {
-        assert_eq!(
-            EventCode::ThreadDispatch.class(),
-            EventClass::Dispatch
-        );
+        assert_eq!(EventCode::ThreadDispatch.class(), EventClass::Dispatch);
         assert_eq!(EventCode::GlobalClock.class(), EventClass::Clock);
         assert_eq!(EventCode::MpiBegin(MpiOp::Send).class(), EventClass::Mpi);
         assert_eq!(EventCode::PageFault.class(), EventClass::System);

@@ -85,6 +85,11 @@ pub struct IntervalFileWriter<'p> {
     pending: Vec<PendingFrame>,
     last_end: u64,
     total_records: u64,
+    /// Cached metric handles — resolved once so the per-record path
+    /// stays a single atomic add.
+    obs_records: &'static ute_obs::Counter,
+    obs_frames: &'static ute_obs::Counter,
+    obs_dirs: &'static ute_obs::Counter,
 }
 
 impl<'p> IntervalFileWriter<'p> {
@@ -124,6 +129,9 @@ impl<'p> IntervalFileWriter<'p> {
             pending: Vec::new(),
             last_end: 0,
             total_records: 0,
+            obs_records: ute_obs::counter("format/records_written"),
+            obs_frames: ute_obs::counter("format/frames_written"),
+            obs_dirs: ute_obs::counter("format/dirs_written"),
         }
     }
 
@@ -148,6 +156,7 @@ impl<'p> IntervalFileWriter<'p> {
         write_record(&mut self.current.bytes, &body)?;
         self.current.nrecords += 1;
         self.total_records += 1;
+        self.obs_records.inc();
         if self.current.nrecords as usize >= self.policy.max_records_per_frame {
             self.close_frame();
         }
@@ -159,6 +168,7 @@ impl<'p> IntervalFileWriter<'p> {
             return;
         }
         let frame = std::mem::take(&mut self.current);
+        self.obs_frames.inc();
         self.pending.push(frame);
         if self.pending.len() >= self.policy.max_frames_per_dir {
             self.flush_directory();
@@ -170,6 +180,7 @@ impl<'p> IntervalFileWriter<'p> {
             return;
         }
         let frames = std::mem::take(&mut self.pending);
+        self.obs_dirs.inc();
         let dir_at = self.out.pos();
         let header_len =
             crate::frame::DIR_HEADER_LEN + frames.len() * crate::frame::FRAME_ENTRY_LEN;
@@ -212,6 +223,7 @@ impl<'p> IntervalFileWriter<'p> {
     pub fn finish(mut self) -> Vec<u8> {
         self.close_frame();
         self.flush_directory();
+        ute_obs::counter("format/bytes_written").add(self.out.pos());
         self.out.into_bytes()
     }
 
@@ -269,6 +281,7 @@ impl<'a> IntervalFileReader<'a> {
             markers.push((id, r.get_str()?));
         }
         let first_dir = r.get_u64()?;
+        ute_obs::counter("format/files_opened").inc();
         Ok(IntervalFileReader {
             data,
             profile,
@@ -282,7 +295,11 @@ impl<'a> IntervalFileReader<'a> {
 
     /// The default node used when decoding records of this file.
     fn default_node(&self) -> NodeId {
-        NodeId(if self.node == MERGED_NODE { 0 } else { self.node })
+        NodeId(if self.node == MERGED_NODE {
+            0
+        } else {
+            self.node
+        })
     }
 
     /// Retrieves a marker string by identifier (§2.4).
@@ -296,10 +313,15 @@ impl<'a> IntervalFileReader<'a> {
     /// The paper's `readFrameDir`: reads the directory at `offset`
     /// ([`NO_DIR`] → the first directory).
     pub fn read_frame_dir(&self, offset: u64) -> Result<FrameDirectory> {
-        let at = if offset == NO_DIR { self.first_dir } else { offset };
+        let at = if offset == NO_DIR {
+            self.first_dir
+        } else {
+            offset
+        };
         if at == NO_DIR {
             return Err(UteError::NotFound("interval file has no frames".into()));
         }
+        ute_obs::counter("format/dir_lookups").inc();
         let mut r = ByteReader::new(self.data);
         r.seek(at)?;
         FrameDirectory::decode(&mut r)
@@ -316,6 +338,8 @@ impl<'a> IntervalFileReader<'a> {
     /// Decodes the records of one frame (random access — nothing before
     /// the frame is touched).
     pub fn frame_intervals(&self, entry: &FrameEntry) -> Result<Vec<Interval>> {
+        ute_obs::counter("format/frames_read").inc();
+        ute_obs::counter("format/bytes_read").add(entry.size);
         let mut r = ByteReader::new(self.data);
         r.seek(entry.offset)?;
         let cap = ute_core::codec::clamped_capacity(entry.nrecords as usize, 2, r.remaining());
@@ -375,6 +399,7 @@ impl<'a> IntervalFileReader<'a> {
     /// Finds the frame containing (or next after) time `t` by walking the
     /// directory chain — never touching frame contents.
     pub fn find_frame(&self, t: u64) -> Result<Option<FrameEntry>> {
+        ute_obs::counter("format/frame_lookups").inc();
         for dir in self.directories() {
             let dir = dir?;
             if let Some(e) = dir.find_frame(t) {
@@ -472,6 +497,8 @@ impl<'a> Iterator for RecordIter<'a, '_> {
             if self.frame_idx < self.frames.len() {
                 let entry = self.frames[self.frame_idx];
                 self.frame_idx += 1;
+                ute_obs::counter("format/frames_read").inc();
+                ute_obs::counter("format/bytes_read").add(entry.size);
                 let mut r = ByteReader::new(self.reader.data);
                 if let Err(e) = r.seek(entry.offset) {
                     self.failed = true;
@@ -532,7 +559,8 @@ mod tests {
 
     fn build_file(profile: &Profile, n: u64, policy: FramePolicy) -> Vec<u8> {
         let markers = vec![(1u32, "Initial Phase".to_string())];
-        let mut w = IntervalFileWriter::new(profile, MASK_PER_NODE, 1, &threads(), &markers, policy);
+        let mut w =
+            IntervalFileWriter::new(profile, MASK_PER_NODE, 1, &threads(), &markers, policy);
         for i in 0..n {
             w.push(&running(i * 10, 10)).unwrap();
         }
@@ -610,8 +638,14 @@ mod tests {
     #[test]
     fn out_of_order_push_rejected() {
         let p = Profile::standard();
-        let mut w =
-            IntervalFileWriter::new(&p, MASK_PER_NODE, 1, &threads(), &[], FramePolicy::default());
+        let mut w = IntervalFileWriter::new(
+            &p,
+            MASK_PER_NODE,
+            1,
+            &threads(),
+            &[],
+            FramePolicy::default(),
+        );
         w.push(&running(100, 10)).unwrap();
         assert!(w.push(&running(0, 10)).is_err());
     }
@@ -624,7 +658,10 @@ mod tests {
         other.version = 2;
         assert!(matches!(
             IntervalFileReader::open(&bytes, &other),
-            Err(UteError::VersionMismatch { profile: 2, file: 1 })
+            Err(UteError::VersionMismatch {
+                profile: 2,
+                file: 1
+            })
         ));
     }
 
@@ -646,7 +683,14 @@ mod tests {
     #[test]
     fn empty_file_has_no_frames() {
         let p = Profile::standard();
-        let w = IntervalFileWriter::new(&p, MASK_PER_NODE, 1, &threads(), &[], FramePolicy::default());
+        let w = IntervalFileWriter::new(
+            &p,
+            MASK_PER_NODE,
+            1,
+            &threads(),
+            &[],
+            FramePolicy::default(),
+        );
         let bytes = w.finish();
         let r = IntervalFileReader::open(&bytes, &p).unwrap();
         assert_eq!(r.total_records().unwrap(), 0);

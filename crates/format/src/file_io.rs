@@ -98,9 +98,7 @@ impl<'p> FileIntervalReader<'p> {
         }
     }
 
-    fn parse_header(
-        r: &mut ByteReader<'_>,
-    ) -> Result<ParsedHeader> {
+    fn parse_header(r: &mut ByteReader<'_>) -> Result<ParsedHeader> {
         if r.get_bytes(8)? != MAGIC {
             return Err(UteError::corrupt("interval file: bad magic"));
         }
@@ -125,26 +123,34 @@ impl<'p> FileIntervalReader<'p> {
     }
 
     fn default_node(&self) -> NodeId {
-        NodeId(if self.node == MERGED_NODE { 0 } else { self.node })
+        NodeId(if self.node == MERGED_NODE {
+            0
+        } else {
+            self.node
+        })
     }
 
     /// Reads the frame directory at `offset` ([`NO_DIR`] → the first)
     /// with two bounded reads: the fixed header, then the entries.
     pub fn read_frame_dir(&mut self, offset: u64) -> Result<FrameDirectory> {
-        let at = if offset == NO_DIR { self.first_dir } else { offset };
+        let at = if offset == NO_DIR {
+            self.first_dir
+        } else {
+            offset
+        };
         if at == NO_DIR {
             return Err(UteError::NotFound("interval file has no frames".into()));
         }
-        let head = self.cursor.read_at(at, DIR_HEADER_LEN, "frame directory header")?;
+        let head = self
+            .cursor
+            .read_at(at, DIR_HEADER_LEN, "frame directory header")?;
         let mut r = ByteReader::new(&head);
         let size = r.get_u32()? as usize;
         let nframes = r.get_u32()? as usize;
         if size != DIR_HEADER_LEN + nframes * FRAME_ENTRY_LEN {
             return Err(UteError::corrupt_at("frame directory size mismatch", at));
         }
-        let body = self
-            .cursor
-            .read_at(at, size, "frame directory")?;
+        let body = self.cursor.read_at(at, size, "frame directory")?;
         let mut r = ByteReader::new(&body);
         FrameDirectory::decode(&mut r)
     }

@@ -118,7 +118,11 @@ impl FrameDirectory {
         for _ in 0..nframes {
             entries.push(FrameEntry::decode(r)?);
         }
-        Ok(FrameDirectory { prev, next, entries })
+        Ok(FrameDirectory {
+            prev,
+            next,
+            entries,
+        })
     }
 
     /// Finds the frame whose time span contains `t`, if any; otherwise the

@@ -177,7 +177,10 @@ impl Profile {
         if let Some(i) = self.field_names.iter().position(|n| n == name) {
             return i as u16;
         }
-        assert!(self.field_names.len() < 0x1000, "field name space exhausted");
+        assert!(
+            self.field_names.len() < 0x1000,
+            "field name space exhausted"
+        );
         self.field_names.push(name.to_string());
         (self.field_names.len() - 1) as u16
     }
@@ -193,7 +196,10 @@ impl Profile {
 
     /// Looks up a field name's index.
     pub fn field_name_index(&self, name: &str) -> Option<u16> {
-        self.field_names.iter().position(|n| n == name).map(|i| i as u16)
+        self.field_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u16)
     }
 
     /// Registers a record spec.
@@ -624,22 +630,17 @@ mod api_completeness_tests {
                 FieldSpec::vector(f_label, FieldType::Char, 2),
             ],
         });
-        let iv = crate::record::Interval::basic(
-            itype,
-            0,
-            0,
-            CpuId(0),
-            NodeId(0),
-            LogicalThreadId(0),
-        )
-        .with_extra(&p, "label", Value::Str("hello world".into()));
+        let iv =
+            crate::record::Interval::basic(itype, 0, 0, CpuId(0), NodeId(0), LogicalThreadId(0))
+                .with_extra(&p, "label", Value::Str("hello world".into()));
         let body = iv.encode_body(&p, MASK_PER_NODE).unwrap();
         assert_eq!(
             p.get_string_by_name(MASK_PER_NODE, &body, "label").unwrap(),
             Some("hello world".to_string())
         );
         assert_eq!(
-            p.get_string_by_name(MASK_PER_NODE, &body, "recType").unwrap(),
+            p.get_string_by_name(MASK_PER_NODE, &body, "recType")
+                .unwrap(),
             None
         );
     }

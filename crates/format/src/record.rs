@@ -122,10 +122,7 @@ impl Interval {
     /// Looks up an extra field by name.
     pub fn extra<'a>(&'a self, profile: &Profile, name: &str) -> Option<&'a Value> {
         let idx = profile.field_name_index(name)?;
-        self.extras
-            .iter()
-            .find(|(i, _)| *i == idx)
-            .map(|(_, v)| v)
+        self.extras.iter().find(|(i, _)| *i == idx).map(|(_, v)| v)
     }
 
     /// Encodes the record body per the profile spec and selection mask
@@ -348,7 +345,7 @@ mod tests {
         let merged = iv.encode_body(&p, MASK_MERGED).unwrap();
         let per_node = iv.encode_body(&p, MASK_PER_NODE).unwrap();
         assert_eq!(merged.len() - per_node.len(), 2); // the u16 node field
-        // Reader restores the node from context.
+                                                      // Reader restores the node from context.
         let back = Interval::decode_body(&p, MASK_PER_NODE, &per_node, NodeId(2)).unwrap();
         assert_eq!(back, iv);
         // Wrong default node shows up (proving the field really is absent).
@@ -433,7 +430,9 @@ mod tests {
         let p = Profile::standard();
         let iv = send_interval(&p);
         let body = iv.encode_body(&p, MASK_MERGED).unwrap();
-        let sent = p.get_item_by_name(MASK_MERGED, &body, "msgSizeSent").unwrap();
+        let sent = p
+            .get_item_by_name(MASK_MERGED, &body, "msgSizeSent")
+            .unwrap();
         assert_eq!(sent, Some(Value::Uint(65536)));
         let start = p.get_item_by_name(MASK_MERGED, &body, "start").unwrap();
         assert_eq!(start, Some(Value::Uint(1_000)));

@@ -75,13 +75,17 @@ fn write_counter(w: &mut ByteWriter, counter_len: u8, n: usize) -> Result<()> {
     match counter_len {
         1 => {
             if n > u8::MAX as usize {
-                return Err(UteError::Invalid(format!("vector of {n} overflows u8 counter")));
+                return Err(UteError::Invalid(format!(
+                    "vector of {n} overflows u8 counter"
+                )));
             }
             w.put_u8(n as u8);
         }
         2 => {
             if n > u16::MAX as usize {
-                return Err(UteError::Invalid(format!("vector of {n} overflows u16 counter")));
+                return Err(UteError::Invalid(format!(
+                    "vector of {n} overflows u16 counter"
+                )));
             }
             w.put_u16(n as u16);
         }

@@ -64,6 +64,9 @@ pub struct NodeFit {
     pub fit: FitKind,
     /// How many clock samples survived filtering.
     pub samples_used: usize,
+    /// Largest |adjusted − true global| over the samples the fit was
+    /// computed from, in ticks (the fit's worst-case residual).
+    pub max_residual: u64,
 }
 
 /// Pulls the (G, L) pairs out of a per-node interval file.
@@ -108,20 +111,26 @@ pub fn fit_node(
             other => FitKind::Linear(ClockFit::fit(&samples, other)?),
         }
     } else {
-        let anchor = samples.first().copied().unwrap_or(ClockSample::new(
-            Time::ZERO,
-            LocalTime::ZERO,
-        ));
+        let anchor = samples
+            .first()
+            .copied()
+            .unwrap_or(ClockSample::new(Time::ZERO, LocalTime::ZERO));
         FitKind::Linear(ClockFit {
             origin_global: anchor.global,
             origin_local: anchor.local,
             ratio: 1.0,
         })
     };
+    let max_residual = samples
+        .iter()
+        .map(|s| s.global.ticks().abs_diff(fit.adjust(s.local).ticks()))
+        .max()
+        .unwrap_or(0);
     Ok(NodeFit {
         node: reader.node,
         fit,
         samples_used: samples.len(),
+        max_residual,
     })
 }
 
@@ -175,7 +184,11 @@ mod tests {
         assert_eq!(samples.len(), 10);
         let nf = fit_node(&r, &p, RatioEstimator::RmsSegments, true).unwrap();
         assert_eq!(nf.node, 3);
-        assert!((nf.fit.ratio() - 2.0).abs() < 1e-9, "ratio {}", nf.fit.ratio());
+        assert!(
+            (nf.fit.ratio() - 2.0).abs() < 1e-9,
+            "ratio {}",
+            nf.fit.ratio()
+        );
         // Adjusting a local timestamp recovers its global time.
         let adj = nf.fit.adjust(LocalTime(50 + 2_000_000 / 2));
         assert_eq!(adj.ticks(), 100 + 2_000_000);
@@ -249,15 +262,15 @@ mod piecewise_tests {
         // … while the single-ratio fit is visibly wrong mid-segment.
         let lin = fit_node(&r, &p, RatioEstimator::RmsSegments, false).unwrap();
         let probe = pairs[5];
-        let pw_err =
-            (nf.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
-        let lin_err =
-            (lin.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
+        let pw_err = (nf.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
+        let lin_err = (lin.fit.adjust(LocalTime(probe.1)).ticks() as i64 - probe.0 as i64).abs();
         assert!(pw_err <= 1);
         assert!(lin_err > 1_000, "linear error only {lin_err}");
         // Durations scale by the segment's own ratio.
         let d1 = nf.fit.adjust_duration(LocalTime(pairs[2].1), Duration(100));
-        let d2 = nf.fit.adjust_duration(LocalTime(pairs[15].1), Duration(100));
+        let d2 = nf
+            .fit
+            .adjust_duration(LocalTime(pairs[15].1), Duration(100));
         assert_eq!(d1.ticks(), 200); // first half: local runs at half speed
         assert_eq!(d2.ticks(), 50); // second half: local runs at double speed
     }

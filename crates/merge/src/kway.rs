@@ -28,6 +28,9 @@ pub struct BalancedTreeMerge<S: MergeSource> {
     sources: Vec<S>,
     /// (end time, source index) → buffered head item.
     tree: BTreeMap<(u64, usize), S::Item>,
+    /// Cached metric handles — one registry lookup per merge, not per pop.
+    obs_comparisons: &'static ute_obs::Counter,
+    obs_heap: &'static ute_obs::Gauge,
 }
 
 impl<S: MergeSource> BalancedTreeMerge<S> {
@@ -39,7 +42,14 @@ impl<S: MergeSource> BalancedTreeMerge<S> {
                 tree.insert((S::end_of(&item), i), item);
             }
         }
-        BalancedTreeMerge { sources, tree }
+        let obs_heap = ute_obs::gauge("merge/heap_size_max");
+        obs_heap.set_max(tree.len() as f64);
+        BalancedTreeMerge {
+            sources,
+            tree,
+            obs_comparisons: ute_obs::counter("merge/comparisons"),
+            obs_heap,
+        }
     }
 }
 
@@ -52,7 +62,12 @@ impl<S: MergeSource> Iterator for BalancedTreeMerge<S> {
         let idx = key.1;
         if let Some(next) = self.sources[idx].next_item() {
             self.tree.insert((S::end_of(&next), idx), next);
+            self.obs_heap.set_max(self.tree.len() as f64);
         }
+        // A pop is a remove + (usually) a re-insert into a tree of k
+        // stream heads: ~log₂(k) key comparisons each.
+        self.obs_comparisons
+            .add(u64::from((self.tree.len() as u64).max(1).ilog2()) + 1);
         Some(item)
     }
 }
@@ -156,8 +171,7 @@ mod tests {
 
     #[test]
     fn empty_everything() {
-        let out: Vec<(u64, u64)> =
-            BalancedTreeMerge::new(Vec::<VecSource>::new()).collect();
+        let out: Vec<(u64, u64)> = BalancedTreeMerge::new(Vec::<VecSource>::new()).collect();
         assert!(out.is_empty());
     }
 

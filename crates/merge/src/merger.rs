@@ -95,8 +95,11 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
     let mut markers: Vec<(u32, String)> = Vec::new();
     let mut sources = Vec::with_capacity(files.len());
 
+    let obs_in = ute_obs::counter("merge/records_in");
+    let obs_residual = ute_obs::gauge("merge/clock_fit_residual_ns");
     for bytes in files {
         let reader = IntervalFileReader::open(bytes, profile)?;
+        let _span = ute_obs::Span::enter("merge", format!("merge node {}", reader.node));
         union_threads.absorb(&reader.threads)?;
         for (id, name) in &reader.markers {
             match markers.iter().find(|(i, _)| i == id) {
@@ -134,12 +137,17 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
             }
             let local_start = LocalTime(iv.start);
             iv.start = nf.fit.adjust(local_start).ticks();
-            iv.duration = nf.fit.adjust_duration(local_start, Duration(iv.duration)).ticks();
+            iv.duration = nf
+                .fit
+                .adjust_duration(local_start, Duration(iv.duration))
+                .ticks();
             adjusted.push(iv);
         }
         // Linear adjustment preserves end-time order up to rounding;
         // restore strict order where rounding introduced 1-tick swaps.
         adjusted.sort_by_key(|iv| iv.end());
+        obs_in.add(adjusted.len() as u64);
+        obs_residual.set_max(nf.max_residual as f64);
         stats.fits.push(nf);
         sources.push(IvSource {
             items: adjusted.into_iter(),
@@ -168,8 +176,7 @@ impl OpenTracker {
             BeBits::Begin => self.open.entry(key).or_default().push(iv.clone()),
             BeBits::End => {
                 if let Some(stack) = self.open.get_mut(&key) {
-                    if let Some(pos) = stack.iter().rposition(|o| o.itype.state == iv.itype.state)
-                    {
+                    if let Some(pos) = stack.iter().rposition(|o| o.itype.state == iv.itype.state) {
                         stack.remove(pos);
                     }
                 }
@@ -200,11 +207,7 @@ impl OpenTracker {
 }
 
 /// Merges per-node interval files into one merged interval file.
-pub fn merge_files(
-    files: &[&[u8]],
-    profile: &Profile,
-    opts: &MergeOptions,
-) -> Result<MergeOutput> {
+pub fn merge_files(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result<MergeOutput> {
     let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
     let mut writer = IntervalFileWriter::new(
         profile,
@@ -232,6 +235,8 @@ pub fn merge_files(
         tracker.observe(iv);
     }
     stats.records_out = writer.record_count();
+    ute_obs::counter("merge/records_out").add(stats.records_out);
+    ute_obs::counter("merge/pseudo_added").add(stats.pseudo_added);
     Ok(MergeOutput {
         merged: writer.finish(),
         stats,
@@ -248,6 +253,7 @@ pub fn slogmerge(
 ) -> Result<(SlogFile, MergeStats)> {
     let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
     stats.records_out = merged.len() as u64;
+    ute_obs::counter("merge/records_out").add(stats.records_out);
     let slog = SlogBuilder::new(profile, build).build(&merged, &threads, &markers)?;
     Ok((slog, stats))
 }
@@ -301,9 +307,7 @@ mod tests {
             if s < secs {
                 records.push(
                     Interval::basic(
-                        IntervalType::complete(StateCode::mpi(
-                            ute_core::event::MpiOp::Barrier,
-                        )),
+                        IntervalType::complete(StateCode::mpi(ute_core::event::MpiOp::Barrier)),
                         local(g + 200_000_000),
                         (100_000_000_f64 * rate) as u64,
                         CpuId(0),
@@ -364,10 +368,8 @@ mod tests {
         assert_eq!(r.node, MERGED_NODE);
         assert_eq!(r.threads.len(), 2);
         assert_eq!(r.markers.len(), 1);
-        let nodes: std::collections::HashSet<u16> = r
-            .intervals()
-            .map(|iv| iv.unwrap().node.raw())
-            .collect();
+        let nodes: std::collections::HashSet<u16> =
+            r.intervals().map(|iv| iv.unwrap().node.raw()).collect();
         assert_eq!(nodes.len(), 2, "records from both nodes present");
     }
 
@@ -498,7 +500,11 @@ mod tests {
             ..MergeOptions::default()
         };
         let out = merge_files(&[&f], &p, &opts).unwrap();
-        assert!(out.stats.pseudo_added >= 4, "added {}", out.stats.pseudo_added);
+        assert!(
+            out.stats.pseudo_added >= 4,
+            "added {}",
+            out.stats.pseudo_added
+        );
         let r = IntervalFileReader::open(&out.merged, &p).unwrap();
         // Every frame after the first that starts inside the marker must
         // begin with a zero-duration Marker continuation record.

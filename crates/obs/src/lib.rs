@@ -1,0 +1,43 @@
+//! # ute-obs — the framework observes itself
+//!
+//! The paper's thesis is that you cannot tune what you cannot observe.
+//! This crate turns that lens back on the reproduction: every stage of
+//! the Figure-2 pipeline (simulate → trace → convert → merge → SLOG →
+//! stats → view) reports counters, gauges, log₂-bucket histograms, and
+//! wall-clock spans into one process-global [`MetricsRegistry`].
+//!
+//! Design rules:
+//!
+//! * **Lock-free on the hot path.** Every metric handle is a leaked
+//!   `&'static` atomic cell; updating one is a single relaxed atomic op.
+//!   A mutex is taken only when a metric name is first registered.
+//! * **No dependencies on the pipeline.** The crates being measured
+//!   (`ute-format`, `ute-merge`, ...) depend on this crate, so this
+//!   crate cannot depend on them. The self-trace *sink* — which
+//!   re-emits captured spans as UTE interval records through the
+//!   `ute-format` writer, so the framework's own run is viewable with
+//!   `ute preview`/`ute view` — therefore lives one layer up, in
+//!   `ute-cli` (`selftrace` module), consuming [`span::drain_spans`].
+//! * **Always on, nearly free.** Counters are maintained
+//!   unconditionally (an uncontended atomic add is ~1 ns). Span
+//!   *capture* for self-tracing allocates, so it is gated behind
+//!   [`span::set_capture`].
+//!
+//! ```
+//! use ute_obs as obs;
+//! obs::counter("demo/widgets").add(3);
+//! {
+//!     let _span = obs::Span::enter("demo", "frobnicate");
+//!     // ... work ...
+//! }
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("demo/widgets"), Some(3));
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{counter, gauge, histogram, reset, Counter, Gauge, Histogram, MetricsRegistry};
+pub use report::{snapshot, MetricsSnapshot};
+pub use span::{FinishedSpan, Span};

@@ -1,0 +1,226 @@
+//! Snapshots of the global registry, rendered as a per-stage TSV
+//! table (for `--metrics` on stderr) or machine-readable JSON (for
+//! `ute report`). JSON is hand-rolled: the report shape is flat and
+//! this crate stays dependency-free.
+
+use crate::metrics::{self, Histogram, HIST_BUCKETS};
+
+/// One histogram, frozen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Per-bucket counts (see [`Histogram::bucket_bounds`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Every metric in the registry, frozen at one instant, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Takes a snapshot of the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = metrics::global();
+    let mut snap = MetricsSnapshot::default();
+    reg.visit_counters(|name, v| snap.counters.push((name.to_string(), v)));
+    reg.visit_gauges(|name, v| snap.gauges.push((name.to_string(), v)));
+    reg.visit_histograms(|name, h| {
+        snap.histograms.push((
+            name.to_string(),
+            HistogramSnapshot {
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets: h.bucket_counts(),
+            },
+        ))
+    });
+    snap.counters.sort();
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The `--metrics` table: one `kind<TAB>name<TAB>value...` row per
+    /// metric, grouped by pipeline stage (the `stage/` name prefix).
+    /// Histograms render as count/mean/min/max in nanosecond-friendly
+    /// units. Zero-valued metrics are kept: "this never happened" is
+    /// information.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("kind\tname\tvalue\tdetail\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter\t{name}\t{v}\t\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge\t{name}\t{}\t\n", fmt_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram\t{name}\t{}\tmean={} min={} max={} sum={}\n",
+                h.count,
+                fmt_f64(h.mean()),
+                h.min,
+                h.max,
+                h.sum,
+            ));
+        }
+        out
+    }
+
+    /// The `ute report` JSON object (`{"counters": {...}, "gauges":
+    /// {...}, "histograms": {...}}`). Histogram buckets serialize
+    /// sparsely as `[lo, hi, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        push_entries(&mut s, self.counters.iter(), |s, v| {
+            s.push_str(&v.to_string())
+        });
+        s.push_str("},\n  \"gauges\": {");
+        push_entries(&mut s, self.gauges.iter(), |s, v| s.push_str(&fmt_f64(*v)));
+        s.push_str("},\n  \"histograms\": {");
+        push_entries(&mut s, self.histograms.iter(), |s, h| {
+            s.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                fmt_f64(h.mean()),
+            ));
+            let mut first = true;
+            for (i, &c) in h.buckets.iter().enumerate().take(HIST_BUCKETS) {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                s.push_str(&format!("[{lo}, {hi}, {c}]"));
+            }
+            s.push_str("]}");
+        });
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+/// Writes `"name": <value>` entries joined by commas.
+fn push_entries<'a, T: 'a>(
+    s: &mut String,
+    entries: impl Iterator<Item = &'a (String, T)>,
+    mut value: impl FnMut(&mut String, &T),
+) {
+    let mut first = true;
+    for (name, v) in entries {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    \"");
+        s.push_str(&json_escape(name));
+        s.push_str("\": ");
+        value(s, v);
+    }
+    s.push_str("\n  ");
+}
+
+/// JSON string escaping for metric names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so JSON stays valid (no NaN/inf) and integers stay
+/// integral-looking.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, gauge, histogram};
+
+    #[test]
+    fn snapshot_finds_metrics_and_renders() {
+        counter("test/report/c").add(7);
+        gauge("test/report/g").set(2.5);
+        histogram("test/report/h").record(100);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test/report/c"), Some(7));
+        assert_eq!(snap.gauge("test/report/g"), Some(2.5));
+        assert_eq!(snap.histogram("test/report/h").unwrap().count, 1);
+
+        let tsv = snap.to_tsv();
+        assert!(tsv.contains("counter\ttest/report/c\t7"));
+        assert!(tsv.starts_with("kind\tname\tvalue"));
+
+        let json = snap.to_json();
+        assert!(json.contains("\"test/report/c\": 7"));
+        assert!(json.contains("\"gauges\""));
+        // Buckets are sparse [lo, hi, count] triples.
+        assert!(json.contains("[64, 128, 1]"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,152 @@
+//! RAII wall-clock span timers and the capture buffer behind the
+//! self-trace sink.
+//!
+//! A [`Span`] measures one stage of the pipeline or one unit of work
+//! inside a stage (one node file converted, one clock fitted, one
+//! frame flushed). Dropping the span records its duration into the
+//! histogram `"<stage>/span_ns"` — always — and, when capture is
+//! enabled, appends a [`FinishedSpan`] to a process-global log that
+//! `ute-cli`'s self-trace sink turns into UTE interval records.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::metrics;
+
+/// The process epoch all span timestamps are relative to (first use).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+
+fn span_log() -> &'static Mutex<Vec<FinishedSpan>> {
+    static LOG: OnceLock<Mutex<Vec<FinishedSpan>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turns span capture on or off. Capture allocates per span, so it is
+/// off unless a self-trace sink asked for it (`--self-trace`).
+pub fn set_capture(on: bool) {
+    // Pin the epoch before the first captured span so start offsets
+    // are meaningful.
+    epoch();
+    CAPTURE.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being captured.
+pub fn capture_enabled() -> bool {
+    CAPTURE.load(Ordering::Relaxed)
+}
+
+/// Takes every captured span out of the log.
+pub fn drain_spans() -> Vec<FinishedSpan> {
+    std::mem::take(&mut *span_log().lock())
+}
+
+/// A completed span, as captured for the self-trace sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSpan {
+    /// Pipeline stage ("trace", "convert", "merge", ...). Becomes the
+    /// self-trace timeline the interval lands on.
+    pub stage: &'static str,
+    /// What this span covered ("convert" for the whole stage,
+    /// "convert node 3" for one unit of work). Becomes the marker name.
+    pub label: String,
+    /// Start, in nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// RAII wall-clock timer for one stage or unit of work.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    stage: &'static str,
+    /// `None` when the label equals the stage name (saves the
+    /// allocation on the common whole-stage spans).
+    label: Option<String>,
+    start_ns: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span for a unit of work within a stage.
+    pub fn enter(stage: &'static str, label: impl Into<String>) -> Span {
+        Span {
+            stage,
+            label: Some(label.into()),
+            start_ns: now_ns(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Opens a whole-stage span (label = stage name).
+    pub fn stage(stage: &'static str) -> Span {
+        Span {
+            stage,
+            label: None,
+            start_ns: now_ns(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        metrics::histogram(&format!("{}/span_ns", self.stage)).record(dur_ns);
+        if capture_enabled() {
+            span_log().lock().push(FinishedSpan {
+                stage: self.stage,
+                label: self.label.take().unwrap_or_else(|| self.stage.to_string()),
+                start_ns: self.start_ns,
+                dur_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_histogram_and_capture() {
+        set_capture(true);
+        {
+            let _a = Span::stage("test-span-stage");
+            let _b = Span::enter("test-span-stage", "unit 1");
+        }
+        set_capture(false);
+        let spans: Vec<_> = drain_spans()
+            .into_iter()
+            .filter(|s| s.stage == "test-span-stage")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner span ends first.
+        assert_eq!(spans[0].label, "unit 1");
+        assert_eq!(spans[1].label, "test-span-stage");
+        assert!(metrics::histogram("test-span-stage/span_ns").count() >= 2);
+    }
+
+    #[test]
+    fn capture_off_discards() {
+        set_capture(false);
+        drain_spans();
+        {
+            let _s = Span::stage("test-span-nocapture");
+        }
+        assert!(drain_spans()
+            .iter()
+            .all(|s| s.stage != "test-span-nocapture"));
+    }
+}

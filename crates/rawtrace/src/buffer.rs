@@ -94,6 +94,14 @@ pub struct TraceBuffer {
     pub ledger: CostLedger,
     /// Whether tracing is currently on (between start and stop).
     active: bool,
+    /// Cached metric handles — the cut path runs once per simulated
+    /// event, so each update must stay a single atomic add.
+    obs_cut: &'static ute_obs::Counter,
+    obs_wrapped: &'static ute_obs::Counter,
+    obs_fills: &'static ute_obs::Counter,
+    obs_flushes: &'static ute_obs::Counter,
+    obs_dropped: &'static ute_obs::Counter,
+    obs_bytes: &'static ute_obs::Counter,
 }
 
 impl TraceBuffer {
@@ -107,6 +115,12 @@ impl TraceBuffer {
             dropped: 0,
             ledger: CostLedger::default(),
             active: true,
+            obs_cut: ute_obs::counter("rawtrace/records_cut"),
+            obs_wrapped: ute_obs::counter("rawtrace/records_wrapped"),
+            obs_fills: ute_obs::counter("rawtrace/buffer_fills"),
+            obs_flushes: ute_obs::counter("rawtrace/flushes"),
+            obs_dropped: ute_obs::counter("rawtrace/dropped"),
+            obs_bytes: ute_obs::counter("rawtrace/bytes_flushed"),
             opts,
         }
     }
@@ -139,30 +153,40 @@ impl TraceBuffer {
             if event.timestamp < after {
                 self.ledger.charge_rejected(&self.opts.cost);
                 self.dropped += 1;
+                self.obs_dropped.inc();
                 return Ok(false);
             }
         }
         let need = event.encoded_len();
         if self.buf.pos() as usize + need > self.opts.buffer_size {
+            self.obs_fills.inc();
             match self.opts.mode {
                 BufferMode::Flush => self.flush(),
                 BufferMode::StopWhenFull => {
                     self.ledger.charge_rejected(&self.opts.cost);
                     self.dropped += 1;
+                    self.obs_dropped.inc();
                     return Ok(false);
                 }
             }
         }
         event.encode(&mut self.buf)?;
         self.ledger.charge_cut(&self.opts.cost, wrapped);
+        self.obs_cut.inc();
+        if wrapped {
+            self.obs_wrapped.inc();
+        }
         Ok(true)
     }
 
     /// Flushes the in-flight buffer to the backing store.
     pub fn flush(&mut self) {
         if self.buf.pos() > 0 {
+            self.obs_bytes.add(self.buf.pos());
+            self.obs_flushes.inc();
             self.flushed.extend_from_slice(self.buf.as_bytes());
-            self.buf = ute_core::codec::ByteWriter::with_capacity(self.opts.buffer_size.min(1 << 16));
+            self.buf =
+                ute_core::codec::ByteWriter::with_capacity(self.opts.buffer_size.min(1 << 16));
             self.flush_count += 1;
         }
     }
@@ -220,7 +244,11 @@ mod tests {
         for t in 0..10 {
             assert!(b.cut(&ev(t), false).unwrap());
         }
-        assert!(b.flush_count >= 2, "expected flushes, got {}", b.flush_count);
+        assert!(
+            b.flush_count >= 2,
+            "expected flushes, got {}",
+            b.flush_count
+        );
         assert_eq!(decode_all(&b.finish()).len(), 10);
     }
 

@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn default_costs_are_submicrosecond_for_parts_1_and_2() {
         let m = CostModel::default();
-        assert!(m.cut() < Duration::from_micros(1), "paper: fraction of a µs");
+        assert!(
+            m.cut() < Duration::from_micros(1),
+            "paper: fraction of a µs"
+        );
         assert!(m.cut_wrapped() > m.cut());
         assert!(m.test_only() < m.cut());
     }
@@ -122,10 +125,7 @@ mod tests {
         l.charge_rejected(&m);
         assert_eq!(l.records_cut, 2);
         assert_eq!(l.tests_rejected, 1);
-        assert_eq!(
-            l.total,
-            m.cut() + m.cut_wrapped() + m.test_only()
-        );
+        assert_eq!(l.total, m.cut() + m.cut_wrapped() + m.test_only());
         assert!(l.mean_per_record().unwrap() >= m.cut());
     }
 

@@ -49,8 +49,9 @@ impl Hookword {
     pub fn from_u32(word: u32) -> Result<Hookword> {
         let raw_code = (word >> 16) as u16;
         let length = (word & 0xffff) as u16;
-        let code = EventCode::from_u16(raw_code)
-            .ok_or_else(|| UteError::corrupt(format!("hookword: unknown event type {raw_code:#06x}")))?;
+        let code = EventCode::from_u16(raw_code).ok_or_else(|| {
+            UteError::corrupt(format!("hookword: unknown event type {raw_code:#06x}"))
+        })?;
         if (length as usize) < FIXED_PREFIX {
             return Err(UteError::corrupt(format!(
                 "hookword: record length {length} shorter than fixed prefix"

@@ -66,6 +66,10 @@ impl<'a> SlogBuilder<'a> {
         threads: &ThreadTable,
         markers: &[(u32, String)],
     ) -> Result<SlogFile> {
+        let _span = ute_obs::Span::enter(
+            "slog",
+            format!("build slog ({} intervals)", intervals.len()),
+        );
         let nframes = self.opts.nframes.max(1);
         let span_start = intervals.iter().map(|iv| iv.start).min().unwrap_or(0);
         let span_end = intervals
@@ -111,9 +115,7 @@ impl<'a> SlogBuilder<'a> {
             if iv.itype.state == StateCode::CLOCK {
                 continue;
             }
-            let Some(&timeline) =
-                timeline_index.get(&(iv.node.raw(), iv.thread.raw()))
-            else {
+            let Some(&timeline) = timeline_index.get(&(iv.node.raw(), iv.thread.raw())) else {
                 return Err(UteError::NotFound(format!(
                     "thread (node {}, logical {}) missing from thread table",
                     iv.node, iv.thread
@@ -193,6 +195,8 @@ impl<'a> SlogBuilder<'a> {
             }
         }
 
+        ute_obs::counter("slog/arrows_matched").add(arrows.len() as u64);
+
         // Place arrows: home frame = frame of the receive; pseudo copies
         // in every earlier frame the arrow crosses.
         for a in arrows {
@@ -206,6 +210,9 @@ impl<'a> SlogBuilder<'a> {
             }
         }
 
+        ute_obs::counter("slog/frames_built").add(frames.len() as u64);
+        ute_obs::counter("slog/records_out")
+            .add(frames.iter().map(|f| f.records.len() as u64).sum::<u64>());
         Ok(SlogFile {
             threads: threads.clone(),
             markers: markers.to_vec(),
@@ -218,7 +225,7 @@ impl<'a> SlogBuilder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use ute_core::ids::{CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
     use ute_format::record::IntervalType;
     use ute_format::thread_table::ThreadEntry;
@@ -252,7 +259,15 @@ mod tests {
         )
     }
 
-    fn send(p: &Profile, node: u16, start: u64, dur: u64, seq: u64, rank: u64, peer: u64) -> Interval {
+    fn send(
+        p: &Profile,
+        node: u16,
+        start: u64,
+        dur: u64,
+        seq: u64,
+        rank: u64,
+        peer: u64,
+    ) -> Interval {
         Interval::basic(
             IntervalType::complete(StateCode::mpi(MpiOp::Send)),
             start,
@@ -269,7 +284,15 @@ mod tests {
         .with_extra(p, "address", Value::Uint(0))
     }
 
-    fn recv(p: &Profile, node: u16, start: u64, dur: u64, seq: u64, rank: u64, peer: u64) -> Interval {
+    fn recv(
+        p: &Profile,
+        node: u16,
+        start: u64,
+        dur: u64,
+        seq: u64,
+        rank: u64,
+        peer: u64,
+    ) -> Interval {
         Interval::basic(
             IntervalType::complete(StateCode::mpi(MpiOp::Recv)),
             start,
@@ -293,9 +316,16 @@ mod tests {
             running(&p, 0, 0, 1000), // spans all frames
             running(&p, 1, 100, 50),
         ];
-        let slog = SlogBuilder::new(&p, BuildOptions { nframes: 4, preview_bins: 8, arrows: false })
-            .build(&ivs, &threads2(), &[])
-            .unwrap();
+        let slog = SlogBuilder::new(
+            &p,
+            BuildOptions {
+                nframes: 4,
+                preview_bins: 8,
+                arrows: false,
+            },
+        )
+        .build(&ivs, &threads2(), &[])
+        .unwrap();
         assert_eq!(slog.frames.len(), 4);
         // The long running state appears real in frame 0 and pseudo in 1-3.
         assert_eq!(slog.frames[0].pseudo_count(), 0);
@@ -316,9 +346,16 @@ mod tests {
             recv(&p, 1, 900, 50, 5, 1, 0),
             running(&p, 0, 0, 1000),
         ];
-        let slog = SlogBuilder::new(&p, BuildOptions { nframes: 4, preview_bins: 8, arrows: true })
-            .build(&ivs, &threads2(), &[])
-            .unwrap();
+        let slog = SlogBuilder::new(
+            &p,
+            BuildOptions {
+                nframes: 4,
+                preview_bins: 8,
+                arrows: true,
+            },
+        )
+        .build(&ivs, &threads2(), &[])
+        .unwrap();
         let arrows: Vec<&SlogArrow> = slog
             .frames
             .iter()
@@ -380,10 +417,14 @@ mod tests {
             .filter(|r| !r.is_pseudo())
             .collect();
         assert_eq!(real.len(), 1);
-        assert!(slog.frames.iter().flat_map(|f| &f.records).all(|r| matches!(
-            r,
-            SlogRecord::State(s) if s.state == StateCode::RUNNING
-        )));
+        assert!(slog
+            .frames
+            .iter()
+            .flat_map(|f| &f.records)
+            .all(|r| matches!(
+                r,
+                SlogRecord::State(s) if s.state == StateCode::RUNNING
+            )));
     }
 
     #[test]

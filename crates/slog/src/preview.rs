@@ -185,7 +185,7 @@ mod tests {
         p.add(StateCode::IO, 500, 50);
         let bins = &p.bins[&StateCode::IO.0];
         assert_eq!(bins[1], 0); // no overlap with [150,200)
-        // Spanning the end boundary is clipped to overlap only.
+                                // Spanning the end boundary is clipped to overlap only.
         p.add(StateCode::MARKER, 190, 100);
         assert_eq!(p.bins[&StateCode::MARKER.0][1], 10);
     }

@@ -153,7 +153,9 @@ impl SlogRecord {
                 bytes: r.get_u64()?,
                 seq: r.get_u64()?,
             })),
-            other => Err(UteError::corrupt(format!("slog record: unknown tag {other}"))),
+            other => Err(UteError::corrupt(format!(
+                "slog record: unknown tag {other}"
+            ))),
         }
     }
 }

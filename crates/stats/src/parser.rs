@@ -150,9 +150,7 @@ impl<'a> Lexer<'a> {
                         .to_string();
                     out.push((Tok::Ident(s), at));
                 }
-                other => {
-                    return Err(self.err(&format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(&format!("unexpected character `{}`", other as char))),
             }
         }
         Ok(out)
@@ -297,9 +295,7 @@ impl Parser {
                         "count" => Agg::Count,
                         "min" => Agg::Min,
                         "max" => Agg::Max,
-                        other => {
-                            return Err(self.err(&format!("unknown aggregator `{other}`")))
-                        }
+                        other => return Err(self.err(&format!("unknown aggregator `{other}`"))),
                     };
                     self.expect(&Tok::RParen, "`)`")?;
                     spec.ys.push((label, e, agg));
@@ -370,7 +366,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spec.len(), 2);
-        assert_eq!(spec[1].xs[0].1, Expr::TimeBin(Box::new(Expr::field("start")), 50));
+        assert_eq!(
+            spec[1].xs[0].1,
+            Expr::TimeBin(Box::new(Expr::field("start")), 50)
+        );
     }
 
     #[test]

@@ -20,12 +20,12 @@ pub fn run_tables(
     profile: &Profile,
     intervals: &[Interval],
 ) -> Result<Vec<Table>> {
-    let span_start = intervals
-        .iter()
-        .map(|iv| iv.start)
-        .min()
-        .unwrap_or(0) as f64
-        / TICKS_PER_SEC as f64;
+    let _span = ute_obs::Span::enter("stats", format!("run {} tables", specs.len()));
+    let eval_start = std::time::Instant::now();
+    ute_obs::counter("stats/tables_run").add(specs.len() as u64);
+    ute_obs::counter("stats/records_scanned").add(intervals.len() as u64);
+    let span_start =
+        intervals.iter().map(|iv| iv.start).min().unwrap_or(0) as f64 / TICKS_PER_SEC as f64;
     let span_end = intervals
         .iter()
         .map(|iv| iv.end())
@@ -67,7 +67,7 @@ pub fn run_tables(
             }
         }
     }
-    Ok(specs
+    let tables: Vec<Table> = specs
         .iter()
         .zip(acc)
         .map(|(spec, groups)| Table {
@@ -87,7 +87,11 @@ pub fn run_tables(
                 })
                 .collect(),
         })
-        .collect())
+        .collect();
+    ute_obs::counter("stats/rows_emitted")
+        .add(tables.iter().map(|t| t.rows.len() as u64).sum::<u64>());
+    ute_obs::histogram("stats/eval_ns").record(eval_start.elapsed().as_nanos() as u64);
+    Ok(tables)
 }
 
 #[cfg(test)]
@@ -106,7 +110,7 @@ mod tests {
                 for k in 0..3u64 {
                     let iv = Interval::basic(
                         IntervalType::complete(StateCode::mpi(ute_core::event::MpiOp::Barrier)),
-                        k * TICKS_PER_SEC, // 0,1,2 s
+                        k * TICKS_PER_SEC,           // 0,1,2 s
                         (100 + 100 * k) * 1_000_000, // 0.1/0.2/0.3 s
                         CpuId(cpu),
                         NodeId(node),
@@ -145,8 +149,8 @@ mod tests {
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         assert_eq!(t.rows.len(), 4); // 2 nodes × 2 cpus
-        // Started < 2 s: barriers at 0 s (0.1) and 1 s (0.2) plus the
-        // Running interval (3.0) → avg = (0.1+0.2+3.0)/3 = 1.1.
+                                     // Started < 2 s: barriers at 0 s (0.1) and 1 s (0.2) plus the
+                                     // Running interval (3.0) → avg = (0.1+0.2+3.0)/3 = 1.1.
         let ys = t.row(&[0.0, 0.0]).unwrap();
         assert!((ys[0] - 1.1).abs() < 1e-9, "avg {}", ys[0]);
     }

@@ -54,11 +54,7 @@ pub fn heatmap_ascii(table: &Table, y_idx: usize) -> Result<String> {
         }
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>8} +{}\n",
-        "",
-        "-".repeat(cols.len())
-    ));
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(cols.len())));
     Ok(out)
 }
 

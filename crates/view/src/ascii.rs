@@ -55,11 +55,11 @@ pub fn render(view: &View, width: usize) -> String {
         out.push('\n');
     }
     out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(width)));
+    let t0 = format!("{:.3}s", view.t0 as f64 / 1e9);
+    let t1 = format!("{:.3}s", view.t1 as f64 / 1e9);
     out.push_str(&format!(
-        "{:>label_w$}  {:<w2$}{}\n",
+        "{:>label_w$}  {t0:<w2$}{t1}\n",
         "",
-        format!("{:.3}s", view.t0 as f64 / 1e9),
-        format!("{:.3}s", view.t1 as f64 / 1e9),
         w2 = width.saturating_sub(8),
     ));
     out.push_str("legend:");

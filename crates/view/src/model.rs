@@ -159,7 +159,13 @@ pub fn build_view(slog: &SlogFile, cfg: &ViewConfig) -> Result<View> {
                     if overlaps(s, window) {
                         // The same state may appear in several frames
                         // (pseudo copies) — dedup by identity.
-                        let key = (s.timeline, s.start, s.duration, s.state.0, s.bebits.to_bits());
+                        let key = (
+                            s.timeline,
+                            s.start,
+                            s.duration,
+                            s.state.0,
+                            s.bebits.to_bits(),
+                        );
                         if seen_states.insert(key) {
                             states.push(*s);
                         }
@@ -219,14 +225,15 @@ fn build_from_states(
         }
         ViewKind::ProcessorActivity | ViewKind::ProcessorThread => {
             if let Some(ncpu) = cfg.cpus_per_node {
-                let nodes: std::collections::BTreeSet<u16> =
-                    slog.threads.entries().iter().map(|e| e.node.raw()).collect();
+                let nodes: std::collections::BTreeSet<u16> = slog
+                    .threads
+                    .entries()
+                    .iter()
+                    .map(|e| e.node.raw())
+                    .collect();
                 for node in nodes {
                     for cpu in 0..ncpu {
-                        rows.insert(
-                            (node as u32, cpu as u32),
-                            format!("n{node} cpu{cpu}"),
-                        );
+                        rows.insert((node as u32, cpu as u32), format!("n{node} cpu{cpu}"));
                     }
                 }
             }
@@ -242,11 +249,8 @@ fn build_from_states(
             ViewKind::TypeActivity => s.state.name(),
         });
     }
-    let row_index: BTreeMap<(u32, u32), usize> = rows
-        .keys()
-        .enumerate()
-        .map(|(i, k)| (*k, i))
-        .collect();
+    let row_index: BTreeMap<(u32, u32), usize> =
+        rows.keys().enumerate().map(|(i, k)| (*k, i)).collect();
 
     let color_of = |s: &SlogState| -> String {
         match cfg.kind {
@@ -332,7 +336,10 @@ fn build_from_states(
     }
 
     // Arrows only make sense on thread timelines.
-    let arrows = if matches!(cfg.kind, ViewKind::ThreadActivity | ViewKind::ThreadProcessor) {
+    let arrows = if matches!(
+        cfg.kind,
+        ViewKind::ThreadActivity | ViewKind::ThreadProcessor
+    ) {
         arrows_raw
             .iter()
             .filter_map(|a| {
@@ -372,7 +379,14 @@ mod tests {
     use ute_slog::file::SlogFrame;
     use ute_slog::preview::Preview;
 
-    fn state(timeline: u32, st: StateCode, start: u64, dur: u64, cpu: u16, node: u16) -> SlogRecord {
+    fn state(
+        timeline: u32,
+        st: StateCode,
+        start: u64,
+        dur: u64,
+        cpu: u16,
+        node: u16,
+    ) -> SlogRecord {
         SlogRecord::State(SlogState {
             timeline,
             state: st,

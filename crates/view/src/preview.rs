@@ -89,7 +89,7 @@ mod tests {
 
     fn preview() -> Preview {
         let mut p = Preview::new(0, 10_000_000_000, 10); // 10 s, 10 bins
-        // Busy at the start (bins 0-1), quiet middle, busy end (bin 9).
+                                                         // Busy at the start (bins 0-1), quiet middle, busy end (bin 9).
         p.add(StateCode::MARKER, 0, 2_000_000_000);
         p.add(StateCode::MARKER, 9_000_000_000, 1_000_000_000);
         p.add(StateCode::RUNNING, 0, 10_000_000_000); // not interesting
@@ -101,7 +101,7 @@ mod tests {
         let s = render_ascii(&preview(), 4);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 6); // 4 levels + axis + caption
-        // Top level: only the full-height bins (0,1,9) are dark.
+                                    // Top level: only the full-height bins (0,1,9) are dark.
         let top: Vec<char> = lines[0].chars().collect();
         assert_eq!(top[0], '█');
         assert_eq!(top[1], '█');

@@ -31,7 +31,9 @@ impl Default for SvgOptions {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders the view as a standalone SVG document with a legend.
@@ -41,11 +43,7 @@ pub fn render(view: &View, opts: &SvgOptions) -> String {
         opts.label_width as f64 + (t.saturating_sub(view.t0)) as f64 / span * opts.width as f64
     };
     let color_of = |key: &str| -> &str {
-        let idx = view
-            .legend
-            .iter()
-            .position(|k| k == key)
-            .unwrap_or(0);
+        let idx = view.legend.iter().position(|k| k == key).unwrap_or(0);
         PALETTE[idx % PALETTE.len()]
     };
     let rows_h = view.rows.len() as u32 * opts.row_height;

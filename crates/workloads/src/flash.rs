@@ -47,7 +47,10 @@ fn busy_phase(p: &FlashParams, name: &str, rank: u32, ntasks: u32) -> Vec<Op> {
         // AMR-style imbalance: some ranks carry more blocks some steps.
         let skew = 1 + ((rank + i) % 3) as u64;
         ops.push(Op::Compute(Duration(p.compute.ticks() * skew)));
-        ops.push(Op::Irecv { from: left, tag: 10 });
+        ops.push(Op::Irecv {
+            from: left,
+            tag: 10,
+        });
         ops.push(Op::Isend {
             to: right,
             bytes: p.block_bytes,
@@ -178,11 +181,7 @@ mod tests {
             }
         }
         mpi_times.sort_unstable();
-        let max_gap = mpi_times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .max()
-            .unwrap_or(0);
+        let max_gap = mpi_times.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
         assert!(
             max_gap >= 190_000_000,
             "expected a ≥190 ms quiet gap, max was {} ms",

@@ -62,7 +62,10 @@ pub fn stencil(ntasks: u32, steps: u32, halo_bytes: u64) -> Workload {
         for _ in 0..steps {
             ops.push(Op::Compute(Duration::from_millis(2)));
             ops.push(Op::Irecv { from: left, tag: 0 });
-            ops.push(Op::Irecv { from: right, tag: 1 });
+            ops.push(Op::Irecv {
+                from: right,
+                tag: 1,
+            });
             ops.push(Op::Isend {
                 to: right,
                 bytes: halo_bytes,
@@ -76,7 +79,10 @@ pub fn stencil(ntasks: u32, steps: u32, halo_bytes: u64) -> Workload {
             ops.push(Op::Waitall);
         }
         TaskProgram {
-            threads: vec![ops, vec![Op::Compute(Duration::from_millis(2 * steps as u64))]],
+            threads: vec![
+                ops,
+                vec![Op::Compute(Duration::from_millis(2 * steps as u64))],
+            ],
         }
     });
     Workload {
@@ -100,9 +106,7 @@ pub fn allreduce_sweep(ntasks: u32, rounds: u32) -> Workload {
         let mut ops = Vec::new();
         for r in 0..rounds {
             ops.push(Op::Compute(Duration::from_micros(500)));
-            ops.push(Op::Allreduce {
-                bytes: 8u64 << r,
-            });
+            ops.push(Op::Allreduce { bytes: 8u64 << r });
         }
         TaskProgram::single(ops)
     });

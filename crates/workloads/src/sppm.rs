@@ -52,7 +52,10 @@ pub fn workload(p: SppmParams) -> Workload {
         for _ in 0..p.steps {
             mpi.push(Op::Compute(p.mpi_compute));
             mpi.push(Op::Irecv { from: left, tag: 1 });
-            mpi.push(Op::Irecv { from: right, tag: 2 });
+            mpi.push(Op::Irecv {
+                from: right,
+                tag: 2,
+            });
             mpi.push(Op::Isend {
                 to: right,
                 bytes: p.halo_bytes,

@@ -26,7 +26,10 @@ fn main() {
         Duration::from_secs(140),
         Duration::from_secs(10),
     );
-    println!("{:>8} {:>12} {:>12} {:>12}", "t (s)", "clock1 (µs)", "clock2 (µs)", "clock3 (µs)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "t (s)", "clock1 (µs)", "clock2 (µs)", "clock3 (µs)"
+    );
     for r in &rows {
         println!(
             "{:>8.0} {:>12.1} {:>12.1} {:>12.1}",
@@ -47,7 +50,13 @@ fn main() {
         outlier_every: Some(25), // a deschedule every 25th sample (§5)
         outlier_delay: Duration::from_millis(3),
     };
-    let samples = sample_clocks(&global, &mut local, &cfg, Time::ZERO, Time::from_secs_f64(140.0));
+    let samples = sample_clocks(
+        &global,
+        &mut local,
+        &cfg,
+        Time::ZERO,
+        Time::from_secs_f64(140.0),
+    );
     let truth = 1.0 / (1.0 + 37e-6);
     println!("true global/local ratio R = {truth:.9}");
 
@@ -76,6 +85,9 @@ fn main() {
         fit.adjust(some_local)
     );
     let err = (rms_segments(&filtered) - truth).abs() / truth * 1e6;
-    assert!(err < 1.0, "filtered estimator should be sub-ppm, got {err:.3} ppm");
+    assert!(
+        err < 1.0,
+        "filtered estimator should be sub-ppm, got {err:.3} ppm"
+    );
     println!("filtered estimate is within {err:.3} ppm of the truth.");
 }

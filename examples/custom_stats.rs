@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FramePolicy::default(),
         true,
     )?;
-    let files: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let files: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
     let merged = merge_files(&files, &profile, &MergeOptions::default())?;
     let reader = IntervalFileReader::open(&merged.merged, &profile)?;
     let intervals: Result<Vec<_>, _> = reader.intervals().collect();

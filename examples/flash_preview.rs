@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FramePolicy::default(),
         true,
     )?;
-    let files: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let files: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
 
     // Figure 7's smaller window: the whole-run preview.
     let (slog, _) = slogmerge(

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FramePolicy::default(),
         true,
     )?;
-    let files: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let files: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
     let (slog, stats) = slogmerge(
         &files,
         &profile,

@@ -28,10 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FramePolicy::default(),
         true,
     )?;
-    let files: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let files: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
 
     // Visualization: the arrows form diagonals, one per sweep front.
-    let (slog, _) = slogmerge(&files, &profile, &MergeOptions::default(), BuildOptions::default())?;
+    let (slog, _) = slogmerge(
+        &files,
+        &profile,
+        &MergeOptions::default(),
+        BuildOptions::default(),
+    )?;
     let view = build_view(
         &slog,
         &ViewConfig {

@@ -26,15 +26,21 @@
 //!   substitute, §4).
 //! * [`workloads`] — synthetic sPPM-like / FLASH-like programs and the
 //!   scaling workloads used by the paper's Table 1.
+//! * [`obs`] — the self-observability layer: global metrics registry,
+//!   RAII span timers, and the span capture behind `--self-trace`.
+//! * [`cli`] — the `ute` command-line tool as a library, including the
+//!   self-trace sink and the `ute report` metrics report.
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline of Figure 2.
 
+pub use ute_cli as cli;
 pub use ute_clock as clock;
 pub use ute_cluster as cluster;
 pub use ute_convert as convert;
 pub use ute_core as core;
 pub use ute_format as format;
 pub use ute_merge as merge;
+pub use ute_obs as obs;
 pub use ute_rawtrace as rawtrace;
 pub use ute_slog as slog;
 pub use ute_stats as stats;

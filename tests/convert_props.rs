@@ -8,9 +8,7 @@ use proptest::prelude::*;
 use ute::convert::{convert_node, MarkerMap};
 use ute::core::bebits::count_states;
 use ute::core::event::{EventCode, MpiOp};
-use ute::core::ids::{
-    CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType,
-};
+use ute::core::ids::{CpuId, LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
 use ute::core::time::LocalTime;
 use ute::format::file::{FramePolicy, IntervalFileReader};
 use ute::format::profile::Profile;

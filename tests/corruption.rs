@@ -29,7 +29,10 @@ fn artifacts() -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
     )
     .unwrap();
     let ivl = converted[0].interval_file.clone();
-    let refs: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let refs: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
     let merged = merge_files(&refs, &profile, &MergeOptions::default())
         .unwrap()
         .merged;

@@ -33,7 +33,10 @@ fn delayed_start_produces_fewer_events_and_lenient_convert_copes() {
         start_after: Some(LocalTime(cutoff)),
         ..TraceOptions::default()
     };
-    let delayed_res = Simulator::new(delayed_cfg, &full.job).unwrap().run().unwrap();
+    let delayed_res = Simulator::new(delayed_cfg, &full.job)
+        .unwrap()
+        .run()
+        .unwrap();
     let delayed_events: usize = delayed_res.raw_files.iter().map(|f| f.events.len()).sum();
     assert!(
         delayed_events < full_events * 8 / 10,

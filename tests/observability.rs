@@ -1,0 +1,128 @@
+//! Acceptance tests for the self-observability layer: the `--metrics` /
+//! `--self-trace` switches, the `report` subcommand, and the dogfooded
+//! self-trace file.
+
+use std::path::PathBuf;
+
+use ute::cli::run;
+use ute::format::file::IntervalFileReader;
+use ute::format::profile::Profile;
+
+/// The metrics registry and span log are process-global, and `report`
+/// resets them — these tests must not interleave.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ute_obs_accept_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn argv(tokens: &[&str]) -> Vec<String> {
+    tokens.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn pipeline_self_trace_round_trips_with_a_span_per_stage() {
+    let _serial = SERIAL.lock().unwrap();
+    let dir = tmpdir("selftrace");
+    let out = dir.to_str().unwrap().to_string();
+    let ivl = dir.join("self.ivl");
+    let msg = run(&argv(&[
+        "pipeline",
+        "--workload",
+        "pingpong",
+        "--out",
+        &out,
+        "--metrics",
+        "--self-trace",
+        ivl.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert!(msg.contains("wrote self-trace"), "{msg}");
+
+    // The self-trace is a well-formed UTE interval file.
+    let bytes = std::fs::read(&ivl).unwrap();
+    let profile = Profile::standard();
+    let reader = IntervalFileReader::open(&bytes, &profile).unwrap();
+    let intervals: Vec<_> = reader.intervals().map(|iv| iv.unwrap()).collect();
+    assert!(!intervals.is_empty());
+
+    // Every pipeline stage contributed at least one span: each stage is
+    // a timeline (logical thread) in the self-trace thread table.
+    let stage_count = reader.threads.len();
+    assert!(
+        stage_count >= 5,
+        "expected ≥5 stage timelines (trace/convert/merge/slog/stats), got {stage_count}"
+    );
+    for thread in reader.threads.entries() {
+        let lane = thread.logical;
+        assert!(
+            intervals.iter().any(|iv| iv.thread == lane),
+            "stage timeline {lane:?} has no intervals"
+        );
+    }
+
+    // The framework's own viewer opens it.
+    let preview = run(&argv(&["preview", "--ivl", ivl.to_str().unwrap()])).unwrap();
+    assert!(preview.contains("interesting ranges:"), "{preview}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_emits_json_with_nonzero_stage_counters() {
+    let _serial = SERIAL.lock().unwrap();
+    let dir = tmpdir("report");
+    let out = dir.to_str().unwrap().to_string();
+    let json = run(&argv(&["report", "--workload", "sppm", "--out", &out])).unwrap();
+
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.trim_end().ends_with('}'));
+    for section in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
+
+    // Acceptance counters: one per pipeline stage, all nonzero.
+    for name in [
+        "cluster/events_simulated",
+        "convert/intervals_out",
+        "merge/comparisons",
+        "format/frames_written",
+        "format/dir_lookups",
+        "stats/rows_emitted",
+    ] {
+        let key = format!("\"{name}\":");
+        let at = json
+            .find(&key)
+            .unwrap_or_else(|| panic!("counter {name} missing from report:\n{json}"));
+        let rest = json[at + key.len()..].trim_start();
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let value: u64 = digits
+            .parse()
+            .unwrap_or_else(|_| panic!("counter {name} has a non-numeric value near `{rest:.40}`"));
+        assert!(value > 0, "counter {name} is zero");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_snapshot_tsv_lists_stage_spans() {
+    let _serial = SERIAL.lock().unwrap();
+    // Drive one conversion directly and check the TSV surface used by
+    // `--metrics` carries the per-stage span histogram.
+    let dir = tmpdir("tsv");
+    let out = dir.to_str().unwrap().to_string();
+    run(&argv(&["trace", "--workload", "pingpong", "--out", &out])).unwrap();
+    run(&argv(&["convert", "--in", &out])).unwrap();
+    let snap = ute::obs::snapshot();
+    let tsv = snap.to_tsv();
+    assert!(tsv.starts_with("kind\tname\tvalue"), "{tsv}");
+    assert!(
+        tsv.lines().any(|l| l.contains("convert/span_ns")),
+        "no convert span histogram in:\n{tsv}"
+    );
+    assert!(snap.counter("rawtrace/records_cut").unwrap_or(0) > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -100,7 +100,8 @@ fn bebits_reassemble_into_whole_states_per_thread() {
     let merged = merged_intervals(&p);
     let mut sequences: HashMap<(u16, u16, u16), Vec<BeBits>> = HashMap::new();
     for iv in &merged {
-        if iv.itype.state == StateCode::CLOCK || iv.duration == 0 && iv.itype.bebits == BeBits::Continuation
+        if iv.itype.state == StateCode::CLOCK
+            || iv.duration == 0 && iv.itype.bebits == BeBits::Continuation
         {
             // Skip clock records and the merge utility's zero-duration
             // frame-head pseudo continuations: they are display hints,
@@ -229,7 +230,11 @@ fn frame_windows_are_self_contained() {
             BeBits::Continuation => {}
         }
     }
-    assert!(marker_spans.len() >= 12, "markers found: {}", marker_spans.len());
+    assert!(
+        marker_spans.len() >= 12,
+        "markers found: {}",
+        marker_spans.len()
+    );
     let mut frames_checked = 0;
     for frame in &p.slog.frames {
         let in_marker = marker_spans
@@ -239,9 +244,10 @@ fn frame_windows_are_self_contained() {
             continue;
         }
         frames_checked += 1;
-        let has_marker = frame.records.iter().any(|r| {
-            matches!(r, SlogRecord::State(s) if s.state == StateCode::MARKER)
-        });
+        let has_marker = frame
+            .records
+            .iter()
+            .any(|r| matches!(r, SlogRecord::State(s) if s.state == StateCode::MARKER));
         assert!(
             has_marker,
             "frame [{}, {}) overlaps a marker span but shows none",
@@ -268,9 +274,7 @@ fn views_conserve_busy_time_across_groupings() {
     };
     let tv = ute::view::model::build_view(&p.slog, &cfg_thread).unwrap();
     let cv = ute::view::model::build_view(&p.slog, &cfg_cpu).unwrap();
-    let busy = |v: &ute::view::model::View| -> u64 {
-        v.bars.iter().map(|b| b.end - b.start).sum()
-    };
+    let busy = |v: &ute::view::model::View| -> u64 { v.bars.iter().map(|b| b.end - b.start).sum() };
     assert_eq!(busy(&tv), busy(&cv), "total activity differs between views");
     assert_eq!(tv.bars.len(), cv.bars.len());
 }
@@ -286,7 +290,11 @@ fn marker_ids_unified_across_tasks() {
     }));
     let names: Vec<&str> = p.slog.markers.iter().map(|(_, n)| n.as_str()).collect();
     let unique: std::collections::HashSet<&&str> = names.iter().collect();
-    assert_eq!(names.len(), unique.len(), "duplicate marker strings: {names:?}");
+    assert_eq!(
+        names.len(),
+        unique.len(),
+        "duplicate marker strings: {names:?}"
+    );
     for phase in ["Initialization", "Evolution", "Termination"] {
         assert!(names.contains(&phase), "missing marker {phase}");
     }

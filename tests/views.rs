@@ -32,7 +32,10 @@ fn flash_slog() -> (Profile, SlogFile) {
         true,
     )
     .unwrap();
-    let files: Vec<&[u8]> = converted.iter().map(|c| c.interval_file.as_slice()).collect();
+    let files: Vec<&[u8]> = converted
+        .iter()
+        .map(|c| c.interval_file.as_slice())
+        .collect();
     let (slog, _) = slogmerge(
         &files,
         &profile,
@@ -105,15 +108,20 @@ fn windowed_connected_view_shows_enclosing_state_via_pseudo_records() {
         .frames
         .iter()
         .filter(|f| {
-            f.records.iter().any(|r| matches!(
-                r,
-                SlogRecord::State(s)
-                    if s.state == StateCode::MARKER
-                        && s.bebits == BeBits::Continuation
-            ))
+            f.records.iter().any(|r| {
+                matches!(
+                    r,
+                    SlogRecord::State(s)
+                        if s.state == StateCode::MARKER
+                            && s.bebits == BeBits::Continuation
+                )
+            })
         })
         .collect();
-    assert!(!marker_frames.is_empty(), "no frames with marker continuations");
+    assert!(
+        !marker_frames.is_empty(),
+        "no frames with marker continuations"
+    );
     let f = marker_frames[0];
     let view = build_view(
         &slog,
@@ -126,9 +134,10 @@ fn windowed_connected_view_shows_enclosing_state_via_pseudo_records() {
         },
     )
     .unwrap();
-    let full_span_marker = view.bars.iter().any(|b| {
-        b.color.starts_with("Marker:") && b.start == f.t_start && b.end == f.t_end
-    });
+    let full_span_marker = view
+        .bars
+        .iter()
+        .any(|b| b.color.starts_with("Marker:") && b.start == f.t_start && b.end == f.t_end);
     assert!(
         full_span_marker,
         "enclosing marker should span the window: {:?}",
@@ -187,7 +196,10 @@ fn golden_ascii_snapshot() {
     // snapshot is checked structurally rather than byte-for-byte.
     let lines: Vec<&str> = got.lines().collect();
     assert_eq!(lines.len(), 4, "{got}");
-    let bar: Vec<char> = lines[0].chars().skip("n0 t0 (mpi rank 0) |".len()).collect();
+    let bar: Vec<char> = lines[0]
+        .chars()
+        .skip("n0 t0 (mpi rank 0) |".len())
+        .collect();
     assert_eq!(bar.len(), 20);
     // Columns 5..10 are the nested Send (25%..50% of 40 ticks).
     assert_ne!(bar[6], bar[2], "nested call must differ from Running fill");

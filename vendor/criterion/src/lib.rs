@@ -1,0 +1,260 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock harness with the criterion 0.5 API shape the
+//! workspace benches use: groups, `bench_function`/`bench_with_input`,
+//! `iter`/`iter_batched`, ids, and throughput annotations. It runs a
+//! fixed small number of timed samples and prints mean time per
+//! iteration (plus derived throughput) to stdout — no statistics,
+//! plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; ignored by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a group's current input size.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark id.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Times closures handed over by a benchmark body.
+pub struct Bencher {
+    samples: u32,
+    /// Mean seconds per iteration of the last `iter*` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running `samples` measured iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warm-up iteration outside the timed region.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, T, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> T,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean = total.as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's sample_size counts statistical samples; the shim
+        // reuses it (capped) as the measured iteration count.
+        self.samples = (n as u32).clamp(1, 50);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into_bench_id(), b.last_mean);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_mean: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.into_bench_id(), b.last_mean);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean_secs: f64) {
+        let mut line = format!("{}/{}: {:.3} ms/iter", self.name, id, mean_secs * 1e3);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+                line += &format!(" ({:.0} elem/s)", n as f64 / mean_secs);
+            }
+            Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+                line += &format!(" ({:.0} B/s)", n as f64 / mean_secs);
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.name
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::new("count", 100), |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut c = Criterion::default();
+        c.benchmark_group("shim")
+            .sample_size(2)
+            .bench_function("batched", |b| {
+                b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+            });
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the 0.8 API shape
+//! (closures receive a `&Scope`, `scope` returns a `Result`) on top of
+//! `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread or closing a scope.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to scoped closures; spawns more scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined
+    /// before `scope` returns. Unlike crossbeam, an unjoined panicking
+    /// thread aborts via std's propagation rather than surfacing in the
+    /// `Err` arm — the workspace joins every handle, so the arms match.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(|s| Ok(f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread as cb;
+
+    #[test]
+    fn scope_spawn_join() {
+        let data = [1, 2, 3];
+        let total = cb::scope(|s| {
+            let hs: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn spawned_panic_is_catchable_at_join() {
+        let r = cb::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline shim for `proptest`.
+//!
+//! Deterministic property testing with the proptest 1.x API shape the
+//! workspace uses: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range/tuple/`Just`/`prop_oneof!`/`any` strategies, and
+//! `prop::collection::vec`. Failing cases are reported with their case
+//! number and seed but are **not shrunk** — rerun with the printed
+//! seed to reproduce.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe boxed strategy.
+    pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+    /// Object-safe sampling, blanket-implemented for every strategy.
+    pub trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut SmallRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut SmallRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.as_ref().sample_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample_dyn(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Types with a canonical whole-domain strategy ([`super::arbitrary::any`]).
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty : $w:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $w as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                        i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SmallRng) -> f64 {
+            rng.gen_range(-1.0e9..1.0e9)
+        }
+    }
+
+    /// Strategy over a type's whole [`Arbitrary`] domain.
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property: the message from the failing `prop_assert*`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Seed for case `case` of a run keyed by the test name; fixed per
+    /// (name, case) so failures reproduce across runs.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes().chain(case.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The `prop` paths (`prop::collection::vec`, ...) from the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+// Re-exported so the macros below resolve the RNG through `$crate`
+// without requiring callers to depend on `rand` themselves.
+#[doc(hidden)]
+pub use rand;
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a [`strategy::OneOf`] choosing uniformly between the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts inside a property; fails the case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// The proptest entry macro: generates one `#[test]` per property that
+/// samples its strategies `config.cases` times.
+///
+/// Implemented by incremental recursion (`@fns`) so one optional
+/// `#![proptest_config(..)]` header can apply to every function —
+/// macro_rules cannot mix the two repetition depths directly.
+#[macro_export]
+macro_rules! proptest {
+    // Recursion end.
+    (@fns ($config:expr)) => {};
+
+    // Expand one property function, then recurse on the rest.
+    (@fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut rng =
+                    <$crate::rand::rngs::SmallRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name), case, config.cases, seed, e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+
+    // Entry with a config header.
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+
+    // Entry without one.
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn oneof_and_map_compose() {
+        use rand::SeedableRng;
+        let s = prop_oneof![(0u16..4).prop_map(|v| v as u64), Just(99u64),];
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v < 4 || v == 99);
+            saw_just |= v == 99;
+        }
+        assert!(saw_just);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10, "bad len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_sample_independently((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn failing_property_panics(x in 0u8..10) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+}
