@@ -1,36 +1,113 @@
-//! Pipeline self-observability report: runs the full Figure-2 pipeline
-//! on the sppm workload through `ute report` and writes every metric
-//! the framework collects about itself to `BENCH_pipeline.json`.
+//! Serial vs parallel convert+merge wall time, written to
+//! `BENCH_pipeline.json`, plus the framework's own pipeline metrics.
 //!
-//! Run: `cargo run -p ute-bench --bin pipeline_metrics [--release]`
+//! Traces a fixed-seed multi-node workload once, then runs the fused
+//! convert+merge pipeline at `--jobs 1` and at full parallelism,
+//! best-of-N each. The two outputs are also compared byte-for-byte — the
+//! bench doubles as a determinism check.
+//!
+//! Run: `cargo run -p ute-bench --release --bin pipeline_metrics [-- --smoke] [-- --check]`
+//!
+//! * `--smoke` — smaller workload and fewer repetitions (CI).
+//! * `--check` — exit non-zero if parallel is >10% slower than serial
+//!   (catches lock-contention regressions without a flaky absolute
+//!   threshold).
 
-use ute_cli::{cmd_report, Args};
+use std::time::Instant;
+
+use ute_cluster::Simulator;
+use ute_convert::ConvertOptions;
+use ute_format::file::FramePolicy;
+use ute_format::profile::Profile;
+use ute_merge::MergeOptions;
+use ute_pipeline::{convert_and_merge, default_jobs};
+use ute_workloads::micro;
 
 fn main() {
-    let out = std::env::temp_dir().join(format!("ute_bench_pipeline_{}", std::process::id()));
-    std::fs::create_dir_all(&out).unwrap();
-    let argv: Vec<String> = ["--workload", "sppm", "--out", out.to_str().unwrap()]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    let json = cmd_report(&Args::parse(&argv).unwrap()).unwrap();
-    std::fs::write("BENCH_pipeline.json", &json).unwrap();
-    std::fs::remove_dir_all(&out).ok();
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let check = argv.iter().any(|a| a == "--check");
 
+    // ≥4 nodes so the fan-out has real work to spread. Both sizes are
+    // large enough that per-run thread spawn cost (~1 ms for a pool of
+    // 8 on a slow runner) is noise against the convert+merge time.
+    let (nodes, steps, bytes, reps) = if smoke {
+        (6u32, 256u32, 8u64 << 10, 3u32)
+    } else {
+        (8, 384, 16 << 10, 5)
+    };
+    let w = micro::stencil(nodes, steps, bytes);
+    let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+    let profile = Profile::standard();
+    let copts = ConvertOptions {
+        policy: FramePolicy::default(),
+        lenient: false,
+    };
+    let mopts = MergeOptions::default();
+    // At least 2 so the channel-fed parallel path is really exercised
+    // even on a single-core runner (where it still wins by streaming
+    // into the writer instead of materializing the full merged vector).
+    let jobs = default_jobs().max(2);
+
+    let run = |jobs: usize| -> (u64, Vec<u8>) {
+        let mut best = u64::MAX;
+        let mut merged = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            let out = convert_and_merge(
+                &result.raw_files,
+                &result.threads,
+                &profile,
+                &copts,
+                &mopts,
+                jobs,
+            )
+            .unwrap();
+            let ns = t.elapsed().as_nanos() as u64;
+            if ns < best {
+                best = ns;
+            }
+            merged = out.merged.merged;
+        }
+        (best, merged)
+    };
+
+    let (serial_ns, serial_bytes) = run(1);
+    let (parallel_ns, parallel_bytes) = run(jobs);
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "determinism violation: merged output differs between --jobs 1 and --jobs {jobs}"
+    );
+
+    let speedup = serial_ns as f64 / parallel_ns as f64;
     let snap = ute_obs::snapshot();
-    println!("# pipeline self-metrics (sppm) -> BENCH_pipeline.json\n");
-    for name in [
-        "cluster/events_simulated",
-        "rawtrace/records_cut",
-        "convert/records_in",
-        "convert/intervals_out",
-        "merge/records_in",
-        "merge/comparisons",
-        "slog/records_out",
-        "format/frames_written",
-        "stats/rows_emitted",
-    ] {
-        println!("{name}: {}", snap.counter(name).unwrap_or(0));
+    let records_in = snap.counter("merge/records_in").unwrap_or(0);
+    let json = format!(
+        "{{\n  \"workload\": \"stencil\",\n  \"nodes\": {nodes},\n  \"smoke\": {smoke},\n  \
+         \"runs\": {reps},\n  \"jobs\": {jobs},\n  \
+         \"serial_convert_merge_ns\": {serial_ns},\n  \
+         \"parallel_convert_merge_ns\": {parallel_ns},\n  \
+         \"speedup\": {speedup:.4},\n  \
+         \"merged_bytes\": {},\n  \"merge_records_in\": {records_in}\n}}\n",
+        serial_bytes.len(),
+    );
+    std::fs::write("BENCH_pipeline.json", &json).unwrap();
+
+    println!("# serial vs parallel convert+merge (stencil, {nodes} nodes, best of {reps})\n");
+    println!("serial   (--jobs 1):  {:>10.3} ms", serial_ns as f64 / 1e6);
+    println!(
+        "parallel (--jobs {jobs}):  {:>10.3} ms",
+        parallel_ns as f64 / 1e6
+    );
+    println!("speedup: {speedup:.2}x");
+    println!("\nwrote BENCH_pipeline.json");
+
+    if check && parallel_ns as f64 > serial_ns as f64 * 1.10 {
+        eprintln!(
+            "FAIL: parallel ({:.3} ms) is more than 10% slower than serial ({:.3} ms)",
+            parallel_ns as f64 / 1e6,
+            serial_ns as f64 / 1e6
+        );
+        std::process::exit(1);
     }
-    println!("\nfull report: BENCH_pipeline.json ({} bytes)", json.len());
 }

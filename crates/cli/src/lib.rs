@@ -32,13 +32,14 @@ use std::path::{Path, PathBuf};
 
 use ute_clock::ratio::RatioEstimator;
 use ute_cluster::Simulator;
-use ute_convert::convert_job;
+use ute_convert::{convert_job_pooled, ConvertOptions};
 use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
 use ute_format::codecio::{read_thread_table_file, write_thread_table_file};
 use ute_format::file::{FramePolicy, IntervalFileReader};
 use ute_format::profile::Profile;
-use ute_merge::{merge_files, slogmerge, MergeOptions};
+use ute_merge::MergeOptions;
+use ute_pipeline::{merge_files_jobs, slogmerge_jobs};
 use ute_rawtrace::file::RawTraceFile;
 use ute_slog::builder::BuildOptions;
 use ute_slog::file::SlogFile;
@@ -64,6 +65,7 @@ const KNOWN_SWITCHES: &[&str] = &[
     "connected",
     "hide-running",
     "metrics",
+    "stable",
 ];
 
 impl Args {
@@ -114,6 +116,16 @@ impl Args {
                 .parse()
                 .map_err(|_| UteError::Invalid(format!("--{key}: bad value `{v}`"))),
         }
+    }
+
+    /// The `--jobs N` worker count; defaults to the machine's available
+    /// parallelism. `--jobs 1` forces the serial path.
+    fn jobs(&self) -> Result<usize> {
+        let jobs = self.num("jobs", ute_pipeline::default_jobs())?;
+        if jobs == 0 {
+            return Err(UteError::Invalid("--jobs: must be at least 1".into()));
+        }
+        Ok(jobs)
     }
 }
 
@@ -203,9 +215,14 @@ fn load_raw_dir(
 
 /// `ute convert`: raw trace files → per-node interval files.
 pub fn cmd_convert(args: &Args) -> Result<String> {
+    let jobs = args.jobs()?;
     let dir = PathBuf::from(args.require("in")?);
     let (files, threads, profile) = load_raw_dir(&dir)?;
-    let outputs = convert_job(&files, &threads, &profile, FramePolicy::default(), true)?;
+    let copts = ConvertOptions {
+        policy: FramePolicy::default(),
+        lenient: false,
+    };
+    let outputs = convert_job_pooled(&files, &threads, &profile, &copts, jobs)?;
     let mut msg = String::new();
     for o in &outputs {
         let path = dir.join(format!("trace.{}.ivl", o.node.raw()));
@@ -254,7 +271,7 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
     let files = load_interval_files(&dir)?;
     let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
-    let merged = merge_files(&refs, &profile, &merge_options(args)?)?;
+    let merged = merge_files_jobs(&refs, &profile, &merge_options(args)?, args.jobs()?)?;
     std::fs::write(&out, &merged.merged)?;
     let mut msg = format!(
         "merged {} files: {} records in, {} out ({} pseudo)\n",
@@ -286,7 +303,8 @@ pub fn cmd_slogmerge(args: &Args) -> Result<String> {
         preview_bins: args.num("bins", 128u32)?,
         arrows: !args.has("no-arrows"),
     };
-    let (slog, stats) = slogmerge(&refs, &profile, &merge_options(args)?, build)?;
+    let (slog, stats) =
+        slogmerge_jobs(&refs, &profile, &merge_options(args)?, build, args.jobs()?)?;
     slog.write_to(&out)?;
     Ok(format!(
         "slogmerge: {} records in, {} merged, {} frames, {} slog records\n",
@@ -466,14 +484,17 @@ pub fn cmd_clockfit(args: &Args) -> Result<String> {
 }
 
 /// `ute pipeline`: trace → convert → merge → slogmerge → stats in one go.
+/// `--jobs` is forwarded to the convert and merge stages.
 pub fn cmd_pipeline(args: &Args) -> Result<String> {
     let mut msg = cmd_trace(args)?;
     let out = args.require("out")?.to_string();
+    let jobs = args.jobs()?;
     let sub = |pairs: Vec<(&str, String)>| -> Args {
         let mut a = Args::default();
         for (k, v) in pairs {
             a.map.insert(k.to_string(), v);
         }
+        a.map.insert("jobs".to_string(), jobs.to_string());
         a
     };
     msg.push_str(&cmd_convert(&sub(vec![("in", out.clone())]))?);
@@ -494,10 +515,19 @@ pub fn cmd_pipeline(args: &Args) -> Result<String> {
 
 /// `ute report`: run the full pipeline with metrics from zero and emit
 /// every counter, gauge, and histogram as machine-readable JSON.
+/// `--stable` drops wall-clock and `--jobs`-dependent metrics so the
+/// output is byte-comparable across runs and thread counts (the form
+/// the CI determinism job diffs).
 pub fn cmd_report(args: &Args) -> Result<String> {
     ute_obs::reset();
     cmd_pipeline(args)?;
-    let mut json = ute_obs::snapshot().to_json();
+    let snap = ute_obs::snapshot();
+    let snap = if args.has("stable") {
+        snap.stable()
+    } else {
+        snap
+    };
+    let mut json = snap.to_json();
     json.push('\n');
     Ok(json)
 }
@@ -555,17 +585,25 @@ ute — Unified Trace Environment (SC 2000 reproduction)
 
 commands:
   trace     --workload NAME --out DIR [--iterations N]
-  convert   --in DIR
+  convert   --in DIR [--jobs N]
   merge     --in DIR --out FILE [--estimator rms|rmsall|last|piecewise] [--no-filter]
-  slogmerge --in DIR --out FILE [--frames N] [--bins N] [--no-arrows]
+            [--jobs N]
+  slogmerge --in DIR --out FILE [--frames N] [--bins N] [--no-arrows] [--jobs N]
   stats     --merged FILE [--profile FILE] [--program FILE] [--out DIR]
   preview   --slog FILE | --ivl FILE [--svg FILE]
   view      --slog FILE [--kind thread|cpu|threadcpu|cputhread|type]
             [--window a,b] [--frame-at t] [--connected] [--hide-running]
             [--cpus N] [--width N] [--svg FILE]
   clockfit  --in DIR [--estimator ...] [--no-filter]
-  pipeline  --workload NAME --out DIR [--iterations N]
-  report    --workload NAME --out DIR [--iterations N]   (metrics as JSON)
+  pipeline  --workload NAME --out DIR [--iterations N] [--jobs N]
+  report    --workload NAME --out DIR [--iterations N] [--jobs N] [--stable]
+            (metrics as JSON; --stable drops wall-clock and worker-count
+             metrics so output is byte-comparable across runs and --jobs)
+
+parallelism:
+  --jobs N             worker count for convert and merge (default: all
+                       cores; 1 = serial). Output is byte-identical for
+                       every value — CI enforces it.
 
 observability (any command):
   --metrics            print the per-stage metrics table (TSV) to stderr
@@ -675,6 +713,47 @@ mod tests {
         let c = cmd_clockfit(&args(&[("in", out)], &[])).unwrap();
         assert!(c.contains("node 0"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jobs_values_produce_identical_artifacts() {
+        // The determinism guarantee at the CLI surface: the same seeded
+        // workload merged with different worker counts produces the same
+        // merged.ivl and run.slog bytes.
+        let dir = tmpdir("jobs");
+        let out = dir.to_str().unwrap();
+        cmd_pipeline(&args(
+            &[("workload", "sendrecv"), ("out", out), ("jobs", "1")],
+            &[],
+        ))
+        .unwrap();
+        let merged_serial = std::fs::read(dir.join("merged.ivl")).unwrap();
+        let slog_serial = std::fs::read(dir.join("run.slog")).unwrap();
+        for jobs in ["2", "8"] {
+            cmd_pipeline(&args(
+                &[("workload", "sendrecv"), ("out", out), ("jobs", jobs)],
+                &[],
+            ))
+            .unwrap();
+            assert_eq!(
+                merged_serial,
+                std::fs::read(dir.join("merged.ivl")).unwrap(),
+                "merged.ivl differs at --jobs {jobs}"
+            );
+            assert_eq!(
+                slog_serial,
+                std::fs::read(dir.join("run.slog")).unwrap(),
+                "run.slog differs at --jobs {jobs}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected() {
+        let e = cmd_convert(&args(&[("in", "/nonexistent"), ("jobs", "0")], &[])).unwrap_err();
+        // --jobs is validated before any filesystem access.
+        assert!(e.to_string().contains("--jobs"), "{e}");
     }
 
     #[test]

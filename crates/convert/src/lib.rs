@@ -34,7 +34,10 @@ use ute_format::thread_table::ThreadTable;
 use ute_rawtrace::file::RawTraceFile;
 
 pub use marker::MarkerMap;
-pub use matcher::{convert_node, convert_node_opts, ConvertOptions, ConvertOutput, ConvertStats};
+pub use matcher::{
+    convert_node, convert_node_opts, convert_node_tapped, ConvertOptions, ConvertOutput,
+    ConvertStats,
+};
 
 /// Converts a whole job's raw trace files into per-node interval files.
 ///
@@ -95,6 +98,67 @@ pub fn convert_job_opts(
             .collect()
     })
     .map_err(|_| UteError::Invalid("convert scope panicked".into()))?
+}
+
+/// [`convert_job_opts`] on a bounded worker pool: one task per node
+/// file, at most `jobs` running at once, results collected in input
+/// order. `jobs == 1` runs the plain serial loop on the calling thread.
+///
+/// The per-node conversion is a pure function of `(file, tables, opts)`
+/// — workers share no mutable state — so the output vector is identical
+/// for every `jobs` value; only wall time changes.
+pub fn convert_job_pooled(
+    files: &[RawTraceFile],
+    threads: &ThreadTable,
+    profile: &Profile,
+    opts: &ConvertOptions,
+    jobs: usize,
+) -> Result<Vec<ConvertOutput>> {
+    let jobs = jobs.max(1).min(files.len().max(1));
+    let markers = MarkerMap::build(files)?;
+    if jobs == 1 || files.len() <= 1 {
+        return files
+            .iter()
+            .map(|f| convert_node_opts(f, threads, profile, &markers, opts))
+            .collect();
+    }
+    let markers = &markers;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<ConvertOutput>>> = Vec::new();
+    slots.resize_with(files.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    cb_thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let next = &next;
+                let slots = &slots;
+                s.spawn(move |_| {
+                    let _span = ute_obs::Span::enter("pipeline", format!("convert worker {w}"));
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= files.len() {
+                            break;
+                        }
+                        let r = convert_node_opts(&files[i], threads, profile, markers, opts);
+                        slots.lock().expect("slot lock")[i] = Some(r);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                return Err(UteError::Invalid("convert worker panicked".into()));
+            }
+        }
+        Ok(())
+    })
+    .map_err(|_| UteError::Invalid("convert scope panicked".into()))??;
+    slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by a worker"))
+        .collect()
 }
 
 /// Restricts a job-wide thread table to one node's threads.

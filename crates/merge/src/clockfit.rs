@@ -69,6 +69,22 @@ pub struct NodeFit {
     pub max_residual: u64,
 }
 
+/// The (G, L) pair carried by a CLOCK record, or `None` for any other
+/// record. One extraction path for readers and in-memory streams.
+fn clock_sample(
+    iv: &ute_format::record::Interval,
+    profile: &Profile,
+) -> Result<Option<ClockSample>> {
+    if iv.itype.state != StateCode::CLOCK {
+        return Ok(None);
+    }
+    let g = iv
+        .extra(profile, "globalTime")
+        .and_then(|v| v.as_uint())
+        .ok_or_else(|| UteError::corrupt("CLOCK record without globalTime"))?;
+    Ok(Some(ClockSample::new(Time(g), LocalTime(iv.start))))
+}
+
 /// Pulls the (G, L) pairs out of a per-node interval file.
 pub fn extract_clock_samples(
     reader: &IntervalFileReader<'_>,
@@ -76,15 +92,25 @@ pub fn extract_clock_samples(
 ) -> Result<Vec<ClockSample>> {
     let mut out = Vec::new();
     for iv in reader.intervals() {
-        let iv = iv?;
-        if iv.itype.state != StateCode::CLOCK {
-            continue;
+        if let Some(s) = clock_sample(&iv?, profile)? {
+            out.push(s);
         }
-        let g = iv
-            .extra(profile, "globalTime")
-            .and_then(|v| v.as_uint())
-            .ok_or_else(|| UteError::corrupt("CLOCK record without globalTime"))?;
-        out.push(ClockSample::new(Time(g), LocalTime(iv.start)));
+    }
+    Ok(out)
+}
+
+/// [`extract_clock_samples`] over already-decoded intervals — used by
+/// the fused pipeline, whose converter hands its in-memory records
+/// straight to the merge stage without an encode/decode round-trip.
+pub fn clock_samples_of(
+    intervals: &[ute_format::record::Interval],
+    profile: &Profile,
+) -> Result<Vec<ClockSample>> {
+    let mut out = Vec::new();
+    for iv in intervals {
+        if let Some(s) = clock_sample(iv, profile)? {
+            out.push(s);
+        }
     }
     Ok(out)
 }
@@ -99,7 +125,36 @@ pub fn fit_node(
     estimator: RatioEstimator,
     filter: bool,
 ) -> Result<NodeFit> {
-    let raw = extract_clock_samples(reader, profile)?;
+    fit_from_samples(
+        reader.node,
+        extract_clock_samples(reader, profile)?,
+        estimator,
+        filter,
+    )
+}
+
+/// [`fit_node`] over already-decoded intervals (fused pipeline path).
+pub fn fit_node_intervals(
+    node: u16,
+    intervals: &[ute_format::record::Interval],
+    profile: &Profile,
+    estimator: RatioEstimator,
+    filter: bool,
+) -> Result<NodeFit> {
+    fit_from_samples(
+        node,
+        clock_samples_of(intervals, profile)?,
+        estimator,
+        filter,
+    )
+}
+
+fn fit_from_samples(
+    node: u16,
+    raw: Vec<ClockSample>,
+    estimator: RatioEstimator,
+    filter: bool,
+) -> Result<NodeFit> {
     let samples = if filter {
         filter_outliers_default(&raw)
     } else {
@@ -127,7 +182,7 @@ pub fn fit_node(
         .max()
         .unwrap_or(0);
     Ok(NodeFit {
-        node: reader.node,
+        node,
         fit,
         samples_used: samples.len(),
         max_residual,

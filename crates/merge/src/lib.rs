@@ -23,7 +23,14 @@
 pub mod clockfit;
 pub mod kway;
 pub mod merger;
+pub mod stream;
 
-pub use clockfit::{extract_clock_samples, fit_node, NodeFit};
-pub use kway::{BalancedTreeMerge, NaiveMerge};
-pub use merger::{merge_files, slogmerge, MergeOptions, MergeOutput, MergeStats};
+pub use clockfit::{
+    clock_samples_of, extract_clock_samples, fit_node, fit_node_intervals, NodeFit,
+};
+pub use kway::{BalancedTreeMerge, MergeSource, NaiveMerge};
+pub use merger::{
+    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, merge_files,
+    slogmerge, write_merged_stream, IvSource, MergeOptions, MergeOutput, MergeStats,
+};
+pub use stream::{ReorderBuffer, REORDER_WINDOW};

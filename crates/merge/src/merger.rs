@@ -13,7 +13,8 @@ use ute_format::thread_table::ThreadTable;
 use ute_slog::builder::{BuildOptions, SlogBuilder};
 use ute_slog::file::SlogFile;
 
-use crate::clockfit::{fit_node, NodeFit};
+use crate::clockfit::{fit_node, fit_node_intervals, NodeFit};
+use crate::stream::ReorderBuffer;
 
 /// The merged stream plus the tables needed to write or visualize it.
 type MergedStream = (Vec<Interval>, ThreadTable, Vec<(u32, String)>, MergeStats);
@@ -71,8 +72,21 @@ pub struct MergeOutput {
     pub stats: MergeStats,
 }
 
-struct IvSource {
+/// A [`MergeSource`] over an in-memory, end-ordered interval vector —
+/// the serial path's per-node cursor. The parallel path uses a
+/// channel-fed source instead (`ute-pipeline`), feeding the same
+/// [`BalancedTreeMerge`].
+pub struct IvSource {
     items: std::vec::IntoIter<Interval>,
+}
+
+impl IvSource {
+    /// Wraps an end-ordered interval vector.
+    pub fn new(items: Vec<Interval>) -> IvSource {
+        IvSource {
+            items: items.into_iter(),
+        }
+    }
 }
 
 impl MergeSource for IvSource {
@@ -87,6 +101,141 @@ impl MergeSource for IvSource {
     }
 }
 
+/// Folds one input file's header into the union thread table and the
+/// unified marker table. Must be called in input order — the union
+/// tables (and therefore the merged file's header bytes) are defined by
+/// that order, which is what lets the parallel path reproduce the serial
+/// output byte for byte.
+pub fn absorb_file_header(
+    reader: &IntervalFileReader<'_>,
+    union_threads: &mut ThreadTable,
+    markers: &mut Vec<(u32, String)>,
+) -> Result<()> {
+    absorb_header_tables(&reader.threads, &reader.markers, union_threads, markers)
+}
+
+/// [`absorb_file_header`] over bare tables — for callers that only have
+/// a copy of a file's header (e.g. one sent over a channel by a pipeline
+/// worker) rather than an open reader.
+pub fn absorb_header_tables(
+    threads: &ThreadTable,
+    file_markers: &[(u32, String)],
+    union_threads: &mut ThreadTable,
+    markers: &mut Vec<(u32, String)>,
+) -> Result<()> {
+    union_threads.absorb(threads)?;
+    for (id, name) in file_markers {
+        match markers.iter().find(|(i, _)| i == id) {
+            Some((_, existing)) if existing != name => {
+                return Err(UteError::Invalid(format!(
+                    "marker id {id} names both \"{existing}\" and \"{name}\"; \
+                     inputs were not converted together"
+                )));
+            }
+            Some(_) => {}
+            None => markers.push((*id, name.clone())),
+        }
+    }
+    Ok(())
+}
+
+/// The per-node stage of the merge: fits the node's clock, then decodes,
+/// filters, and clock-adjusts its records, streaming them end-ordered
+/// into `sink` (via a [`ReorderBuffer`], so the emitted sequence is the
+/// stable end-time sort regardless of rounding jitter). Returns the
+/// node's fit and its raw record count.
+///
+/// Both the serial path (sink = collect into a vector) and the parallel
+/// path (sink = bounded channel send) run exactly this function, which
+/// is what makes their merged outputs byte-identical.
+pub fn adjust_node(
+    reader: &IntervalFileReader<'_>,
+    profile: &Profile,
+    opts: &MergeOptions,
+    sink: impl FnMut(Interval) -> Result<()>,
+) -> Result<(NodeFit, u64)> {
+    let _span = ute_obs::Span::enter("merge", format!("merge node {}", reader.node));
+    let nf = fit_node(reader, profile, opts.estimator, opts.filter_outliers)?;
+    let records_in = adjust_stream(&reader.threads, reader.intervals(), &nf, opts, sink)?;
+    Ok((nf, records_in))
+}
+
+/// [`adjust_node`] over the converter's in-memory intervals — the fused
+/// pipeline path, which skips the encode/decode round-trip entirely
+/// (both the clock-fit pass and the adjust pass read the decoded file
+/// twice in the staged path). `threads` must be the same per-node table
+/// the converted file's header carries, so filtering is identical.
+pub fn adjust_intervals(
+    node: u16,
+    threads: &ThreadTable,
+    intervals: Vec<Interval>,
+    profile: &Profile,
+    opts: &MergeOptions,
+    sink: impl FnMut(Interval) -> Result<()>,
+) -> Result<(NodeFit, u64)> {
+    let _span = ute_obs::Span::enter("merge", format!("merge node {node}"));
+    let nf = fit_node_intervals(
+        node,
+        &intervals,
+        profile,
+        opts.estimator,
+        opts.filter_outliers,
+    )?;
+    let records_in = adjust_stream(threads, intervals.into_iter().map(Ok), &nf, opts, sink)?;
+    Ok((nf, records_in))
+}
+
+/// The loop both [`adjust_node`] and [`adjust_intervals`] run: filter,
+/// clock-adjust, and end-order every record of one node. Sharing this
+/// body is what keeps the two entry points byte-equivalent.
+fn adjust_stream(
+    threads: &ThreadTable,
+    intervals: impl IntoIterator<Item = Result<Interval>>,
+    nf: &NodeFit,
+    opts: &MergeOptions,
+    mut sink: impl FnMut(Interval) -> Result<()>,
+) -> Result<u64> {
+    let obs_in = ute_obs::counter("merge/records_in");
+    let mut records_in = 0u64;
+    let mut emitted = 0u64;
+    let mut counted_sink = |iv: Interval| {
+        emitted += 1;
+        sink(iv)
+    };
+    let mut reorder = ReorderBuffer::new();
+    for iv in intervals {
+        let mut iv = iv?;
+        records_in += 1;
+        if let Some(types) = &opts.thread_types {
+            if iv.itype.state != StateCode::CLOCK {
+                let ttype = threads
+                    .lookup(iv.node, iv.thread)
+                    .map(|e| e.ttype)
+                    .ok_or_else(|| {
+                        UteError::corrupt(format!(
+                            "record references unknown thread (node {}, logical {})",
+                            iv.node, iv.thread
+                        ))
+                    })?;
+                if !types.contains(&ttype) {
+                    continue;
+                }
+            }
+        }
+        let local_start = LocalTime(iv.start);
+        iv.start = nf.fit.adjust(local_start).ticks();
+        iv.duration = nf
+            .fit
+            .adjust_duration(local_start, Duration(iv.duration))
+            .ticks();
+        reorder.push(iv.end(), iv, &mut counted_sink)?;
+    }
+    reorder.finish(&mut counted_sink)?;
+    obs_in.add(emitted);
+    ute_obs::gauge("merge/clock_fit_residual_ns").set_max(nf.max_residual as f64);
+    Ok(records_in)
+}
+
 /// Decodes, clock-adjusts, filters, and k-way merges the input files into
 /// one globally-timed stream. Shared by [`merge_files`] and [`slogmerge`].
 fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result<MergedStream> {
@@ -95,63 +244,17 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
     let mut markers: Vec<(u32, String)> = Vec::new();
     let mut sources = Vec::with_capacity(files.len());
 
-    let obs_in = ute_obs::counter("merge/records_in");
-    let obs_residual = ute_obs::gauge("merge/clock_fit_residual_ns");
     for bytes in files {
         let reader = IntervalFileReader::open(bytes, profile)?;
-        let _span = ute_obs::Span::enter("merge", format!("merge node {}", reader.node));
-        union_threads.absorb(&reader.threads)?;
-        for (id, name) in &reader.markers {
-            match markers.iter().find(|(i, _)| i == id) {
-                Some((_, existing)) if existing != name => {
-                    return Err(UteError::Invalid(format!(
-                        "marker id {id} names both \"{existing}\" and \"{name}\"; \
-                         inputs were not converted together"
-                    )));
-                }
-                Some(_) => {}
-                None => markers.push((*id, name.clone())),
-            }
-        }
-        let nf = fit_node(&reader, profile, opts.estimator, opts.filter_outliers)?;
+        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
         let mut adjusted = Vec::new();
-        for iv in reader.intervals() {
-            let mut iv = iv?;
-            stats.records_in += 1;
-            if let Some(types) = &opts.thread_types {
-                if iv.itype.state != StateCode::CLOCK {
-                    let ttype = reader
-                        .threads
-                        .lookup(iv.node, iv.thread)
-                        .map(|e| e.ttype)
-                        .ok_or_else(|| {
-                            UteError::corrupt(format!(
-                                "record references unknown thread (node {}, logical {})",
-                                iv.node, iv.thread
-                            ))
-                        })?;
-                    if !types.contains(&ttype) {
-                        continue;
-                    }
-                }
-            }
-            let local_start = LocalTime(iv.start);
-            iv.start = nf.fit.adjust(local_start).ticks();
-            iv.duration = nf
-                .fit
-                .adjust_duration(local_start, Duration(iv.duration))
-                .ticks();
+        let (nf, records_in) = adjust_node(&reader, profile, opts, |iv| {
             adjusted.push(iv);
-        }
-        // Linear adjustment preserves end-time order up to rounding;
-        // restore strict order where rounding introduced 1-tick swaps.
-        adjusted.sort_by_key(|iv| iv.end());
-        obs_in.add(adjusted.len() as u64);
-        obs_residual.set_max(nf.max_residual as f64);
+            Ok(())
+        })?;
+        stats.records_in += records_in;
         stats.fits.push(nf);
-        sources.push(IvSource {
-            items: adjusted.into_iter(),
-        });
+        sources.push(IvSource::new(adjusted));
     }
 
     markers.sort_by_key(|(id, _)| *id);
@@ -160,10 +263,13 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
 }
 
 /// Tracks open states per thread to synthesize the §3.3 frame-head
-/// pseudo continuation records.
+/// pseudo continuation records. Keyed by a `BTreeMap` so pseudo records
+/// at a frame head come out in sorted `(node, thread)` order — the
+/// determinism gate compares merged files byte for byte, so emission
+/// order must not depend on hash-map iteration.
 #[derive(Default)]
 struct OpenTracker {
-    open: std::collections::HashMap<(u16, u16), Vec<Interval>>,
+    open: std::collections::BTreeMap<(u16, u16), Vec<Interval>>,
 }
 
 impl OpenTracker {
@@ -185,13 +291,12 @@ impl OpenTracker {
         }
     }
 
-    /// Zero-duration continuation records for every state open at `at`.
+    /// Zero-duration continuation records for every state open at `at`,
+    /// in sorted `(node, thread)` order.
     fn pseudo_records(&self, at: u64) -> Vec<Interval> {
-        let mut keys: Vec<_> = self.open.keys().copied().collect();
-        keys.sort_unstable();
         let mut out = Vec::new();
-        for k in keys {
-            for open in &self.open[&k] {
+        for stack in self.open.values() {
+            for open in stack {
                 let mut p = open.clone();
                 p.itype = IntervalType {
                     state: open.itype.state,
@@ -206,22 +311,32 @@ impl OpenTracker {
     }
 }
 
-/// Merges per-node interval files into one merged interval file.
-pub fn merge_files(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result<MergeOutput> {
-    let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
+/// Writes an already-merged, end-ordered interval stream to a merged
+/// interval file, inserting the §3.3 frame-head pseudo continuation
+/// records. The tail of both the serial [`merge_files`] path and the
+/// parallel `ute-pipeline` path — the stream is consumed incrementally,
+/// so a channel-fed iterator overlaps writing with upstream decoding.
+pub fn write_merged_stream(
+    profile: &Profile,
+    threads: &ThreadTable,
+    markers: &[(u32, String)],
+    opts: &MergeOptions,
+    intervals: impl IntoIterator<Item = Interval>,
+    stats: &mut MergeStats,
+) -> Result<Vec<u8>> {
     let mut writer = IntervalFileWriter::new(
         profile,
         MASK_MERGED,
         MERGED_NODE,
-        &threads,
-        &markers,
+        threads,
+        markers,
         opts.policy,
     );
     let mut tracker = OpenTracker::default();
     let mut pushed: u64 = 0;
     let mut last_end: u64 = 0;
     let frame_len = opts.policy.max_records_per_frame as u64;
-    for iv in &merged {
+    for iv in intervals {
         if opts.frame_pseudo_intervals && pushed > 0 && pushed.is_multiple_of(frame_len) {
             for p in tracker.pseudo_records(last_end) {
                 writer.push(&p)?;
@@ -229,16 +344,23 @@ pub fn merge_files(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> R
                 stats.pseudo_added += 1;
             }
         }
-        writer.push(iv)?;
+        writer.push(&iv)?;
         pushed += 1;
         last_end = iv.end();
-        tracker.observe(iv);
+        tracker.observe(&iv);
     }
     stats.records_out = writer.record_count();
     ute_obs::counter("merge/records_out").add(stats.records_out);
     ute_obs::counter("merge/pseudo_added").add(stats.pseudo_added);
+    Ok(writer.finish())
+}
+
+/// Merges per-node interval files into one merged interval file.
+pub fn merge_files(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result<MergeOutput> {
+    let (merged, threads, markers, mut stats) = merge_core(files, profile, opts)?;
+    let bytes = write_merged_stream(profile, &threads, &markers, opts, merged, &mut stats)?;
     Ok(MergeOutput {
-        merged: writer.finish(),
+        merged: bytes,
         stats,
     })
 }

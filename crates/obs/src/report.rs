@@ -60,6 +60,37 @@ pub fn snapshot() -> MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// A copy with every scheduling- and wall-clock-dependent metric
+    /// removed: names ending in `_ns` (span timings, fitted residuals)
+    /// and the `pipeline/` execution-layer metrics (worker counts, queue
+    /// depths — functions of `--jobs`, not of the trace). What remains
+    /// is a pure function of the input, so `ute report --stable` output
+    /// is byte-comparable across runs and across `--jobs` values — the
+    /// form the CI determinism gate diffs.
+    pub fn stable(&self) -> MetricsSnapshot {
+        let keep = |name: &str| !name.ends_with("_ns") && !name.starts_with("pipeline/");
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Value of a counter, if registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -222,5 +253,18 @@ mod tests {
     #[test]
     fn json_escapes_names() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn stable_drops_wall_clock_and_pipeline_metrics() {
+        counter("test/stable/kept").add(1);
+        counter("pipeline/test_stable_batches").add(3);
+        gauge("test/stable/span_ns").set(123.0);
+        histogram("teststage/span_ns").record(55);
+        let snap = snapshot().stable();
+        assert_eq!(snap.counter("test/stable/kept"), Some(1));
+        assert_eq!(snap.counter("pipeline/test_stable_batches"), None);
+        assert_eq!(snap.gauge("test/stable/span_ns"), None);
+        assert!(snap.histogram("teststage/span_ns").is_none());
     }
 }

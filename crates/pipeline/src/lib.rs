@@ -1,0 +1,478 @@
+//! # ute-pipeline — parallel convert/merge with a determinism guarantee
+//!
+//! The paper's Table 1 makes convert and merge the throughput-critical
+//! stages between trace generation and visualization. This crate runs
+//! them on a parallel execution layer without changing a single output
+//! byte:
+//!
+//! * **Fan-out** — one worker per node file converts raw events and
+//!   clock-adjusts the node's intervals ([`ute_merge::adjust_node`],
+//!   which includes the §2.2 clock fit). CPU concurrency is bounded by a
+//!   [`pool::Semaphore`] with `jobs` permits.
+//! * **Streaming** — each worker feeds its end-ordered interval stream
+//!   into the k-way [`ute_merge::BalancedTreeMerge`] through a bounded
+//!   channel ([`source::ChannelSource`]), so the merge and the merged
+//!   file writer overlap upstream conversion instead of waiting for all
+//!   nodes.
+//! * **Determinism** — output is byte-identical to the serial path for
+//!   every `jobs` value. Headers are absorbed in input order on the
+//!   consumer; per-node streams are produced by the *same* code the
+//!   serial path runs; the merge tree breaks end-time ties by source
+//!   index, which is input order; and the writer is shared. Nothing
+//!   downstream can observe scheduling.
+//!
+//! Deadlock freedom: workers release their CPU permit before any
+//! blocking channel send (see [`source::BatchSender`]), so a full
+//! channel parks a worker without occupying the pool, and the consumer's
+//! demand always reaches a runnable worker.
+//!
+//! `jobs == 1` (or a single input) short-circuits to the serial
+//! functions — the parallel machinery is entirely bypassed.
+
+pub mod pool;
+pub mod source;
+
+use std::sync::atomic::AtomicI64;
+
+use crossbeam::channel;
+use crossbeam::thread as cb_thread;
+
+use ute_convert::{
+    convert_job_opts, convert_node_tapped, node_threads, ConvertOptions, ConvertOutput, MarkerMap,
+};
+use ute_core::error::{Result, UteError};
+use ute_format::file::IntervalFileReader;
+use ute_format::profile::Profile;
+use ute_format::record::Interval;
+use ute_format::thread_table::ThreadTable;
+use ute_merge::clockfit::NodeFit;
+use ute_merge::{
+    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, write_merged_stream,
+    BalancedTreeMerge, MergeOptions, MergeOutput, MergeStats,
+};
+use ute_rawtrace::file::RawTraceFile;
+use ute_slog::builder::{BuildOptions, SlogBuilder};
+use ute_slog::file::SlogFile;
+
+use pool::Semaphore;
+use source::{BatchSender, ChannelSource, CHANNEL_BATCHES};
+
+/// Error message a worker reports when the merge consumer disappeared
+/// mid-stream. Secondary by construction — the consumer's own error is
+/// the interesting one — so result collection filters it out.
+const CONSUMER_GONE: &str = "pipeline: merge consumer stopped";
+
+fn is_consumer_gone(e: &UteError) -> bool {
+    matches!(e, UteError::Invalid(m) if m == CONSUMER_GONE)
+}
+
+pub(crate) fn consumer_gone() -> UteError {
+    UteError::Invalid(CONSUMER_GONE.into())
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Picks the first *primary* error in deterministic order: worker errors
+/// by input index (skipping the secondary consumer-gone report), then
+/// the consumer's own error. `Ok` only if every part succeeded.
+fn first_error<T, C>(
+    workers: Vec<cb_thread::Result<Result<T>>>,
+    consumer: Result<C>,
+) -> Result<(Vec<T>, C)> {
+    let mut oks = Vec::with_capacity(workers.len());
+    let mut secondary = None;
+    for r in workers {
+        match r.map_err(|_| UteError::Invalid("pipeline worker panicked".into()))? {
+            Ok(v) => oks.push(v),
+            Err(e) if is_consumer_gone(&e) => secondary = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    let c = consumer?;
+    match secondary {
+        // Consumer succeeded yet a worker saw it gone — can only mean
+        // the stream ended early somehow; surface rather than swallow.
+        Some(e) => Err(e),
+        None => Ok((oks, c)),
+    }
+}
+
+/// One node's merge-side worker: adjust the node under a CPU permit and
+/// stream batches downstream.
+fn produce_adjusted(
+    reader: &IntervalFileReader<'_>,
+    profile: &Profile,
+    opts: &MergeOptions,
+    sem: &Semaphore,
+    tx: channel::Sender<Vec<Interval>>,
+    depth: &AtomicI64,
+) -> Result<(NodeFit, u64)> {
+    let permit = sem.acquire();
+    let _span = ute_obs::Span::enter("pipeline", format!("adjust worker node {}", reader.node));
+    let mut sender = BatchSender::new(tx, sem, permit, depth);
+    let out = adjust_node(reader, profile, opts, |iv| sender.push(iv))?;
+    sender.finish()?;
+    Ok(out)
+}
+
+/// Runs the headers-then-streams topology shared by [`merge_files_jobs`]
+/// and [`slogmerge_jobs`]: spawns one producer per open reader, then
+/// hands the channel-fed merge iterator to `consume` on the calling
+/// thread. Headers were already absorbed serially by the caller.
+fn merge_streamed<T: Send>(
+    readers: Vec<IntervalFileReader<'_>>,
+    profile: &Profile,
+    opts: &MergeOptions,
+    jobs: usize,
+    consume: impl FnOnce(BalancedTreeMerge<ChannelSource<'_>>) -> Result<T>,
+) -> Result<(Vec<(NodeFit, u64)>, T)> {
+    let sem = Semaphore::new(jobs);
+    let depth = AtomicI64::new(0);
+    ute_obs::gauge("pipeline/jobs").set(jobs as f64);
+    let (workers, consumed) = cb_thread::scope(|s| {
+        let sem = &sem;
+        let depth = &depth;
+        let mut sources = Vec::with_capacity(readers.len());
+        let mut handles = Vec::with_capacity(readers.len());
+        for reader in &readers {
+            let (tx, rx) = channel::bounded(CHANNEL_BATCHES);
+            sources.push(ChannelSource::new(rx, depth));
+            handles.push(s.spawn(move |_| produce_adjusted(reader, profile, opts, sem, tx, depth)));
+        }
+        let consumed = consume(BalancedTreeMerge::new(sources));
+        let workers: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        (workers, consumed)
+    })
+    .map_err(|_| UteError::Invalid("pipeline scope panicked".into()))?;
+    first_error(workers, consumed)
+}
+
+/// [`ute_merge::merge_files`] on `jobs` workers. Byte-identical output
+/// for every `jobs` value; `jobs <= 1` runs the serial path directly.
+pub fn merge_files_jobs(
+    files: &[&[u8]],
+    profile: &Profile,
+    opts: &MergeOptions,
+    jobs: usize,
+) -> Result<MergeOutput> {
+    if jobs <= 1 || files.len() <= 1 {
+        return ute_merge::merge_files(files, profile, opts);
+    }
+    let mut stats = MergeStats::default();
+    let mut union_threads = ThreadTable::new();
+    let mut markers: Vec<(u32, String)> = Vec::new();
+    let mut readers = Vec::with_capacity(files.len());
+    for bytes in files {
+        let reader = IntervalFileReader::open(bytes, profile)?;
+        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
+        readers.push(reader);
+    }
+    markers.sort_by_key(|(id, _)| *id);
+    let (fits, merged) = merge_streamed(readers, profile, opts, jobs, |merge| {
+        write_merged_stream(profile, &union_threads, &markers, opts, merge, &mut stats)
+    })?;
+    for (nf, records_in) in fits {
+        stats.records_in += records_in;
+        stats.fits.push(nf);
+    }
+    Ok(MergeOutput { merged, stats })
+}
+
+/// [`ute_merge::slogmerge`] on `jobs` workers: the merged stream is
+/// collected while workers still decode, then built into a SLOG file.
+pub fn slogmerge_jobs(
+    files: &[&[u8]],
+    profile: &Profile,
+    opts: &MergeOptions,
+    build: BuildOptions,
+    jobs: usize,
+) -> Result<(SlogFile, MergeStats)> {
+    if jobs <= 1 || files.len() <= 1 {
+        return ute_merge::slogmerge(files, profile, opts, build);
+    }
+    let mut stats = MergeStats::default();
+    let mut union_threads = ThreadTable::new();
+    let mut markers: Vec<(u32, String)> = Vec::new();
+    let mut readers = Vec::with_capacity(files.len());
+    for bytes in files {
+        let reader = IntervalFileReader::open(bytes, profile)?;
+        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
+        readers.push(reader);
+    }
+    markers.sort_by_key(|(id, _)| *id);
+    let (fits, merged) = merge_streamed(readers, profile, opts, jobs, |merge| {
+        Ok(merge.collect::<Vec<Interval>>())
+    })?;
+    for (nf, records_in) in fits {
+        stats.records_in += records_in;
+        stats.fits.push(nf);
+    }
+    stats.records_out = merged.len() as u64;
+    ute_obs::counter("merge/records_out").add(stats.records_out);
+    let slog = SlogBuilder::new(profile, build).build(&merged, &union_threads, &markers)?;
+    Ok((slog, stats))
+}
+
+/// The fused pipeline's result: per-node converted files (in input
+/// order, same bytes as staged conversion) plus the merged output.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// Per-node conversion results, in input order.
+    pub converted: Vec<ConvertOutput>,
+    /// The merged interval file and statistics.
+    pub merged: MergeOutput,
+}
+
+/// One node's fused worker: convert raw events, publish the converted
+/// file's header, then clock-adjust and stream intervals — all under
+/// the CPU permit except blocking sends.
+///
+/// Fusion skips the encode/decode round-trip: the converter taps every
+/// record it writes into an in-memory vector, and the merge stage
+/// consumes that vector directly ([`adjust_intervals`]). The staged
+/// path decodes each converted file twice (clock-fit pass + adjust
+/// pass); this path decodes it zero times. The header tables sent
+/// downstream are the very tables the converter embedded in the file,
+/// so the absorbed union is identical to the staged path's.
+#[allow(clippy::too_many_arguments)]
+fn produce_converted(
+    file: &RawTraceFile,
+    threads: &ThreadTable,
+    profile: &Profile,
+    markers: &MarkerMap,
+    copts: &ConvertOptions,
+    mopts: &MergeOptions,
+    sem: &Semaphore,
+    header_tx: channel::Sender<(ThreadTable, Vec<(u32, String)>)>,
+    tx: channel::Sender<Vec<Interval>>,
+    depth: &AtomicI64,
+) -> Result<(ConvertOutput, NodeFit, u64)> {
+    let permit = sem.acquire();
+    let _span = ute_obs::Span::enter(
+        "pipeline",
+        format!("convert worker node {}", file.node.raw()),
+    );
+    let mut tapped: Vec<Interval> = Vec::new();
+    let out = convert_node_tapped(file, threads, profile, markers, copts, &mut |iv| {
+        tapped.push(iv.clone())
+    })?;
+    let node_table = node_threads(threads, file.node);
+    // Capacity-1 channel, single send: never blocks. A send error means
+    // the consumer already failed; the interval sends below will report
+    // it as the usual secondary consumer-gone error.
+    let _ = header_tx.send((node_table.clone(), markers.table().to_vec()));
+    drop(header_tx);
+    let mut sender = BatchSender::new(tx, sem, permit, depth);
+    let (nf, records_in) =
+        adjust_intervals(file.node.raw(), &node_table, tapped, profile, mopts, |iv| {
+            sender.push(iv)
+        })?;
+    sender.finish()?;
+    Ok((out, nf, records_in))
+}
+
+/// The fused parallel pipeline: converts every node's raw trace and
+/// merges the results in one pass, with merge overlapping conversion —
+/// the merged file is byte-identical to staged serial
+/// convert-then-merge for every `jobs` value.
+pub fn convert_and_merge(
+    files: &[RawTraceFile],
+    threads: &ThreadTable,
+    profile: &Profile,
+    copts: &ConvertOptions,
+    mopts: &MergeOptions,
+    jobs: usize,
+) -> Result<PipelineOutput> {
+    if jobs <= 1 || files.len() <= 1 {
+        let converted = convert_job_opts(files, threads, profile, copts, false)?;
+        let refs: Vec<&[u8]> = converted
+            .iter()
+            .map(|c| c.interval_file.as_slice())
+            .collect();
+        let merged = ute_merge::merge_files(&refs, profile, mopts)?;
+        return Ok(PipelineOutput { converted, merged });
+    }
+    // Marker-id unification needs a global view, so the map is built
+    // serially up front (a cheap scan) — exactly as staged conversion
+    // does, keeping converted bytes identical.
+    let marker_map = MarkerMap::build(files)?;
+    let mut stats = MergeStats::default();
+    let sem = Semaphore::new(jobs);
+    let depth = AtomicI64::new(0);
+    ute_obs::gauge("pipeline/jobs").set(jobs as f64);
+    let (workers, merged) = cb_thread::scope(|s| {
+        let sem = &sem;
+        let depth = &depth;
+        let marker_map = &marker_map;
+        let mut sources = Vec::with_capacity(files.len());
+        let mut header_rxs = Vec::with_capacity(files.len());
+        let mut handles = Vec::with_capacity(files.len());
+        for file in files {
+            let (header_tx, header_rx) = channel::bounded(1);
+            let (tx, rx) = channel::bounded(CHANNEL_BATCHES);
+            sources.push(ChannelSource::new(rx, depth));
+            header_rxs.push(header_rx);
+            handles.push(s.spawn(move |_| {
+                produce_converted(
+                    file, threads, profile, marker_map, copts, mopts, sem, header_tx, tx, depth,
+                )
+            }));
+        }
+        // Absorb headers in input order; workers stream on regardless
+        // (their bounded channels absorb the head start).
+        let consumed = (|| {
+            let mut union_threads = ThreadTable::new();
+            let mut markers: Vec<(u32, String)> = Vec::new();
+            for header_rx in header_rxs {
+                let (t, m) = header_rx.recv().map_err(|_| consumer_gone())?;
+                absorb_header_tables(&t, &m, &mut union_threads, &mut markers)?;
+            }
+            markers.sort_by_key(|(id, _)| *id);
+            write_merged_stream(
+                profile,
+                &union_threads,
+                &markers,
+                mopts,
+                BalancedTreeMerge::new(sources),
+                &mut stats,
+            )
+        })();
+        let workers: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        (workers, consumed)
+    })
+    .map_err(|_| UteError::Invalid("pipeline scope panicked".into()))?;
+    let (parts, merged) = first_error(workers, merged)?;
+    let mut converted = Vec::with_capacity(parts.len());
+    for (out, nf, records_in) in parts {
+        stats.records_in += records_in;
+        stats.fits.push(nf);
+        converted.push(out);
+    }
+    Ok(PipelineOutput {
+        converted,
+        merged: MergeOutput { merged, stats },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_cluster::Simulator;
+    use ute_format::file::FramePolicy;
+    use ute_workloads::micro;
+
+    fn converted_files() -> (Profile, Vec<Vec<u8>>) {
+        let w = micro::stencil(6, 8, 8 << 10);
+        let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let profile = Profile::standard();
+        let copts = ConvertOptions {
+            policy: FramePolicy {
+                max_records_per_frame: 64,
+                max_frames_per_dir: 4,
+            },
+            lenient: false,
+        };
+        let converted =
+            convert_job_opts(&result.raw_files, &result.threads, &profile, &copts, false).unwrap();
+        (
+            profile,
+            converted.into_iter().map(|c| c.interval_file).collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_merge_is_byte_identical_to_serial() {
+        let (profile, per_node) = converted_files();
+        let refs: Vec<&[u8]> = per_node.iter().map(|f| f.as_slice()).collect();
+        let opts = MergeOptions::default();
+        let serial = ute_merge::merge_files(&refs, &profile, &opts).unwrap();
+        for jobs in [2, 3, 8] {
+            let parallel = merge_files_jobs(&refs, &profile, &opts, jobs).unwrap();
+            assert_eq!(
+                serial.merged, parallel.merged,
+                "merged bytes differ at jobs={jobs}"
+            );
+            assert_eq!(serial.stats.records_in, parallel.stats.records_in);
+            assert_eq!(serial.stats.records_out, parallel.stats.records_out);
+            assert_eq!(serial.stats.pseudo_added, parallel.stats.pseudo_added);
+            assert_eq!(serial.stats.fits.len(), parallel.stats.fits.len());
+        }
+    }
+
+    #[test]
+    fn parallel_slogmerge_matches_serial() {
+        let (profile, per_node) = converted_files();
+        let refs: Vec<&[u8]> = per_node.iter().map(|f| f.as_slice()).collect();
+        let opts = MergeOptions::default();
+        let build = BuildOptions {
+            nframes: 8,
+            preview_bins: 16,
+            arrows: true,
+        };
+        let (serial, _) = ute_merge::slogmerge(&refs, &profile, &opts, build).unwrap();
+        let (parallel, _) = slogmerge_jobs(&refs, &profile, &opts, build, 4).unwrap();
+        assert_eq!(serial.to_bytes(), parallel.to_bytes());
+    }
+
+    #[test]
+    fn fused_pipeline_matches_staged_serial() {
+        let w = micro::sendrecv_shift(5, 6, 4 << 10);
+        let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let profile = Profile::standard();
+        let copts = ConvertOptions {
+            policy: FramePolicy::default(),
+            lenient: false,
+        };
+        let mopts = MergeOptions::default();
+        let staged = convert_and_merge(
+            &result.raw_files,
+            &result.threads,
+            &profile,
+            &copts,
+            &mopts,
+            1,
+        )
+        .unwrap();
+        for jobs in [2, 4, 8] {
+            let fused = convert_and_merge(
+                &result.raw_files,
+                &result.threads,
+                &profile,
+                &copts,
+                &mopts,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(
+                staged.merged.merged, fused.merged.merged,
+                "merged bytes differ at jobs={jobs}"
+            );
+            assert_eq!(staged.converted.len(), fused.converted.len());
+            for (a, b) in staged.converted.iter().zip(&fused.converted) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.interval_file, b.interval_file);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_input_reports_the_error_at_any_job_count() {
+        let (profile, mut per_node) = converted_files();
+        // Truncate one file mid-body so decoding fails after the header.
+        let keep = per_node[2].len() - 7;
+        per_node[2].truncate(keep);
+        let refs: Vec<&[u8]> = per_node.iter().map(|f| f.as_slice()).collect();
+        let opts = MergeOptions::default();
+        for jobs in [1, 4] {
+            assert!(
+                merge_files_jobs(&refs, &profile, &opts, jobs).is_err(),
+                "corruption undetected at jobs={jobs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A counting semaphore gating CPU-bound pipeline work.
+//!
+//! The pipeline spawns one scoped thread per node file (threads are
+//! cheap at trace-file counts) and bounds *CPU concurrency* with this
+//! semaphore instead of bounding thread count: a worker holds a permit
+//! only while decoding/adjusting, and releases it before any blocking
+//! channel send. That structure is what makes the bounded-channel
+//! topology deadlock-free — a blocked sender never holds a permit, so
+//! some runnable worker can always make progress and eventually feed
+//! the stream the merge consumer is waiting on.
+
+use std::sync::{Condvar, Mutex};
+
+/// A counting semaphore. [`Semaphore::acquire`] returns an RAII
+/// [`Permit`] that releases on drop.
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `n` permits (at least one).
+    pub fn new(n: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(n.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available and takes it.
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut n = self.permits.lock().expect("semaphore lock");
+        while *n == 0 {
+            n = self.available.wait(n).expect("semaphore wait");
+        }
+        *n -= 1;
+        Permit { sem: self }
+    }
+
+    fn release(&self) {
+        let mut n = self.permits.lock().expect("semaphore lock");
+        *n += 1;
+        drop(n);
+        self.available.notify_one();
+    }
+}
+
+/// An acquired permit; dropping it releases the slot.
+pub struct Permit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let sem = Semaphore::new(2);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _p = sem.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn dropped_permit_unblocks_waiter() {
+        let sem = Semaphore::new(1);
+        let p = sem.acquire();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _p2 = sem.acquire();
+            });
+            drop(p);
+            h.join().unwrap();
+        });
+    }
+}

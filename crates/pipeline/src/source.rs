@@ -1,0 +1,142 @@
+//! Channel plumbing between per-node workers and the merge consumer.
+//!
+//! Workers emit clock-adjusted intervals in batches over a bounded
+//! channel; [`ChannelSource`] adapts the receiving end to the merge
+//! crate's [`MergeSource`] trait so the k-way [`BalancedTreeMerge`]
+//! consumes a live stream exactly as it would an in-memory vector.
+//! Batching keeps channel traffic to one handoff per few thousand
+//! records, and the bounded capacity keeps memory flat while letting
+//! the merge overlap upstream decoding.
+//!
+//! [`BalancedTreeMerge`]: ute_merge::BalancedTreeMerge
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use ute_core::error::{Result, UteError};
+use ute_format::record::Interval;
+use ute_merge::MergeSource;
+
+use crate::pool::{Permit, Semaphore};
+
+/// Records per channel batch.
+pub const BATCH_RECORDS: usize = 8192;
+
+/// Bounded channel capacity, in batches, per node stream.
+pub const CHANNEL_BATCHES: usize = 8;
+
+/// The sending side of a node's interval stream: accumulates records
+/// into batches and ships each batch with the CPU permit *released*, so
+/// a send that blocks on a full channel never stalls the worker pool.
+pub struct BatchSender<'a> {
+    tx: Sender<Vec<Interval>>,
+    batch: Vec<Interval>,
+    sem: &'a Semaphore,
+    permit: Option<Permit<'a>>,
+    depth: &'a AtomicI64,
+}
+
+impl<'a> BatchSender<'a> {
+    /// Wraps a channel sender; `permit` is the worker's held CPU slot.
+    pub fn new(
+        tx: Sender<Vec<Interval>>,
+        sem: &'a Semaphore,
+        permit: Permit<'a>,
+        depth: &'a AtomicI64,
+    ) -> BatchSender<'a> {
+        BatchSender {
+            tx,
+            batch: Vec::with_capacity(BATCH_RECORDS),
+            sem,
+            permit: Some(permit),
+            depth,
+        }
+    }
+
+    /// Appends a record, flushing a full batch downstream.
+    pub fn push(&mut self, iv: Interval) -> Result<()> {
+        self.batch.push(iv);
+        if self.batch.len() >= BATCH_RECORDS {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH_RECORDS));
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        ute_obs::gauge("pipeline/queue_depth_max").set_max(depth as f64);
+        ute_obs::counter("pipeline/batches").add(1);
+        // Fast path: space in the channel, keep the CPU permit.
+        let batch = match self.tx.try_send(batch) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => {
+                // The merge consumer is gone — it failed and is
+                // unwinding; its error is the one the caller surfaces.
+                return Err(UteError::Invalid("pipeline: merge consumer stopped".into()));
+            }
+            Err(TrySendError::Full(batch)) => batch,
+        };
+        // Slow path: give up the CPU slot across the blocking send so a
+        // parked producer never occupies the worker pool.
+        self.permit = None;
+        if self.tx.send(batch).is_err() {
+            return Err(UteError::Invalid("pipeline: merge consumer stopped".into()));
+        }
+        self.permit = Some(self.sem.acquire());
+        Ok(())
+    }
+
+    /// Flushes the final partial batch and closes the stream (the
+    /// receiver sees end-of-stream once this sender drops).
+    pub fn finish(mut self) -> Result<()> {
+        self.flush()
+    }
+}
+
+/// A [`MergeSource`] fed by a worker through a bounded channel. The
+/// stream ends when the sender drops — whether after its final batch or
+/// early on a worker error; the caller distinguishes the two by joining
+/// the worker.
+pub struct ChannelSource<'a> {
+    rx: Receiver<Vec<Interval>>,
+    batch: std::vec::IntoIter<Interval>,
+    depth: &'a AtomicI64,
+}
+
+impl<'a> ChannelSource<'a> {
+    /// Wraps the receiving end of a node's interval stream.
+    pub fn new(rx: Receiver<Vec<Interval>>, depth: &'a AtomicI64) -> ChannelSource<'a> {
+        ChannelSource {
+            rx,
+            batch: Vec::new().into_iter(),
+            depth,
+        }
+    }
+}
+
+impl MergeSource for ChannelSource<'_> {
+    type Item = Interval;
+
+    fn next_item(&mut self) -> Option<Interval> {
+        loop {
+            if let Some(iv) = self.batch.next() {
+                return Some(iv);
+            }
+            match self.rx.recv() {
+                Ok(batch) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    self.batch = batch.into_iter();
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn end_of(item: &Interval) -> u64 {
+        item.end()
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`convert`] — the event→interval conversion utility (§3.1).
 //! * [`merge`] — the merge / `slogmerge` utility with clock adjustment
 //!   (§2.2, §3.1, §3.3).
+//! * [`pipeline`] — the parallel execution layer: per-node conversion and
+//!   clock adjustment fanned onto a worker pool, streamed into the k-way
+//!   merge through bounded channels, byte-identical to the serial path.
 //! * [`slog`] — the SLOG scalable log format with frames, pseudo-intervals
 //!   and preview data (§4).
 //! * [`stats`] — the declarative statistics generator and viewer (§3.2).
@@ -41,6 +44,7 @@ pub use ute_core as core;
 pub use ute_format as format;
 pub use ute_merge as merge;
 pub use ute_obs as obs;
+pub use ute_pipeline as pipeline;
 pub use ute_rawtrace as rawtrace;
 pub use ute_slog as slog;
 pub use ute_stats as stats;

@@ -303,6 +303,80 @@ fn marker_ids_unified_across_tasks() {
     assert_eq!(ids.len(), names.len());
 }
 
+mod parallel_determinism {
+    use proptest::prelude::*;
+    use ute::cluster::Simulator;
+    use ute::convert::ConvertOptions;
+    use ute::format::file::FramePolicy;
+    use ute::format::profile::Profile;
+    use ute::merge::MergeOptions;
+    use ute::pipeline::convert_and_merge;
+    use ute::rawtrace::buffer::BufferMode;
+    use ute::workloads::micro;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        // The pipeline's determinism guarantee, explored across the
+        // input space: any node count, any worker count, and both trace
+        // buffer behaviours (flush vs stop-when-full truncation, which
+        // produces force-closed states) must yield converted and merged
+        // bytes identical to the serial path.
+        #[test]
+        fn parallel_pipeline_equals_serial_bytes(
+            nodes in 1u32..17,
+            jobs in 1usize..9,
+            stop_when_full in any::<bool>(),
+            buffer_kib in 8usize..65,
+        ) {
+            let mut w = micro::stencil(nodes, 5, 4 << 10);
+            w.config.trace.mode = if stop_when_full {
+                BufferMode::StopWhenFull
+            } else {
+                BufferMode::Flush
+            };
+            w.config.trace.buffer_size = buffer_kib << 10;
+            let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+            let profile = Profile::standard();
+            let copts = ConvertOptions {
+                policy: FramePolicy::default(),
+                lenient: false,
+            };
+            let mopts = MergeOptions::default();
+            let serial = convert_and_merge(
+                &result.raw_files, &result.threads, &profile, &copts, &mopts, 1,
+            );
+            let parallel = convert_and_merge(
+                &result.raw_files, &result.threads, &profile, &copts, &mopts, jobs,
+            );
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(
+                        &s.merged.merged, &p.merged.merged,
+                        "merged bytes differ at jobs={}", jobs
+                    );
+                    prop_assert_eq!(s.converted.len(), p.converted.len());
+                    for (a, b) in s.converted.iter().zip(&p.converted) {
+                        prop_assert_eq!(a.node, b.node);
+                        prop_assert_eq!(
+                            &a.interval_file, &b.interval_file,
+                            "converted bytes differ for node {} at jobs={}",
+                            a.node.raw(), jobs
+                        );
+                    }
+                    prop_assert_eq!(s.merged.stats.records_in, p.merged.stats.records_in);
+                    prop_assert_eq!(s.merged.stats.records_out, p.merged.stats.records_out);
+                }
+                (Err(_), Err(_)) => {} // both reject the input — also deterministic
+                (s, p) => prop_assert!(
+                    false,
+                    "paths disagree: serial ok={}, parallel ok={}",
+                    s.is_ok(), p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn statistics_agree_with_ground_truth_messages() {
     let rounds = 12u32;
