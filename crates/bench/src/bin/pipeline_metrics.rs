@@ -41,7 +41,7 @@ fn main() {
     let profile = Profile::standard();
     let copts = ConvertOptions {
         policy: FramePolicy::default(),
-        lenient: false,
+        ..ConvertOptions::default()
     };
     let mopts = MergeOptions::default();
     // At least 2 so the channel-fed parallel path is really exercised

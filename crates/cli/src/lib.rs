@@ -35,12 +35,13 @@ use ute_cluster::Simulator;
 use ute_convert::{convert_job_pooled, ConvertOptions};
 use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
+use ute_faults::FaultPlan;
 use ute_format::codecio::{read_thread_table_file, write_thread_table_file};
 use ute_format::file::{FramePolicy, IntervalFileReader};
 use ute_format::profile::Profile;
 use ute_merge::MergeOptions;
 use ute_pipeline::{merge_files_jobs, slogmerge_jobs};
-use ute_rawtrace::file::RawTraceFile;
+use ute_rawtrace::file::{RawTraceFile, HEADER_LEN};
 use ute_slog::builder::BuildOptions;
 use ute_slog::file::SlogFile;
 use ute_stats::predefined::predefined_tables;
@@ -66,6 +67,7 @@ const KNOWN_SWITCHES: &[&str] = &[
     "hide-running",
     "metrics",
     "stable",
+    "strict",
 ];
 
 impl Args {
@@ -127,6 +129,29 @@ impl Args {
         }
         Ok(jobs)
     }
+
+    /// Whether salvage-mode ingestion is active. The CLI salvages by
+    /// default — truncated, corrupt, or missing inputs degrade with
+    /// warnings instead of aborting; `--strict` restores fail-fast.
+    /// (Library APIs are the opposite: strict unless opted in.)
+    fn salvage(&self) -> bool {
+        !self.has("strict")
+    }
+
+    /// The fault plan from `--fault-plan SPEC` or `--fault-seed N`
+    /// (seeded plans need the node count).
+    fn fault_plan(&self, nodes: u16) -> Result<Option<FaultPlan>> {
+        if let Some(spec) = self.get("fault-plan") {
+            return Ok(Some(FaultPlan::parse(spec)?));
+        }
+        match self.get("fault-seed") {
+            Some(_) => {
+                let seed = self.num("fault-seed", 0u64)?;
+                Ok(Some(FaultPlan::from_seed(seed, nodes)))
+            }
+            None => Ok(None),
+        }
+    }
 }
 
 fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
@@ -165,44 +190,146 @@ fn estimator_by_name(name: &str) -> Result<RatioEstimator> {
 
 /// `ute trace`: run a workload, writing raw trace files, the thread
 /// table, and the standard profile into `--out`.
+///
+/// `--fault-seed N` (or `--fault-plan SPEC`) injects deterministic
+/// faults: buffer-level kinds (dropped flushes, clock jumps) act inside
+/// the tracing buffers during the run; byte-level kinds (truncation,
+/// bit flips, overrun splices) mutate the raw bytes as they are
+/// written; a `missing` fault suppresses the node's file entirely.
 pub fn cmd_trace(args: &Args) -> Result<String> {
     let name = args.require("workload")?;
     let iterations = args.num("iterations", 256u32)?;
     let out = PathBuf::from(args.require("out")?);
     std::fs::create_dir_all(&out)?;
-    let w = workload_by_name(name, iterations)?;
+    let mut w = workload_by_name(name, iterations)?;
+    let plan = args.fault_plan(w.config.nodes)?;
+    if let Some(plan) = &plan {
+        w.config.trace.faults = Some(plan.clone());
+    }
     let _span = ute_obs::Span::enter("trace", format!("simulate {name}"));
     let res = Simulator::new(w.config, &w.job)?.run()?;
+    let mut faulted = 0usize;
+    let mut suppressed = 0usize;
     for f in &res.raw_files {
-        f.write_to(&out.join(RawTraceFile::file_name("trace", f.node)))?;
+        let path = out.join(RawTraceFile::file_name("trace", f.node));
+        match &plan {
+            None => f.write_to(&path)?,
+            Some(plan) => {
+                let node = f.node.raw();
+                if plan.for_node(node).next().is_some() {
+                    faulted += 1;
+                }
+                match plan.apply_to_file(node, f.to_bytes()?, HEADER_LEN) {
+                    Some(bytes) => std::fs::write(&path, bytes)?,
+                    None => {
+                        suppressed += 1;
+                        // A stale file from a previous run would mask
+                        // the missing-node fault.
+                        std::fs::remove_file(&path).ok();
+                    }
+                }
+            }
+        }
     }
     write_thread_table_file(&out.join("threads.utt"), &res.threads)?;
     Profile::standard().write_to(&out.join("profile.ute"))?;
-    Ok(format!(
+    let mut msg = format!(
         "traced {name}: {} nodes, {} records, {:.6}s simulated, overhead {}\n",
         res.raw_files.len(),
         res.stats.events_cut,
         res.stats.end_time.as_secs_f64(),
         res.stats.trace_overhead,
-    ))
+    );
+    if let Some(plan) = &plan {
+        msg.push_str(&format!(
+            "injected faults [{plan}]: {faulted} nodes faulted, {suppressed} files suppressed\n"
+        ));
+    }
+    Ok(msg)
 }
 
+/// Finds the node numbers for which `<prefix>.<N>.<ext>` exists in
+/// `dir`, sorted. Unlike a break-at-first-hole scan, this sees files
+/// *past* a missing node — the whole point of salvage mode.
+fn scan_node_files(dir: &Path, prefix: &str, ext: &str) -> Result<Vec<u16>> {
+    let mut nodes = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix).and_then(|r| r.strip_prefix('.')) else {
+            continue;
+        };
+        let Some(num) = rest.strip_suffix(ext).and_then(|r| r.strip_suffix('.')) else {
+            continue;
+        };
+        if let Ok(n) = num.parse::<u16>() {
+            nodes.push(n);
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    Ok(nodes)
+}
+
+/// Nodes absent from the contiguous range `0..=max(present)`.
+fn missing_nodes(present: &[u16]) -> Vec<u16> {
+    match present.last() {
+        None => Vec::new(),
+        Some(&max) => (0..=max).filter(|n| !present.contains(n)).collect(),
+    }
+}
+
+/// Loads a trace directory's raw files. In salvage mode, files past a
+/// hole are still found, unreadable files are dropped with a warning,
+/// and the second return value lists the nodes that could not be
+/// loaded; strict mode fails on the first unreadable file (holes are
+/// reported as missing, not errors — a gap in the numbering is not
+/// itself corrupt data).
 fn load_raw_dir(
     dir: &Path,
+    salvage: bool,
 ) -> Result<(
     Vec<RawTraceFile>,
     ute_format::thread_table::ThreadTable,
     Profile,
+    Vec<u16>,
 )> {
     let threads = read_thread_table_file(&dir.join("threads.utt"))?;
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
+    let present = scan_node_files(dir, "trace", "raw")?;
+    let mut lost = missing_nodes(&present);
     let mut files = Vec::new();
-    for node in 0u16.. {
+    for &node in &present {
         let p = dir.join(RawTraceFile::file_name("trace", NodeId(node)));
-        if !p.exists() {
-            break;
+        if salvage {
+            match RawTraceFile::read_from_salvage(&p) {
+                Ok((f, report)) => {
+                    if !report.is_clean() {
+                        eprintln!(
+                            "ute: warning: salvage: {}: kept {} records, skipped {} \
+                             ({} bytes, {} resyncs{})",
+                            p.display(),
+                            report.records,
+                            report.records_skipped,
+                            report.bytes_skipped,
+                            report.resyncs,
+                            if report.truncated_tail {
+                                ", truncated tail"
+                            } else {
+                                ""
+                            },
+                        );
+                    }
+                    files.push(f);
+                }
+                Err(e) => {
+                    eprintln!("ute: warning: salvage: dropping {}: {e}", p.display());
+                    lost.push(node);
+                }
+            }
+        } else {
+            files.push(RawTraceFile::read_from(&p)?);
         }
-        files.push(RawTraceFile::read_from(&p)?);
     }
     if files.is_empty() {
         return Err(UteError::NotFound(format!(
@@ -210,17 +337,24 @@ fn load_raw_dir(
             dir.display()
         )));
     }
-    Ok((files, threads, profile))
+    lost.sort_unstable();
+    Ok((files, threads, profile, lost))
 }
 
-/// `ute convert`: raw trace files → per-node interval files.
+/// `ute convert`: raw trace files → per-node interval files. Salvages
+/// corrupt raw files by default (`--strict` restores fail-fast): the
+/// decoder resynchronizes on the next valid hookword after a corrupt
+/// record, and states left open by a truncated stream become synthetic
+/// truncated intervals.
 pub fn cmd_convert(args: &Args) -> Result<String> {
     let jobs = args.jobs()?;
+    let salvage = args.salvage();
     let dir = PathBuf::from(args.require("in")?);
-    let (files, threads, profile) = load_raw_dir(&dir)?;
+    let (files, threads, profile, lost) = load_raw_dir(&dir, salvage)?;
     let copts = ConvertOptions {
         policy: FramePolicy::default(),
-        lenient: false,
+        lenient: salvage,
+        salvage,
     };
     let outputs = convert_job_pooled(&files, &threads, &profile, &copts, jobs)?;
     let mut msg = String::new();
@@ -235,17 +369,44 @@ pub fn cmd_convert(args: &Args) -> Result<String> {
             o.interval_file.len()
         ));
     }
+    if !lost.is_empty() {
+        msg.push_str(&format!(
+            "salvage: {} node(s) unreadable or missing: {:?}\n",
+            lost.len(),
+            lost
+        ));
+    }
     Ok(msg)
 }
 
-fn load_interval_files(dir: &Path) -> Result<Vec<Vec<u8>>> {
+/// Loads the per-node interval files of `dir`. In salvage mode the scan
+/// tolerates holes and unreadable files, returning the nodes lost; in
+/// strict mode it keeps the historical break-at-first-hole behavior.
+fn load_interval_files(dir: &Path, salvage: bool) -> Result<(Vec<Vec<u8>>, Vec<u16>)> {
     let mut files = Vec::new();
-    for node in 0u16.. {
-        let p = dir.join(format!("trace.{node}.ivl"));
-        if !p.exists() {
-            break;
+    let mut lost = Vec::new();
+    if salvage {
+        let present = scan_node_files(dir, "trace", "ivl")?;
+        lost = missing_nodes(&present);
+        for &node in &present {
+            let p = dir.join(format!("trace.{node}.ivl"));
+            match std::fs::read(&p) {
+                Ok(bytes) => files.push(bytes),
+                Err(e) => {
+                    eprintln!("ute: warning: salvage: dropping {}: {e}", p.display());
+                    lost.push(node);
+                }
+            }
         }
-        files.push(std::fs::read(&p)?);
+        lost.sort_unstable();
+    } else {
+        for node in 0u16.. {
+            let p = dir.join(format!("trace.{node}.ivl"));
+            if !p.exists() {
+                break;
+            }
+            files.push(std::fs::read(&p)?);
+        }
     }
     if files.is_empty() {
         return Err(UteError::NotFound(format!(
@@ -253,26 +414,45 @@ fn load_interval_files(dir: &Path) -> Result<Vec<Vec<u8>>> {
             dir.display()
         )));
     }
-    Ok(files)
+    Ok((files, lost))
 }
 
-fn merge_options(args: &Args) -> Result<MergeOptions> {
+fn merge_options(args: &Args, gap_nodes: Vec<u16>) -> Result<MergeOptions> {
     Ok(MergeOptions {
         estimator: estimator_by_name(args.get("estimator").unwrap_or("rms"))?,
         filter_outliers: !args.has("no-filter"),
+        salvage: args.salvage(),
+        gap_nodes,
         ..MergeOptions::default()
     })
 }
 
 /// `ute merge`: per-node interval files → one merged interval file.
+///
+/// Salvage mode (the default; `--strict` restores fail-fast) proceeds
+/// when a node's file is missing or unreadable: the node is dropped,
+/// a zero-duration Gap pseudo-record marks it in the merged output,
+/// and `salvage/nodes_degraded` counts it. This command is the single
+/// place that counter is bumped, so a staged `ute pipeline` run (which
+/// also re-reads the files for slogmerge) counts each degraded node
+/// once.
 pub fn cmd_merge(args: &Args) -> Result<String> {
     let dir = PathBuf::from(args.require("in")?);
     let out = PathBuf::from(args.require("out")?);
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
-    let files = load_interval_files(&dir)?;
+    let (files, lost) = load_interval_files(&dir, args.salvage())?;
     let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
-    let merged = merge_files_jobs(&refs, &profile, &merge_options(args)?, args.jobs()?)?;
+    let merged = merge_files_jobs(
+        &refs,
+        &profile,
+        &merge_options(args, lost.clone())?,
+        args.jobs()?,
+    )?;
     std::fs::write(&out, &merged.merged)?;
+    let degraded = lost.len() as u64 + merged.stats.nodes_degraded;
+    if degraded > 0 {
+        ute_obs::counter("salvage/nodes_degraded").add(degraded);
+    }
     let mut msg = format!(
         "merged {} files: {} records in, {} out ({} pseudo)\n",
         files.len(),
@@ -280,6 +460,13 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
         merged.stats.records_out,
         merged.stats.pseudo_added
     );
+    if degraded > 0 {
+        msg.push_str(&format!(
+            "salvage: {degraded} node(s) degraded ({} missing at load, {} dropped in merge)\n",
+            lost.len(),
+            merged.stats.nodes_degraded
+        ));
+    }
     for f in &merged.stats.fits {
         msg.push_str(&format!(
             "  node {}: ratio {:.9} from {} samples\n",
@@ -291,20 +478,28 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
     Ok(msg)
 }
 
-/// `ute slogmerge`: per-node interval files → a SLOG file.
+/// `ute slogmerge`: per-node interval files → a SLOG file. Salvage
+/// semantics match `ute merge`, except degraded nodes are not counted
+/// again (see [`cmd_merge`]) and the SLOG carries no gap records — a
+/// missing node simply has no timelines.
 pub fn cmd_slogmerge(args: &Args) -> Result<String> {
     let dir = PathBuf::from(args.require("in")?);
     let out = PathBuf::from(args.require("out")?);
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
-    let files = load_interval_files(&dir)?;
+    let (files, _lost) = load_interval_files(&dir, args.salvage())?;
     let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
     let build = BuildOptions {
         nframes: args.num("frames", 64usize)?,
         preview_bins: args.num("bins", 128u32)?,
         arrows: !args.has("no-arrows"),
     };
-    let (slog, stats) =
-        slogmerge_jobs(&refs, &profile, &merge_options(args)?, build, args.jobs()?)?;
+    let (slog, stats) = slogmerge_jobs(
+        &refs,
+        &profile,
+        &merge_options(args, Vec::new())?,
+        build,
+        args.jobs()?,
+    )?;
     slog.write_to(&out)?;
     Ok(format!(
         "slogmerge: {} records in, {} merged, {} frames, {} slog records\n",
@@ -371,11 +566,21 @@ pub fn cmd_preview(args: &Args) -> Result<String> {
     let slog = match args.get("ivl") {
         Some(ivl) => {
             let bytes = std::fs::read(ivl)?;
+            // A zero-length file is a trace that never got written;
+            // say so instead of failing on a header short-read.
+            if bytes.is_empty() {
+                return Ok(format!("empty trace: {ivl} has no data\n"));
+            }
             let profile = Profile::standard();
             let reader = IntervalFileReader::open(&bytes, &profile)?;
             let intervals: Result<Vec<_>> = reader.intervals().collect();
+            let intervals = intervals?;
+            // Header-only: structurally valid but nothing to preview.
+            if intervals.is_empty() {
+                return Ok(format!("empty trace: {ivl} contains no intervals\n"));
+            }
             ute_slog::builder::SlogBuilder::new(&profile, BuildOptions::default()).build(
-                &intervals?,
+                &intervals,
                 &reader.threads,
                 &reader.markers,
             )?
@@ -464,13 +669,22 @@ pub fn cmd_view(args: &Args) -> Result<String> {
 pub fn cmd_clockfit(args: &Args) -> Result<String> {
     let dir = PathBuf::from(args.require("in")?);
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
-    let files = load_interval_files(&dir)?;
+    let (files, _lost) = load_interval_files(&dir, args.salvage())?;
     let estimator = estimator_by_name(args.get("estimator").unwrap_or("rms"))?;
     let mut msg = String::new();
     for bytes in &files {
-        let reader = IntervalFileReader::open(bytes, &profile)?;
-        let nf =
-            ute_merge::clockfit::fit_node(&reader, &profile, estimator, !args.has("no-filter"))?;
+        let fit = (|| {
+            let reader = IntervalFileReader::open(bytes, &profile)?;
+            ute_merge::clockfit::fit_node(&reader, &profile, estimator, !args.has("no-filter"))
+        })();
+        let nf = match fit {
+            Ok(nf) => nf,
+            Err(e) if args.salvage() => {
+                msg.push_str(&format!("node ?: unfittable ({e})\n"));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let r = nf.fit.ratio();
         msg.push_str(&format!(
             "node {}: ratio {:.9} (drift {:+.3} ppm), {} samples\n",
@@ -483,18 +697,76 @@ pub fn cmd_clockfit(args: &Args) -> Result<String> {
     Ok(msg)
 }
 
+/// `ute corrupt`: deterministically corrupt an existing trace
+/// directory's raw and interval files for regression corpora. `--seed N`
+/// derives a byte-level plan (always including a truncation, so
+/// `--strict` re-runs are guaranteed to fail); `--plan SPEC` applies an
+/// explicit plan. `profile.ute` and `threads.utt` are never touched.
+pub fn cmd_corrupt(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let raw_nodes = scan_node_files(&dir, "trace", "raw")?;
+    let ivl_nodes = scan_node_files(&dir, "trace", "ivl")?;
+    if raw_nodes.is_empty() && ivl_nodes.is_empty() {
+        return Err(UteError::NotFound(format!(
+            "no trace.N.raw or trace.N.ivl files in {}",
+            dir.display()
+        )));
+    }
+    let nodes = raw_nodes.len().max(ivl_nodes.len()) as u16;
+    let plan = match args.get("plan") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::byte_level_from_seed(args.num("seed", 0u64)?, nodes),
+    };
+    let mut msg = format!("corrupting with plan [{plan}]\n");
+    let mut apply = |node: u16, path: &Path, protect: usize| -> Result<()> {
+        if !path.exists() || plan.for_node(node).next().is_none() {
+            return Ok(());
+        }
+        let data = std::fs::read(path)?;
+        match plan.apply_to_file(node, data, protect) {
+            Some(bytes) => {
+                std::fs::write(path, bytes)?;
+                msg.push_str(&format!("  mutated {}\n", path.display()));
+            }
+            None => {
+                std::fs::remove_file(path)?;
+                msg.push_str(&format!("  removed {}\n", path.display()));
+            }
+        }
+        Ok(())
+    };
+    for &node in &raw_nodes {
+        apply(
+            node,
+            &dir.join(RawTraceFile::file_name("trace", NodeId(node))),
+            HEADER_LEN,
+        )?;
+    }
+    for &node in &ivl_nodes {
+        // Protect only the 8-byte magic: a mangled interval-file header
+        // is exactly the kind of damage salvage must survive.
+        apply(node, &dir.join(format!("trace.{node}.ivl")), 8)?;
+    }
+    Ok(msg)
+}
+
 /// `ute pipeline`: trace → convert → merge → slogmerge → stats in one go.
-/// `--jobs` is forwarded to the convert and merge stages.
+/// `--jobs` (and `--strict`) are forwarded to every stage; fault flags
+/// apply to the trace stage.
 pub fn cmd_pipeline(args: &Args) -> Result<String> {
     let mut msg = cmd_trace(args)?;
     let out = args.require("out")?.to_string();
     let jobs = args.jobs()?;
+    let strict = args.has("strict");
     let sub = |pairs: Vec<(&str, String)>| -> Args {
         let mut a = Args::default();
         for (k, v) in pairs {
             a.map.insert(k.to_string(), v);
         }
         a.map.insert("jobs".to_string(), jobs.to_string());
+        if strict {
+            a.flags.push("strict".to_string());
+        }
         a
     };
     msg.push_str(&cmd_convert(&sub(vec![("in", out.clone())]))?);
@@ -555,6 +827,7 @@ pub fn run(argv: &[String]) -> Result<String> {
         "preview" => cmd_preview(&args),
         "view" => cmd_view(&args),
         "clockfit" => cmd_clockfit(&args),
+        "corrupt" => cmd_corrupt(&args),
         "pipeline" => cmd_pipeline(&args),
         "report" => cmd_report(&args),
         "help" | "--help" => Ok(USAGE.to_string()),
@@ -585,20 +858,41 @@ ute — Unified Trace Environment (SC 2000 reproduction)
 
 commands:
   trace     --workload NAME --out DIR [--iterations N]
-  convert   --in DIR [--jobs N]
+            [--fault-seed N | --fault-plan SPEC]
+  convert   --in DIR [--jobs N] [--strict]
   merge     --in DIR --out FILE [--estimator rms|rmsall|last|piecewise] [--no-filter]
-            [--jobs N]
+            [--jobs N] [--strict]
   slogmerge --in DIR --out FILE [--frames N] [--bins N] [--no-arrows] [--jobs N]
+            [--strict]
   stats     --merged FILE [--profile FILE] [--program FILE] [--out DIR]
   preview   --slog FILE | --ivl FILE [--svg FILE]
   view      --slog FILE [--kind thread|cpu|threadcpu|cputhread|type]
             [--window a,b] [--frame-at t] [--connected] [--hide-running]
             [--cpus N] [--width N] [--svg FILE]
   clockfit  --in DIR [--estimator ...] [--no-filter]
-  pipeline  --workload NAME --out DIR [--iterations N] [--jobs N]
+  corrupt   --in DIR [--seed N | --plan SPEC]
+            (deterministically corrupt trace.N.raw/.ivl for regression
+             corpora; profile.ute and threads.utt are never touched)
+  pipeline  --workload NAME --out DIR [--iterations N] [--jobs N] [--strict]
+            [--fault-seed N | --fault-plan SPEC]
   report    --workload NAME --out DIR [--iterations N] [--jobs N] [--stable]
             (metrics as JSON; --stable drops wall-clock and worker-count
              metrics so output is byte-comparable across runs and --jobs)
+
+fault tolerance:
+  Ingestion commands salvage by default: corrupt records are skipped
+  (the decoder resynchronizes on the next valid hookword), truncated
+  streams close their open states as synthetic intervals, and missing
+  or unreadable nodes degrade with a warning and a Gap pseudo-record
+  instead of aborting. Salvage events are counted in the salvage/*
+  metrics (see --metrics / `ute report`).
+  --strict             restore fail-fast: any corrupt, truncated, or
+                       missing input is a hard error
+  --fault-seed N       (trace/pipeline) inject a deterministic seeded
+                       fault plan while writing raw traces
+  --fault-plan SPEC    explicit plan, comma-separated NODE:KIND — e.g.
+                       0:truncate@500,1:bitflip@123.5,2:missing,
+                       3:overrun@64+40,4:dropflush@1,5:clockjump@100+9999
 
 parallelism:
   --jobs N             worker count for convert and merge (default: all
@@ -848,6 +1142,203 @@ mod extended_cli_tests {
         ))
         .unwrap();
         assert!(m.contains("merged"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod fault_cli_tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)], flags: &[&str]) -> Args {
+        let mut a = Args::default();
+        for (k, v) in pairs {
+            a.map.insert(k.to_string(), v.to_string());
+        }
+        a.flags = flags.iter().map(|s| s.to_string()).collect();
+        a
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ute_cli_fault_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const PLAN: &str = "0:truncate@800,1:bitflip@200.3,2:missing";
+
+    #[test]
+    fn fault_pipeline_salvages_and_stays_deterministic() {
+        // The issue's acceptance scenario: one truncated, one
+        // bit-flipped, one missing node — the pipeline completes, the
+        // missing node's raw file does not exist, and the artifacts are
+        // byte-identical at every job count.
+        let d1 = tmpdir("plan1");
+        let msg = cmd_pipeline(&args(
+            &[
+                ("workload", "stencil"),
+                ("out", d1.to_str().unwrap()),
+                ("iterations", "6"),
+                ("jobs", "1"),
+                ("fault-plan", PLAN),
+            ],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("injected faults"), "{msg}");
+        assert!(!d1.join("trace.2.raw").exists());
+        assert!(!d1.join("trace.2.ivl").exists());
+        let merged = std::fs::read(d1.join("merged.ivl")).unwrap();
+        let slog = std::fs::read(d1.join("run.slog")).unwrap();
+
+        let d8 = tmpdir("plan8");
+        cmd_pipeline(&args(
+            &[
+                ("workload", "stencil"),
+                ("out", d8.to_str().unwrap()),
+                ("iterations", "6"),
+                ("jobs", "8"),
+                ("fault-plan", PLAN),
+            ],
+            &[],
+        ))
+        .unwrap();
+        assert_eq!(
+            merged,
+            std::fs::read(d8.join("merged.ivl")).unwrap(),
+            "merged.ivl differs between --jobs 1 and 8 under faults"
+        );
+        assert_eq!(
+            slog,
+            std::fs::read(d8.join("run.slog")).unwrap(),
+            "run.slog differs between --jobs 1 and 8 under faults"
+        );
+
+        // The same corpus is a hard error under --strict.
+        let ds = tmpdir("planstrict");
+        let e = cmd_pipeline(&args(
+            &[
+                ("workload", "stencil"),
+                ("out", ds.to_str().unwrap()),
+                ("iterations", "6"),
+                ("fault-plan", PLAN),
+            ],
+            &["strict"],
+        ))
+        .unwrap_err();
+        assert!(!e.to_string().is_empty());
+
+        for d in [d1, d8, ds] {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+
+    #[test]
+    fn report_counts_degraded_nodes() {
+        let dir = tmpdir("report");
+        let json = cmd_report(&args(
+            &[
+                ("workload", "stencil"),
+                ("out", dir.to_str().unwrap()),
+                ("iterations", "6"),
+                ("fault-plan", PLAN),
+            ],
+            &["stable"],
+        ))
+        .unwrap();
+        // Node 2 is missing; nodes 0 and 1 salvage without degrading.
+        // (Other tests share the global registry, so assert >= 1 by
+        // excluding only the zero case.)
+        assert!(json.contains("\"salvage/nodes_degraded\""), "{json}");
+        assert!(!json.contains("\"salvage/nodes_degraded\": 0"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_respects_metadata_and_gates_strict() {
+        let dir = tmpdir("corrupt");
+        let out = dir.to_str().unwrap().to_string();
+        cmd_trace(&args(
+            &[("workload", "stencil"), ("out", &out), ("iterations", "6")],
+            &[],
+        ))
+        .unwrap();
+        let profile_before = std::fs::read(dir.join("profile.ute")).unwrap();
+        let threads_before = std::fs::read(dir.join("threads.utt")).unwrap();
+        let msg = cmd_corrupt(&args(&[("in", &out), ("plan", "0:truncate@123")], &[])).unwrap();
+        assert!(msg.contains("mutated"), "{msg}");
+        assert_eq!(
+            profile_before,
+            std::fs::read(dir.join("profile.ute")).unwrap()
+        );
+        assert_eq!(
+            threads_before,
+            std::fs::read(dir.join("threads.utt")).unwrap()
+        );
+        // Strict convert refuses the truncated file; salvage proceeds.
+        assert!(cmd_convert(&args(&[("in", &out)], &["strict"])).is_err());
+        let msg = cmd_convert(&args(&[("in", &out)], &[])).unwrap();
+        assert!(msg.contains("node 0"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeded_corruption_is_reproducible() {
+        // Same workload + same seed ⇒ identical damaged bytes — the
+        // property CI's fault matrix relies on.
+        let (da, db) = (tmpdir("seed_a"), tmpdir("seed_b"));
+        for d in [&da, &db] {
+            let out = d.to_str().unwrap();
+            cmd_trace(&args(
+                &[("workload", "stencil"), ("out", out), ("iterations", "6")],
+                &[],
+            ))
+            .unwrap();
+            cmd_corrupt(&args(&[("in", out), ("seed", "42")], &[])).unwrap();
+        }
+        let mut names: Vec<_> = std::fs::read_dir(&da)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        assert!(!names.is_empty());
+        for name in names {
+            let a = std::fs::read(da.join(&name)).unwrap();
+            let b = std::fs::read(db.join(&name)).unwrap();
+            assert_eq!(a, b, "{name:?} differs between identically seeded runs");
+        }
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
+    }
+
+    #[test]
+    fn preview_reports_empty_traces_cleanly() {
+        use ute_format::file::IntervalFileWriter;
+        use ute_format::profile::MASK_PER_NODE;
+        use ute_format::thread_table::ThreadTable;
+
+        let dir = tmpdir("preview");
+        // Zero-length file: a trace that never got written.
+        let empty = dir.join("empty.ivl");
+        std::fs::write(&empty, b"").unwrap();
+        let msg = cmd_preview(&args(&[("ivl", empty.to_str().unwrap())], &[])).unwrap();
+        assert!(msg.contains("empty trace"), "{msg}");
+        assert!(msg.contains("has no data"), "{msg}");
+
+        // Header-only file: structurally valid, zero intervals.
+        let profile = Profile::standard();
+        let w = IntervalFileWriter::new(
+            &profile,
+            MASK_PER_NODE,
+            0,
+            &ThreadTable::new(),
+            &[],
+            FramePolicy::default(),
+        );
+        let headonly = dir.join("headonly.ivl");
+        std::fs::write(&headonly, w.finish()).unwrap();
+        let msg = cmd_preview(&args(&[("ivl", headonly.to_str().unwrap())], &[])).unwrap();
+        assert!(msg.contains("contains no intervals"), "{msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -69,9 +69,9 @@ pub fn self_trace_bytes(spans: &[FinishedSpan]) -> Result<Vec<u8>> {
                 NodeId(0),
                 LogicalThreadId(lane),
             )
-            .with_extra(&profile, "markerId", Value::Uint(marker_id as u64))
-            .with_extra(&profile, "address", Value::Uint(0))
-            .with_extra(&profile, "addressEnd", Value::Uint(0)),
+            .try_with_extra(&profile, "markerId", Value::Uint(marker_id as u64))?
+            .try_with_extra(&profile, "address", Value::Uint(0))?
+            .try_with_extra(&profile, "addressEnd", Value::Uint(0))?,
         );
     }
     // The writer requires ascending end-time order (spans are logged in

@@ -61,7 +61,7 @@ pub fn convert_job(
         profile,
         &ConvertOptions {
             policy,
-            lenient: false,
+            ..ConvertOptions::default()
         },
         parallel,
     )

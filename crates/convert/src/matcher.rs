@@ -47,6 +47,12 @@ pub struct ConvertOptions {
     /// trace start is unknown, so a clipped state may overlap the Running
     /// time synthesized for the same thread.
     pub lenient: bool,
+    /// Salvage mode: the input stream may have been cut short by
+    /// truncation or resynchronization, so states force-closed at end of
+    /// trace are counted as `salvage/intervals_truncated` — they stand
+    /// in for intervals whose ends were lost. Does not change the
+    /// emitted bytes (EOF force-close always runs); only the accounting.
+    pub salvage: bool,
 }
 
 /// Conversion statistics (Table 1 measures events/second through here).
@@ -193,7 +199,7 @@ pub fn convert_node(
         markers,
         &ConvertOptions {
             policy,
-            lenient: false,
+            ..ConvertOptions::default()
         },
     )
 }
@@ -305,6 +311,9 @@ fn convert_node_inner(
     ute_obs::counter("convert/records_in").add(em.stats.events_in);
     ute_obs::counter("convert/intervals_out").add(em.stats.intervals_out);
     ute_obs::counter("convert/force_closed").add(em.stats.force_closed);
+    if opts.salvage && em.stats.force_closed > 0 {
+        ute_obs::counter("salvage/intervals_truncated").add(em.stats.force_closed);
+    }
     ute_obs::counter("convert/clipped_starts").add(em.stats.clipped_starts);
     ute_obs::gauge("convert/match_stack_max").set_max(em.stats.max_stack as f64);
     Ok(ConvertOutput {
@@ -1025,6 +1034,7 @@ mod lenient_tests {
             &ConvertOptions {
                 policy: FramePolicy::default(),
                 lenient,
+                ..ConvertOptions::default()
             },
         )?;
         Ok((profile, out))
@@ -1168,6 +1178,7 @@ mod lenient_marker_io_tests {
             &ConvertOptions {
                 policy: FramePolicy::default(),
                 lenient: true,
+                ..ConvertOptions::default()
             },
         )
         .unwrap();

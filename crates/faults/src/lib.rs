@@ -1,0 +1,506 @@
+//! # ute-faults — deterministic, seedable fault injection
+//!
+//! The paper's tracing facility runs with wraparound buffers, delayed
+//! starts, and asynchronous flushing (§2.1) — so real raw traces are
+//! routinely truncated mid-record, missing whole nodes, or carry damaged
+//! regions where the write cursor overran unflushed data. This crate
+//! produces those conditions *on purpose* and *reproducibly*, so the
+//! salvage paths in `rawtrace`/`convert`/`merge` can be exercised by
+//! tests and CI instead of waiting for a damaged trace from the field.
+//!
+//! A [`FaultPlan`] is a list of `(node, FaultKind)` pairs. It can be
+//! parsed from a compact spec string (`"0:truncate@500,2:missing"`),
+//! generated from a seed ([`FaultPlan::from_seed`]), and applied two
+//! ways:
+//!
+//! * **byte level** — [`FaultPlan::apply_to_file`] mutates a serialized
+//!   trace file (truncate / bit-flip / overrun-splice / drop entirely);
+//!   this is what `ute corrupt` and the post-write hook of `ute trace`
+//!   use.
+//! * **buffer level** — [`FaultPlan::dropped_flushes`] and
+//!   [`FaultPlan::clock_jump`] are queried by the live
+//!   `ute_rawtrace::TraceBuffer` while records are being cut, producing
+//!   losses that byte surgery cannot (a flushed region that never
+//!   reached the backing store; a local clock that stepped mid-run).
+//!
+//! Everything is a pure function of the plan — no global state, no
+//! entropy source — so a seed reproduces the exact same damage on the
+//! exact same input bytes, which is what lets CI assert on salvage
+//! behaviour.
+
+use ute_core::error::{Result, UteError};
+
+/// One way to damage one node's trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Truncate the file, keeping `keep` bytes past the protected header
+    /// region (reduced modulo the body length at apply time, so any
+    /// `keep` lands mid-body). Models a flush that never completed.
+    Truncate {
+        /// Bytes to keep, counted past the protected prefix.
+        keep: u64,
+    },
+    /// Flip bit `bit % 8` of byte `offset % len`. Models a single-event
+    /// upset or a bad block on the backing store.
+    BitFlip {
+        /// Byte offset (reduced modulo the file length).
+        offset: u64,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+    /// Splice `span` bytes out of the middle of the body: the wraparound
+    /// buffer's write cursor overran records that were never flushed, so
+    /// the file resumes mid-record at an arbitrary boundary.
+    Overrun {
+        /// Start of the removed region, counted past the protected prefix
+        /// (reduced modulo the body length).
+        offset: u64,
+        /// Bytes removed.
+        span: u32,
+    },
+    /// The node's file is not written (or is deleted): a node crashed
+    /// before trace collection, or its file system was unreachable.
+    Missing,
+    /// Buffer flush number `index` (0-based) is discarded instead of
+    /// appended to the backing store — a whole contiguous run of records
+    /// silently vanishes, but every surviving record is intact.
+    DroppedFlush {
+        /// Which flush to discard.
+        index: u32,
+    },
+    /// From record `after` onward, the node's local clock reads jump by
+    /// `delta` ticks — an NTP step or firmware counter glitch that breaks
+    /// the linear clock-fit assumption.
+    ClockJump {
+        /// First affected record index.
+        after: u64,
+        /// Tick offset added to later timestamps (saturating).
+        delta: i64,
+    },
+}
+
+impl FaultKind {
+    /// Whether this kind damages serialized bytes (as opposed to the live
+    /// trace buffer).
+    pub fn is_byte_level(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Truncate { .. }
+                | FaultKind::BitFlip { .. }
+                | FaultKind::Overrun { .. }
+                | FaultKind::Missing
+        )
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Truncate { keep } => write!(f, "truncate@{keep}"),
+            FaultKind::BitFlip { offset, bit } => write!(f, "bitflip@{offset}.{bit}"),
+            FaultKind::Overrun { offset, span } => write!(f, "overrun@{offset}+{span}"),
+            FaultKind::Missing => write!(f, "missing"),
+            FaultKind::DroppedFlush { index } => write!(f, "dropflush@{index}"),
+            FaultKind::ClockJump { after, delta } => write!(f, "clockjump@{after}+{delta}"),
+        }
+    }
+}
+
+/// A deterministic fault plan: which nodes get damaged, and how.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The planned faults, in application order.
+    pub faults: Vec<(u16, FaultKind)>,
+}
+
+/// The xorshift-free splitmix64 generator — tiny, seedable, and good
+/// enough to scatter fault sites; no external RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n == 0` returns 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Derives a plan from a seed for a job of `nodes` nodes. Damages up
+    /// to three distinct nodes, always leaving at least one node intact,
+    /// and always including one truncation — so strict-mode ingestion is
+    /// guaranteed to fail while salvage mode has survivors to merge. At
+    /// most one node goes missing entirely.
+    pub fn from_seed(seed: u64, nodes: u16) -> FaultPlan {
+        FaultPlan::seeded(seed, nodes, false)
+    }
+
+    /// [`FaultPlan::from_seed`] restricted to byte-level kinds — the form
+    /// `ute corrupt` uses, since it only sees files already on disk.
+    pub fn byte_level_from_seed(seed: u64, nodes: u16) -> FaultPlan {
+        FaultPlan::seeded(seed, nodes, true)
+    }
+
+    fn seeded(seed: u64, nodes: u16, byte_only: bool) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let victims = if nodes <= 1 {
+            u16::from(nodes == 1)
+        } else {
+            (nodes - 1).min(3)
+        };
+        let mut chosen: Vec<u16> = Vec::new();
+        while (chosen.len() as u16) < victims {
+            let n = rng.below(nodes as u64) as u16;
+            if !chosen.contains(&n) {
+                chosen.push(n);
+            }
+        }
+        let mut faults = Vec::new();
+        let mut missing_used = nodes <= 1; // never drop the only node
+        for (i, node) in chosen.into_iter().enumerate() {
+            let kind = if i == 0 {
+                FaultKind::Truncate {
+                    keep: rng.below(1 << 16),
+                }
+            } else {
+                let n_kinds = if byte_only { 3 } else { 5 };
+                match rng.below(n_kinds) {
+                    // Offsets are reduced modulo the file length at apply
+                    // time; keep them small so printed plans stay legible.
+                    0 => FaultKind::BitFlip {
+                        offset: rng.below(1 << 20),
+                        bit: rng.below(8) as u8,
+                    },
+                    1 => FaultKind::Overrun {
+                        offset: rng.below(1 << 20),
+                        span: 16 + rng.below(1 << 12) as u32,
+                    },
+                    2 if !missing_used => {
+                        missing_used = true;
+                        FaultKind::Missing
+                    }
+                    2 => FaultKind::Truncate {
+                        keep: rng.below(1 << 16),
+                    },
+                    3 => FaultKind::DroppedFlush {
+                        index: rng.below(4) as u32,
+                    },
+                    _ => FaultKind::ClockJump {
+                        after: rng.below(256),
+                        delta: rng.below(1 << 30) as i64 - (1 << 29),
+                    },
+                }
+            };
+            faults.push((node, kind));
+        }
+        FaultPlan { faults }
+    }
+
+    /// Parses the compact spec syntax: comma-separated `NODE:KIND`
+    /// entries, e.g. `0:truncate@500,1:bitflip@37.3,2:missing`. Kinds:
+    /// `truncate@KEEP`, `bitflip@OFFSET.BIT`, `overrun@OFFSET+SPAN`,
+    /// `missing`, `dropflush@INDEX`, `clockjump@AFTER+DELTA`.
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let bad = |what: &str| UteError::Invalid(format!("fault plan: {what} in `{spec}`"));
+        let mut faults = Vec::new();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (node, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| bad("entry without `node:`"))?;
+            let node: u16 = node.parse().map_err(|_| bad("bad node id"))?;
+            let (kind, arg) = match rest.split_once('@') {
+                Some((k, a)) => (k, Some(a)),
+                None => (rest, None),
+            };
+            let int = |s: Option<&str>| -> Result<u64> {
+                s.ok_or_else(|| bad("missing @argument"))?
+                    .parse()
+                    .map_err(|_| bad("bad numeric argument"))
+            };
+            let pair = |s: Option<&str>, sep: char| -> Result<(u64, i64)> {
+                let s = s.ok_or_else(|| bad("missing @argument"))?;
+                let (a, b) = s
+                    .split_once(sep)
+                    .ok_or_else(|| bad("argument wants two values"))?;
+                Ok((
+                    a.parse().map_err(|_| bad("bad numeric argument"))?,
+                    b.parse().map_err(|_| bad("bad numeric argument"))?,
+                ))
+            };
+            let kind = match kind {
+                "truncate" => FaultKind::Truncate { keep: int(arg)? },
+                "bitflip" => {
+                    let (offset, bit) = pair(arg, '.')?;
+                    FaultKind::BitFlip {
+                        offset,
+                        bit: (bit as u64 % 8) as u8,
+                    }
+                }
+                "overrun" => {
+                    let (offset, span) = pair(arg, '+')?;
+                    FaultKind::Overrun {
+                        offset,
+                        span: span.max(1) as u32,
+                    }
+                }
+                "missing" => FaultKind::Missing,
+                "dropflush" => FaultKind::DroppedFlush {
+                    index: int(arg)? as u32,
+                },
+                "clockjump" => {
+                    let (after, delta) = pair(arg, '+')?;
+                    FaultKind::ClockJump { after, delta }
+                }
+                other => return Err(bad(&format!("unknown fault kind `{other}`"))),
+            };
+            faults.push((node, kind));
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// The faults planned for one node.
+    pub fn for_node(&self, node: u16) -> impl Iterator<Item = &FaultKind> {
+        self.faults
+            .iter()
+            .filter(move |(n, _)| *n == node)
+            .map(|(_, k)| k)
+    }
+
+    /// Restricts the plan to one node (what a per-node trace buffer
+    /// carries).
+    pub fn node_plan(&self, node: u16) -> FaultPlan {
+        FaultPlan {
+            faults: self
+                .faults
+                .iter()
+                .filter(|(n, _)| *n == node)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Whether the node's file should not be written at all.
+    pub fn is_missing(&self, node: u16) -> bool {
+        self.for_node(node).any(|k| *k == FaultKind::Missing)
+    }
+
+    /// Flush indices the node's trace buffer must discard.
+    pub fn dropped_flushes(&self, node: u16) -> Vec<u32> {
+        self.for_node(node)
+            .filter_map(|k| match k {
+                FaultKind::DroppedFlush { index } => Some(*index),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The node's clock-jump fault, if planned.
+    pub fn clock_jump(&self, node: u16) -> Option<(u64, i64)> {
+        self.for_node(node).find_map(|k| match k {
+            FaultKind::ClockJump { after, delta } => Some((*after, *delta)),
+            _ => None,
+        })
+    }
+
+    /// Applies every byte-level fault planned for `node` to a serialized
+    /// file. `protect` bytes at the front are shielded from truncation
+    /// and overruns (pass the fixed header length so damage lands in the
+    /// body; bit flips may still hit the header — an unreadable file is a
+    /// legitimate fault). Returns `None` when the file should not exist.
+    pub fn apply_to_file(&self, node: u16, mut data: Vec<u8>, protect: usize) -> Option<Vec<u8>> {
+        for kind in self.for_node(node) {
+            match *kind {
+                FaultKind::Missing => return None,
+                FaultKind::Truncate { keep } => {
+                    if data.len() > protect {
+                        let body = (data.len() - protect) as u64;
+                        data.truncate(protect + (keep % body) as usize);
+                    }
+                }
+                FaultKind::BitFlip { offset, bit } => {
+                    if !data.is_empty() {
+                        let at = (offset % data.len() as u64) as usize;
+                        data[at] ^= 1 << (bit % 8);
+                    }
+                }
+                FaultKind::Overrun { offset, span } => {
+                    if data.len() > protect + 1 {
+                        let body = (data.len() - protect) as u64;
+                        let at = protect + (offset % body) as usize;
+                        let end = (at + span.max(1) as usize).min(data.len());
+                        data.drain(at..end);
+                    }
+                }
+                FaultKind::DroppedFlush { .. } | FaultKind::ClockJump { .. } => {}
+            }
+        }
+        Some(data)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (node, kind)) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{node}:{kind}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let spec = "0:truncate@500,1:bitflip@37.3,2:missing,3:overrun@100+64,\
+                    4:dropflush@1,5:clockjump@50+-100000";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.faults.len(), 6);
+        let printed = plan.to_string();
+        assert_eq!(FaultPlan::parse(&printed).unwrap(), plan);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        for bad in [
+            "truncate@5",       // no node
+            "0:frobnicate@1",   // unknown kind
+            "0:truncate",       // missing argument
+            "0:bitflip@7",      // wants offset.bit
+            "x:missing",        // bad node id
+            "0:truncate@horse", // bad number
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::from_seed(seed, 8);
+            let b = FaultPlan::from_seed(seed, 8);
+            assert_eq!(a, b);
+            assert!(!a.is_empty() && a.faults.len() <= 3);
+            // Always one truncation, at most one missing node, and at
+            // least one node untouched.
+            assert!(a
+                .faults
+                .iter()
+                .any(|(_, k)| matches!(k, FaultKind::Truncate { .. })));
+            let missing = a.faults.iter().filter(|(_, k)| *k == FaultKind::Missing);
+            assert!(missing.count() <= 1);
+            let touched: std::collections::HashSet<u16> =
+                a.faults.iter().map(|(n, _)| *n).collect();
+            assert!(touched.len() < 8);
+        }
+    }
+
+    #[test]
+    fn byte_level_plans_stay_byte_level() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::byte_level_from_seed(seed, 4);
+            assert!(plan.faults.iter().all(|(_, k)| k.is_byte_level()));
+        }
+    }
+
+    #[test]
+    fn single_node_jobs_never_lose_their_only_file() {
+        for seed in 0..50u64 {
+            assert!(!FaultPlan::from_seed(seed, 1).is_missing(0));
+        }
+    }
+
+    #[test]
+    fn truncate_respects_protected_prefix() {
+        let plan = FaultPlan::parse("0:truncate@0").unwrap();
+        let data = vec![7u8; 100];
+        let out = plan.apply_to_file(0, data, 30).unwrap();
+        assert_eq!(out.len(), 30);
+        // keep is reduced modulo the body length.
+        let plan = FaultPlan::parse("0:truncate@1000").unwrap();
+        let out = plan.apply_to_file(0, vec![7u8; 100], 30).unwrap();
+        assert_eq!(out.len(), 30 + 1000 % 70);
+    }
+
+    #[test]
+    fn bitflip_flips_exactly_one_bit() {
+        let plan = FaultPlan::parse("0:bitflip@205.2").unwrap();
+        let data = vec![0u8; 100];
+        let out = plan.apply_to_file(0, data.clone(), 0).unwrap();
+        let diffs: Vec<usize> = (0..100).filter(|&i| out[i] != data[i]).collect();
+        assert_eq!(diffs, vec![205 % 100]);
+        assert_eq!(out[5], 1 << 2);
+    }
+
+    #[test]
+    fn overrun_splices_out_a_span() {
+        let plan = FaultPlan::parse("0:overrun@10+20").unwrap();
+        let data: Vec<u8> = (0..100u8).collect();
+        let out = plan.apply_to_file(0, data, 30).unwrap();
+        assert_eq!(out.len(), 80);
+        assert_eq!(out[39], 39); // before the splice
+        assert_eq!(out[40], 60); // splice joins 40 → 60
+    }
+
+    #[test]
+    fn missing_file_drops_the_node() {
+        let plan = FaultPlan::parse("2:missing").unwrap();
+        assert!(plan.apply_to_file(2, vec![1, 2, 3], 0).is_none());
+        assert!(plan.apply_to_file(1, vec![1, 2, 3], 0).is_some());
+        assert!(plan.is_missing(2));
+        assert!(!plan.is_missing(1));
+    }
+
+    #[test]
+    fn node_plan_narrows() {
+        let plan = FaultPlan::parse("0:missing,1:dropflush@0,1:clockjump@5+9").unwrap();
+        let one = plan.node_plan(1);
+        assert_eq!(one.faults.len(), 2);
+        assert_eq!(one.dropped_flushes(1), vec![0]);
+        assert_eq!(one.clock_jump(1), Some((5, 9)));
+        assert_eq!(plan.clock_jump(0), None);
+    }
+
+    #[test]
+    fn buffer_level_faults_leave_bytes_alone() {
+        let plan = FaultPlan::parse("0:dropflush@0,0:clockjump@1+2").unwrap();
+        let data: Vec<u8> = (0..50u8).collect();
+        assert_eq!(plan.apply_to_file(0, data.clone(), 0).unwrap(), data);
+    }
+}

@@ -419,9 +419,11 @@ impl Profile {
             }
         };
 
-        // Plain states with no extra fields.
+        // Plain states with no extra fields. GAP is the salvage-mode
+        // pseudo-record for a degraded node; it carries no payload.
         for s in [
             StateCode::RUNNING,
+            StateCode::GAP,
             StateCode::SYSCALL,
             StateCode::PAGE_FAULT,
             StateCode::IO,
@@ -510,8 +512,8 @@ mod tests {
     #[test]
     fn standard_profile_structure() {
         let p = Profile::standard();
-        // 7 basic states + 17 MPI ops, times 4 bebits variants.
-        assert_eq!(p.record_type_count(), (7 + 17) * 4);
+        // 8 basic states + 17 MPI ops, times 4 bebits variants.
+        assert_eq!(p.record_type_count(), (8 + 17) * 4);
         // Figure 6's field names exist.
         for n in ["start", "node", "cpu", "dura", "thread", "recType"] {
             assert!(p.field_name_index(n).is_some(), "missing field {n}");

@@ -52,8 +52,9 @@ impl IntervalType {
                 "interval type {v:#010x} exceeds 16-bit state space"
             )));
         }
-        let bebits = BeBits::from_bits((v & 0b11) as u8)
-            .expect("2-bit mask always yields a valid bebits value");
+        let bebits = BeBits::from_bits((v & 0b11) as u8).ok_or_else(|| {
+            UteError::corrupt(format!("interval type {v:#010x} has invalid bebits"))
+        })?;
         Ok(IntervalType {
             state: StateCode((v >> 2) as u16),
             bebits,
@@ -111,12 +112,23 @@ impl Interval {
     }
 
     /// Adds an extra field by name, interning through the profile.
-    pub fn with_extra(mut self, profile: &Profile, name: &str, v: Value) -> Interval {
+    ///
+    /// Panics when the field is unknown — convenient for tests and
+    /// builders over [`Profile::standard`]. Production paths handling
+    /// untrusted profiles should use [`Interval::try_with_extra`].
+    pub fn with_extra(self, profile: &Profile, name: &str, v: Value) -> Interval {
+        self.try_with_extra(profile, name, v)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Interval::with_extra`]: unknown field names become a
+    /// typed [`UteError::NotFound`] instead of a panic.
+    pub fn try_with_extra(mut self, profile: &Profile, name: &str, v: Value) -> Result<Interval> {
         let idx = profile
             .field_name_index(name)
-            .unwrap_or_else(|| panic!("field {name} not in profile"));
+            .ok_or_else(|| UteError::NotFound(format!("field {name} not in profile")))?;
         self.extras.push((idx, v));
-        self
+        Ok(self)
     }
 
     /// Looks up an extra field by name.

@@ -25,6 +25,10 @@ impl StateCode {
     /// A global-clock record carried through into the interval file
     /// (zero duration; the global timestamp is a record field).
     pub const CLOCK: StateCode = StateCode(0x0003);
+    /// A salvage-mode gap pseudo-record: marks a node whose data is
+    /// missing or unreadable in a degraded merge (zero duration). Like
+    /// CLOCK, it is bookkeeping rather than thread activity.
+    pub const GAP: StateCode = StateCode(0x0004);
     /// Kernel activity: system call.
     pub const SYSCALL: StateCode = StateCode(0x0010);
     /// Kernel activity: page-fault service.
@@ -50,10 +54,11 @@ impl StateCode {
 
     /// Whether this state is "interesting" in the sense of the statistics
     /// utility's pre-defined tables: "an interesting interval is one for a
-    /// state other than the default state of Running" (§3.2). Clock
-    /// records are bookkeeping, not activity, so they are excluded too.
+    /// state other than the default state of Running" (§3.2). Clock and
+    /// gap records are bookkeeping, not activity, so they are excluded
+    /// too.
     pub fn is_interesting(self) -> bool {
-        self != StateCode::RUNNING && self != StateCode::CLOCK
+        self != StateCode::RUNNING && self != StateCode::CLOCK && self != StateCode::GAP
     }
 
     /// Display name of the state.
@@ -62,6 +67,7 @@ impl StateCode {
             StateCode::RUNNING => "Running".to_string(),
             StateCode::MARKER => "Marker".to_string(),
             StateCode::CLOCK => "GlobalClock".to_string(),
+            StateCode::GAP => "Gap".to_string(),
             StateCode::SYSCALL => "Syscall".to_string(),
             StateCode::PAGE_FAULT => "PageFault".to_string(),
             StateCode::IO => "IO".to_string(),
@@ -79,6 +85,7 @@ impl StateCode {
             StateCode::RUNNING,
             StateCode::MARKER,
             StateCode::CLOCK,
+            StateCode::GAP,
             StateCode::SYSCALL,
             StateCode::PAGE_FAULT,
             StateCode::IO,
@@ -114,13 +121,14 @@ mod tests {
         let all = StateCode::standard_states();
         let set: std::collections::HashSet<u16> = all.iter().map(|s| s.0).collect();
         assert_eq!(set.len(), all.len());
-        assert_eq!(all.len(), 7 + MpiOp::ALL.len());
+        assert_eq!(all.len(), 8 + MpiOp::ALL.len());
     }
 
     #[test]
     fn interesting_excludes_running_and_clock() {
         assert!(!StateCode::RUNNING.is_interesting());
         assert!(!StateCode::CLOCK.is_interesting());
+        assert!(!StateCode::GAP.is_interesting());
         assert!(StateCode::mpi(MpiOp::Send).is_interesting());
         assert!(StateCode::MARKER.is_interesting());
         assert!(StateCode::SYSCALL.is_interesting());

@@ -30,7 +30,8 @@ pub use clockfit::{
 };
 pub use kway::{BalancedTreeMerge, MergeSource, NaiveMerge};
 pub use merger::{
-    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, merge_files,
-    slogmerge, write_merged_stream, IvSource, MergeOptions, MergeOutput, MergeStats,
+    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, degrade_node,
+    gap_record, merge_files, salvage_warn, slogmerge, write_merged_stream, IvSource, MergeOptions,
+    MergeOutput, MergeStats,
 };
 pub use stream::{ReorderBuffer, REORDER_WINDOW};

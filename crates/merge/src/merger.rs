@@ -3,7 +3,7 @@
 use ute_clock::ratio::RatioEstimator;
 use ute_core::bebits::BeBits;
 use ute_core::error::{Result, UteError};
-use ute_core::ids::ThreadType;
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId, ThreadType};
 use ute_core::time::{Duration, LocalTime};
 use ute_format::file::{FramePolicy, IntervalFileReader, IntervalFileWriter, MERGED_NODE};
 use ute_format::profile::{Profile, MASK_MERGED};
@@ -36,6 +36,17 @@ pub struct MergeOptions {
     /// Whether to add the §3.3 zero-duration continuation intervals at
     /// the head of each output frame.
     pub frame_pseudo_intervals: bool,
+    /// Salvage mode: a node whose interval file fails to open, absorb,
+    /// fit, or adjust (including a panic in the per-node stage) is
+    /// dropped whole and counted in [`MergeStats::nodes_degraded`]
+    /// instead of aborting the merge. Off by default — library callers
+    /// get fail-fast unless they opt in.
+    pub salvage: bool,
+    /// Nodes known missing before the merge started (e.g. a per-node
+    /// file absent on disk). Each gets a zero-duration [`StateCode::GAP`]
+    /// pseudo-record at the head of the merged stream so downstream
+    /// consumers can see the hole.
+    pub gap_nodes: Vec<u16>,
 }
 
 impl Default for MergeOptions {
@@ -46,6 +57,8 @@ impl Default for MergeOptions {
             policy: FramePolicy::default(),
             thread_types: None,
             frame_pseudo_intervals: true,
+            salvage: false,
+            gap_nodes: Vec::new(),
         }
     }
 }
@@ -59,6 +72,9 @@ pub struct MergeStats {
     pub records_out: u64,
     /// §3.3 pseudo continuation records added at frame heads.
     pub pseudo_added: u64,
+    /// Salvage mode: inputs dropped whole because they failed to open,
+    /// absorb, fit, or adjust.
+    pub nodes_degraded: u64,
     /// Per-node clock fits used for adjustment.
     pub fits: Vec<NodeFit>,
 }
@@ -244,22 +260,89 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
     let mut markers: Vec<(u32, String)> = Vec::new();
     let mut sources = Vec::with_capacity(files.len());
 
-    for bytes in files {
-        let reader = IntervalFileReader::open(bytes, profile)?;
-        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
-        let mut adjusted = Vec::new();
-        let (nf, records_in) = adjust_node(&reader, profile, opts, |iv| {
-            adjusted.push(iv);
-            Ok(())
-        })?;
-        stats.records_in += records_in;
-        stats.fits.push(nf);
-        sources.push(IvSource::new(adjusted));
+    for (i, bytes) in files.iter().enumerate() {
+        // Open + absorb first, attempt the per-node stage second. The
+        // parallel path absorbs every openable header serially before
+        // its workers run, so salvage here must do the same: a node
+        // that degrades mid-adjust still leaves its header in the
+        // union tables, or jobs=1 and jobs=N outputs would diverge.
+        let reader = match IntervalFileReader::open(bytes, profile) {
+            Ok(r) => r,
+            Err(e) if opts.salvage => {
+                degrade_node(&mut stats, &format!("input {i}"), &e.to_string());
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match absorb_file_header(&reader, &mut union_threads, &mut markers) {
+            Ok(()) => {}
+            Err(e) if opts.salvage => {
+                degrade_node(&mut stats, &format!("node {}", reader.node), &e.to_string());
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let attempt = || {
+            let mut adjusted = Vec::new();
+            let out = adjust_node(&reader, profile, opts, |iv| {
+                adjusted.push(iv);
+                Ok(())
+            })?;
+            Ok::<_, UteError>((adjusted, out))
+        };
+        let outcome = if opts.salvage {
+            // Same all-or-nothing panic isolation the pipeline workers
+            // use, so a deterministic failure degrades the same node
+            // at every jobs value.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(attempt)) {
+                Ok(r) => r,
+                Err(_) => Err(UteError::Invalid("per-node merge stage panicked".into())),
+            }
+        } else {
+            attempt()
+        };
+        match outcome {
+            Ok((adjusted, (nf, records_in))) => {
+                stats.records_in += records_in;
+                stats.fits.push(nf);
+                sources.push(IvSource::new(adjusted));
+            }
+            Err(e) if opts.salvage => {
+                degrade_node(&mut stats, &format!("node {}", reader.node), &e.to_string());
+            }
+            Err(e) => return Err(e),
+        }
     }
 
     markers.sort_by_key(|(id, _)| *id);
     let merged: Vec<Interval> = BalancedTreeMerge::new(sources).collect();
     Ok((merged, union_threads, markers, stats))
+}
+
+/// Records one salvage-mode degraded input: bumps the stats counter and
+/// warns on stderr (the merge has no other channel for it).
+pub fn degrade_node(stats: &mut MergeStats, who: &str, why: &str) {
+    stats.nodes_degraded += 1;
+    salvage_warn(who, why);
+}
+
+/// The stderr warning for a salvage-mode drop, shared with the pipeline
+/// workers (which count degraded nodes elsewhere).
+pub fn salvage_warn(who: &str, why: &str) {
+    eprintln!("ute: warning: salvage: dropping {who}: {why}");
+}
+
+/// The zero-duration [`StateCode::GAP`] pseudo-record marking a node
+/// whose data is missing from a degraded merge.
+pub fn gap_record(node: u16) -> Interval {
+    Interval::basic(
+        IntervalType::complete(StateCode::GAP),
+        0,
+        0,
+        CpuId(0),
+        NodeId(node),
+        LogicalThreadId(0),
+    )
 }
 
 /// Tracks open states per thread to synthesize the §3.3 frame-head
@@ -336,6 +419,16 @@ pub fn write_merged_stream(
     let mut pushed: u64 = 0;
     let mut last_end: u64 = 0;
     let frame_len = opts.policy.max_records_per_frame as u64;
+    // Gap pseudo-records for nodes missing from a degraded merge go
+    // first (zero start, zero duration, sorted by node) so they land at
+    // a deterministic position regardless of how the merge was run.
+    let mut gaps: Vec<u16> = opts.gap_nodes.clone();
+    gaps.sort_unstable();
+    gaps.dedup();
+    for node in gaps {
+        writer.push(&gap_record(node))?;
+        pushed += 1;
+    }
     for iv in intervals {
         if opts.frame_pseudo_intervals && pushed > 0 && pushed.is_multiple_of(frame_len) {
             for p in tracker.pseudo_records(last_end) {

@@ -102,8 +102,23 @@ fn first_error<T, C>(
     }
 }
 
+/// A merge-side worker's result: the node's clock fit and input record
+/// count, or `None` when salvage mode degraded the node.
+type WorkerFit = Option<(NodeFit, u64)>;
+
+/// The header a fused convert worker publishes before streaming records
+/// (thread table + marker list), or `None` for a degraded node.
+type HeaderMsg = Option<(ThreadTable, Vec<(u32, String)>)>;
+
 /// One node's merge-side worker: adjust the node under a CPU permit and
 /// stream batches downstream.
+///
+/// Strict mode streams as it adjusts and fails the whole pipeline on
+/// error. Salvage mode materializes the node's full adjusted vector
+/// first — all-or-nothing, isolated by [`salvage_attempt`] — and only
+/// then streams it, so a node that degrades mid-decode contributes
+/// *nothing* and the merged bytes stay identical at every `jobs` value.
+/// A degraded node returns `Ok(None)`; dropping `tx` ends its stream.
 fn produce_adjusted(
     reader: &IntervalFileReader<'_>,
     profile: &Profile,
@@ -111,13 +126,60 @@ fn produce_adjusted(
     sem: &Semaphore,
     tx: channel::Sender<Vec<Interval>>,
     depth: &AtomicI64,
-) -> Result<(NodeFit, u64)> {
+) -> Result<WorkerFit> {
     let permit = sem.acquire();
     let _span = ute_obs::Span::enter("pipeline", format!("adjust worker node {}", reader.node));
-    let mut sender = BatchSender::new(tx, sem, permit, depth);
-    let out = adjust_node(reader, profile, opts, |iv| sender.push(iv))?;
-    sender.finish()?;
-    Ok(out)
+    if !opts.salvage {
+        let mut sender = BatchSender::new(tx, sem, permit, depth);
+        let out = adjust_node(reader, profile, opts, |iv| sender.push(iv))?;
+        sender.finish()?;
+        return Ok(Some(out));
+    }
+    let attempt = || {
+        let mut adjusted = Vec::new();
+        let out = adjust_node(reader, profile, opts, |iv| {
+            adjusted.push(iv);
+            Ok(())
+        })?;
+        Ok((adjusted, out))
+    };
+    match salvage_attempt(attempt, &format!("node {}", reader.node)) {
+        Some((adjusted, out)) => {
+            let mut sender = BatchSender::new(tx, sem, permit, depth);
+            for iv in adjusted {
+                sender.push(iv)?;
+            }
+            sender.finish()?;
+            Ok(Some(out))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Runs a salvage-mode worker stage with panic isolation and one
+/// bounded retry: a panicking or erroring attempt is retried once
+/// (`pipeline/worker_retries`), then the node is dropped with a warning
+/// and `None`. A poisoned worker therefore never wedges the bounded
+/// channels or the k-way merge — it just ends its stream early.
+fn salvage_attempt<T>(attempt: impl Fn() -> Result<T>, who: &str) -> Option<T> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let run = |a: &dyn Fn() -> Result<T>| match catch_unwind(AssertUnwindSafe(a)) {
+        Ok(r) => r,
+        Err(_) => Err(UteError::Invalid("worker panicked".into())),
+    };
+    match run(&attempt) {
+        Ok(v) => Some(v),
+        Err(first) => {
+            ute_obs::counter("pipeline/worker_retries").inc();
+            match run(&attempt) {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    ute_merge::salvage_warn(who, &first.to_string());
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Runs the headers-then-streams topology shared by [`merge_files_jobs`]
@@ -130,7 +192,7 @@ fn merge_streamed<T: Send>(
     opts: &MergeOptions,
     jobs: usize,
     consume: impl FnOnce(BalancedTreeMerge<ChannelSource<'_>>) -> Result<T>,
-) -> Result<(Vec<(NodeFit, u64)>, T)> {
+) -> Result<(Vec<WorkerFit>, T)> {
     let sem = Semaphore::new(jobs);
     let depth = AtomicI64::new(0);
     ute_obs::gauge("pipeline/jobs").set(jobs as f64);
@@ -167,20 +229,70 @@ pub fn merge_files_jobs(
     let mut union_threads = ThreadTable::new();
     let mut markers: Vec<(u32, String)> = Vec::new();
     let mut readers = Vec::with_capacity(files.len());
-    for bytes in files {
-        let reader = IntervalFileReader::open(bytes, profile)?;
-        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
-        readers.push(reader);
-    }
+    open_and_absorb(
+        files,
+        profile,
+        opts,
+        &mut union_threads,
+        &mut markers,
+        &mut stats,
+        &mut readers,
+    )?;
     markers.sort_by_key(|(id, _)| *id);
     let (fits, merged) = merge_streamed(readers, profile, opts, jobs, |merge| {
         write_merged_stream(profile, &union_threads, &markers, opts, merge, &mut stats)
     })?;
-    for (nf, records_in) in fits {
-        stats.records_in += records_in;
-        stats.fits.push(nf);
-    }
+    collect_fits(fits, &mut stats);
     Ok(MergeOutput { merged, stats })
+}
+
+/// The serial open-and-absorb prologue both parallel entry points run:
+/// every openable input's header joins the union tables in input order;
+/// in salvage mode an input that fails to open or absorb is dropped and
+/// counted instead of aborting. This mirrors [`ute_merge::merge_files`]'s
+/// serial loop exactly, which is what keeps the union tables — and so
+/// the merged bytes — identical at every `jobs` value.
+fn open_and_absorb<'a>(
+    files: &[&'a [u8]],
+    profile: &'a Profile,
+    opts: &MergeOptions,
+    union_threads: &mut ThreadTable,
+    markers: &mut Vec<(u32, String)>,
+    stats: &mut MergeStats,
+    readers: &mut Vec<IntervalFileReader<'a>>,
+) -> Result<()> {
+    for (i, bytes) in files.iter().enumerate() {
+        let reader = match IntervalFileReader::open(bytes, profile) {
+            Ok(r) => r,
+            Err(e) if opts.salvage => {
+                ute_merge::degrade_node(stats, &format!("input {i}"), &e.to_string());
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match absorb_file_header(&reader, union_threads, markers) {
+            Ok(()) => readers.push(reader),
+            Err(e) if opts.salvage => {
+                ute_merge::degrade_node(stats, &format!("node {}", reader.node), &e.to_string());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Folds worker results into the stats: `None` marks a salvage-mode
+/// degraded node.
+fn collect_fits(fits: Vec<WorkerFit>, stats: &mut MergeStats) {
+    for f in fits {
+        match f {
+            Some((nf, records_in)) => {
+                stats.records_in += records_in;
+                stats.fits.push(nf);
+            }
+            None => stats.nodes_degraded += 1,
+        }
+    }
 }
 
 /// [`ute_merge::slogmerge`] on `jobs` workers: the merged stream is
@@ -199,19 +311,20 @@ pub fn slogmerge_jobs(
     let mut union_threads = ThreadTable::new();
     let mut markers: Vec<(u32, String)> = Vec::new();
     let mut readers = Vec::with_capacity(files.len());
-    for bytes in files {
-        let reader = IntervalFileReader::open(bytes, profile)?;
-        absorb_file_header(&reader, &mut union_threads, &mut markers)?;
-        readers.push(reader);
-    }
+    open_and_absorb(
+        files,
+        profile,
+        opts,
+        &mut union_threads,
+        &mut markers,
+        &mut stats,
+        &mut readers,
+    )?;
     markers.sort_by_key(|(id, _)| *id);
     let (fits, merged) = merge_streamed(readers, profile, opts, jobs, |merge| {
         Ok(merge.collect::<Vec<Interval>>())
     })?;
-    for (nf, records_in) in fits {
-        stats.records_in += records_in;
-        stats.fits.push(nf);
-    }
+    collect_fits(fits, &mut stats);
     stats.records_out = merged.len() as u64;
     ute_obs::counter("merge/records_out").add(stats.records_out);
     let slog = SlogBuilder::new(profile, build).build(&merged, &union_threads, &markers)?;
@@ -239,6 +352,11 @@ pub struct PipelineOutput {
 /// pass); this path decodes it zero times. The header tables sent
 /// downstream are the very tables the converter embedded in the file,
 /// so the absorbed union is identical to the staged path's.
+/// In salvage mode the convert attempt and the adjust attempt are each
+/// isolated by [`salvage_attempt`]: a node that fails conversion sends a
+/// `None` header and no records; one that converts but fails adjustment
+/// sends its real header (matching the staged path, which absorbs a
+/// degraded file's header before dropping its records) and no records.
 #[allow(clippy::too_many_arguments)]
 fn produce_converted(
     file: &RawTraceFile,
@@ -248,32 +366,75 @@ fn produce_converted(
     copts: &ConvertOptions,
     mopts: &MergeOptions,
     sem: &Semaphore,
-    header_tx: channel::Sender<(ThreadTable, Vec<(u32, String)>)>,
+    header_tx: channel::Sender<HeaderMsg>,
     tx: channel::Sender<Vec<Interval>>,
     depth: &AtomicI64,
-) -> Result<(ConvertOutput, NodeFit, u64)> {
+) -> Result<(Option<ConvertOutput>, WorkerFit)> {
     let permit = sem.acquire();
     let _span = ute_obs::Span::enter(
         "pipeline",
         format!("convert worker node {}", file.node.raw()),
     );
-    let mut tapped: Vec<Interval> = Vec::new();
-    let out = convert_node_tapped(file, threads, profile, markers, copts, &mut |iv| {
-        tapped.push(iv.clone())
-    })?;
+    let who = format!("node {}", file.node.raw());
+    let convert = || {
+        let mut tapped: Vec<Interval> = Vec::new();
+        let out = convert_node_tapped(file, threads, profile, markers, copts, &mut |iv| {
+            tapped.push(iv.clone())
+        })?;
+        Ok((out, tapped))
+    };
+    let converted = if mopts.salvage {
+        salvage_attempt(convert, &who)
+    } else {
+        Some(convert()?)
+    };
+    let Some((out, tapped)) = converted else {
+        let _ = header_tx.send(None);
+        return Ok((None, None));
+    };
     let node_table = node_threads(threads, file.node);
     // Capacity-1 channel, single send: never blocks. A send error means
     // the consumer already failed; the interval sends below will report
     // it as the usual secondary consumer-gone error.
-    let _ = header_tx.send((node_table.clone(), markers.table().to_vec()));
+    let _ = header_tx.send(Some((node_table.clone(), markers.table().to_vec())));
     drop(header_tx);
-    let mut sender = BatchSender::new(tx, sem, permit, depth);
-    let (nf, records_in) =
-        adjust_intervals(file.node.raw(), &node_table, tapped, profile, mopts, |iv| {
-            sender.push(iv)
-        })?;
-    sender.finish()?;
-    Ok((out, nf, records_in))
+    if !mopts.salvage {
+        let mut sender = BatchSender::new(tx, sem, permit, depth);
+        let (nf, records_in) =
+            adjust_intervals(file.node.raw(), &node_table, tapped, profile, mopts, |iv| {
+                sender.push(iv)
+            })?;
+        sender.finish()?;
+        return Ok((Some(out), Some((nf, records_in))));
+    }
+    // Salvage: materialize the adjusted stream all-or-nothing before
+    // streaming, exactly like the merge-side salvage worker.
+    let adjust = || {
+        let mut adjusted = Vec::new();
+        let fit = adjust_intervals(
+            file.node.raw(),
+            &node_table,
+            tapped.clone(),
+            profile,
+            mopts,
+            |iv| {
+                adjusted.push(iv);
+                Ok(())
+            },
+        )?;
+        Ok((adjusted, fit))
+    };
+    match salvage_attempt(adjust, &who) {
+        Some((adjusted, fit)) => {
+            let mut sender = BatchSender::new(tx, sem, permit, depth);
+            for iv in adjusted {
+                sender.push(iv)?;
+            }
+            sender.finish()?;
+            Ok((Some(out), Some(fit)))
+        }
+        None => Ok((Some(out), None)),
+    }
 }
 
 /// The fused parallel pipeline: converts every node's raw trace and
@@ -289,12 +450,33 @@ pub fn convert_and_merge(
     jobs: usize,
 ) -> Result<PipelineOutput> {
     if jobs <= 1 || files.len() <= 1 {
-        let converted = convert_job_opts(files, threads, profile, copts, false)?;
+        let (converted, convert_degraded) = if mopts.salvage {
+            // Tolerant per-node conversion with the same retry/isolation
+            // semantics as the parallel workers, so the same nodes
+            // degrade at every jobs value.
+            let markers = MarkerMap::build(files)?;
+            let mut out = Vec::with_capacity(files.len());
+            let mut degraded = 0u64;
+            for f in files {
+                let who = format!("node {}", f.node.raw());
+                match salvage_attempt(
+                    || ute_convert::convert_node_opts(f, threads, profile, &markers, copts),
+                    &who,
+                ) {
+                    Some(c) => out.push(c),
+                    None => degraded += 1,
+                }
+            }
+            (out, degraded)
+        } else {
+            (convert_job_opts(files, threads, profile, copts, false)?, 0)
+        };
         let refs: Vec<&[u8]> = converted
             .iter()
             .map(|c| c.interval_file.as_slice())
             .collect();
-        let merged = ute_merge::merge_files(&refs, profile, mopts)?;
+        let mut merged = ute_merge::merge_files(&refs, profile, mopts)?;
+        merged.stats.nodes_degraded += convert_degraded;
         return Ok(PipelineOutput { converted, merged });
     }
     // Marker-id unification needs a global view, so the map is built
@@ -329,7 +511,11 @@ pub fn convert_and_merge(
             let mut union_threads = ThreadTable::new();
             let mut markers: Vec<(u32, String)> = Vec::new();
             for header_rx in header_rxs {
-                let (t, m) = header_rx.recv().map_err(|_| consumer_gone())?;
+                // `None` is a salvage-mode degraded node: no header, no
+                // records — the same absence the staged path produces.
+                let Some((t, m)) = header_rx.recv().map_err(|_| consumer_gone())? else {
+                    continue;
+                };
                 absorb_header_tables(&t, &m, &mut union_threads, &mut markers)?;
             }
             markers.sort_by_key(|(id, _)| *id);
@@ -348,10 +534,17 @@ pub fn convert_and_merge(
     .map_err(|_| UteError::Invalid("pipeline scope panicked".into()))?;
     let (parts, merged) = first_error(workers, merged)?;
     let mut converted = Vec::with_capacity(parts.len());
-    for (out, nf, records_in) in parts {
-        stats.records_in += records_in;
-        stats.fits.push(nf);
-        converted.push(out);
+    for (out, fit) in parts {
+        match fit {
+            Some((nf, records_in)) => {
+                stats.records_in += records_in;
+                stats.fits.push(nf);
+            }
+            None => stats.nodes_degraded += 1,
+        }
+        if let Some(out) = out {
+            converted.push(out);
+        }
     }
     Ok(PipelineOutput {
         converted,
@@ -375,7 +568,7 @@ mod tests {
                 max_records_per_frame: 64,
                 max_frames_per_dir: 4,
             },
-            lenient: false,
+            ..ConvertOptions::default()
         };
         let converted =
             convert_job_opts(&result.raw_files, &result.threads, &profile, &copts, false).unwrap();
@@ -426,7 +619,7 @@ mod tests {
         let profile = Profile::standard();
         let copts = ConvertOptions {
             policy: FramePolicy::default(),
-            lenient: false,
+            ..ConvertOptions::default()
         };
         let mopts = MergeOptions::default();
         let staged = convert_and_merge(

@@ -15,6 +15,7 @@
 use ute_core::error::Result;
 use ute_core::event::EventClass;
 use ute_core::time::LocalTime;
+use ute_faults::FaultPlan;
 
 use crate::cost::{CostLedger, CostModel};
 use crate::record::RawEvent;
@@ -45,6 +46,10 @@ pub struct TraceOptions {
     pub mode: BufferMode,
     /// Modelled per-record costs.
     pub cost: CostModel,
+    /// Optional fault-injection plan. Buffer-level faults (dropped
+    /// flushes, clock jumps) are applied live while records are cut;
+    /// byte-level faults are applied by whoever writes the file.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for TraceOptions {
@@ -56,6 +61,7 @@ impl Default for TraceOptions {
             start_after: None,
             mode: BufferMode::Flush,
             cost: CostModel::default(),
+            faults: None,
         }
     }
 }
@@ -94,6 +100,13 @@ pub struct TraceBuffer {
     pub ledger: CostLedger,
     /// Whether tracing is currently on (between start and stop).
     active: bool,
+    /// Records inserted so far (fault clock-jump indexing).
+    inserted: u64,
+    /// Flush indices to discard (injected dropped-flush faults).
+    drop_flushes: Vec<u32>,
+    /// Injected clock step: from record `after` on, timestamps move by
+    /// `delta` ticks.
+    clock_jump: Option<(u64, i64)>,
     /// Cached metric handles — the cut path runs once per simulated
     /// event, so each update must stay a single atomic add.
     obs_cut: &'static ute_obs::Counter,
@@ -106,8 +119,22 @@ pub struct TraceBuffer {
 
 impl TraceBuffer {
     /// Creates a buffer with the given options; tracing starts active
-    /// unless a delayed start is configured.
+    /// unless a delayed start is configured. Fault plans are resolved
+    /// for node 0 — use [`TraceBuffer::with_node`] when the plan must be
+    /// narrowed to a specific node.
     pub fn new(opts: TraceOptions) -> TraceBuffer {
+        TraceBuffer::with_node(opts, 0)
+    }
+
+    /// [`TraceBuffer::new`] for a specific node: buffer-level faults in
+    /// `opts.faults` planned for other nodes are ignored.
+    pub fn with_node(opts: TraceOptions, node: u16) -> TraceBuffer {
+        let drop_flushes = opts
+            .faults
+            .as_ref()
+            .map(|p| p.dropped_flushes(node))
+            .unwrap_or_default();
+        let clock_jump = opts.faults.as_ref().and_then(|p| p.clock_jump(node));
         TraceBuffer {
             buf: ute_core::codec::ByteWriter::with_capacity(opts.buffer_size.min(1 << 16)),
             flushed: Vec::new(),
@@ -115,6 +142,9 @@ impl TraceBuffer {
             dropped: 0,
             ledger: CostLedger::default(),
             active: true,
+            inserted: 0,
+            drop_flushes,
+            clock_jump,
             obs_cut: ute_obs::counter("rawtrace/records_cut"),
             obs_wrapped: ute_obs::counter("rawtrace/records_wrapped"),
             obs_fills: ute_obs::counter("rawtrace/buffer_fills"),
@@ -170,7 +200,15 @@ impl TraceBuffer {
                 }
             }
         }
-        event.encode(&mut self.buf)?;
+        match self.clock_jump {
+            Some((after, delta)) if self.inserted >= after => {
+                let mut jumped = event.clone();
+                jumped.timestamp = LocalTime(event.timestamp.ticks().saturating_add_signed(delta));
+                jumped.encode(&mut self.buf)?;
+            }
+            _ => event.encode(&mut self.buf)?,
+        }
+        self.inserted += 1;
         self.ledger.charge_cut(&self.opts.cost, wrapped);
         self.obs_cut.inc();
         if wrapped {
@@ -179,12 +217,20 @@ impl TraceBuffer {
         Ok(true)
     }
 
-    /// Flushes the in-flight buffer to the backing store.
+    /// Flushes the in-flight buffer to the backing store. An injected
+    /// dropped-flush fault discards the buffer contents instead — a
+    /// whole contiguous run of records silently lost, exactly what an
+    /// asynchronous flush that never completed looks like on disk.
     pub fn flush(&mut self) {
         if self.buf.pos() > 0 {
-            self.obs_bytes.add(self.buf.pos());
-            self.obs_flushes.inc();
-            self.flushed.extend_from_slice(self.buf.as_bytes());
+            if self.drop_flushes.contains(&(self.flush_count as u32)) {
+                ute_obs::counter("faults/flushes_dropped").inc();
+                self.dropped += 1;
+            } else {
+                self.obs_bytes.add(self.buf.pos());
+                self.obs_flushes.inc();
+                self.flushed.extend_from_slice(self.buf.as_bytes());
+            }
             self.buf =
                 ute_core::codec::ByteWriter::with_capacity(self.opts.buffer_size.min(1 << 16));
             self.flush_count += 1;
@@ -311,6 +357,54 @@ mod tests {
         b.start();
         assert!(b.cut(&ev(3), false).unwrap());
         assert_eq!(decode_all(&b.finish()).len(), 2);
+    }
+
+    #[test]
+    fn dropped_flush_fault_loses_one_contiguous_run() {
+        let opts = TraceOptions {
+            buffer_size: 64, // 4 records of 16 bytes per flush
+            faults: Some(ute_faults::FaultPlan::parse("3:dropflush@1").unwrap()),
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::with_node(opts, 3);
+        for t in 0..12 {
+            assert!(b.cut(&ev(t), false).unwrap());
+        }
+        let events = decode_all(&b.finish());
+        // Flush 1 (records 4..8) vanished; every survivor is intact.
+        assert_eq!(events.len(), 8);
+        let times: Vec<u64> = events.iter().map(|e| e.timestamp.ticks()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn dropped_flush_fault_ignores_other_nodes() {
+        let opts = TraceOptions {
+            buffer_size: 64,
+            faults: Some(ute_faults::FaultPlan::parse("3:dropflush@1").unwrap()),
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::with_node(opts, 2);
+        for t in 0..12 {
+            b.cut(&ev(t), false).unwrap();
+        }
+        assert_eq!(decode_all(&b.finish()).len(), 12);
+    }
+
+    #[test]
+    fn clock_jump_fault_steps_timestamps() {
+        let opts = TraceOptions {
+            faults: Some(ute_faults::FaultPlan::parse("0:clockjump@5+1000").unwrap()),
+            ..TraceOptions::default()
+        };
+        let mut b = TraceBuffer::new(opts);
+        for t in 0..10 {
+            b.cut(&ev(t), false).unwrap();
+        }
+        let events = decode_all(&b.finish());
+        assert_eq!(events[4].timestamp, LocalTime(4));
+        assert_eq!(events[5].timestamp, LocalTime(1005));
+        assert_eq!(events[9].timestamp, LocalTime(1009));
     }
 
     #[test]

@@ -47,12 +47,13 @@ pub struct TraceFacility {
 }
 
 impl TraceFacility {
-    /// Creates the facility for one node.
+    /// Creates the facility for one node. A fault plan in `opts` is
+    /// narrowed to this node's buffer-level faults.
     pub fn new(node: NodeId, opts: TraceOptions) -> TraceFacility {
         TraceFacility {
             node,
             inner: Mutex::new(Inner {
-                buffer: TraceBuffer::new(opts),
+                buffer: TraceBuffer::with_node(opts, node.raw()),
                 next_seq: HashMap::new(),
                 marker_ids: HashMap::new(),
                 next_marker_id: HashMap::new(),

@@ -11,6 +11,7 @@ use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
 use ute_core::time::TICKS_PER_SEC;
 
+use crate::hookword::{Hookword, FIXED_PREFIX};
 use crate::record::RawEvent;
 
 /// Magic bytes opening every raw trace file.
@@ -18,6 +19,81 @@ pub const MAGIC: &[u8; 8] = b"UTERAW\0\0";
 
 /// Current raw-format version.
 pub const VERSION: u32 = 1;
+
+/// Serialized header length: magic (8) + version (4) + node (2) +
+/// tick rate (8) + record count (8).
+pub const HEADER_LEN: usize = 30;
+
+/// How far past a corrupt record the salvage decoder scans for the next
+/// valid hookword boundary before giving up on the rest of the file.
+pub const RESYNC_SCAN_LIMIT: usize = 64 << 10;
+
+/// What salvage-mode decoding recovered and what it had to give up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Records successfully decoded.
+    pub records: u64,
+    /// Damaged regions hit (each costs at least one record).
+    pub records_skipped: u64,
+    /// Bytes scanned over while resynchronizing (including a dropped
+    /// unrecoverable tail).
+    pub bytes_skipped: u64,
+    /// Times the decoder found a later valid hookword boundary and
+    /// resumed.
+    pub resyncs: u64,
+    /// Whether the file ended before its declared record count —
+    /// truncation, a dropped flush, or an overrun splice.
+    pub count_mismatch: bool,
+    /// Whether the tail of the file was abandoned (no valid boundary
+    /// within the scan limit, or a mid-record end of data).
+    pub truncated_tail: bool,
+}
+
+impl SalvageReport {
+    /// Whether any damage was observed at all.
+    pub fn is_clean(&self) -> bool {
+        self.records_skipped == 0 && !self.count_mismatch && !self.truncated_tail
+    }
+}
+
+/// Whether `at` looks like a record boundary: a valid hookword whose
+/// declared record fits in `data`, followed by either end-of-data or
+/// something that again parses as a hookword. The double check rejects
+/// most accidental matches inside payload bytes — event codes are a
+/// sparse subset of the 16-bit space, so two consecutive hits are
+/// overwhelmingly likely to be a real boundary.
+fn valid_boundary(data: &[u8], at: usize) -> bool {
+    let Some(word) = data.get(at..at + 4) else {
+        return false;
+    };
+    let word = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+    let Ok(hook) = Hookword::from_u32(word) else {
+        return false;
+    };
+    let end = at + hook.length as usize;
+    if end > data.len() {
+        return false;
+    }
+    if end == data.len() {
+        return true;
+    }
+    match data.get(end..end + 4) {
+        // Fewer than 4 trailing bytes — unverifiable, but the candidate
+        // record itself fits; accept and let the decoder report the
+        // trailing garbage.
+        None => true,
+        Some(next) => {
+            Hookword::from_u32(u32::from_le_bytes([next[0], next[1], next[2], next[3]])).is_ok()
+        }
+    }
+}
+
+/// Scans forward from `from` for the next valid record boundary, giving
+/// up after [`RESYNC_SCAN_LIMIT`] bytes.
+fn scan_resync(data: &[u8], from: usize) -> Option<usize> {
+    let limit = data.len().min(from.saturating_add(RESYNC_SCAN_LIMIT));
+    (from..limit).find(|&at| valid_boundary(data, at))
+}
 
 /// An in-memory raw trace file.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +160,65 @@ impl RawTraceFile {
         })
     }
 
+    /// Salvage-mode parse: decodes as much of a damaged file as possible
+    /// instead of stopping at the first corrupt byte. The header must be
+    /// intact (a file whose header is gone carries no trustworthy
+    /// records); after that, every decode failure triggers a bounded
+    /// forward scan for the next valid hookword boundary
+    /// ([`scan_resync`]), counting the skipped bytes, and the declared
+    /// record count is treated as advisory — the decoder reads to the
+    /// end of the data, so records past a truncated header count are
+    /// recovered and a short file yields what it holds.
+    ///
+    /// Every salvage event is reported in the returned [`SalvageReport`]
+    /// and mirrored into the `salvage/*` metrics.
+    pub fn from_bytes_salvage(data: &[u8]) -> Result<(RawTraceFile, SalvageReport)> {
+        let rd = RawTraceReader::open(data)?;
+        let (node, tick_rate, record_count) = (rd.node, rd.tick_rate, rd.record_count);
+        let mut r = ByteReader::new(data);
+        r.seek(HEADER_LEN as u64)?;
+        let cap =
+            ute_core::codec::clamped_capacity(record_count as usize, FIXED_PREFIX, data.len());
+        let mut events = Vec::with_capacity(cap);
+        let mut report = SalvageReport::default();
+        while !r.is_empty() {
+            let at = r.pos();
+            match RawEvent::decode(&mut r) {
+                Ok(ev) => events.push(ev),
+                Err(_) => {
+                    report.records_skipped += 1;
+                    match scan_resync(data, at as usize + 1) {
+                        Some(next) => {
+                            report.resyncs += 1;
+                            report.bytes_skipped += next as u64 - at;
+                            r.seek(next as u64)?;
+                        }
+                        None => {
+                            report.truncated_tail = true;
+                            report.bytes_skipped += data.len() as u64 - at;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        report.records = events.len() as u64;
+        report.count_mismatch = report.records != record_count;
+        if !report.is_clean() {
+            ute_obs::counter("salvage/records_skipped").add(report.records_skipped);
+            ute_obs::counter("salvage/bytes_skipped").add(report.bytes_skipped);
+            ute_obs::counter("salvage/resyncs").add(report.resyncs);
+        }
+        Ok((
+            RawTraceFile {
+                node,
+                tick_rate,
+                events,
+            },
+            report,
+        ))
+    }
+
     /// Writes the file to disk.
     pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
         std::fs::write(path, self.to_bytes()?)?;
@@ -94,6 +229,12 @@ impl RawTraceFile {
     pub fn read_from(path: &std::path::Path) -> Result<RawTraceFile> {
         let data = std::fs::read(path)?;
         RawTraceFile::from_bytes(&data)
+    }
+
+    /// Reads a file from disk in salvage mode.
+    pub fn read_from_salvage(path: &std::path::Path) -> Result<(RawTraceFile, SalvageReport)> {
+        let data = std::fs::read(path)?;
+        RawTraceFile::from_bytes_salvage(&data)
     }
 
     /// The conventional per-node file name: `<prefix>.<node>.raw`.
@@ -216,6 +357,101 @@ mod tests {
     #[test]
     fn file_name_convention() {
         assert_eq!(RawTraceFile::file_name("run1", NodeId(2)), "run1.2.raw");
+    }
+
+    #[test]
+    fn salvage_on_clean_file_is_lossless() {
+        let f = sample_file();
+        let bytes = f.to_bytes().unwrap();
+        let (back, report) = RawTraceFile::from_bytes_salvage(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.records, 50);
+    }
+
+    #[test]
+    fn salvage_resyncs_past_a_corrupt_record() {
+        let f = sample_file();
+        let mut bytes = f.to_bytes().unwrap();
+        // Destroy the hookword of record 10 (records are 15 bytes:
+        // 12-byte prefix + 3-byte payload).
+        let at = HEADER_LEN + 10 * 15;
+        bytes[at..at + 4].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+        let (back, report) = RawTraceFile::from_bytes_salvage(&bytes).unwrap();
+        // Record 10 is lost, the rest recovered at the next boundary.
+        assert_eq!(back.events.len(), 49);
+        assert_eq!(report.records_skipped, 1);
+        assert_eq!(report.resyncs, 1);
+        assert_eq!(report.bytes_skipped, 15);
+        assert!(report.count_mismatch);
+        assert!(!report.truncated_tail);
+        // Survivors are a subset of the originals, in order.
+        assert_eq!(&back.events[..10], &f.events[..10]);
+        assert_eq!(&back.events[10..], &f.events[11..]);
+    }
+
+    #[test]
+    fn salvage_handles_truncated_tail() {
+        let f = sample_file();
+        let mut bytes = f.to_bytes().unwrap();
+        let keep = bytes.len() - 7; // mid-record
+        bytes.truncate(keep);
+        let (back, report) = RawTraceFile::from_bytes_salvage(&bytes).unwrap();
+        assert_eq!(back.events.len(), 49);
+        assert!(report.truncated_tail);
+        assert!(report.count_mismatch);
+        assert_eq!(&back.events[..], &f.events[..49]);
+    }
+
+    #[test]
+    fn salvage_handles_wraparound_overrun_splice() {
+        // A wrapped buffer overran unflushed records: a span is spliced
+        // out of the body, so the file resumes mid-record.
+        let f = sample_file();
+        let bytes = f.to_bytes().unwrap();
+        let plan = ute_faults::FaultPlan::parse("3:overrun@100+40").unwrap();
+        let damaged = plan.apply_to_file(3, bytes, HEADER_LEN).unwrap();
+        let (back, report) = RawTraceFile::from_bytes_salvage(&damaged).unwrap();
+        assert!(!back.events.is_empty());
+        assert!(back.events.len() < 50);
+        assert!(report.records_skipped >= 1);
+        assert!(report.count_mismatch);
+        // The format has no per-record checksum, so the join point can
+        // fuse an intact hookword with later bytes into one plausible
+        // "Frankenstein" record — but a single splice can fabricate at
+        // most one such record; everything else must be an original, in
+        // order.
+        let mut oi = 0;
+        let mut fabricated = 0;
+        for ev in &back.events {
+            match f.events[oi..].iter().position(|o| o == ev) {
+                Some(p) => oi += p + 1,
+                None => fabricated += 1,
+            }
+        }
+        assert!(fabricated <= 1, "{fabricated} fabricated records");
+    }
+
+    #[test]
+    fn salvage_gives_up_on_destroyed_header() {
+        let f = sample_file();
+        let mut bytes = f.to_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(RawTraceFile::from_bytes_salvage(&bytes).is_err());
+    }
+
+    #[test]
+    fn valid_boundary_rejects_payload_noise() {
+        // A boundary candidate must have a parseable hookword AND lead
+        // to another boundary (or end-of-data).
+        let f = sample_file();
+        let bytes = f.to_bytes().unwrap();
+        assert!(valid_boundary(&bytes, HEADER_LEN));
+        assert!(valid_boundary(&bytes, HEADER_LEN + 15));
+        // Offsets inside the fixed prefix are u64 timestamp bytes —
+        // small integers whose upper half decodes to no known event.
+        assert!(!valid_boundary(&bytes, HEADER_LEN + 4));
+        assert!(!valid_boundary(&bytes, bytes.len() - 3));
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl<'a> SlogBuilder<'a> {
         let mut arrows: Vec<SlogArrow> = Vec::new();
 
         for iv in intervals {
-            if iv.itype.state == StateCode::CLOCK {
+            // Clock records are bookkeeping, and salvage-mode GAP
+            // pseudo-records name a node with no thread-table entries;
+            // neither belongs on a timeline.
+            if iv.itype.state == StateCode::CLOCK || iv.itype.state == StateCode::GAP {
                 continue;
             }
             let Some(&timeline) = timeline_index.get(&(iv.node.raw(), iv.thread.raw())) else {

@@ -40,7 +40,7 @@ pub fn run_tables(
     let mut acc: Vec<BTreeMap<Vec<Key>, Vec<Cell>>> =
         specs.iter().map(|_| BTreeMap::new()).collect();
     for iv in intervals {
-        if iv.itype.state == StateCode::CLOCK {
+        if iv.itype.state == StateCode::CLOCK || iv.itype.state == StateCode::GAP {
             continue;
         }
         for (spec, groups) in specs.iter().zip(&mut acc) {

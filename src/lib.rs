@@ -10,6 +10,9 @@
 //! * [`core`] — shared ids, time, event codes, bebits, errors, byte codec.
 //! * [`clock`] — drifting local clocks, the switch-adapter global clock,
 //!   and the clock-synchronization estimators of §2.2.
+//! * [`faults`] — deterministic, seedable fault injection (truncation,
+//!   bit flips, dropped flushes, missing nodes, clock jumps) feeding the
+//!   salvage-mode robustness tests and `ute corrupt`.
 //! * [`rawtrace`] — the AIX-trace-facility substitute: hookwords, trace
 //!   buffers, per-node raw trace files.
 //! * [`cluster`] — a discrete-event simulator of an SMP cluster running
@@ -41,6 +44,7 @@ pub use ute_clock as clock;
 pub use ute_cluster as cluster;
 pub use ute_convert as convert;
 pub use ute_core as core;
+pub use ute_faults as faults;
 pub use ute_format as format;
 pub use ute_merge as merge;
 pub use ute_obs as obs;

@@ -58,6 +58,7 @@ fn delayed_start_produces_fewer_events_and_lenient_convert_copes() {
         &ConvertOptions {
             policy: FramePolicy::default(),
             lenient: true,
+            ..ConvertOptions::default()
         },
         false,
     )

@@ -339,7 +339,7 @@ mod parallel_determinism {
             let profile = Profile::standard();
             let copts = ConvertOptions {
                 policy: FramePolicy::default(),
-                lenient: false,
+                ..ConvertOptions::default()
             };
             let mopts = MergeOptions::default();
             let serial = convert_and_merge(
