@@ -12,8 +12,38 @@
 //! * `--check` — exit non-zero if parallel is >10% slower than serial
 //!   (catches lock-contention regressions without a flaky absolute
 //!   threshold).
+//! * `--baseline FILE` — compare this run's speedup against a previous
+//!   `BENCH_pipeline.json`; exit non-zero if it regressed by more than
+//!   the tolerance. Speedup (a ratio of two times measured on the same
+//!   machine) is the only cross-machine-comparable number in the file,
+//!   so it is the gated quantity — absolute ns are recorded but never
+//!   compared.
+//! * `--tolerance PCT` — allowed relative speedup regression for
+//!   `--baseline` (default 15, i.e. fresh ≥ 85% of baseline).
+//! * `--out FILE` — where to write the fresh JSON (default
+//!   `BENCH_pipeline.json`).
 
 use std::time::Instant;
+
+/// Pulls `"key": <number>` out of a flat JSON object. Enough for our
+/// own bench files (no nesting, no strings that look like keys) and
+/// keeps the bench dependency-free.
+fn json_num(src: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)? + needle.len();
+    let rest = src[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn arg_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
 
 use ute_cluster::Simulator;
 use ute_convert::ConvertOptions;
@@ -27,6 +57,11 @@ fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     let check = argv.iter().any(|a| a == "--check");
+    let baseline = arg_value(&argv, "--baseline");
+    let tolerance: f64 = arg_value(&argv, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance must be a number (percent)"))
+        .unwrap_or(15.0);
+    let out_path = arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
     // ≥4 nodes so the fan-out has real work to spread. Both sizes are
     // large enough that per-run thread spawn cost (~1 ms for a pool of
@@ -82,16 +117,22 @@ fn main() {
     let speedup = serial_ns as f64 / parallel_ns as f64;
     let snap = ute_obs::snapshot();
     let records_in = snap.counter("merge/records_in").unwrap_or(0);
+    // Per-run throughput on the parallel path: the bench repeats the run
+    // `2 * reps` times (serial + parallel), so the counter total is
+    // divided back down before relating it to the best parallel time.
+    let records_per_run = records_in as f64 / (2 * reps) as f64;
+    let records_per_sec = records_per_run / (parallel_ns as f64 / 1e9);
     let json = format!(
         "{{\n  \"workload\": \"stencil\",\n  \"nodes\": {nodes},\n  \"smoke\": {smoke},\n  \
          \"runs\": {reps},\n  \"jobs\": {jobs},\n  \
          \"serial_convert_merge_ns\": {serial_ns},\n  \
          \"parallel_convert_merge_ns\": {parallel_ns},\n  \
          \"speedup\": {speedup:.4},\n  \
+         \"records_per_sec\": {records_per_sec:.0},\n  \
          \"merged_bytes\": {},\n  \"merge_records_in\": {records_in}\n}}\n",
         serial_bytes.len(),
     );
-    std::fs::write("BENCH_pipeline.json", &json).unwrap();
+    std::fs::write(&out_path, &json).unwrap();
 
     println!("# serial vs parallel convert+merge (stencil, {nodes} nodes, best of {reps})\n");
     println!("serial   (--jobs 1):  {:>10.3} ms", serial_ns as f64 / 1e6);
@@ -99,8 +140,8 @@ fn main() {
         "parallel (--jobs {jobs}):  {:>10.3} ms",
         parallel_ns as f64 / 1e6
     );
-    println!("speedup: {speedup:.2}x");
-    println!("\nwrote BENCH_pipeline.json");
+    println!("speedup: {speedup:.2}x  ({records_per_sec:.0} records/s parallel)");
+    println!("\nwrote {out_path}");
 
     if check && parallel_ns as f64 > serial_ns as f64 * 1.10 {
         eprintln!(
@@ -109,5 +150,24 @@ fn main() {
             serial_ns as f64 / 1e6
         );
         std::process::exit(1);
+    }
+
+    if let Some(path) = baseline {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base_speedup =
+            json_num(&src, "speedup").unwrap_or_else(|| panic!("no \"speedup\" field in {path}"));
+        let floor = base_speedup * (1.0 - tolerance / 100.0);
+        println!(
+            "baseline speedup {base_speedup:.2}x (from {path}), fresh {speedup:.2}x, \
+             floor {floor:.2}x (-{tolerance}%)"
+        );
+        if speedup < floor {
+            eprintln!(
+                "FAIL: speedup regressed: {speedup:.2}x < {floor:.2}x \
+                 (baseline {base_speedup:.2}x - {tolerance}%)"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -785,61 +785,127 @@ pub fn cmd_pipeline(args: &Args) -> Result<String> {
     Ok(msg)
 }
 
+/// Counters that exist on every run, registered up front so a *clean*
+/// run's report still carries them (as zeros). Without this, the keys
+/// only appear once the first salvage/drop event bumps them — and a
+/// `--stable` report could not be byte-compared between a fault-matrix
+/// job and its clean baseline, or asserted on ("this never happened"
+/// would be indistinguishable from "this was never measured").
+const BASELINE_COUNTERS: &[&str] = &[
+    "salvage/nodes_degraded",
+    "salvage/records_skipped",
+    "salvage/bytes_skipped",
+    "salvage/resyncs",
+    "salvage/intervals_truncated",
+    "obs/spans_dropped",
+    "obs/flows_dropped",
+];
+
 /// `ute report`: run the full pipeline with metrics from zero and emit
-/// every counter, gauge, and histogram as machine-readable JSON.
-/// `--stable` drops wall-clock and `--jobs`-dependent metrics so the
-/// output is byte-comparable across runs and thread counts (the form
-/// the CI determinism job diffs).
+/// every counter, gauge, and histogram as machine-readable JSON,
+/// including p50/p95/p99 estimates per histogram and — when
+/// `--metrics-interval` is active — the sampler's time-series block.
+/// `--stable` drops wall-clock and `--jobs`-dependent metrics (and the
+/// percentile/time-series extras) so the output is byte-comparable
+/// across runs and thread counts (the form the CI determinism job
+/// diffs); deterministic `salvage/*` and `obs/*` totals are kept and
+/// always present.
 pub fn cmd_report(args: &Args) -> Result<String> {
     ute_obs::reset();
+    for name in BASELINE_COUNTERS {
+        ute_obs::counter(name);
+    }
     cmd_pipeline(args)?;
+    // Fold any live sampler's ticks into this report (stopping it here,
+    // before the snapshot, so the last partial interval is included);
+    // the dispatcher's later stop is then a no-op.
+    let ticks = ute_obs::sampler::stop();
+    let stable = args.has("stable");
     let snap = ute_obs::snapshot();
-    let snap = if args.has("stable") {
-        snap.stable()
-    } else {
-        snap
+    let snap = if stable { snap.stable() } else { snap };
+    let opts = ute_obs::ReportOptions {
+        percentiles: !stable,
+        timeseries: if !stable && !ticks.is_empty() {
+            Some(&ticks)
+        } else {
+            None
+        },
     };
-    let mut json = snap.to_json();
+    let mut json = snap.render_json(&opts);
     json.push('\n');
     Ok(json)
 }
 
-/// Dispatches one invocation. The `--metrics` and `--self-trace FILE`
-/// switches work on every subcommand: the former prints the metrics
-/// table (TSV) to stderr when the command finishes, the latter writes
-/// the run's own spans as a UTE interval file.
+/// Dispatches one invocation. The `--metrics`, `--metrics-interval MS`,
+/// and `--self-trace FILE` switches work on every subcommand: the first
+/// prints the metrics table (TSV) to stderr when the command finishes,
+/// the second runs a background sampler that prints live progress lines
+/// while the command executes, and the third writes the run's own spans
+/// as a UTE interval file (or Chrome trace JSON with
+/// `--self-trace-format chrome`).
 pub fn run(argv: &[String]) -> Result<String> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| UteError::Invalid(USAGE.trim().to_string()))?;
     let args = Args::parse(rest)?;
     let self_trace = args.get("self-trace").map(PathBuf::from);
+    let self_trace_format = match args.get("self-trace-format") {
+        None => selftrace::SelfTraceFormat::default(),
+        Some(s) => selftrace::SelfTraceFormat::parse(s).ok_or_else(|| {
+            UteError::Invalid(format!(
+                "--self-trace-format must be `ivl` or `chrome`, got `{s}`"
+            ))
+        })?,
+    };
+    if let Some(limit) = args.get("self-trace-limit") {
+        let limit: usize = limit
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("bad --self-trace-limit `{limit}`")))?;
+        ute_obs::set_capture_limit(limit);
+    }
     if self_trace.is_some() {
         ute_obs::span::set_capture(true);
         ute_obs::span::drain_spans();
+        ute_obs::span::drain_flows();
     }
-    let result = match cmd.as_str() {
-        "trace" => cmd_trace(&args),
-        "convert" => cmd_convert(&args),
-        "merge" => cmd_merge(&args),
-        "slogmerge" => cmd_slogmerge(&args),
-        "stats" => cmd_stats(&args),
-        "preview" => cmd_preview(&args),
-        "view" => cmd_view(&args),
-        "clockfit" => cmd_clockfit(&args),
-        "corrupt" => cmd_corrupt(&args),
-        "pipeline" => cmd_pipeline(&args),
-        "report" => cmd_report(&args),
-        "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(UteError::Invalid(format!(
-            "unknown command `{other}`\n{USAGE}"
-        ))),
+    if let Some(ms) = args.get("metrics-interval") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("bad --metrics-interval `{ms}`")))?;
+        ute_obs::sampler::start(std::time::Duration::from_millis(ms), true);
+    }
+    let result = {
+        // Root of the run's span tree: every stage span opened on this
+        // thread (and every worker adopting it across a spawn) nests
+        // under one `cli/<command>` interval.
+        let _root = ute_obs::Span::enter("cli", cmd.to_string());
+        match cmd.as_str() {
+            "trace" => cmd_trace(&args),
+            "convert" => cmd_convert(&args),
+            "merge" => cmd_merge(&args),
+            "slogmerge" => cmd_slogmerge(&args),
+            "stats" => cmd_stats(&args),
+            "preview" => cmd_preview(&args),
+            "view" => cmd_view(&args),
+            "clockfit" => cmd_clockfit(&args),
+            "corrupt" => cmd_corrupt(&args),
+            "pipeline" => cmd_pipeline(&args),
+            "report" => cmd_report(&args),
+            "help" | "--help" => Ok(USAGE.to_string()),
+            other => Err(UteError::Invalid(format!(
+                "unknown command `{other}`\n{USAGE}"
+            ))),
+        }
     };
+    // No-op unless --metrics-interval started it and the command did not
+    // already fold the ticks into its own output (`report` does).
+    ute_obs::sampler::stop();
     let mut msg = result?;
     if let Some(path) = self_trace {
         ute_obs::span::set_capture(false);
         let spans = ute_obs::span::drain_spans();
-        selftrace::write_self_trace(&spans, &path)?;
+        let flows = ute_obs::span::drain_flows();
+        selftrace::write_self_trace(&spans, &flows, &path, self_trace_format)?;
         msg.push_str(&format!(
             "wrote self-trace {} ({} spans)\n",
             path.display(),
@@ -876,8 +942,11 @@ commands:
   pipeline  --workload NAME --out DIR [--iterations N] [--jobs N] [--strict]
             [--fault-seed N | --fault-plan SPEC]
   report    --workload NAME --out DIR [--iterations N] [--jobs N] [--stable]
-            (metrics as JSON; --stable drops wall-clock and worker-count
-             metrics so output is byte-comparable across runs and --jobs)
+            (metrics as JSON with p50/p95/p99 per histogram and, when
+             --metrics-interval is active, a sampler time-series block;
+             --stable drops wall-clock and worker-count metrics — and the
+             percentile/time-series extras — so output is byte-comparable
+             across runs and --jobs; salvage/* and obs/* totals are kept)
 
 fault tolerance:
   Ingestion commands salvage by default: corrupt records are skipped
@@ -901,8 +970,20 @@ parallelism:
 
 observability (any command):
   --metrics            print the per-stage metrics table (TSV) to stderr
-  --self-trace FILE    write this run's own spans as a UTE interval file
-                       (view with `ute preview --ivl FILE`)
+  --metrics-interval MS
+                       sample counters every MS milliseconds on a
+                       background thread, printing live progress lines
+                       (records/s, bytes/s, salvage events) to stderr;
+                       `ute report` embeds the time series in its JSON
+  --self-trace FILE    write this run's own spans (hierarchical: parent
+                       ids, per-thread lanes, cross-thread flow links)
+  --self-trace-format ivl|chrome
+                       self-trace sink format (default ivl). `ivl` is a
+                       UTE interval file (view with `ute preview --ivl`);
+                       `chrome` is Chrome trace JSON for ui.perfetto.dev
+  --self-trace-limit N capture at most N spans (default 1048576); spans
+                       beyond the cap are dropped and counted in
+                       obs/spans_dropped
 ";
 
 #[cfg(test)]

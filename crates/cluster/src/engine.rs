@@ -394,6 +394,7 @@ impl Simulator {
             }
         }
 
+        let _span = ute_obs::Span::enter("cluster", "engine run");
         let obs_events = ute_obs::counter("cluster/events_simulated");
         let obs_queue = ute_obs::gauge("cluster/queue_depth_max");
         while let Some(Reverse((at, _, id))) = self.queue.pop() {

@@ -127,13 +127,20 @@ pub fn convert_job_pooled(
     let mut slots: Vec<Option<Result<ConvertOutput>>> = Vec::new();
     slots.resize_with(files.len(), || None);
     let slots = std::sync::Mutex::new(slots);
+    // The thread-local span stack does not cross the spawn: adopt the
+    // calling thread's span as each worker's explicit parent.
+    let parent = ute_obs::current_span();
     cb_thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let next = &next;
                 let slots = &slots;
                 s.spawn(move |_| {
-                    let _span = ute_obs::Span::enter("pipeline", format!("convert worker {w}"));
+                    let _span = ute_obs::Span::enter_under(
+                        "pipeline",
+                        format!("convert worker {w}"),
+                        parent,
+                    );
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= files.len() {

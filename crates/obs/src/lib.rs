@@ -36,8 +36,13 @@
 
 pub mod metrics;
 pub mod report;
+pub mod sampler;
 pub mod span;
 
 pub use metrics::{counter, gauge, histogram, reset, Counter, Gauge, Histogram, MetricsRegistry};
-pub use report::{snapshot, MetricsSnapshot};
-pub use span::{FinishedSpan, Span};
+pub use report::{snapshot, MetricsSnapshot, ReportOptions};
+pub use sampler::SamplerTick;
+pub use span::{
+    current_span, drain_flows, drain_spans, flow_begin, flow_end, new_link, set_capture,
+    set_capture_limit, thread_index, FinishedSpan, FlowPoint, Span,
+};

@@ -4,6 +4,7 @@
 //! this crate stays dependency-free.
 
 use crate::metrics::{self, Histogram, HIST_BUCKETS};
+use crate::sampler::SamplerTick;
 
 /// One histogram, frozen.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,51 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets:
+    /// find the bucket holding the rank-`⌈q·count⌉` observation and
+    /// interpolate linearly inside it, clamped to the observed
+    /// `[min, max]` so the tails never overshoot the true extremes.
+    /// Returns 0 when empty. Log₂ buckets bound the relative error at
+    /// 2× within a bucket; in practice the min/max clamp and the
+    /// interpolation keep p50/p95/p99 well inside that.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                // Position of the rank within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// p95 shorthand.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -61,14 +107,22 @@ pub fn snapshot() -> MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// A copy with every scheduling- and wall-clock-dependent metric
-    /// removed: names ending in `_ns` (span timings, fitted residuals)
-    /// and the `pipeline/` execution-layer metrics (worker counts, queue
-    /// depths — functions of `--jobs`, not of the trace). What remains
-    /// is a pure function of the input, so `ute report --stable` output
-    /// is byte-comparable across runs and across `--jobs` values — the
-    /// form the CI determinism gate diffs.
+    /// removed: names ending in `_ns` (span timings, fitted residuals),
+    /// the `pipeline/` execution-layer metrics (worker counts, queue
+    /// depths — functions of `--jobs`, not of the trace), and the
+    /// `obs/sampler/` bookkeeping (tick counts are a function of wall
+    /// time). Deterministic `salvage/*` and `obs/*` totals are *kept*,
+    /// so fault-matrix CI can assert on degraded-node and drop counts
+    /// byte-comparably. What remains is a pure function of the input,
+    /// so `ute report --stable` output is byte-comparable across runs
+    /// and across `--jobs` values — the form the CI determinism gate
+    /// diffs.
     pub fn stable(&self) -> MetricsSnapshot {
-        let keep = |name: &str| !name.ends_with("_ns") && !name.starts_with("pipeline/");
+        let keep = |name: &str| {
+            !name.ends_with("_ns")
+                && !name.starts_with("pipeline/")
+                && !name.starts_with("obs/sampler/")
+        };
         MetricsSnapshot {
             counters: self
                 .counters
@@ -114,9 +168,9 @@ impl MetricsSnapshot {
 
     /// The `--metrics` table: one `kind<TAB>name<TAB>value...` row per
     /// metric, grouped by pipeline stage (the `stage/` name prefix).
-    /// Histograms render as count/mean/min/max in nanosecond-friendly
-    /// units. Zero-valued metrics are kept: "this never happened" is
-    /// information.
+    /// Histograms render as count/mean/min/max/percentiles in
+    /// nanosecond-friendly units. Zero-valued metrics are kept: "this
+    /// never happened" is information.
     pub fn to_tsv(&self) -> String {
         let mut out = String::from("kind\tname\tvalue\tdetail\n");
         for (name, v) in &self.counters {
@@ -127,21 +181,34 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram\t{name}\t{}\tmean={} min={} max={} sum={}\n",
+                "histogram\t{name}\t{}\tmean={} min={} max={} sum={} p50={} p95={} p99={}\n",
                 h.count,
                 fmt_f64(h.mean()),
                 h.min,
                 h.max,
                 h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99(),
             ));
         }
         out
     }
 
     /// The `ute report` JSON object (`{"counters": {...}, "gauges":
-    /// {...}, "histograms": {...}}`). Histogram buckets serialize
-    /// sparsely as `[lo, hi, count]` triples.
+    /// {...}, "histograms": {...}}`) with percentile fields; see
+    /// [`MetricsSnapshot::render_json`].
     pub fn to_json(&self) -> String {
+        self.render_json(&ReportOptions::default())
+    }
+
+    /// Renders the report JSON. Histogram buckets serialize sparsely
+    /// as `[lo, hi, count]` triples; `opts.percentiles` adds
+    /// p50/p95/p99 fields (off under `--stable`: the estimates are
+    /// interpolated floats of wall-clock data and would defeat
+    /// byte-comparability); `opts.timeseries` appends the sampler's
+    /// tick ring as a `"timeseries"` array.
+    pub fn render_json(&self, opts: &ReportOptions<'_>) -> String {
         let mut s = String::from("{\n  \"counters\": {");
         push_entries(&mut s, self.counters.iter(), |s, v| {
             s.push_str(&v.to_string())
@@ -151,13 +218,22 @@ impl MetricsSnapshot {
         s.push_str("},\n  \"histograms\": {");
         push_entries(&mut s, self.histograms.iter(), |s, h| {
             s.push_str(&format!(
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, ",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 fmt_f64(h.mean()),
             ));
+            if opts.percentiles {
+                s.push_str(&format!(
+                    "\"p50\": {}, \"p95\": {}, \"p99\": {}, ",
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                ));
+            }
+            s.push_str("\"buckets\": [");
             let mut first = true;
             for (i, &c) in h.buckets.iter().enumerate().take(HIST_BUCKETS) {
                 if c == 0 {
@@ -172,9 +248,49 @@ impl MetricsSnapshot {
             }
             s.push_str("]}");
         });
-        s.push_str("}\n}\n");
+        s.push('}');
+        if let Some(ticks) = opts.timeseries {
+            s.push_str(",\n  \"timeseries\": [");
+            let mut first_tick = true;
+            for t in ticks {
+                if !first_tick {
+                    s.push(',');
+                }
+                first_tick = false;
+                s.push_str(&format!("\n    {{\"at_ns\": {}, \"deltas\": {{", t.at_ns));
+                let mut first = true;
+                for (name, d) in &t.counter_deltas {
+                    if !first {
+                        s.push_str(", ");
+                    }
+                    first = false;
+                    s.push_str(&format!("\"{}\": {d}", json_escape(name)));
+                }
+                s.push_str("}, \"gauges\": {");
+                let mut first = true;
+                for (name, v) in &t.gauges {
+                    if !first {
+                        s.push_str(", ");
+                    }
+                    first = false;
+                    s.push_str(&format!("\"{}\": {}", json_escape(name), fmt_f64(*v)));
+                }
+                s.push_str("}}");
+            }
+            s.push_str("\n  ]");
+        }
+        s.push_str("\n}\n");
         s
     }
+}
+
+/// Options for [`MetricsSnapshot::render_json`].
+#[derive(Debug, Default)]
+pub struct ReportOptions<'a> {
+    /// Include p50/p95/p99 estimates on histograms.
+    pub percentiles: bool,
+    /// Sampler ticks to append as a `"timeseries"` array.
+    pub timeseries: Option<&'a [SamplerTick]>,
 }
 
 /// Writes `"name": <value>` entries joined by commas.
@@ -259,6 +375,9 @@ mod tests {
     fn stable_drops_wall_clock_and_pipeline_metrics() {
         counter("test/stable/kept").add(1);
         counter("pipeline/test_stable_batches").add(3);
+        counter("salvage/test_stable_kept").add(2);
+        counter("obs/test_stable_kept").add(4);
+        counter("obs/sampler/test_stable_ticks").add(9);
         gauge("test/stable/span_ns").set(123.0);
         histogram("teststage/span_ns").record(55);
         let snap = snapshot().stable();
@@ -266,5 +385,72 @@ mod tests {
         assert_eq!(snap.counter("pipeline/test_stable_batches"), None);
         assert_eq!(snap.gauge("test/stable/span_ns"), None);
         assert!(snap.histogram("teststage/span_ns").is_none());
+        // Deterministic salvage/obs totals survive the filter; sampler
+        // bookkeeping (wall-clock tick counts) does not.
+        assert_eq!(snap.counter("salvage/test_stable_kept"), Some(2));
+        assert_eq!(snap.counter("obs/test_stable_kept"), Some(4));
+        assert_eq!(snap.counter("obs/sampler/test_stable_ticks"), None);
+    }
+
+    #[test]
+    fn percentiles_from_log2_buckets() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        assert_eq!(empty.p50(), 0);
+
+        // A point mass: every percentile is the value itself (the
+        // min/max clamp collapses the bucket interpolation).
+        let h = histogram("test/report/pct_point");
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let snap = snapshot();
+        let hs = snap.histogram("test/report/pct_point").unwrap();
+        assert_eq!(hs.p50(), 1000);
+        assert_eq!(hs.p99(), 1000);
+
+        // A two-mode distribution: p50 sits in the low mode, p99 in
+        // the high one, and everything stays within [min, max].
+        let h = histogram("test/report/pct_bimodal");
+        for _ in 0..95 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(100_000);
+        }
+        let snap = snapshot();
+        let hs = snap.histogram("test/report/pct_bimodal").unwrap();
+        assert!(hs.p50() >= 64 && hs.p50() < 128, "p50 = {}", hs.p50());
+        assert!(hs.p99() >= 65_536, "p99 = {}", hs.p99());
+        assert!(hs.p99() <= 100_000);
+        // Monotone in q.
+        assert!(hs.p50() <= hs.p95() && hs.p95() <= hs.p99());
+    }
+
+    #[test]
+    fn render_json_options_add_percentiles_and_timeseries() {
+        histogram("test/report/opts_h").record(512);
+        let snap = snapshot();
+        let plain = snap.to_json();
+        assert!(!plain.contains("\"p95\""), "percentiles off by default");
+        let ticks = vec![crate::sampler::SamplerTick {
+            at_ns: 42,
+            counter_deltas: vec![("merge/records_in".into(), 7)],
+            gauges: vec![("pipeline/jobs".into(), 2.0)],
+        }];
+        let full = snap.render_json(&ReportOptions {
+            percentiles: true,
+            timeseries: Some(&ticks),
+        });
+        assert!(full.contains("\"p50\""), "{full}");
+        assert!(full.contains("\"timeseries\": ["));
+        assert!(full.contains("\"at_ns\": 42"));
+        assert!(full.contains("\"merge/records_in\": 7"));
+        assert!(full.contains("\"pipeline/jobs\": 2"));
     }
 }

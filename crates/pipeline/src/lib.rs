@@ -119,6 +119,11 @@ type HeaderMsg = Option<(ThreadTable, Vec<(u32, String)>)>;
 /// then streams it, so a node that degrades mid-decode contributes
 /// *nothing* and the merged bytes stay identical at every `jobs` value.
 /// A degraded node returns `Ok(None)`; dropping `tx` ends its stream.
+///
+/// `parent` is the spawning thread's span ([`ute_obs::current_span`]
+/// does not cross the spawn) and `link` the pre-allocated flow id tying
+/// this worker's stream to the merge consumer in the self-trace.
+#[allow(clippy::too_many_arguments)]
 fn produce_adjusted(
     reader: &IntervalFileReader<'_>,
     profile: &Profile,
@@ -126,11 +131,17 @@ fn produce_adjusted(
     sem: &Semaphore,
     tx: channel::Sender<Vec<Interval>>,
     depth: &AtomicI64,
+    parent: u64,
+    link: u64,
 ) -> Result<WorkerFit> {
     let permit = sem.acquire();
-    let _span = ute_obs::Span::enter("pipeline", format!("adjust worker node {}", reader.node));
+    let _span = ute_obs::Span::enter_under(
+        "pipeline",
+        format!("adjust worker node {}", reader.node),
+        parent,
+    );
     if !opts.salvage {
-        let mut sender = BatchSender::new(tx, sem, permit, depth);
+        let mut sender = BatchSender::new(tx, sem, permit, depth, link);
         let out = adjust_node(reader, profile, opts, |iv| sender.push(iv))?;
         sender.finish()?;
         return Ok(Some(out));
@@ -145,7 +156,7 @@ fn produce_adjusted(
     };
     match salvage_attempt(attempt, &format!("node {}", reader.node)) {
         Some((adjusted, out)) => {
-            let mut sender = BatchSender::new(tx, sem, permit, depth);
+            let mut sender = BatchSender::new(tx, sem, permit, depth, link);
             for iv in adjusted {
                 sender.push(iv)?;
             }
@@ -196,6 +207,10 @@ fn merge_streamed<T: Send>(
     let sem = Semaphore::new(jobs);
     let depth = AtomicI64::new(0);
     ute_obs::gauge("pipeline/jobs").set(jobs as f64);
+    // Workers run on their own threads, so the thread-local span stack
+    // does not follow them: capture the current span here and parent
+    // each worker's span under it explicitly.
+    let parent = ute_obs::current_span();
     let (workers, consumed) = cb_thread::scope(|s| {
         let sem = &sem;
         let depth = &depth;
@@ -203,10 +218,18 @@ fn merge_streamed<T: Send>(
         let mut handles = Vec::with_capacity(readers.len());
         for reader in &readers {
             let (tx, rx) = channel::bounded(CHANNEL_BATCHES);
-            sources.push(ChannelSource::new(rx, depth));
-            handles.push(s.spawn(move |_| produce_adjusted(reader, profile, opts, sem, tx, depth)));
+            // One flow link per worker→consumer stream, allocated here
+            // on the spawning thread in input order.
+            let link = ute_obs::new_link();
+            sources.push(ChannelSource::new(rx, depth, link));
+            handles.push(s.spawn(move |_| {
+                produce_adjusted(reader, profile, opts, sem, tx, depth, parent, link)
+            }));
         }
-        let consumed = consume(BalancedTreeMerge::new(sources));
+        let consumed = {
+            let _span = ute_obs::Span::enter("pipeline", "merge consumer");
+            consume(BalancedTreeMerge::new(sources))
+        };
         let workers: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         (workers, consumed)
     })
@@ -369,16 +392,21 @@ fn produce_converted(
     header_tx: channel::Sender<HeaderMsg>,
     tx: channel::Sender<Vec<Interval>>,
     depth: &AtomicI64,
+    parent: u64,
+    link: u64,
 ) -> Result<(Option<ConvertOutput>, WorkerFit)> {
     let permit = sem.acquire();
-    let _span = ute_obs::Span::enter(
+    let node_raw = file.node.raw();
+    let _span = ute_obs::Span::enter_under(
         "pipeline",
-        format!("convert worker node {}", file.node.raw()),
+        format!("convert worker node {node_raw}"),
+        parent,
     );
-    let who = format!("node {}", file.node.raw());
+    let who = format!("node {node_raw}");
     let convert = || {
         let mut tapped: Vec<Interval> = Vec::new();
         let out = convert_node_tapped(file, threads, profile, markers, copts, &mut |iv| {
+            testhook::fire(node_raw);
             tapped.push(iv.clone())
         })?;
         Ok((out, tapped))
@@ -399,7 +427,7 @@ fn produce_converted(
     let _ = header_tx.send(Some((node_table.clone(), markers.table().to_vec())));
     drop(header_tx);
     if !mopts.salvage {
-        let mut sender = BatchSender::new(tx, sem, permit, depth);
+        let mut sender = BatchSender::new(tx, sem, permit, depth, link);
         let (nf, records_in) =
             adjust_intervals(file.node.raw(), &node_table, tapped, profile, mopts, |iv| {
                 sender.push(iv)
@@ -426,7 +454,7 @@ fn produce_converted(
     };
     match salvage_attempt(adjust, &who) {
         Some((adjusted, fit)) => {
-            let mut sender = BatchSender::new(tx, sem, permit, depth);
+            let mut sender = BatchSender::new(tx, sem, permit, depth, link);
             for iv in adjusted {
                 sender.push(iv)?;
             }
@@ -487,6 +515,9 @@ pub fn convert_and_merge(
     let sem = Semaphore::new(jobs);
     let depth = AtomicI64::new(0);
     ute_obs::gauge("pipeline/jobs").set(jobs as f64);
+    // See merge_streamed: workers adopt the spawning thread's span as
+    // their explicit parent, and each stream gets a flow link.
+    let parent = ute_obs::current_span();
     let (workers, merged) = cb_thread::scope(|s| {
         let sem = &sem;
         let depth = &depth;
@@ -497,17 +528,20 @@ pub fn convert_and_merge(
         for file in files {
             let (header_tx, header_rx) = channel::bounded(1);
             let (tx, rx) = channel::bounded(CHANNEL_BATCHES);
-            sources.push(ChannelSource::new(rx, depth));
+            let link = ute_obs::new_link();
+            sources.push(ChannelSource::new(rx, depth, link));
             header_rxs.push(header_rx);
             handles.push(s.spawn(move |_| {
                 produce_converted(
                     file, threads, profile, marker_map, copts, mopts, sem, header_tx, tx, depth,
+                    parent, link,
                 )
             }));
         }
         // Absorb headers in input order; workers stream on regardless
         // (their bounded channels absorb the head start).
         let consumed = (|| {
+            let _span = ute_obs::Span::enter("pipeline", "merge consumer");
             let mut union_threads = ThreadTable::new();
             let mut markers: Vec<(u32, String)> = Vec::new();
             for header_rx in header_rxs {
@@ -550,6 +584,36 @@ pub fn convert_and_merge(
         converted,
         merged: MergeOutput { merged, stats },
     })
+}
+
+/// Fault-injection hook for regression tests: arms a one-shot panic
+/// inside a fused convert worker's record tap, so tests can verify that
+/// `catch_unwind` isolation closes (marks aborted) the worker's open
+/// spans and that the salvage retry still produces clean output. The
+/// disarmed fast path is a single relaxed atomic load per record —
+/// the same cost class as the always-on counters.
+#[doc(hidden)]
+pub mod testhook {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// Node whose next tapped record panics, or -1 when disarmed.
+    static PANIC_NODE: AtomicI64 = AtomicI64::new(-1);
+
+    /// Arms a one-shot panic in the fused convert worker for `node`.
+    pub fn arm_convert_panic(node: u16) {
+        PANIC_NODE.store(node as i64, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn fire(node: u16) {
+        if PANIC_NODE.load(Ordering::Relaxed) == node as i64
+            && PANIC_NODE
+                .compare_exchange(node as i64, -1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            panic!("testhook: injected convert panic on node {node}");
+        }
+    }
 }
 
 #[cfg(test)]

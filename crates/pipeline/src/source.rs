@@ -34,15 +34,21 @@ pub struct BatchSender<'a> {
     sem: &'a Semaphore,
     permit: Option<Permit<'a>>,
     depth: &'a AtomicI64,
+    /// Self-trace flow link for this worker→consumer handoff (0 = none);
+    /// the producing end is recorded once, at the first batch shipped.
+    link: u64,
+    link_sent: bool,
 }
 
 impl<'a> BatchSender<'a> {
-    /// Wraps a channel sender; `permit` is the worker's held CPU slot.
+    /// Wraps a channel sender; `permit` is the worker's held CPU slot,
+    /// `link` the pre-allocated self-trace flow id (0 disables).
     pub fn new(
         tx: Sender<Vec<Interval>>,
         sem: &'a Semaphore,
         permit: Permit<'a>,
         depth: &'a AtomicI64,
+        link: u64,
     ) -> BatchSender<'a> {
         BatchSender {
             tx,
@@ -50,6 +56,8 @@ impl<'a> BatchSender<'a> {
             sem,
             permit: Some(permit),
             depth,
+            link,
+            link_sent: false,
         }
     }
 
@@ -67,6 +75,10 @@ impl<'a> BatchSender<'a> {
             return Ok(());
         }
         let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH_RECORDS));
+        if !self.link_sent {
+            self.link_sent = true;
+            ute_obs::flow_begin(self.link);
+        }
         let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         ute_obs::gauge("pipeline/queue_depth_max").set_max(depth as f64);
         ute_obs::counter("pipeline/batches").add(1);
@@ -105,15 +117,22 @@ pub struct ChannelSource<'a> {
     rx: Receiver<Vec<Interval>>,
     batch: std::vec::IntoIter<Interval>,
     depth: &'a AtomicI64,
+    /// Consuming end of the worker's flow link (0 = none); recorded
+    /// once, at the first batch received.
+    link: u64,
+    link_seen: bool,
 }
 
 impl<'a> ChannelSource<'a> {
-    /// Wraps the receiving end of a node's interval stream.
-    pub fn new(rx: Receiver<Vec<Interval>>, depth: &'a AtomicI64) -> ChannelSource<'a> {
+    /// Wraps the receiving end of a node's interval stream; `link` is
+    /// the same flow id the worker's [`BatchSender`] holds (0 disables).
+    pub fn new(rx: Receiver<Vec<Interval>>, depth: &'a AtomicI64, link: u64) -> ChannelSource<'a> {
         ChannelSource {
             rx,
             batch: Vec::new().into_iter(),
             depth,
+            link,
+            link_seen: false,
         }
     }
 }
@@ -128,6 +147,10 @@ impl MergeSource for ChannelSource<'_> {
             }
             match self.rx.recv() {
                 Ok(batch) => {
+                    if !self.link_seen {
+                        self.link_seen = true;
+                        ute_obs::flow_end(self.link);
+                    }
                     self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.batch = batch.into_iter();
                 }

@@ -227,12 +227,14 @@ impl RawTraceFile {
 
     /// Reads a file from disk.
     pub fn read_from(path: &std::path::Path) -> Result<RawTraceFile> {
+        let _span = ute_obs::Span::enter("rawtrace", format!("read {}", path.display()));
         let data = std::fs::read(path)?;
         RawTraceFile::from_bytes(&data)
     }
 
     /// Reads a file from disk in salvage mode.
     pub fn read_from_salvage(path: &std::path::Path) -> Result<(RawTraceFile, SalvageReport)> {
+        let _span = ute_obs::Span::enter("rawtrace", format!("salvage read {}", path.display()));
         let data = std::fs::read(path)?;
         RawTraceFile::from_bytes_salvage(&data)
     }

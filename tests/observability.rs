@@ -71,6 +71,306 @@ fn pipeline_self_trace_round_trips_with_a_span_per_stage() {
 }
 
 #[test]
+fn self_trace_hierarchy_round_trips_nested_and_laminar() {
+    let _serial = SERIAL.lock().unwrap();
+    let dir = tmpdir("hierarchy");
+    let out = dir.to_str().unwrap().to_string();
+    let ivl = dir.join("self.ivl");
+    let msg = run(&argv(&[
+        "pipeline",
+        "--workload",
+        "pingpong",
+        "--out",
+        &out,
+        "--jobs",
+        "2",
+        "--self-trace",
+        ivl.to_str().unwrap(),
+    ]))
+    .unwrap();
+
+    // The reported span count matches what actually landed in the file.
+    let tail = &msg[msg.find("wrote self-trace").unwrap()..];
+    let n: usize = tail[tail.find('(').unwrap() + 1..tail.find(" spans)").unwrap()]
+        .parse()
+        .unwrap();
+    let bytes = std::fs::read(&ivl).unwrap();
+    let profile = Profile::standard();
+    let reader = IntervalFileReader::open(&bytes, &profile).unwrap();
+    let ivs: Vec<_> = reader.intervals().map(|iv| iv.unwrap()).collect();
+    assert_eq!(ivs.len(), n, "span count and interval count diverged");
+
+    // Hierarchy extras: `address` is the span's unique nonzero id,
+    // `addressEnd` its parent — every parent must itself be recorded
+    // (roots carry 0).
+    let mut parent_of = std::collections::HashMap::new();
+    for iv in &ivs {
+        let id = iv
+            .extra(&profile, "address")
+            .and_then(|v| v.as_uint())
+            .unwrap();
+        let parent = iv
+            .extra(&profile, "addressEnd")
+            .and_then(|v| v.as_uint())
+            .unwrap();
+        assert_ne!(id, 0, "span with null id");
+        assert!(
+            parent_of.insert(id, parent).is_none(),
+            "duplicate span id {id}"
+        );
+    }
+    for (&id, &p) in &parent_of {
+        assert!(
+            p == 0 || parent_of.contains_key(&p),
+            "span {id} has unrecorded parent {p}"
+        );
+    }
+    // The tree really nests: at least cli root → stage worker → node
+    // span somewhere (parents always predate children, so no cycles).
+    let depth = |mut id: u64| {
+        let mut d = 0u32;
+        while id != 0 {
+            d += 1;
+            id = parent_of[&id];
+        }
+        d
+    };
+    let max_depth = parent_of.keys().map(|&i| depth(i)).max().unwrap();
+    assert!(
+        max_depth >= 3,
+        "expected span nesting depth ≥3 (cli → worker → node), got {max_depth}"
+    );
+
+    // Per-lane laminarity: on any one (stage, thread) timeline, spans
+    // nest or are disjoint — never partially overlap — which is what
+    // lets the viewer's nest.rs recover the hierarchy from our own file.
+    for t in reader.threads.entries() {
+        let lane: Vec<_> = ivs.iter().filter(|iv| iv.thread == t.logical).collect();
+        for (i, a) in lane.iter().enumerate() {
+            for b in &lane[i + 1..] {
+                let disjoint = a.end() <= b.start || b.end() <= a.start;
+                let nested = (a.start <= b.start && b.end() <= a.end())
+                    || (b.start <= a.start && a.end() <= b.end());
+                assert!(
+                    disjoint || nested,
+                    "lane {:?}: [{}, {}) and [{}, {}) partially overlap",
+                    t.logical,
+                    a.start,
+                    a.end(),
+                    b.start,
+                    b.end()
+                );
+            }
+        }
+    }
+    // File order is ascending end time (the interval writer's contract).
+    for w in ivs.windows(2) {
+        assert!(w[0].end() <= w[1].end());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Minimal recursive-descent JSON syntax checker — no dependencies,
+/// just enough to assert the Chrome export is parseable JSON. Our
+/// traces nest four levels deep at most, so recursion depth is a
+/// non-issue.
+fn json_valid(s: &str) -> bool {
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> bool {
+        if b.get(*i) != Some(&b'"') {
+            return false;
+        }
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return true;
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        false
+    }
+    fn number(b: &[u8], i: &mut usize) -> bool {
+        let start = *i;
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .is_some()
+    }
+    fn value(b: &[u8], i: &mut usize) -> bool {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    ws(b, i);
+                    if !string(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return false;
+                    }
+                    *i += 1;
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                true
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                true
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                true
+            }
+            _ => number(b, i),
+        }
+    }
+    let b = s.as_bytes();
+    let mut i = 0;
+    let ok = value(b, &mut i);
+    ws(b, &mut i);
+    ok && i == b.len()
+}
+
+/// Extracts the number following `key` on `line` (flat scan — our
+/// exporter writes one event per line).
+fn num_after(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn chrome_self_trace_is_parseable_sorted_and_flow_paired() {
+    let _serial = SERIAL.lock().unwrap();
+    let dir = tmpdir("chrome");
+    let out = dir.to_str().unwrap().to_string();
+    let path = dir.join("self.chrome.json");
+    run(&argv(&[
+        "pipeline",
+        "--workload",
+        "stencil",
+        "--out",
+        &out,
+        "--jobs",
+        "2",
+        "--self-trace",
+        path.to_str().unwrap(),
+        "--self-trace-format",
+        "chrome",
+    ]))
+    .unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json_valid(&json), "chrome trace is not parseable JSON");
+
+    // Walk the one-event-per-line body: timestamps must be
+    // non-decreasing, every flow begin must pair with a flow end, and
+    // at --jobs 2 the spans must come from at least two threads.
+    let mut last_ts = f64::MIN;
+    let mut x_events = 0usize;
+    let mut x_tids = std::collections::HashSet::new();
+    let mut s_ids = std::collections::HashSet::new();
+    let mut f_ids = std::collections::HashSet::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"ph\":") {
+            continue;
+        }
+        if let Some(ts) = num_after(line, "\"ts\":") {
+            assert!(
+                ts >= last_ts,
+                "events not sorted by ts: {ts} after {last_ts}"
+            );
+            last_ts = ts;
+        }
+        if line.contains("\"ph\":\"X\"") {
+            x_events += 1;
+            x_tids.insert(num_after(line, "\"tid\":").unwrap() as u64);
+        } else if line.contains("\"ph\":\"s\"") {
+            s_ids.insert(num_after(line, "\"id\":").unwrap() as u64);
+        } else if line.contains("\"ph\":\"f\"") {
+            assert!(
+                line.contains("\"bp\":\"e\""),
+                "flow end must bind encl: {line}"
+            );
+            f_ids.insert(num_after(line, "\"id\":").unwrap() as u64);
+        }
+    }
+    assert!(x_events > 0, "no duration events in chrome trace");
+    assert!(
+        x_tids.len() >= 2,
+        "expected spans from ≥2 threads at --jobs 2, got {x_tids:?}"
+    );
+    assert!(
+        !s_ids.is_empty(),
+        "no flow events: channel handoffs were not recorded"
+    );
+    assert_eq!(s_ids, f_ids, "flow begin/end ids must pair exactly");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn report_emits_json_with_nonzero_stage_counters() {
     let _serial = SERIAL.lock().unwrap();
     let dir = tmpdir("report");
@@ -102,6 +402,66 @@ fn report_emits_json_with_nonzero_stage_counters() {
             .parse()
             .unwrap_or_else(|_| panic!("counter {name} has a non-numeric value near `{rest:.40}`"));
         assert!(value > 0, "counter {name} is zero");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_percentiles_timeseries_and_stable_baselines() {
+    let _serial = SERIAL.lock().unwrap();
+    let dir = tmpdir("report_extras");
+    let out = dir.join("live");
+    let json = run(&argv(&[
+        "report",
+        "--workload",
+        "pingpong",
+        "--out",
+        out.to_str().unwrap(),
+        "--metrics-interval",
+        "1",
+    ]))
+    .unwrap();
+    // Percentile fields ride on every histogram, and the 1 ms sampler
+    // ticked at least once during the run, so its series is embedded.
+    assert!(json.contains("\"p50\":"), "no p50 in live report");
+    assert!(json.contains("\"p95\":"), "no p95 in live report");
+    assert!(json.contains("\"p99\":"), "no p99 in live report");
+    assert!(json.contains("\"timeseries\""), "no sampler series");
+    assert!(json.contains("\"at_ns\""), "timeseries has no ticks");
+
+    // --stable keeps only deterministic values: no percentiles (they
+    // derive from wall-clock histograms), no time series — but always
+    // the salvage/obs baseline counters, even on a clean run like this.
+    let out = dir.join("stable");
+    let stable = run(&argv(&[
+        "report",
+        "--workload",
+        "pingpong",
+        "--out",
+        out.to_str().unwrap(),
+        "--stable",
+    ]))
+    .unwrap();
+    assert!(
+        !stable.contains("\"p50\":"),
+        "percentiles leaked into --stable"
+    );
+    assert!(
+        !stable.contains("\"timeseries\""),
+        "series leaked into --stable"
+    );
+    for key in [
+        "salvage/nodes_degraded",
+        "salvage/records_skipped",
+        "salvage/resyncs",
+        "obs/spans_dropped",
+        "obs/flows_dropped",
+    ] {
+        assert!(
+            stable.contains(&format!("\"{key}\"")),
+            "baseline counter {key} missing from stable report:\n{stable}"
+        );
     }
 
     std::fs::remove_dir_all(&dir).ok();

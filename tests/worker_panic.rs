@@ -1,0 +1,114 @@
+//! Regression test for span hygiene under worker panics (sibling of
+//! `tests/faults.rs`, in its own binary because it arms a process-global
+//! one-shot panic hook and captures the process-global span log — state
+//! that concurrent `convert_and_merge` runs in the faults binary would
+//! race on).
+//!
+//! A convert worker that panics mid-node must not leak its open spans:
+//! unwinding runs every `Span`'s `Drop`, which closes the interval,
+//! marks it aborted, and heals the thread-local span stack — and the
+//! salvage retry must still produce byte-identical clean output.
+
+use std::collections::HashSet;
+
+use ute::cluster::Simulator;
+use ute::convert::ConvertOptions;
+use ute::format::profile::Profile;
+use ute::merge::MergeOptions;
+use ute::pipeline::{convert_and_merge, testhook};
+use ute::workloads::micro;
+
+#[test]
+fn worker_panic_marks_spans_aborted_and_retry_keeps_output_clean() {
+    let w = micro::stencil(4, 6, 4 << 10);
+    let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+    let profile = Profile::standard();
+    let copts = ConvertOptions {
+        lenient: true,
+        salvage: true,
+        ..ConvertOptions::default()
+    };
+    let mopts = MergeOptions {
+        salvage: true,
+        ..MergeOptions::default()
+    };
+
+    let clean = convert_and_merge(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &copts,
+        &mopts,
+        2,
+    )
+    .unwrap();
+
+    ute::obs::set_capture(true);
+    ute::obs::drain_spans();
+    let retries_before = ute::obs::snapshot()
+        .counter("pipeline/worker_retries")
+        .unwrap_or(0);
+
+    testhook::arm_convert_panic(1);
+    let out = convert_and_merge(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &copts,
+        &mopts,
+        2,
+    )
+    .unwrap();
+
+    ute::obs::set_capture(false);
+    let spans = ute::obs::drain_spans();
+
+    // The injected panic was caught, the retry (hook is one-shot)
+    // converted the node cleanly, and the merged bytes are unaffected.
+    assert_eq!(
+        out.merged.merged, clean.merged.merged,
+        "retry after injected worker panic must reproduce the clean bytes"
+    );
+    let retries_after = ute::obs::snapshot()
+        .counter("pipeline/worker_retries")
+        .unwrap_or(0);
+    assert!(
+        retries_after > retries_before,
+        "injected panic did not register a worker retry"
+    );
+
+    // The span open at panic time (the per-node convert span) was closed
+    // by unwinding and marked aborted — not leaked.
+    let ids: HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let aborted: Vec<_> = spans
+        .iter()
+        .filter(|s| s.aborted && s.stage == "convert" && s.label == "convert node 1")
+        .collect();
+    assert!(
+        !aborted.is_empty(),
+        "no aborted `convert node 1` span captured ({} spans total)",
+        spans.len()
+    );
+    // Its hierarchy survived the unwind: the parent (the worker span,
+    // which outlives the caught panic) is present in the same capture.
+    for s in &aborted {
+        assert_ne!(s.parent, 0, "aborted span lost its parent");
+        assert!(
+            ids.contains(&s.parent),
+            "aborted span's parent {} not in the captured set",
+            s.parent
+        );
+    }
+    // And the retry's successful span for the same node is there too,
+    // un-aborted.
+    assert!(
+        spans
+            .iter()
+            .any(|s| !s.aborted && s.stage == "convert" && s.label == "convert node 1"),
+        "retry did not record a clean convert span for node 1"
+    );
+
+    // The panicking thread healed its thread-local span stack (removal
+    // is by id, not by pop), so this thread's stack is untouched.
+    assert_eq!(ute::obs::current_span(), 0);
+}
