@@ -332,6 +332,7 @@ impl<'a> IntervalFileReader<'a> {
         DirIter {
             reader: self,
             next: self.first_dir,
+            prev: NO_DIR,
         }
     }
 
@@ -353,7 +354,7 @@ impl<'a> IntervalFileReader<'a> {
                 self.default_node(),
             )?);
         }
-        if r.pos() != entry.offset + entry.size {
+        if Some(r.pos()) != entry.offset.checked_add(entry.size) {
             return Err(UteError::corrupt_at(
                 "frame size disagrees with its records",
                 entry.offset,
@@ -439,6 +440,7 @@ impl<'a> IntervalFileReader<'a> {
 pub struct DirIter<'a, 'r> {
     reader: &'r IntervalFileReader<'a>,
     next: u64,
+    prev: u64,
 }
 
 impl Iterator for DirIter<'_, '_> {
@@ -448,8 +450,20 @@ impl Iterator for DirIter<'_, '_> {
         if self.next == NO_DIR {
             return None;
         }
+        // The writer appends directories in file order, so a chain that
+        // does not strictly advance is damage — and following it would
+        // loop forever.
+        if self.prev != NO_DIR && self.next <= self.prev {
+            let at = self.next;
+            self.next = NO_DIR;
+            return Some(Err(UteError::corrupt_at(
+                "frame directory chain does not advance",
+                at,
+            )));
+        }
         match self.reader.read_frame_dir(self.next) {
             Ok(dir) => {
+                self.prev = self.next;
                 self.next = dir.next;
                 Some(Ok(dir))
             }

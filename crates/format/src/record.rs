@@ -108,7 +108,9 @@ impl Interval {
     /// ordered by this (§3.1).
     #[inline]
     pub fn end(&self) -> u64 {
-        self.start + self.duration
+        // Saturating: a corrupt record decoded in salvage mode must not
+        // overflow here before validation can reject it.
+        self.start.saturating_add(self.duration)
     }
 
     /// Adds an extra field by name, interning through the profile.

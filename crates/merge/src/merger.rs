@@ -4,7 +4,7 @@ use ute_clock::ratio::RatioEstimator;
 use ute_core::bebits::BeBits;
 use ute_core::error::{Result, UteError};
 use ute_core::ids::{CpuId, LogicalThreadId, NodeId, ThreadType};
-use ute_core::time::{Duration, LocalTime};
+use ute_core::time::LocalTime;
 use ute_format::file::{FramePolicy, IntervalFileReader, IntervalFileWriter, MERGED_NODE};
 use ute_format::profile::{Profile, MASK_MERGED};
 use ute_format::record::{Interval, IntervalType};
@@ -238,13 +238,19 @@ fn adjust_stream(
                 }
             }
         }
-        let local_start = LocalTime(iv.start);
-        iv.start = nf.fit.adjust(local_start).ticks();
-        iv.duration = nf
-            .fit
-            .adjust_duration(local_start, Duration(iv.duration))
-            .ticks();
-        reorder.push(iv.end(), iv, &mut counted_sink)?;
+        // Map both endpoints through the fit and derive the duration,
+        // rather than scaling the duration independently (§2.2's R·D —
+        // the two agree to within rounding). Endpoint mapping is
+        // monotone, so it cannot create the partial overlaps that
+        // start+R·D can: a record whose start precedes the node's first
+        // clock sample has its start clamped to the fit origin, and
+        // keeping the full scaled duration would push its end past
+        // fit(local end) — on top of every enclosed record.
+        let gend = nf.fit.adjust(LocalTime(iv.end())).ticks();
+        let gstart = nf.fit.adjust(LocalTime(iv.start)).ticks().min(gend);
+        iv.start = gstart;
+        iv.duration = gend - gstart;
+        reorder.push(gend, iv, &mut counted_sink)?;
     }
     reorder.finish(&mut counted_sink)?;
     obs_in.add(emitted);

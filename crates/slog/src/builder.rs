@@ -78,6 +78,10 @@ impl<'a> SlogBuilder<'a> {
             .max()
             .unwrap_or(span_start + 1)
             .max(span_start + 1);
+        // More frames than ticks would leave degenerate frames past the
+        // span (empty or inverted): clamp so every frame is at least one
+        // tick wide and the frames exactly tile [span_start, span_end).
+        let nframes = nframes.min((span_end - span_start) as usize).max(1);
         let width = ((span_end - span_start) / nframes as u64).max(1);
         let mut frames: Vec<SlogFrame> = (0..nframes)
             .map(|i| SlogFrame {
@@ -94,7 +98,7 @@ impl<'a> SlogBuilder<'a> {
             (((t.max(span_start) - span_start) / width) as usize).min(nframes - 1)
         };
 
-        let mut preview = Preview::new(span_start, span_end, self.opts.preview_bins);
+        let mut preview = Preview::new(span_start, span_end, self.opts.preview_bins.max(1));
         let timeline_index: HashMap<(u16, u16), u32> = threads
             .entries()
             .iter()

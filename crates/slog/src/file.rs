@@ -154,7 +154,13 @@ impl SlogFile {
         let mut frames = Vec::with_capacity(cap);
         for (t_start, t_end, n, offset, size) in index {
             let mut fr = ByteReader::new(data);
-            fr.seek(body_base + offset)?;
+            let at = body_base
+                .checked_add(offset)
+                .ok_or_else(|| UteError::corrupt("slog frame offset overflows"))?;
+            let past = at
+                .checked_add(size)
+                .ok_or_else(|| UteError::corrupt("slog frame size overflows"))?;
+            fr.seek(at)?;
             let mut records = Vec::with_capacity(ute_core::codec::clamped_capacity(
                 n as usize,
                 2,
@@ -163,7 +169,7 @@ impl SlogFile {
             for _ in 0..n {
                 records.push(SlogRecord::decode(&mut fr)?);
             }
-            if fr.pos() != body_base + offset + size {
+            if fr.pos() != past {
                 return Err(UteError::corrupt("slog frame size mismatch"));
             }
             frames.push(SlogFrame {

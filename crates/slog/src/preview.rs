@@ -57,7 +57,7 @@ impl Preview {
             .entry(state.0)
             .or_insert_with(|| vec![0; self.nbins as usize]);
         let w = ((self.span_end - self.span_start) / self.nbins as u64).max(1);
-        let end = start + duration;
+        let end = start.saturating_add(duration);
         let first = start.saturating_sub(self.span_start) / w;
         let last = (end.saturating_sub(self.span_start).saturating_sub(1)) / w;
         let last = last.min(self.nbins as u64 - 1);
@@ -112,6 +112,16 @@ impl Preview {
         let span_start = r.get_u64()?;
         let span_end = r.get_u64()?;
         let nbins = r.get_u32()?;
+        // [`Preview::new`] guarantees both, so a violation is damage —
+        // and `bin_width`/`add` divide by `nbins`.
+        if nbins == 0 {
+            return Err(ute_core::error::UteError::corrupt("preview: zero bins"));
+        }
+        if span_end < span_start {
+            return Err(ute_core::error::UteError::corrupt(
+                "preview: span ends before it starts",
+            ));
+        }
         let ncounts = r.get_u32()?;
         let mut counts = BTreeMap::new();
         for _ in 0..ncounts {

@@ -37,9 +37,9 @@ pub struct SlogState {
 }
 
 impl SlogState {
-    /// End time.
+    /// End time (saturating, so a corrupt record cannot overflow).
     pub fn end(&self) -> u64 {
-        self.start + self.duration
+        self.start.saturating_add(self.duration)
     }
 }
 
@@ -131,7 +131,8 @@ impl SlogRecord {
         match r.get_u8()? {
             TAG_STATE => {
                 let flags = r.get_u8()?;
-                let bebits = BeBits::from_bits(flags & 0b11).expect("2-bit value");
+                let bebits = BeBits::from_bits(flags & 0b11)
+                    .ok_or_else(|| UteError::corrupt("slog record: bad bebits"))?;
                 Ok(SlogRecord::State(SlogState {
                     pseudo: flags & 0b100 != 0,
                     bebits,

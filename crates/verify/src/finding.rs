@@ -1,0 +1,247 @@
+//! Structured findings: what the invariant engine reports instead of
+//! panicking.
+//!
+//! Every rule violation becomes a [`Finding`] — a named rule, a severity,
+//! a message, and the byte offset when one is known — collected into a
+//! per-artifact [`Report`]. A decoder panic caught by the engine's
+//! backstop is itself a finding (rule `no-panic`), so `ute check` can
+//! make the "never panics on untrusted bytes" guarantee observable.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but tolerable (e.g. salvage damage already accounted
+    /// for by a Gap record).
+    Warning,
+    /// The artifact violates a format invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The invariant rule that fired (stable kebab-case name).
+    pub rule: &'static str,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the artifact, when known.
+    pub offset: Option<u64>,
+}
+
+impl Finding {
+    /// An error-severity finding.
+    pub fn error(rule: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(rule: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warning,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// Attaches a byte offset.
+    pub fn at(mut self, offset: u64) -> Finding {
+        self.offset = Some(offset);
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.rule, self.message)?;
+        if let Some(o) = self.offset {
+            write!(f, " (at byte {o})")?;
+        }
+        Ok(())
+    }
+}
+
+/// What kind of artifact a report covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A `trace.N.raw` event trace file.
+    Raw,
+    /// A per-node or merged interval file.
+    Interval,
+    /// A SLOG visualization file.
+    Slog,
+    /// A differential oracle run (two pipelines compared, not one file).
+    Oracle,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactKind::Raw => write!(f, "raw"),
+            ArtifactKind::Interval => write!(f, "interval"),
+            ArtifactKind::Slog => write!(f, "slog"),
+            ArtifactKind::Oracle => write!(f, "oracle"),
+        }
+    }
+}
+
+/// The outcome of checking one artifact against a rule suite.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Label for the artifact (usually its path).
+    pub artifact: String,
+    /// What kind of artifact was checked.
+    pub kind: ArtifactKind,
+    /// The rules that ran, in order.
+    pub rules_run: Vec<&'static str>,
+    /// Violations found.
+    pub findings: Vec<Finding>,
+    /// Records examined (0 when the artifact failed to open).
+    pub records: u64,
+}
+
+impl Report {
+    /// A fresh report for an artifact.
+    pub fn new(artifact: impl Into<String>, kind: ArtifactKind) -> Report {
+        Report {
+            artifact: artifact.into(),
+            kind,
+            rules_run: Vec::new(),
+            findings: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the artifact passed (no error findings; warnings allowed).
+    pub fn passed(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// The distinct rules that produced at least one finding.
+    pub fn rules_violated(&self) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = self.findings.iter().map(|f| f.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    /// Renders the report as indented text (one artifact block of the
+    /// `ute check` output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} [{}]: {} records, {} rules, {} error(s), {} warning(s)\n",
+            self.artifact,
+            self.kind,
+            self.records,
+            self.rules_run.len(),
+            self.errors(),
+            self.warnings()
+        );
+        for f in &self.findings {
+            out.push_str(&format!("  {f}\n"));
+        }
+        out
+    }
+}
+
+/// Runs one rule body under a panic backstop: a panic inside the rule
+/// becomes a `no-panic` error finding instead of unwinding out of the
+/// engine. This is what makes `ute check` (and salvage mode built on the
+/// same decoders) structurally unable to crash on untrusted bytes.
+pub fn run_rule<F>(report: &mut Report, rule: &'static str, body: F)
+where
+    F: FnOnce(&mut Report),
+{
+    report.rules_run.push(rule);
+    // The rule runs on a clone: on success the clone (with whatever the
+    // rule added) replaces the report; on panic the pre-rule state is
+    // kept and the panic itself becomes a finding.
+    let mut local = report.clone();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        body(&mut local);
+        local
+    }));
+    match outcome {
+        Ok(local) => *report = local,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            report.findings.push(Finding::error(
+                "no-panic",
+                format!("rule {rule} panicked: {what}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_counts() {
+        let mut r = Report::new("x.ivl", ArtifactKind::Interval);
+        r.findings.push(Finding::error("a", "bad"));
+        r.findings.push(Finding::warning("b", "meh").at(12));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.passed());
+        assert_eq!(r.rules_violated(), vec!["a", "b"]);
+        let text = r.render();
+        assert!(text.contains("[error] a: bad"));
+        assert!(text.contains("(at byte 12)"));
+    }
+
+    #[test]
+    fn run_rule_converts_panics_to_findings() {
+        let mut r = Report::new("x", ArtifactKind::Raw);
+        run_rule(&mut r, "boom", |_r| panic!("kaboom {}", 7));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].rule, "no-panic");
+        assert!(r.findings[0].message.contains("kaboom 7"));
+        // A well-behaved rule keeps its findings.
+        let mut r = Report::new("y", ArtifactKind::Raw);
+        run_rule(&mut r, "ok", |r| {
+            r.findings.push(Finding::warning("ok", "note"))
+        });
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.rules_run, vec!["ok"]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Invariant rules for raw trace files.
+//!
+//! | rule | invariant | paper |
+//! |------|-----------|-------|
+//! | `raw-open` | magic, version, header fields decode | §2.1 |
+//! | `raw-record-chain` | hookword lengths chain record-to-record to EOF | §2.1 |
+//! | `raw-payload-shape` | typed payloads (dispatch/clock/marker/MPI) parse | §2.1 |
+//! | `raw-timestamps` | local timestamps non-decreasing in cut order | §2.1, §2.2 |
+
+use ute_core::event::EventCode;
+use ute_rawtrace::file::{RawTraceFile, RawTraceReader, HEADER_LEN};
+use ute_rawtrace::record::{
+    ClockPayload, DispatchPayload, MarkerDefPayload, MarkerPayload, MpiPayload, RawEvent,
+};
+
+use crate::finding::{run_rule, ArtifactKind, Finding, Report};
+
+/// Runs the full raw-trace rule suite over serialized bytes.
+pub fn check_raw_bytes(label: &str, bytes: &[u8]) -> Report {
+    let mut report = Report::new(label, ArtifactKind::Raw);
+    let mut header_ok = false;
+    run_rule(&mut report, "raw-open", |r| {
+        match RawTraceReader::open(bytes) {
+            Ok(_) => header_ok = true,
+            Err(e) => r
+                .findings
+                .push(Finding::error("raw-open", format!("cannot open: {e}"))),
+        }
+    });
+    if !header_ok {
+        return report;
+    }
+
+    let mut events: Vec<RawEvent> = Vec::new();
+    run_rule(&mut report, "raw-record-chain", |r| {
+        rule_record_chain(r, bytes, &mut events)
+    });
+    report.records = events.len() as u64;
+    run_rule(&mut report, "raw-payload-shape", |r| {
+        rule_payload_shape(r, &events)
+    });
+    run_rule(&mut report, "raw-timestamps", |r| {
+        rule_timestamps(r, &events)
+    });
+    report
+}
+
+/// Records must chain via their hookword lengths: decoding from the
+/// first record must consume exactly the declared count and land exactly
+/// on end-of-file — "a program reader can always find the next interval
+/// record" holds for raw records too, via the hookword length.
+fn rule_record_chain(report: &mut Report, bytes: &[u8], events: &mut Vec<RawEvent>) {
+    let mut reader = match RawTraceReader::open(bytes) {
+        Ok(r) => r,
+        Err(_) => return, // raw-open already reported
+    };
+    let declared = reader.record_count;
+    loop {
+        match reader.next_event() {
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => break,
+            Err(e) => {
+                report.findings.push(Finding::error(
+                    "raw-record-chain",
+                    format!("record {} does not decode: {e}", events.len()),
+                ));
+                return;
+            }
+        }
+    }
+    if (events.len() as u64) != declared {
+        report.findings.push(Finding::error(
+            "raw-record-chain",
+            format!(
+                "header declares {declared} records but {} decoded",
+                events.len()
+            ),
+        ));
+    }
+    let consumed: usize = HEADER_LEN + events.iter().map(|e| e.encoded_len()).sum::<usize>();
+    if consumed != bytes.len() {
+        report.findings.push(
+            Finding::error(
+                "raw-record-chain",
+                format!(
+                    "{} trailing bytes after the last declared record",
+                    bytes.len() - consumed
+                ),
+            )
+            .at(consumed as u64),
+        );
+    }
+}
+
+/// Payload-bearing events must carry a payload their typed decoder
+/// accepts — a dispatch record with a 3-byte payload is damage even
+/// though the hookword chain is intact.
+fn rule_payload_shape(report: &mut Report, events: &[RawEvent]) {
+    let mut reported = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        if reported >= 8 {
+            return;
+        }
+        let result = match ev.code {
+            EventCode::ThreadDispatch | EventCode::ThreadUndispatch => {
+                DispatchPayload::from_bytes(&ev.payload).map(|_| ())
+            }
+            EventCode::GlobalClock => ClockPayload::from_bytes(&ev.payload).map(|_| ()),
+            EventCode::MarkerDef => MarkerDefPayload::from_bytes(&ev.payload).map(|_| ()),
+            EventCode::MarkerBegin | EventCode::MarkerEnd => {
+                MarkerPayload::from_bytes(&ev.payload).map(|_| ())
+            }
+            EventCode::MpiBegin(_) | EventCode::MpiEnd(_) => {
+                MpiPayload::from_bytes(&ev.payload).map(|_| ())
+            }
+            _ => Ok(()),
+        };
+        if let Err(e) = result {
+            reported += 1;
+            report.findings.push(Finding::error(
+                "raw-payload-shape",
+                format!("record {i} ({}): payload does not parse: {e}", ev.code),
+            ));
+        }
+    }
+}
+
+/// Local timestamps should be non-decreasing in cut order — the buffer
+/// cuts records as they happen. An inversion is a warning, not an error:
+/// per-CPU cut races can legally reorder neighbors by a few ticks.
+fn rule_timestamps(report: &mut Report, events: &[RawEvent]) {
+    let mut last = 0u64;
+    let mut inversions = 0usize;
+    for ev in events {
+        let t = ev.timestamp.ticks();
+        if t < last {
+            inversions += 1;
+        } else {
+            last = t;
+        }
+    }
+    if inversions > 0 {
+        report.findings.push(Finding::warning(
+            "raw-timestamps",
+            format!("{inversions} timestamp inversion(s) in cut order"),
+        ));
+    }
+}
+
+/// Salvage-consistency check used by the differential oracles: the
+/// strict decode of an undamaged file and its salvage decode must agree
+/// exactly, and salvage must report a clean bill.
+pub fn check_salvage_agrees(label: &str, bytes: &[u8]) -> Report {
+    let mut report = Report::new(label, ArtifactKind::Raw);
+    run_rule(&mut report, "salvage-identity", |r| {
+        let strict = RawTraceFile::from_bytes(bytes);
+        let salvaged = RawTraceFile::from_bytes_salvage(bytes);
+        match (strict, salvaged) {
+            (Ok(s), Ok((v, rep))) => {
+                if s != v {
+                    r.findings.push(Finding::error(
+                        "salvage-identity",
+                        "salvage decode of a clean file differs from strict decode",
+                    ));
+                }
+                if !rep.is_clean() {
+                    r.findings.push(Finding::error(
+                        "salvage-identity",
+                        format!("salvage reported damage on a strict-clean file: {rep:?}"),
+                    ));
+                }
+                r.records = s.events.len() as u64;
+            }
+            (Err(_), _) => r.findings.push(Finding::warning(
+                "salvage-identity",
+                "file does not decode strictly; identity not applicable",
+            )),
+            (Ok(_), Err(e)) => r.findings.push(Finding::error(
+                "salvage-identity",
+                format!("strict decode succeeded but salvage failed: {e}"),
+            )),
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::event::MpiOp;
+    use ute_core::ids::{LogicalThreadId, NodeId};
+    use ute_core::time::LocalTime;
+
+    fn sample() -> RawTraceFile {
+        let mut events = Vec::new();
+        for t in 0..30u64 {
+            events.push(RawEvent::new(
+                EventCode::MpiBegin(MpiOp::Send),
+                LocalTime(t * 100),
+                MpiPayload::bare(LogicalThreadId(0), 0).to_bytes(),
+            ));
+        }
+        RawTraceFile::new(NodeId(1), events)
+    }
+
+    #[test]
+    fn clean_raw_passes() {
+        let bytes = sample().to_bytes().unwrap();
+        let r = check_raw_bytes("t", &bytes);
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.records, 30);
+        assert_eq!(r.rules_run.len(), 4);
+    }
+
+    #[test]
+    fn bitflipped_hookword_is_a_finding() {
+        let mut bytes = sample().to_bytes().unwrap();
+        let at = HEADER_LEN + 5 * (12 + 38);
+        bytes[at + 2] ^= 0xff; // event-code half of the hookword
+        let r = check_raw_bytes("t", &bytes);
+        assert!(!r.passed());
+        assert!(
+            r.rules_violated().contains(&"raw-record-chain"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn short_payload_flagged_by_shape_rule() {
+        let mut f = sample();
+        f.events[3].payload.truncate(10);
+        let bytes = f.to_bytes().unwrap();
+        let r = check_raw_bytes("t", &bytes);
+        assert!(
+            r.rules_violated().contains(&"raw-payload-shape"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn timestamp_inversion_is_a_warning_only() {
+        let mut f = sample();
+        f.events.swap(4, 5);
+        let bytes = f.to_bytes().unwrap();
+        let r = check_raw_bytes("t", &bytes);
+        assert!(r.passed(), "{}", r.render()); // warnings allowed
+        assert_eq!(r.warnings(), 1);
+        assert!(r.rules_violated().contains(&"raw-timestamps"));
+    }
+
+    #[test]
+    fn truncation_reported_without_panic() {
+        let bytes = sample().to_bytes().unwrap();
+        for cut in [10, HEADER_LEN + 5, bytes.len() - 3] {
+            let r = check_raw_bytes("t", &bytes[..cut]);
+            assert!(!r.passed(), "cut {cut}");
+            assert!(r.findings.iter().all(|x| x.rule != "no-panic"));
+        }
+    }
+
+    #[test]
+    fn salvage_identity_on_clean_file() {
+        let bytes = sample().to_bytes().unwrap();
+        let r = check_salvage_agrees("t", &bytes);
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.records, 30);
+    }
+}

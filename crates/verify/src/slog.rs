@@ -1,0 +1,469 @@
+//! Invariant rules for SLOG files.
+//!
+//! | rule | invariant | paper |
+//! |------|-----------|-------|
+//! | `slog-open` | magic, version, tables, preview, frame index decode | §4 |
+//! | `slog-frame-partition` | frames tile the run's time span contiguously | §4 |
+//! | `slog-record-frames` | every record overlaps its frame; real states start in theirs | §4 |
+//! | `timeline-bounds` | timeline indices resolve in the thread table | §4 |
+//! | `arrow-matching` | arrows point forward in time; pseudo copies have a real original | §4 |
+//! | `preview-conservation` | preview bins/counts conserve state time exactly | §4, Fig. 7 |
+
+use std::collections::{BTreeMap, HashSet};
+
+use ute_slog::file::SlogFile;
+use ute_slog::record::SlogRecord;
+
+use crate::finding::{run_rule, ArtifactKind, Finding, Report};
+
+/// Runs the full SLOG rule suite over serialized bytes.
+pub fn check_slog_bytes(label: &str, bytes: &[u8]) -> Report {
+    let mut report = Report::new(label, ArtifactKind::Slog);
+    let mut file = None;
+    run_rule(&mut report, "slog-open", |r| {
+        match SlogFile::from_bytes(bytes) {
+            Ok(f) => file = Some(f),
+            Err(e) => r
+                .findings
+                .push(Finding::error("slog-open", format!("cannot open: {e}"))),
+        }
+    });
+    let Some(slog) = file else {
+        return report;
+    };
+    report.records = slog.total_records() as u64;
+
+    run_rule(&mut report, "slog-frame-partition", |r| {
+        rule_frame_partition(r, &slog)
+    });
+    run_rule(&mut report, "slog-record-frames", |r| {
+        rule_record_frames(r, &slog)
+    });
+    run_rule(&mut report, "timeline-bounds", |r| {
+        rule_timeline_bounds(r, &slog)
+    });
+    run_rule(&mut report, "arrow-matching", |r| {
+        rule_arrow_matching(r, &slog)
+    });
+    run_rule(&mut report, "preview-conservation", |r| {
+        rule_preview_conservation(r, &slog)
+    });
+    report
+}
+
+/// Frames must tile time: each non-degenerate (`t_start < t_end`),
+/// contiguous (`frames[i].t_end == frames[i+1].t_start`), and the whole
+/// chain must cover the preview span. This is what makes the §4 frame
+/// lookup a binary search.
+fn rule_frame_partition(report: &mut Report, slog: &SlogFile) {
+    for (i, f) in slog.frames.iter().enumerate() {
+        if f.t_start >= f.t_end {
+            report.findings.push(Finding::error(
+                "slog-frame-partition",
+                format!("frame {i} is degenerate: [{}, {})", f.t_start, f.t_end),
+            ));
+        }
+    }
+    for (i, pair) in slog.frames.windows(2).enumerate() {
+        if pair[0].t_end != pair[1].t_start {
+            report.findings.push(Finding::error(
+                "slog-frame-partition",
+                format!(
+                    "frames {i} and {} do not tile: [{}, {}) then [{}, {})",
+                    i + 1,
+                    pair[0].t_start,
+                    pair[0].t_end,
+                    pair[1].t_start,
+                    pair[1].t_end
+                ),
+            ));
+        }
+    }
+    if let (Some(first), Some(last)) = (slog.frames.first(), slog.frames.last()) {
+        if first.t_start != slog.preview.span_start || last.t_end != slog.preview.span_end {
+            report.findings.push(Finding::error(
+                "slog-frame-partition",
+                format!(
+                    "frames cover [{}, {}) but preview span is [{}, {})",
+                    first.t_start, last.t_end, slog.preview.span_start, slog.preview.span_end
+                ),
+            ));
+        }
+    }
+}
+
+/// Every record must overlap its frame's time span; a real (non-pseudo)
+/// state must *start* in its frame — the pseudo-interval scheme places
+/// the real copy in the frame of the start and pseudo copies elsewhere.
+/// The last frame also absorbs clamped tail records, so its upper bound
+/// is inclusive.
+fn rule_record_frames(report: &mut Report, slog: &SlogFile) {
+    let mut reported = 0usize;
+    let nframes = slog.frames.len();
+    for (i, f) in slog.frames.iter().enumerate() {
+        let inclusive_end = i + 1 == nframes;
+        for rec in &f.records {
+            if reported >= 8 {
+                return;
+            }
+            let overlaps = rec.start() <= f.t_end && rec.end() >= f.t_start;
+            if !overlaps {
+                reported += 1;
+                report.findings.push(Finding::error(
+                    "slog-record-frames",
+                    format!(
+                        "frame {i} [{}, {}): record [{}, {}] does not overlap it",
+                        f.t_start,
+                        f.t_end,
+                        rec.start(),
+                        rec.end()
+                    ),
+                ));
+                continue;
+            }
+            if let SlogRecord::State(s) = rec {
+                let starts_here = s.start >= f.t_start
+                    && (s.start < f.t_end || (inclusive_end && s.start <= f.t_end));
+                if !s.pseudo && !starts_here {
+                    reported += 1;
+                    report.findings.push(Finding::error(
+                        "slog-record-frames",
+                        format!(
+                            "frame {i} [{}, {}): real state starting at {} belongs elsewhere",
+                            f.t_start, f.t_end, s.start
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Timeline indices (state `timeline`, arrow `src`/`dst`) must be valid
+/// positions in the SLOG thread table.
+fn rule_timeline_bounds(report: &mut Report, slog: &SlogFile) {
+    let n = slog.threads.len() as u32;
+    let mut reported: HashSet<u32> = HashSet::new();
+    let mut flag = |report: &mut Report, t: u32, what: &str| {
+        if t >= n && reported.insert(t) && reported.len() <= 8 {
+            report.findings.push(Finding::error(
+                "timeline-bounds",
+                format!("{what} timeline {t} out of range (thread table has {n} entries)"),
+            ));
+        }
+    };
+    for f in &slog.frames {
+        for rec in &f.records {
+            match rec {
+                SlogRecord::State(s) => flag(report, s.timeline, "state"),
+                SlogRecord::Arrow(a) => {
+                    flag(report, a.src_timeline, "arrow source");
+                    flag(report, a.dst_timeline, "arrow destination");
+                }
+            }
+        }
+    }
+}
+
+/// Arrows must point forward in time (`recv_time >= send_time`), and
+/// every pseudo arrow copy must correspond to a real arrow somewhere in
+/// the file with identical endpoints — a pseudo copy "supplies whatever
+/// data is needed from other frames" (§4), it never invents a message.
+fn rule_arrow_matching(report: &mut Report, slog: &SlogFile) {
+    type Key = (u32, u32, u64, u64, u64);
+    let key = |a: &ute_slog::record::SlogArrow| -> Key {
+        (
+            a.src_timeline,
+            a.dst_timeline,
+            a.send_time,
+            a.recv_time,
+            a.seq,
+        )
+    };
+    let mut real: HashSet<Key> = HashSet::new();
+    let mut pseudo: Vec<Key> = Vec::new();
+    let mut reported = 0usize;
+    for f in &slog.frames {
+        for rec in &f.records {
+            let SlogRecord::Arrow(a) = rec else { continue };
+            if a.recv_time < a.send_time && reported < 8 {
+                reported += 1;
+                report.findings.push(Finding::error(
+                    "arrow-matching",
+                    format!(
+                        "arrow (seq {}) points backward: send {} after recv {}",
+                        a.seq, a.send_time, a.recv_time
+                    ),
+                ));
+            }
+            if a.pseudo {
+                pseudo.push(key(a));
+            } else {
+                real.insert(key(a));
+            }
+        }
+    }
+    for k in pseudo {
+        if !real.contains(&k) && reported < 8 {
+            reported += 1;
+            report.findings.push(Finding::error(
+                "arrow-matching",
+                format!(
+                    "pseudo arrow (seq {}, timelines {}->{}) has no real original",
+                    k.4, k.0, k.1
+                ),
+            ));
+        }
+    }
+}
+
+/// The preview must conserve state time exactly: for each state, the sum
+/// over its bins equals the summed duration of the state's *real*
+/// records, and its counter equals the number of real records. Pseudo
+/// copies are display artifacts and must not inflate the preview.
+fn rule_preview_conservation(report: &mut Report, slog: &SlogFile) {
+    if slog.preview.nbins == 0 {
+        report.findings.push(Finding::error(
+            "preview-conservation",
+            "preview has zero bins",
+        ));
+        return;
+    }
+    if slog.preview.span_end <= slog.preview.span_start {
+        report.findings.push(Finding::error(
+            "preview-conservation",
+            format!(
+                "preview span [{}, {}) is empty or inverted",
+                slog.preview.span_start, slog.preview.span_end
+            ),
+        ));
+        return;
+    }
+    let mut durations: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<u16, u64> = BTreeMap::new();
+    for f in &slog.frames {
+        for rec in &f.records {
+            let SlogRecord::State(s) = rec else { continue };
+            if s.pseudo {
+                continue;
+            }
+            let d = durations.entry(s.state.0).or_insert(0u64);
+            *d = d.saturating_add(s.duration);
+            *counts.entry(s.state.0).or_insert(0) += 1;
+        }
+    }
+    let states: HashSet<u16> = durations
+        .keys()
+        .chain(slog.preview.counts.keys())
+        .chain(slog.preview.bins.keys())
+        .copied()
+        .collect();
+    for s in states {
+        let binned: u64 = slog
+            .preview
+            .bins
+            .get(&s)
+            // Saturating: mutated bin values must not overflow the
+            // checker before it can flag them.
+            .map(|b| b.iter().fold(0u64, |acc, v| acc.saturating_add(*v)))
+            .unwrap_or(0);
+        let actual = durations.get(&s).copied().unwrap_or(0);
+        if binned != actual {
+            report.findings.push(Finding::error(
+                "preview-conservation",
+                format!(
+                    "state {:#06x}: preview bins hold {binned} ticks but real records total {actual}",
+                    s
+                ),
+            ));
+        }
+        let counted = slog.preview.counts.get(&s).copied().unwrap_or(0);
+        let seen = counts.get(&s).copied().unwrap_or(0);
+        if counted != seen {
+            report.findings.push(Finding::error(
+                "preview-conservation",
+                format!(
+                    "state {:#06x}: preview counts {counted} records but the file holds {seen}",
+                    s
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::bebits::BeBits;
+    use ute_core::ids::{LogicalThreadId, NodeId, Pid, SystemThreadId, TaskId, ThreadType};
+    use ute_format::state::StateCode;
+    use ute_format::thread_table::{ThreadEntry, ThreadTable};
+    use ute_slog::file::SlogFrame;
+    use ute_slog::preview::Preview;
+    use ute_slog::record::{SlogArrow, SlogState};
+
+    fn table(n: u16) -> ThreadTable {
+        let mut t = ThreadTable::new();
+        for node in 0..n {
+            t.register(ThreadEntry {
+                task: TaskId(node as u32),
+                pid: Pid(1),
+                system_tid: SystemThreadId(node as u64),
+                node: NodeId(node),
+                logical: LogicalThreadId(0),
+                ttype: ThreadType::Mpi,
+            })
+            .unwrap();
+        }
+        t
+    }
+
+    fn state(timeline: u32, start: u64, dur: u64, pseudo: bool) -> SlogRecord {
+        SlogRecord::State(SlogState {
+            timeline,
+            state: StateCode::RUNNING,
+            bebits: BeBits::Complete,
+            pseudo,
+            start,
+            duration: dur,
+            node: 0,
+            cpu: 0,
+            marker_id: 0,
+        })
+    }
+
+    fn valid() -> SlogFile {
+        let mut preview = Preview::new(0, 200, 4);
+        preview.add(StateCode::RUNNING, 0, 150);
+        preview.add(StateCode::RUNNING, 120, 30);
+        SlogFile {
+            threads: table(2),
+            markers: vec![],
+            preview,
+            frames: vec![
+                SlogFrame {
+                    t_start: 0,
+                    t_end: 100,
+                    records: vec![
+                        state(0, 0, 150, false),
+                        SlogRecord::Arrow(SlogArrow {
+                            pseudo: true,
+                            src_timeline: 0,
+                            dst_timeline: 1,
+                            send_time: 50,
+                            recv_time: 130,
+                            bytes: 64,
+                            seq: 1,
+                        }),
+                    ],
+                },
+                SlogFrame {
+                    t_start: 100,
+                    t_end: 200,
+                    records: vec![
+                        state(0, 0, 150, true),
+                        state(1, 120, 30, false),
+                        SlogRecord::Arrow(SlogArrow {
+                            pseudo: false,
+                            src_timeline: 0,
+                            dst_timeline: 1,
+                            send_time: 50,
+                            recv_time: 130,
+                            bytes: 64,
+                            seq: 1,
+                        }),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_slog_passes() {
+        let r = check_slog_bytes("t", &valid().to_bytes());
+        assert!(r.passed(), "{}", r.render());
+        assert_eq!(r.rules_run.len(), 6);
+        assert_eq!(r.records, 5);
+    }
+
+    #[test]
+    fn gap_between_frames_flagged() {
+        let mut f = valid();
+        f.frames[1].t_start = 110;
+        let r = check_slog_bytes("t", &f.to_bytes());
+        assert!(
+            r.rules_violated().contains(&"slog-frame-partition"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn real_state_in_wrong_frame_flagged() {
+        let mut f = valid();
+        // Move the second real state into frame 0, where it doesn't start.
+        let rec = f.frames[1].records.remove(1);
+        f.frames[0].records.push(rec);
+        let r = check_slog_bytes("t", &f.to_bytes());
+        assert!(
+            r.rules_violated().contains(&"slog-record-frames"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn out_of_range_timeline_flagged() {
+        let mut f = valid();
+        f.frames[0].records.push(state(9, 10, 5, false));
+        // Keep the preview consistent so only timeline-bounds fires.
+        f.preview.add(StateCode::RUNNING, 10, 5);
+        let r = check_slog_bytes("t", &f.to_bytes());
+        assert_eq!(
+            r.rules_violated(),
+            vec!["timeline-bounds"],
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn orphan_pseudo_arrow_flagged() {
+        let mut f = valid();
+        // Remove the real arrow; its pseudo copy is now an orphan.
+        f.frames[1].records.pop();
+        let r = check_slog_bytes("t", &f.to_bytes());
+        assert!(
+            r.rules_violated().contains(&"arrow-matching"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn pseudo_inflation_of_preview_flagged() {
+        let mut f = valid();
+        // Preview counted a record the file doesn't have for real.
+        f.preview.add(StateCode::SYSCALL, 0, 40);
+        let r = check_slog_bytes("t", &f.to_bytes());
+        assert!(
+            r.rules_violated().contains(&"preview-conservation"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn truncated_slog_is_a_finding_not_a_panic() {
+        let bytes = valid().to_bytes();
+        for cut in [9, bytes.len() / 2, bytes.len() - 2] {
+            let r = check_slog_bytes("t", &bytes[..cut]);
+            assert!(!r.passed());
+            assert!(
+                r.findings.iter().all(|x| x.rule != "no-panic"),
+                "{}",
+                r.render()
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Bounded fuzz smoke test: a fixed-seed fuzz run must complete with no
+//! decoder panics and bounded peak live allocation (< 64 MiB).
+//!
+//! The allocation bound is enforced by a counting wrapper around the
+//! system allocator installed as the test binary's global allocator —
+//! a decoder that trusts an attacker-controlled count for a
+//! `Vec::with_capacity` shows up here as a peak spike even if the
+//! allocation itself succeeds.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ute_verify::{run_fuzz, FuzzOptions};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn track(delta: usize) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            track(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            track(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const PEAK_BOUND: usize = 64 << 20;
+
+#[test]
+fn fuzz_smoke() {
+    let baseline = PEAK.load(Ordering::Relaxed);
+    let stats = run_fuzz(&FuzzOptions {
+        seed: 0x07e2_2026,
+        iters: 2048,
+        quiet: true,
+    });
+    let peak = PEAK.load(Ordering::Relaxed);
+    assert_eq!(stats.iterations, 2048);
+    assert!(
+        stats.passed(),
+        "decoder panicked under fuzzing: {}",
+        stats.render()
+    );
+    assert!(
+        stats.rejected > 0 && stats.clean > 0,
+        "fuzzer should see both rejected and surviving mutants: {}",
+        stats.render()
+    );
+    assert!(
+        peak < PEAK_BOUND,
+        "peak live allocation {peak} bytes (baseline {baseline}) exceeds {PEAK_BOUND}"
+    );
+}

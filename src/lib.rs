@@ -36,6 +36,9 @@
 //!   RAII span timers, and the span capture behind `--self-trace`.
 //! * [`cli`] — the `ute` command-line tool as a library, including the
 //!   self-trace sink and the `ute report` metrics report.
+//! * [`verify`] — the conformance subsystem: invariant rule suites over
+//!   raw/interval/SLOG artifacts, differential oracles, and the
+//!   structure-aware decoder fuzzer behind `ute check` / `ute fuzz`.
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline of Figure 2.
 
@@ -52,5 +55,6 @@ pub use ute_pipeline as pipeline;
 pub use ute_rawtrace as rawtrace;
 pub use ute_slog as slog;
 pub use ute_stats as stats;
+pub use ute_verify as verify;
 pub use ute_view as view;
 pub use ute_workloads as workloads;

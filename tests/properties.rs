@@ -263,4 +263,68 @@ proptest! {
         prop_assert!((ys[0] - manual as f64 / 1e9).abs() < 1e-6);
         prop_assert_eq!(ys[1] as usize, durs.len());
     }
+
+    #[test]
+    fn cell_matches_reference_fold(
+        vs in prop::collection::vec(-1e9f64..1e9f64, 0..64),
+    ) {
+        // The streaming Cell accumulator must agree with a from-scratch
+        // fold over the same values for every aggregator. Additions
+        // happen in the same order, so sum/avg are bit-exact, not just
+        // close.
+        use ute::stats::table::{Agg, Cell};
+        let mut c = Cell::default();
+        for &v in &vs {
+            c.add(v);
+        }
+        prop_assert_eq!(c.finish(Agg::Count), vs.len() as f64);
+        let sum = vs.iter().fold(0.0f64, |a, v| a + v);
+        if vs.is_empty() {
+            prop_assert_eq!(c.finish(Agg::Avg), 0.0);
+        } else {
+            prop_assert_eq!(c.finish(Agg::Sum), sum);
+            prop_assert_eq!(c.finish(Agg::Avg), sum / vs.len() as f64);
+            let min = vs.iter().fold(f64::INFINITY, |a, v| a.min(*v));
+            let max = vs.iter().fold(f64::NEG_INFINITY, |a, v| a.max(*v));
+            prop_assert_eq!(c.finish(Agg::Min), min);
+            prop_assert_eq!(c.finish(Agg::Max), max);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregates_match_reference(
+        rows in prop::collection::vec((0u16..4, 1u64..2_000_000_000u64), 1..80),
+    ) {
+        // run_tables' grouped avg/min/max/count against a hand-rolled
+        // group-by over the same (node, duration) pairs.
+        let p = Profile::standard();
+        let ivs: Vec<Interval> = rows.iter().enumerate().map(|(i, &(node, d))| {
+            Interval::basic(
+                IntervalType::complete(StateCode::SYSCALL),
+                i as u64 * 10, d, CpuId(0), NodeId(node), LogicalThreadId(0),
+            )
+        }).collect();
+        let specs = ute::stats::parse_program(
+            r#"table name=t x=("node", node)
+               y=("avg", dura, avg) y=("min", dura, min)
+               y=("max", dura, max) y=("n", dura, count)"#
+        ).unwrap();
+        let tables = ute::stats::run_tables(&specs, &p, &ivs).unwrap();
+        let t = &tables[0];
+        let mut by_node: std::collections::BTreeMap<u16, Vec<f64>> = Default::default();
+        for &(node, d) in &rows {
+            by_node.entry(node).or_default().push(d as f64 / 1e9);
+        }
+        prop_assert_eq!(t.rows.len(), by_node.len());
+        for (node, ds) in by_node {
+            let ys = t.row(&[node as f64]).unwrap();
+            let sum = ds.iter().fold(0.0f64, |a, v| a + v);
+            prop_assert!((ys[0] - sum / ds.len() as f64).abs() < 1e-9, "avg node {}", node);
+            let min = ds.iter().fold(f64::INFINITY, |a, v| a.min(*v));
+            let max = ds.iter().fold(f64::NEG_INFINITY, |a, v| a.max(*v));
+            prop_assert!((ys[1] - min).abs() < 1e-12, "min node {}", node);
+            prop_assert!((ys[2] - max).abs() < 1e-12, "max node {}", node);
+            prop_assert_eq!(ys[3] as usize, ds.len());
+        }
+    }
 }

@@ -1,6 +1,9 @@
 //! View-layer integration tests on real pipeline data: the connected
 //! nested thread-activity mode, windowed rendering through pseudo
-//! records, and a golden ASCII snapshot of a tiny deterministic view.
+//! records, golden ASCII/SVG snapshots of the sPPM and FLASH renders
+//! (checked-in baselines under `tests/snapshots/`, regenerated with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test views`), and a golden ASCII
+//! snapshot of a tiny deterministic view.
 
 use ute::cluster::Simulator;
 use ute::convert::convert_job;
@@ -16,12 +19,9 @@ use ute::slog::record::{SlogRecord, SlogState};
 use ute::view::ascii;
 use ute::view::model::{build_view, ViewConfig, ViewKind};
 use ute::workloads::flash::{workload, FlashParams};
+use ute::workloads::{sppm, Workload};
 
-fn flash_slog() -> (Profile, SlogFile) {
-    let w = workload(FlashParams {
-        iters_per_phase: 3,
-        ..FlashParams::default()
-    });
+fn workload_slog(w: Workload) -> (Profile, SlogFile) {
     let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
     let profile = Profile::standard();
     let converted = convert_job(
@@ -48,6 +48,78 @@ fn flash_slog() -> (Profile, SlogFile) {
     )
     .unwrap();
     (profile, slog)
+}
+
+fn flash_slog() -> (Profile, SlogFile) {
+    workload_slog(workload(FlashParams {
+        iters_per_phase: 3,
+        ..FlashParams::default()
+    }))
+}
+
+/// Compares rendered output to the checked-in baseline, or rewrites the
+/// baseline when `UPDATE_SNAPSHOTS` is set. On mismatch, reports the
+/// first differing line rather than dumping both renders whole.
+fn snapshot_check(name: &str, content: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots");
+    let path = dir.join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, content).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}; generate it with UPDATE_SNAPSHOTS=1 cargo test --test views",
+            path.display()
+        )
+    });
+    if content == want {
+        return;
+    }
+    let mismatch = content
+        .lines()
+        .zip(want.lines())
+        .enumerate()
+        .find(|(_, (got, want))| got != want);
+    match mismatch {
+        Some((i, (got, want))) => panic!(
+            "snapshot {name} drifted at line {}:\n  got:  {got}\n  want: {want}\n\
+             (re-run with UPDATE_SNAPSHOTS=1 if the change is intended)",
+            i + 1
+        ),
+        None => panic!(
+            "snapshot {name} drifted in length: got {} lines, want {} \
+             (re-run with UPDATE_SNAPSHOTS=1 if the change is intended)",
+            content.lines().count(),
+            want.lines().count()
+        ),
+    }
+}
+
+/// Renders a workload's thread-activity view both ways and checks the
+/// pair of baselines.
+fn snapshot_workload(stem: &str, profile_slog: (Profile, SlogFile)) {
+    let (_, slog) = profile_slog;
+    let view = build_view(&slog, &ViewConfig::default()).unwrap();
+    snapshot_check(&format!("{stem}_thread.txt"), &ascii::render(&view, 100));
+    snapshot_check(
+        &format!("{stem}_thread.svg"),
+        &ute::view::svg::render(&view, &ute::view::svg::SvgOptions::default()),
+    );
+}
+
+#[test]
+fn sppm_view_snapshots() {
+    snapshot_workload(
+        "sppm",
+        workload_slog(sppm::workload(sppm::SppmParams::default())),
+    );
+}
+
+#[test]
+fn flash_view_snapshots() {
+    snapshot_workload("flash", flash_slog());
 }
 
 #[test]
