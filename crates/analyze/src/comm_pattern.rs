@@ -1,0 +1,122 @@
+//! Communication-pattern classification.
+//!
+//! Builds the rank → peer adjacency matrix from completed send-side
+//! records and classifies its shape: `nearest_neighbor` (≥ 90 % of
+//! messages travel ring distance ≤ 1), `hub` (one rank touches ≥ 80 % of
+//! all messages, with more than two participants), `all_to_all`
+//! (off-diagonal pair density ≥ 50 %), or `irregular`. Always emits
+//! exactly one info finding describing the matrix.
+//!
+//! Record fields consumed: `rank`, `peer`, `msgSizeSent` on completed
+//! point-to-point send intervals.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ute_core::bebits::BeBits;
+
+use crate::findings::{Finding, Severity};
+use crate::table::{TraceTable, NO_FIELD};
+use crate::DiagOptions;
+
+fn ring_distance(a: u64, b: u64, n: u64) -> u64 {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+/// Runs the diagnostic over a table.
+pub fn comm_pattern(t: &TraceTable, _opts: &DiagOptions) -> Vec<Finding> {
+    // (src rank, dst rank) → (messages, bytes).
+    let mut pairs: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+    for i in 0..t.len() {
+        if !matches!(t.bebits[i], BeBits::Complete | BeBits::End) {
+            continue;
+        }
+        let is_send = t
+            .state_code(i)
+            .as_mpi()
+            .map(|op| op.is_p2p_send())
+            .unwrap_or(false);
+        if !is_send || t.rank[i] == NO_FIELD || t.peer[i] == NO_FIELD {
+            continue;
+        }
+        let e = pairs.entry((t.rank[i], t.peer[i])).or_default();
+        e.0 += 1;
+        e.1 += t.bytes[i];
+    }
+    if pairs.is_empty() {
+        return vec![Finding {
+            diagnostic: "comm_pattern",
+            severity: Severity::Info,
+            node: None,
+            rank: None,
+            phase: None,
+            value: 0.0,
+            message: "no point-to-point traffic".into(),
+            details: vec![("pattern".into(), "none".into())],
+        }];
+    }
+
+    let participants: BTreeSet<u64> = pairs.keys().flat_map(|&(a, b)| [a, b]).collect();
+    let p = participants.len() as u64;
+    let nranks = participants.iter().max().unwrap() + 1;
+    let msgs: u64 = pairs.values().map(|v| v.0).sum();
+    let bytes: u64 = pairs.values().map(|v| v.1).sum();
+    let ring_msgs: u64 = pairs
+        .iter()
+        .filter(|((a, b), _)| ring_distance(*a, *b, nranks) <= 1)
+        .map(|(_, v)| v.0)
+        .sum();
+    let ring_frac = ring_msgs as f64 / msgs as f64;
+    let (hub_rank, hub_msgs) = participants
+        .iter()
+        .map(|&r| {
+            let m: u64 = pairs
+                .iter()
+                .filter(|((a, b), _)| *a == r || *b == r)
+                .map(|(_, v)| v.0)
+                .sum();
+            (r, m)
+        })
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .unwrap();
+    let hub_frac = hub_msgs as f64 / msgs as f64;
+    let density = pairs.len() as f64 / (p * p.saturating_sub(1)).max(1) as f64;
+
+    let (pattern, focus_rank) = if p > 2 && hub_frac >= 0.8 {
+        ("hub", Some(hub_rank))
+    } else if ring_frac >= 0.9 {
+        ("nearest_neighbor", None)
+    } else if density >= 0.5 {
+        ("all_to_all", None)
+    } else {
+        ("irregular", None)
+    };
+    let message = match focus_rank {
+        Some(r) => format!(
+            "{pattern} pattern: rank {r} is on {:.0}% of {msgs} messages among {p} ranks",
+            hub_frac * 100.0
+        ),
+        None => format!(
+            "{pattern} pattern: {msgs} messages over {} rank pairs among {p} ranks",
+            pairs.len()
+        ),
+    };
+    vec![Finding {
+        diagnostic: "comm_pattern",
+        severity: Severity::Info,
+        node: None,
+        rank: focus_rank,
+        phase: None,
+        value: msgs as f64,
+        message,
+        details: vec![
+            ("pattern".into(), pattern.into()),
+            ("ranks".into(), p.to_string()),
+            ("messages".into(), msgs.to_string()),
+            ("bytes".into(), bytes.to_string()),
+            ("ring_fraction".into(), format!("{ring_frac:.3}")),
+            ("hub_fraction".into(), format!("{hub_frac:.3}")),
+            ("pair_density".into(), format!("{density:.3}")),
+        ],
+    }]
+}

@@ -1,0 +1,177 @@
+//! Structured diagnostic findings and their JSON rendering.
+//!
+//! Every diagnostic returns a flat list of [`Finding`]s; nothing ever
+//! panics or prints — PerFlow-style, the *report* is the output. The
+//! JSON is hand-rolled with the same escaping discipline as
+//! `ute-obs`'s report so it stays dependency-free and byte-stable.
+
+use std::fmt::Write as _;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Descriptive: always emitted (pattern classification, path profile).
+    Info,
+    /// A measured inefficiency past its threshold.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One structured diagnostic finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which diagnostic produced it.
+    pub diagnostic: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Node the finding points at, if any.
+    pub node: Option<u16>,
+    /// MPI rank the finding points at, if any.
+    pub rank: Option<u64>,
+    /// Phase (marker) name the finding is scoped to, if any.
+    pub phase: Option<String>,
+    /// The diagnostic's headline metric (meaning documented per
+    /// diagnostic: waited ticks, imbalance score, …).
+    pub value: f64,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// Extra key → value pairs (stringly typed, stable order).
+    pub details: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Finding {
+    /// Renders the finding as one JSON object (no trailing newline).
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{indent}{{\"diagnostic\": \"{}\", \"severity\": \"{}\"",
+            self.diagnostic,
+            self.severity.name()
+        );
+        match self.node {
+            Some(n) => {
+                let _ = write!(s, ", \"node\": {n}");
+            }
+            None => s.push_str(", \"node\": null"),
+        }
+        match self.rank {
+            Some(r) => {
+                let _ = write!(s, ", \"rank\": {r}");
+            }
+            None => s.push_str(", \"rank\": null"),
+        }
+        match &self.phase {
+            Some(p) => {
+                let _ = write!(s, ", \"phase\": \"{}\"", json_escape(p));
+            }
+            None => s.push_str(", \"phase\": null"),
+        }
+        let _ = write!(
+            s,
+            ", \"value\": {}, \"message\": \"{}\"",
+            fmt_f64(self.value),
+            json_escape(&self.message)
+        );
+        s.push_str(", \"details\": {");
+        for (i, (k, v)) in self.details.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders the finding as one text line.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "[{}] {}: {}",
+            self.severity.name(),
+            self.diagnostic,
+            self.message
+        );
+        if !self.details.is_empty() {
+            s.push_str(" (");
+            for (i, (k, v)) in self.details.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{k}={v}");
+            }
+            s.push(')');
+        }
+        s
+    }
+}
+
+/// Renders a full analysis report: which diagnostics ran, over how many
+/// rows, and every finding.
+pub fn render_report_json(diagnostics: &[&str], rows: usize, findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{d}\"");
+    }
+    let _ = write!(s, "],\n  \"rows\": {rows},\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&f.to_json("    "));
+        if i + 1 < findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Per-diagnostic finding counts, in [`crate::DIAGNOSTICS`] order — the
+/// compact block `ute report` embeds.
+pub fn summary_json(diagnostics: &[&str], findings: &[Finding]) -> String {
+    let mut s = String::from("{");
+    let _ = write!(s, "\"findings\": {}", findings.len());
+    for d in diagnostics {
+        let n = findings.iter().filter(|f| f.diagnostic == *d).count();
+        let _ = write!(s, ", \"{d}\": {n}");
+    }
+    s.push('}');
+    s
+}

@@ -1,0 +1,100 @@
+//! Per-phase load-imbalance scoring.
+//!
+//! The converter's matcher gives marker pieces exactly the phase's
+//! *non-nested* time — time inside the phase but outside any MPI call or
+//! kernel activity — so summing a node's marker pieces yields its
+//! exclusive compute time in that phase with no further bookkeeping.
+//! The score is the classic `max / mean` across nodes: 1.0 is perfectly
+//! balanced, and anything past the threshold names the overloaded node.
+//!
+//! Record fields consumed: `markerId` on Marker pieces (plus per-node
+//! Running time as a whole-run fallback for unmarked traces).
+
+use std::collections::BTreeMap;
+
+use ute_format::state::StateCode;
+
+use crate::findings::{Finding, Severity};
+use crate::table::TraceTable;
+use crate::{ms, DiagOptions};
+
+/// Runs the diagnostic over a table.
+pub fn imbalance(t: &TraceTable, opts: &DiagOptions) -> Vec<Finding> {
+    // phase marker id → node → exclusive ticks.
+    let mut phases: BTreeMap<u32, BTreeMap<u16, u64>> = BTreeMap::new();
+    for i in 0..t.len() {
+        if t.state[i] == StateCode::MARKER.0 && t.marker_id[i] != 0 {
+            *phases
+                .entry(t.marker_id[i])
+                .or_default()
+                .entry(t.node[i])
+                .or_default() += t.duration[i];
+        }
+    }
+    let unmarked = phases.is_empty();
+    if unmarked {
+        // No marker phases: score the whole run on Running time.
+        let mut nodes: BTreeMap<u16, u64> = BTreeMap::new();
+        for i in 0..t.len() {
+            if t.state[i] == StateCode::RUNNING.0 {
+                *nodes.entry(t.node[i]).or_default() += t.duration[i];
+            }
+        }
+        if !nodes.is_empty() {
+            phases.insert(0, nodes);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (id, nodes) in &phases {
+        if nodes.len() < 2 {
+            continue;
+        }
+        let mean = nodes.values().sum::<u64>() as f64 / nodes.len() as f64;
+        let (&max_node, &max_ticks) = nodes
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .unwrap();
+        if mean <= 0.0 {
+            continue;
+        }
+        let score = max_ticks as f64 / mean;
+        if score < opts.imbalance_threshold {
+            continue;
+        }
+        let phase = if unmarked {
+            "(whole run)".to_string()
+        } else {
+            t.marker_name(*id)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("marker{id}"))
+        };
+        findings.push(Finding {
+            diagnostic: "imbalance",
+            severity: Severity::Warning,
+            node: Some(max_node),
+            rank: None,
+            phase: Some(phase.clone()),
+            value: (score * 1000.0).round() / 1000.0,
+            message: format!(
+                "phase `{phase}`: node {max_node} carries {score:.2}x the mean exclusive time \
+                 ({} ms vs {} ms mean over {} nodes)",
+                ms(max_ticks),
+                ms(mean as u64),
+                nodes.len()
+            ),
+            details: vec![
+                ("max_ms".into(), ms(max_ticks)),
+                ("mean_ms".into(), ms(mean as u64)),
+                ("nodes".into(), nodes.len().to_string()),
+            ],
+        });
+    }
+    findings.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    findings.truncate(opts.max_findings);
+    findings
+}

@@ -1,0 +1,119 @@
+//! Late-sender detection (Scalasca's classic wait-state pattern).
+//!
+//! A receiver that enters `MPI_Recv` (or a `Wait` completing one)
+//! *before* its partner enters the matching send is stalled by the
+//! sender; that stall is charged to the sender. Pairs are matched on the
+//! job-wide `(sender rank, seq)` key that the tracing facility stamps on
+//! every message and the converter carries onto the completed call's
+//! interval record — the same key `ute-slog` uses to draw arrows.
+//!
+//! Record fields consumed: `rank`, `peer`, `seq` on completed
+//! point-to-point intervals, plus the piece structure (a Begin piece
+//! pins the call's true entry time when the call was split).
+
+use std::collections::{BTreeMap, HashMap};
+
+use ute_core::bebits::BeBits;
+use ute_core::event::MpiOp;
+
+use crate::findings::{Finding, Severity};
+use crate::table::{TraceTable, NO_FIELD};
+use crate::{ms, DiagOptions};
+
+struct SendRec {
+    node: u16,
+    call_start: u64,
+}
+
+#[derive(Default)]
+struct Blame {
+    node: u16,
+    total_wait: u64,
+    late: u64,
+    max_wait: u64,
+}
+
+/// Runs the diagnostic over a table.
+pub fn late_sender(t: &TraceTable, opts: &DiagOptions) -> Vec<Finding> {
+    // (node, thread, state) → entry time of the currently open call, so
+    // a split call's wait is measured from its Begin piece, not from
+    // whichever End piece carries the arguments.
+    let mut open: HashMap<(u16, u16, u16), u64> = HashMap::new();
+    let mut sends: HashMap<(u64, u64), SendRec> = HashMap::new();
+    let mut blame: BTreeMap<u64, Blame> = BTreeMap::new();
+    let mut matched = 0u64;
+    for i in 0..t.len() {
+        let key = (t.node[i], t.thread[i], t.state[i]);
+        let call_start = match t.bebits[i] {
+            BeBits::Begin => {
+                open.insert(key, t.start[i]);
+                continue;
+            }
+            BeBits::Continuation => continue,
+            BeBits::End => open.remove(&key).unwrap_or(t.start[i]),
+            BeBits::Complete => t.start[i],
+        };
+        let Some(op) = t.state_code(i).as_mpi() else {
+            continue;
+        };
+        let call_end = t.end(i);
+        if op.is_p2p_send() && t.seq[i] > 0 && t.rank[i] != NO_FIELD {
+            sends.insert(
+                (t.rank[i], t.seq[i]),
+                SendRec {
+                    node: t.node[i],
+                    call_start,
+                },
+            );
+        }
+        // Sendrecv's seq is its *outgoing* message, so only pure receive
+        // completions match here. (Irecv ends carry no seq; the matched
+        // Wait does.)
+        if matches!(op, MpiOp::Recv | MpiOp::Irecv | MpiOp::Wait)
+            && t.seq[i] > 0
+            && t.peer[i] != NO_FIELD
+        {
+            if let Some(s) = sends.get(&(t.peer[i], t.seq[i])) {
+                matched += 1;
+                if s.call_start > call_start {
+                    let wait = s.call_start.min(call_end) - call_start;
+                    let b = blame.entry(t.peer[i]).or_default();
+                    b.node = s.node;
+                    b.total_wait = b.total_wait.saturating_add(wait);
+                    b.late += 1;
+                    b.max_wait = b.max_wait.max(wait);
+                }
+            }
+        }
+    }
+    ute_obs::counter("analyze/msgs_matched").add(matched);
+
+    let mut culprits: Vec<(u64, Blame)> = blame
+        .into_iter()
+        .filter(|(_, b)| b.total_wait >= opts.min_wait)
+        .collect();
+    culprits.sort_by(|a, b| b.1.total_wait.cmp(&a.1.total_wait).then(a.0.cmp(&b.0)));
+    culprits.truncate(opts.max_findings);
+    culprits
+        .into_iter()
+        .map(|(rank, b)| Finding {
+            diagnostic: "late_sender",
+            severity: Severity::Warning,
+            node: Some(b.node),
+            rank: Some(rank),
+            phase: None,
+            value: b.total_wait as f64,
+            message: format!(
+                "rank {rank} (node {}) sent late {} time(s); receivers waited {} ms on it",
+                b.node,
+                b.late,
+                ms(b.total_wait)
+            ),
+            details: vec![
+                ("late_messages".into(), b.late.to_string()),
+                ("total_wait_ms".into(), ms(b.total_wait)),
+                ("max_wait_ms".into(), ms(b.max_wait)),
+            ],
+        })
+        .collect()
+}

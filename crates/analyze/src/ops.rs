@@ -1,0 +1,166 @@
+//! Composable operators over a [`TraceTable`].
+//!
+//! A [`Selection`] is a set of row indices; every operator consumes one
+//! selection and yields another (or an aggregate), so queries compose
+//! the way Pipit's dataframe filters do:
+//!
+//! ```ignore
+//! let busy = table.select().by_node(2).interesting().in_window(a, b);
+//! let per_bin = busy.bins(1_000_000); // 1 ms bins
+//! ```
+
+use std::collections::BTreeMap;
+
+use ute_format::state::StateCode;
+
+use crate::table::TraceTable;
+
+/// A subset of a table's rows, in table (end-time) order.
+#[derive(Debug, Clone)]
+pub struct Selection<'t> {
+    /// The table the rows index into.
+    pub table: &'t TraceTable,
+    /// Selected row indices, ascending.
+    pub rows: Vec<usize>,
+}
+
+impl TraceTable {
+    /// A selection of every row.
+    pub fn select(&self) -> Selection<'_> {
+        Selection {
+            table: self,
+            rows: (0..self.len()).collect(),
+        }
+    }
+}
+
+/// One fixed-width time bin with its aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bin {
+    /// Bin start, ticks.
+    pub t0: u64,
+    /// Bin end (exclusive), ticks.
+    pub t1: u64,
+    /// Records starting inside the bin.
+    pub count: u64,
+    /// Total selected time overlapping the bin. Pieces on one timeline
+    /// never overlap (§3.3's piece construction), so per-timeline this
+    /// *is* exclusive time.
+    pub busy: u64,
+}
+
+impl<'t> Selection<'t> {
+    /// Rows passing an arbitrary predicate.
+    pub fn filter(mut self, pred: impl Fn(&TraceTable, usize) -> bool) -> Selection<'t> {
+        self.rows.retain(|&i| pred(self.table, i));
+        self
+    }
+
+    /// Rows of one node.
+    pub fn by_node(self, node: u16) -> Selection<'t> {
+        self.filter(|t, i| t.node[i] == node)
+    }
+
+    /// Rows of nodes in `[a, b]` inclusive.
+    pub fn by_nodes(self, a: u16, b: u16) -> Selection<'t> {
+        self.filter(|t, i| t.node[i] >= a && t.node[i] <= b)
+    }
+
+    /// Rows of one timeline (node, logical thread).
+    pub fn by_thread(self, node: u16, thread: u16) -> Selection<'t> {
+        self.filter(|t, i| t.node[i] == node && t.thread[i] == thread)
+    }
+
+    /// Rows of one state.
+    pub fn by_state(self, state: StateCode) -> Selection<'t> {
+        self.filter(|t, i| t.state[i] == state.0)
+    }
+
+    /// Marker pieces of one phase.
+    pub fn by_phase(self, marker_id: u32) -> Selection<'t> {
+        self.filter(|t, i| t.state[i] == StateCode::MARKER.0 && t.marker_id[i] == marker_id)
+    }
+
+    /// Rows overlapping `[t0, t1]` inclusive.
+    pub fn in_window(self, t0: u64, t1: u64) -> Selection<'t> {
+        self.filter(|t, i| t.end(i) >= t0 && t.start[i] <= t1)
+    }
+
+    /// "Interesting" rows: everything but Running / clock / gap (§3.2).
+    pub fn interesting(self) -> Selection<'t> {
+        self.filter(|t, i| t.state_code(i).is_interesting())
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sum of selected durations.
+    pub fn total_time(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|&i| self.table.duration[i])
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Groups rows by an arbitrary key.
+    pub fn group_by<K: Ord>(
+        &self,
+        key: impl Fn(&TraceTable, usize) -> K,
+    ) -> BTreeMap<K, Vec<usize>> {
+        let mut groups: BTreeMap<K, Vec<usize>> = BTreeMap::new();
+        for &i in &self.rows {
+            groups.entry(key(self.table, i)).or_default().push(i);
+        }
+        groups
+    }
+
+    /// Groups rows by node.
+    pub fn group_by_node(&self) -> BTreeMap<u16, Vec<usize>> {
+        self.group_by(|t, i| t.node[i])
+    }
+
+    /// Bins the selection into fixed-width windows of `width` ticks,
+    /// spanning the selection's own time range.
+    pub fn bins(&self, width: u64) -> Vec<Bin> {
+        let width = width.max(1);
+        let lo = self
+            .rows
+            .iter()
+            .map(|&i| self.table.start[i])
+            .min()
+            .unwrap_or(0);
+        let hi = self
+            .rows
+            .iter()
+            .map(|&i| self.table.end(i))
+            .max()
+            .unwrap_or(0);
+        if hi <= lo {
+            return Vec::new();
+        }
+        let nbins = (hi - lo).div_ceil(width);
+        let mut bins: Vec<Bin> = (0..nbins)
+            .map(|b| Bin {
+                t0: lo + b * width,
+                t1: lo + (b + 1) * width,
+                count: 0,
+                busy: 0,
+            })
+            .collect();
+        let cap = nbins as usize - 1;
+        for &i in &self.rows {
+            let (s, e) = (self.table.start[i], self.table.end(i));
+            // A zero-duration record at the very end lands in the last bin.
+            let first = (((s - lo) / width) as usize).min(cap);
+            let last = ((((e - lo).saturating_sub(1)) / width) as usize).min(cap);
+            bins[first].count += 1;
+            for bin in &mut bins[first..=last.max(first)] {
+                let overlap = e.min(bin.t1).saturating_sub(s.max(bin.t0));
+                bin.busy += overlap;
+            }
+        }
+        bins
+    }
+}

@@ -1,0 +1,211 @@
+//! The columnar trace table.
+//!
+//! Pipit keeps a trace as a dataframe and derives everything else from
+//! it; this module is the UTE equivalent. [`TraceTable`] holds one column
+//! per record field in parallel `Vec`s, in file order (end-time order,
+//! §3.1). It is loaded *through the frame directory*: [`load_table`]
+//! walks the directory chain of an interval file and decodes only the
+//! frames that overlap the requested time window, so a diagnostic over a
+//! slice of a long run never touches most of the file.
+
+use std::path::Path;
+
+use ute_core::bebits::BeBits;
+use ute_core::error::Result;
+use ute_format::file_io::FileIntervalReader;
+use ute_format::frame::NO_DIR;
+use ute_format::profile::Profile;
+use ute_format::record::Interval;
+use ute_format::state::StateCode;
+use ute_format::value::Value;
+
+/// Column sentinel for "this record has no such field".
+pub const NO_FIELD: u64 = u64::MAX;
+
+/// A column-oriented, in-memory view of one interval file (or of any
+/// record sequence), in end-time order.
+#[derive(Debug, Default, Clone)]
+pub struct TraceTable {
+    /// State code of each record.
+    pub state: Vec<u16>,
+    /// Piece kind (complete / begin / continuation / end).
+    pub bebits: Vec<BeBits>,
+    /// Start timestamp, ticks.
+    pub start: Vec<u64>,
+    /// Duration, ticks.
+    pub duration: Vec<u64>,
+    /// Processor id.
+    pub cpu: Vec<u16>,
+    /// Node id.
+    pub node: Vec<u16>,
+    /// Logical thread id.
+    pub thread: Vec<u16>,
+    /// MPI rank ([`NO_FIELD`] when absent).
+    pub rank: Vec<u64>,
+    /// Peer rank of a point-to-point call ([`NO_FIELD`] when absent).
+    pub peer: Vec<u64>,
+    /// Job-wide `(sender rank, seq)` message sequence number (0 = none).
+    pub seq: Vec<u64>,
+    /// Message bytes (sent or received; 0 when absent).
+    pub bytes: Vec<u64>,
+    /// Marker id of a marker piece (0 = none).
+    pub marker_id: Vec<u32>,
+    /// Marker id → name table from the file header.
+    pub markers: Vec<(u32, String)>,
+}
+
+impl TraceTable {
+    /// An empty table carrying a marker table.
+    pub fn new(markers: Vec<(u32, String)>) -> TraceTable {
+        TraceTable {
+            markers,
+            ..TraceTable::default()
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// End timestamp of row `i`.
+    #[inline]
+    pub fn end(&self, i: usize) -> u64 {
+        self.start[i].saturating_add(self.duration[i])
+    }
+
+    /// State code of row `i`.
+    #[inline]
+    pub fn state_code(&self, i: usize) -> StateCode {
+        StateCode(self.state[i])
+    }
+
+    /// Marker name for a marker id, if known.
+    pub fn marker_name(&self, id: u32) -> Option<&str> {
+        self.markers
+            .iter()
+            .find(|(mid, _)| *mid == id)
+            .map(|(_, n)| n.as_str())
+    }
+
+    /// Appends one decoded record.
+    pub fn push(&mut self, profile: &Profile, iv: &Interval) {
+        let uint = |name: &str| iv.extra(profile, name).and_then(Value::as_uint);
+        self.state.push(iv.itype.state.0);
+        self.bebits.push(iv.itype.bebits);
+        self.start.push(iv.start);
+        self.duration.push(iv.duration);
+        self.cpu.push(iv.cpu.raw());
+        self.node.push(iv.node.raw());
+        self.thread.push(iv.thread.raw());
+        self.rank.push(uint("rank").unwrap_or(NO_FIELD));
+        // The converter writes `u32::MAX` for "no peer".
+        let peer = uint("peer").unwrap_or(NO_FIELD);
+        self.peer.push(if peer == u32::MAX as u64 {
+            NO_FIELD
+        } else {
+            peer
+        });
+        self.seq.push(uint("seq").unwrap_or(0));
+        let sent = uint("msgSizeSent").unwrap_or(0);
+        let recvd = uint("msgSizeRecvd").unwrap_or(0);
+        self.bytes.push(sent.max(recvd));
+        self.marker_id
+            .push(uint("markerId").unwrap_or(0).min(u32::MAX as u64) as u32);
+    }
+
+    /// Builds a table from in-memory records (tests, benches, and the
+    /// pipeline's own artifacts before they hit disk).
+    pub fn from_intervals(
+        profile: &Profile,
+        intervals: &[Interval],
+        markers: Vec<(u32, String)>,
+    ) -> TraceTable {
+        let mut t = TraceTable::new(markers);
+        for iv in intervals {
+            t.push(profile, iv);
+        }
+        t
+    }
+
+    /// Time span `(min start, max end)` of the loaded rows.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let lo = self.start.iter().copied().min().unwrap_or(0);
+        let hi = (0..self.len()).map(|i| self.end(i)).max().unwrap_or(0);
+        Some((lo, hi))
+    }
+}
+
+/// What to load from a file: everything, or a time window / node range.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoadOptions {
+    /// Keep only records overlapping `[t0, t1]` (ticks, inclusive).
+    pub window: Option<(u64, u64)>,
+    /// Keep only records of nodes in `[a, b]` (inclusive).
+    pub nodes: Option<(u16, u16)>,
+}
+
+impl LoadOptions {
+    /// Record-level filter: does this record belong in the table?
+    pub fn admits(&self, iv: &Interval) -> bool {
+        if let Some((t0, t1)) = self.window {
+            if iv.end() < t0 || iv.start > t1 {
+                return false;
+            }
+        }
+        if let Some((a, b)) = self.nodes {
+            let n = iv.node.raw();
+            if n < a || n > b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Loads an interval file into a [`TraceTable`] through its frame
+/// directory chain.
+///
+/// A frame whose `[start_time, end_time]` envelope misses the window is
+/// skipped without decoding (its entry metadata alone proves no record
+/// in it can overlap: `end_time` is the max record end, `start_time` the
+/// min record start). The surviving frames are decoded and filtered
+/// per-record, which makes windowed loading *exactly* equivalent to
+/// loading everything and filtering — a property the test suite checks.
+pub fn load_table(path: &Path, profile: &Profile, opts: &LoadOptions) -> Result<TraceTable> {
+    let _span = ute_obs::Span::enter("analyze", format!("load {}", path.display()));
+    let mut r = FileIntervalReader::open(path, profile)?;
+    let mut table = TraceTable::new(r.markers.clone());
+    let mut at = r.first_dir;
+    let (mut read, mut skipped) = (0u64, 0u64);
+    while at != NO_DIR {
+        let dir = r.read_frame_dir(at)?;
+        for entry in &dir.entries {
+            if let Some((t0, t1)) = opts.window {
+                if entry.end_time < t0 || entry.start_time > t1 {
+                    skipped += 1;
+                    continue;
+                }
+            }
+            read += 1;
+            for iv in r.frame_intervals(entry)? {
+                if opts.admits(&iv) {
+                    table.push(profile, &iv);
+                }
+            }
+        }
+        at = dir.next;
+    }
+    ute_obs::counter("analyze/frames_read").add(read);
+    ute_obs::counter("analyze/frames_skipped").add(skipped);
+    ute_obs::counter("analyze/rows").add(table.len() as u64);
+    Ok(table)
+}

@@ -114,6 +114,28 @@ fn main() {
         "determinism violation: merged output differs between --jobs 1 and --jobs {jobs}"
     );
 
+    // The analyze stage over the merged output: decode + columnar table
+    // build + all four diagnostics, best-of-reps like the stages above.
+    // Recorded for trend-watching, never gated (absolute ns are not
+    // cross-machine comparable).
+    let (analyze_ns, analyze_findings) = {
+        let mut best = u64::MAX;
+        let mut nfindings = 0usize;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let reader = ute_format::file::IntervalFileReader::open(&parallel_bytes, &profile)
+                .expect("merged output reopens");
+            let markers = reader.markers.clone();
+            let intervals: Vec<_> = reader.intervals().map(|iv| iv.unwrap()).collect();
+            let table = ute_analyze::TraceTable::from_intervals(&profile, &intervals, markers);
+            let findings = ute_analyze::run_all(&table, &ute_analyze::DiagOptions::default());
+            let ns = t.elapsed().as_nanos() as u64;
+            best = best.min(ns);
+            nfindings = findings.len();
+        }
+        (best, nfindings)
+    };
+
     let speedup = serial_ns as f64 / parallel_ns as f64;
     let snap = ute_obs::snapshot();
     let records_in = snap.counter("merge/records_in").unwrap_or(0);
@@ -129,6 +151,8 @@ fn main() {
          \"parallel_convert_merge_ns\": {parallel_ns},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"records_per_sec\": {records_per_sec:.0},\n  \
+         \"analyze_ns\": {analyze_ns},\n  \
+         \"analyze_findings\": {analyze_findings},\n  \
          \"merged_bytes\": {},\n  \"merge_records_in\": {records_in}\n}}\n",
         serial_bytes.len(),
     );
@@ -141,6 +165,10 @@ fn main() {
         parallel_ns as f64 / 1e6
     );
     println!("speedup: {speedup:.2}x  ({records_per_sec:.0} records/s parallel)");
+    println!(
+        "analyze (decode+table+4 diagnostics): {:>7.3} ms, {analyze_findings} finding(s)",
+        analyze_ns as f64 / 1e6
+    );
     println!("\nwrote {out_path}");
 
     if check && parallel_ns as f64 > serial_ns as f64 * 1.10 {

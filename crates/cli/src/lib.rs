@@ -70,6 +70,8 @@ const KNOWN_SWITCHES: &[&str] = &[
     "strict",
     "oracles",
     "lenient-tail",
+    "all",
+    "json",
 ];
 
 impl Args {
@@ -166,11 +168,13 @@ fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
         "wavefront" => patterns::wavefront(6, 12, 4096),
         "sendrecv" => micro::sendrecv_shift(4, 12, 4096),
         "masterworker" => patterns::master_worker(4, 8, 8192),
+        "straggler" => micro::straggler(4, 8, 2, 4),
         "scaling" => scaling::scaled_job(iterations),
         other => {
             return Err(UteError::Invalid(format!(
                 "unknown workload `{other}` \
-                 (sppm|flash|pingpong|stencil|allreduce|wavefront|masterworker|scaling)"
+                 (sppm|flash|pingpong|stencil|allreduce|wavefront|sendrecv|masterworker|\
+                 straggler|scaling)"
             )))
         }
     })
@@ -801,6 +805,11 @@ const BASELINE_COUNTERS: &[&str] = &[
     "salvage/intervals_truncated",
     "obs/spans_dropped",
     "obs/flows_dropped",
+    "analyze/rows",
+    "analyze/frames_read",
+    "analyze/frames_skipped",
+    "analyze/findings",
+    "analyze/msgs_matched",
 ];
 
 /// `ute report`: run the full pipeline with metrics from zero and emit
@@ -818,6 +827,22 @@ pub fn cmd_report(args: &Args) -> Result<String> {
         ute_obs::counter(name);
     }
     cmd_pipeline(args)?;
+    // Run the diagnostics over the pipeline's merged output before the
+    // snapshot, so the analyze stage's own counters land in the report
+    // and the JSON always carries a diagnostics summary block. Findings
+    // are a pure function of merged.ivl, so this stays byte-stable
+    // across `--jobs` (the determinism CI job diffs it).
+    let diag_summary = {
+        let dir = PathBuf::from(args.require("out")?);
+        let profile = Profile::read_from(&dir.join("profile.ute"))?;
+        let table = ute_analyze::load_table(
+            &dir.join("merged.ivl"),
+            &profile,
+            &ute_analyze::LoadOptions::default(),
+        )?;
+        let findings = ute_analyze::run_all(&table, &ute_analyze::DiagOptions::default());
+        ute_analyze::summary_json(ute_analyze::DIAGNOSTICS, &findings)
+    };
     // Fold any live sampler's ticks into this report (stopping it here,
     // before the snapshot, so the last partial interval is included);
     // the dispatcher's later stop is then a no-op.
@@ -834,6 +859,11 @@ pub fn cmd_report(args: &Args) -> Result<String> {
         },
     };
     let mut json = snap.render_json(&opts);
+    // Fold the diagnostics block in as the last top-level key.
+    if json.ends_with("\n}\n") {
+        json.truncate(json.len() - 3);
+        json.push_str(&format!(",\n  \"diagnostics\": {diag_summary}\n}}\n"));
+    }
     json.push('\n');
     Ok(json)
 }
@@ -948,6 +978,101 @@ pub fn cmd_fuzz(args: &Args) -> Result<String> {
     }
 }
 
+/// `ute analyze`: run the programmable diagnostics layer over a trace
+/// directory's `merged.ivl` (or over an interval file given directly via
+/// `--in FILE`). `--diag NAME` runs one diagnostic, `--all` (the
+/// default) runs every one; `--window T0:T1` (seconds) and
+/// `--nodes A..B` restrict what is even *loaded* — the loader walks the
+/// frame directory and skips frames outside the window without decoding
+/// them. `--json` emits the structured findings report instead of text.
+pub fn cmd_analyze(args: &Args) -> Result<String> {
+    let input = PathBuf::from(args.require("in")?);
+    let (merged, default_profile) = if input.is_dir() {
+        (input.join("merged.ivl"), input.join("profile.ute"))
+    } else {
+        let dir = input.parent().unwrap_or(Path::new(".")).to_path_buf();
+        (input.clone(), dir.join("profile.ute"))
+    };
+    if !merged.exists() {
+        return Err(UteError::NotFound(format!(
+            "{} (run `ute pipeline` or `ute merge` first)",
+            merged.display()
+        )));
+    }
+    let profile = match args.get("profile") {
+        Some(p) => Profile::read_from(Path::new(p))?,
+        None if default_profile.exists() => Profile::read_from(&default_profile)?,
+        None => Profile::standard(),
+    };
+    let window = match args.get("window") {
+        None => None,
+        Some(w) => {
+            let (a, b) = w
+                .split_once(':')
+                .ok_or_else(|| UteError::Invalid("--window wants `T0:T1` seconds".into()))?;
+            let a: f64 = a
+                .parse()
+                .map_err(|_| UteError::Invalid("bad window start".into()))?;
+            let b: f64 = b
+                .parse()
+                .map_err(|_| UteError::Invalid("bad window end".into()))?;
+            Some(((a * 1e9) as u64, (b * 1e9) as u64))
+        }
+    };
+    let nodes = match args.get("nodes") {
+        None => None,
+        Some(n) => {
+            let (a, b) = n
+                .split_once("..")
+                .ok_or_else(|| UteError::Invalid("--nodes wants `A..B` inclusive".into()))?;
+            let a: u16 = a
+                .parse()
+                .map_err(|_| UteError::Invalid("bad node range start".into()))?;
+            let b: u16 = b
+                .parse()
+                .map_err(|_| UteError::Invalid("bad node range end".into()))?;
+            Some((a, b))
+        }
+    };
+    let load = ute_analyze::LoadOptions { window, nodes };
+    let table = ute_analyze::load_table(&merged, &profile, &load)?;
+    let diags: Vec<&str> = match args.get("diag") {
+        Some(d) if ute_analyze::DIAGNOSTICS.contains(&d) => vec![d],
+        Some(d) => {
+            return Err(UteError::Invalid(format!(
+                "unknown diagnostic `{d}` (late_sender|imbalance|comm_pattern|critical_path)"
+            )))
+        }
+        None => ute_analyze::DIAGNOSTICS.to_vec(),
+    };
+    let dopts = ute_analyze::DiagOptions {
+        imbalance_threshold: args.num("imbalance-threshold", 1.25f64)?,
+        ..ute_analyze::DiagOptions::default()
+    };
+    let mut findings = Vec::new();
+    for d in &diags {
+        findings.extend(ute_analyze::run_diagnostic(d, &table, &dopts)?);
+    }
+    if args.has("json") {
+        return Ok(ute_analyze::render_report_json(
+            &diags,
+            table.len(),
+            &findings,
+        ));
+    }
+    let mut msg = format!(
+        "analyzed {} rows ({} diagnostic(s)): {} finding(s)\n",
+        table.len(),
+        diags.len(),
+        findings.len()
+    );
+    for f in &findings {
+        msg.push_str(&f.to_text());
+        msg.push('\n');
+    }
+    Ok(msg)
+}
+
 /// Dispatches one invocation. The `--metrics`, `--metrics-interval MS`,
 /// and `--self-trace FILE` switches work on every subcommand: the first
 /// prints the metrics table (TSV) to stderr when the command finishes,
@@ -959,6 +1084,16 @@ pub fn run(argv: &[String]) -> Result<String> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| UteError::Invalid(USAGE.trim().to_string()))?;
+    // `ute analyze <dir> ...` sugar: a leading bare token becomes --in.
+    let rewritten: Vec<String>;
+    let rest = if cmd == "analyze" && rest.first().is_some_and(|t| !t.starts_with("--")) {
+        rewritten = std::iter::once("--in".to_string())
+            .chain(rest.iter().cloned())
+            .collect();
+        &rewritten[..]
+    } else {
+        rest
+    };
     let args = Args::parse(rest)?;
     let self_trace = args.get("self-trace").map(PathBuf::from);
     let self_trace_format = match args.get("self-trace-format") {
@@ -1003,6 +1138,7 @@ pub fn run(argv: &[String]) -> Result<String> {
             "corrupt" => cmd_corrupt(&args),
             "pipeline" => cmd_pipeline(&args),
             "report" => cmd_report(&args),
+            "analyze" => cmd_analyze(&args),
             "check" => cmd_check(&args),
             "fuzz" => cmd_fuzz(&args),
             "help" | "--help" => Ok(USAGE.to_string()),
@@ -1061,6 +1197,14 @@ commands:
              --stable drops wall-clock and worker-count metrics — and the
              percentile/time-series extras — so output is byte-comparable
              across runs and --jobs; salvage/* and obs/* totals are kept)
+  analyze   DIR | --in DIR|FILE [--diag late_sender|imbalance|comm_pattern
+            |critical_path | --all] [--window T0:T1] [--nodes A..B] [--json]
+            [--imbalance-threshold X] [--profile FILE]
+            (programmable diagnostics over DIR/merged.ivl: late-sender
+             wait attribution, per-phase load imbalance, communication-
+             pattern classification, critical-path extraction; --window/
+             --nodes load only the matching frames through the frame
+             directory; --json emits structured findings)
   check     --in DIR | --ivl FILE [--profile FILE] | --slog FILE
             | --raw FILE | --oracles [--seed N]   [--lenient-tail]
             (conformance rule suites over trace artifacts, or the

@@ -869,10 +869,15 @@ impl Simulator {
                     );
                 }
                 (Op::Sendrecv { to, bytes, tag, .. }, _) => {
-                    let m = self.threads[t]
-                        .stash_msg
-                        .take()
-                        .expect("sendrecv lost its message");
+                    // The receive phase only advances here after a message
+                    // was stashed; its absence means the engine's own
+                    // bookkeeping broke, which must surface as an error,
+                    // not a panic inside a long simulation.
+                    let Some(m) = self.threads[t].stash_msg.take() else {
+                        return Err(UteError::Invalid(format!(
+                            "sendrecv on thread {t} completed without a matched message"
+                        )));
+                    };
                     let mut p = self.mpi_payload(t);
                     p.peer = *to;
                     p.tag = *tag;
@@ -985,10 +990,11 @@ impl Simulator {
                     );
                 }
                 (Op::Recv { from, tag }, _) => {
-                    let m = self.threads[t]
-                        .stash_msg
-                        .take()
-                        .expect("recv lost its message");
+                    let Some(m) = self.threads[t].stash_msg.take() else {
+                        return Err(UteError::Invalid(format!(
+                            "recv on thread {t} completed without a matched message"
+                        )));
+                    };
                     let mut p = self.mpi_payload(t);
                     p.peer = *from;
                     p.tag = *tag;

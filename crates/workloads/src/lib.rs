@@ -47,6 +47,7 @@ pub fn all_workloads() -> Vec<Workload> {
         micro::stencil(4, 8, 1 << 12),
         micro::allreduce_sweep(4, 6),
         micro::sendrecv_shift(3, 4, 2048),
+        micro::straggler(3, 3, 1, 4),
         patterns::wavefront(4, 4, 4096),
         patterns::master_worker(3, 3, 8192),
     ]

@@ -176,6 +176,76 @@ pub fn sendrecv_shift(ntasks: u32, rounds: u32, bytes: u64) -> Workload {
     }
 }
 
+/// A gather loop with one deliberately slow rank — the ground-truth
+/// scenario for the `ute-analyze` diagnostics. Every round each worker
+/// computes then sends its result to rank 0, which receives from all of
+/// them inside a `Gather` marker phase; rank `straggler` computes
+/// `slowdown`× longer, so rank 0's receive from it stalls every round
+/// (late-sender blames the straggler) and the straggler's exclusive
+/// phase time dominates (imbalance flags its node). Blocking sends and
+/// receives are used throughout because only those carry the matched
+/// message's `(sender rank, seq)` key on their completion records.
+pub fn straggler(ntasks: u32, rounds: u32, straggler: u32, slowdown: u64) -> Workload {
+    assert!(ntasks >= 3, "straggler workload wants >= 3 ranks");
+    assert!(
+        straggler != 0 && straggler < ntasks,
+        "straggler must be a worker rank"
+    );
+    let config = ClusterConfig {
+        nodes: ntasks as u16,
+        cpus_per_node: 2,
+        tasks_per_node: 1,
+        threads_per_task: 1,
+        ..ClusterConfig::default()
+    };
+    let base = Duration::from_millis(1);
+    let job = JobProgram::spmd(ntasks, |rank| {
+        let mut ops = vec![Op::Init, Op::MarkerBegin("Gather".into())];
+        for r in 0..rounds {
+            let work = if rank == straggler {
+                Duration(base.ticks() * slowdown)
+            } else {
+                base
+            };
+            ops.push(Op::Compute(work));
+            if rank == 0 {
+                for src in 1..ntasks {
+                    ops.push(Op::Recv { from: src, tag: r });
+                }
+            } else {
+                ops.push(Op::Send {
+                    to: 0,
+                    bytes: 4096,
+                    tag: r,
+                });
+            }
+        }
+        ops.push(Op::MarkerEnd("Gather".into()));
+        ops.push(Op::Finalize);
+        TaskProgram::single(ops)
+    });
+    Workload {
+        name: "straggler",
+        config,
+        job,
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use ute_cluster::Simulator;
+
+    #[test]
+    fn straggler_gathers_every_round() {
+        let w = straggler(4, 5, 2, 4);
+        let res = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        // 3 workers × 5 rounds.
+        assert_eq!(res.stats.messages, 15);
+        assert_eq!(res.stats.collectives, 2); // Init + Finalize
+    }
+}
+
 #[cfg(test)]
 mod sendrecv_tests {
     use super::*;

@@ -34,6 +34,10 @@
 //!   scaling workloads used by the paper's Table 1.
 //! * [`obs`] — the self-observability layer: global metrics registry,
 //!   RAII span timers, and the span capture behind `--self-trace`.
+//! * [`analyze`] — the programmable diagnostics layer over interval
+//!   files: columnar trace table, composable operators, and the
+//!   late-sender / imbalance / comm-pattern / critical-path diagnostics
+//!   behind `ute analyze`.
 //! * [`cli`] — the `ute` command-line tool as a library, including the
 //!   self-trace sink and the `ute report` metrics report.
 //! * [`verify`] — the conformance subsystem: invariant rule suites over
@@ -42,6 +46,7 @@
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline of Figure 2.
 
+pub use ute_analyze as analyze;
 pub use ute_cli as cli;
 pub use ute_clock as clock;
 pub use ute_cluster as cluster;

@@ -1,0 +1,185 @@
+//! Acceptance tests for the `ute-analyze` diagnostics layer: ground-truth
+//! straggler identification through the whole pipeline, and the
+//! windowed-loading ≡ full-load-then-filter equivalence that makes
+//! frame-directory skipping safe.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use ute::analyze::{load_table, run_all, DiagOptions, LoadOptions, TraceTable};
+use ute::cli::run;
+use ute::format::profile::Profile;
+
+fn argv(tokens: &[&str]) -> Vec<String> {
+    tokens.iter().map(|s| s.to_string()).collect()
+}
+
+/// Pipeline artifacts for the straggler workload (rank 2 slowed 4×),
+/// built once and shared by every test in this binary.
+fn straggler_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let d = std::env::temp_dir().join(format!("ute_analyze_accept_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        run(&argv(&[
+            "pipeline",
+            "--workload",
+            "straggler",
+            "--out",
+            d.to_str().unwrap(),
+        ]))
+        .unwrap();
+        d
+    })
+}
+
+/// The merged trace loaded in full, plus its profile — cached so the
+/// proptest below doesn't re-decode the whole file per case.
+fn full_table() -> &'static (Profile, TraceTable) {
+    static T: OnceLock<(Profile, TraceTable)> = OnceLock::new();
+    T.get_or_init(|| {
+        let dir = straggler_dir();
+        let profile = Profile::read_from(&dir.join("profile.ute")).unwrap();
+        let table = load_table(&dir.join("merged.ivl"), &profile, &LoadOptions::default()).unwrap();
+        (profile, table)
+    })
+}
+
+/// The injected straggler is rank 2 on node 2 (one task per node): the
+/// late-sender diagnostic must charge the receiver wait to it, and the
+/// imbalance diagnostic must flag its node in the `Gather` phase.
+#[test]
+fn ground_truth_straggler_is_named_by_both_diagnostics() {
+    let (_, table) = full_table();
+    assert!(!table.is_empty(), "pipeline produced an empty merged trace");
+    let findings = run_all(table, &DiagOptions::default());
+
+    let late: Vec<_> = findings
+        .iter()
+        .filter(|f| f.diagnostic == "late_sender")
+        .collect();
+    assert!(!late.is_empty(), "no late-sender findings: {findings:?}");
+    // Findings are sorted by total wait, descending: the straggler must
+    // top the list — nobody else stalls the root for long.
+    assert_eq!(late[0].rank, Some(2), "{late:?}");
+    assert_eq!(late[0].node, Some(2), "{late:?}");
+
+    let imb: Vec<_> = findings
+        .iter()
+        .filter(|f| f.diagnostic == "imbalance")
+        .collect();
+    assert!(!imb.is_empty(), "no imbalance findings: {findings:?}");
+    assert_eq!(imb[0].node, Some(2), "{imb:?}");
+    assert_eq!(imb[0].phase.as_deref(), Some("Gather"), "{imb:?}");
+    assert!(imb[0].value > 1.5, "straggler barely stands out: {imb:?}");
+}
+
+/// End-to-end through the CLI: `ute analyze <dir> --all --json` names the
+/// straggler and classifies the gather as a hub pattern around rank 0.
+#[test]
+fn analyze_cli_reports_the_straggler_in_json() {
+    let dir = straggler_dir();
+    let out = run(&argv(&[
+        "analyze",
+        dir.to_str().unwrap(),
+        "--all",
+        "--json",
+    ]))
+    .unwrap();
+    assert!(out.contains("\"diagnostic\": \"late_sender\""), "{out}");
+    assert!(out.contains("\"rank\": 2"), "{out}");
+    assert!(out.contains("\"phase\": \"Gather\""), "{out}");
+    assert!(out.contains("\"diagnostic\": \"comm_pattern\""), "{out}");
+    assert!(out.contains("\"hub\""), "{out}");
+    assert!(out.contains("\"diagnostic\": \"critical_path\""), "{out}");
+}
+
+/// `--window` and `--nodes` restrict what gets loaded (and therefore
+/// analyzed) without erroring out on a partial view.
+#[test]
+fn analyze_cli_window_and_nodes_restrict_rows() {
+    let dir = straggler_dir();
+    let dir = dir.to_str().unwrap();
+    let rows = |out: &str| -> usize {
+        let tail = out.split("\"rows\": ").nth(1).expect("rows key");
+        tail.split(',').next().unwrap().trim().parse().unwrap()
+    };
+    let all = run(&argv(&["analyze", dir, "--json"])).unwrap();
+    let sub = run(&argv(&[
+        "analyze",
+        dir,
+        "--json",
+        "--window",
+        "0.000:0.005",
+        "--nodes",
+        "0..1",
+    ]))
+    .unwrap();
+    assert!(rows(&sub) > 0, "{sub}");
+    assert!(rows(&sub) < rows(&all), "window/nodes removed nothing");
+}
+
+#[test]
+fn analyze_cli_rejects_bad_arguments() {
+    let dir = straggler_dir();
+    let dir = dir.to_str().unwrap();
+    assert!(run(&argv(&["analyze", dir, "--diag", "bogus"])).is_err());
+    assert!(run(&argv(&["analyze", dir, "--window", "nope"])).is_err());
+    assert!(run(&argv(&["analyze", dir, "--nodes", "zero"])).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loading through the frame directory with a window / node range is
+    /// exactly the full load followed by the record-level filter — i.e.
+    /// frame skipping never drops an admissible record and never admits
+    /// an extra one.
+    #[test]
+    fn windowed_load_equals_full_load_then_filter(
+        a in 0.0f64..1.05,
+        b in 0.0f64..1.05,
+        lo in 0u16..4,
+        hi in 0u16..4,
+    ) {
+        let (profile, full) = full_table();
+        let (s0, s1) = full.span().expect("non-empty trace");
+        let span = (s1 - s0) as f64;
+        let t0 = s0 + (span * a.min(b)) as u64;
+        let t1 = s0 + (span * a.max(b)) as u64;
+        let (na, nb) = (lo.min(hi), lo.max(hi));
+        let opts = LoadOptions { window: Some((t0, t1)), nodes: Some((na, nb)) };
+
+        let windowed = load_table(
+            &straggler_dir().join("merged.ivl"),
+            profile,
+            &opts,
+        ).unwrap();
+
+        let keep: Vec<usize> = (0..full.len())
+            .filter(|&i| {
+                full.end(i) >= t0
+                    && full.start[i] <= t1
+                    && full.node[i] >= na
+                    && full.node[i] <= nb
+            })
+            .collect();
+
+        prop_assert_eq!(windowed.len(), keep.len());
+        for (w, &i) in keep.iter().enumerate() {
+            prop_assert_eq!(windowed.state[w], full.state[i]);
+            prop_assert_eq!(windowed.bebits[w], full.bebits[i]);
+            prop_assert_eq!(windowed.start[w], full.start[i]);
+            prop_assert_eq!(windowed.duration[w], full.duration[i]);
+            prop_assert_eq!(windowed.cpu[w], full.cpu[i]);
+            prop_assert_eq!(windowed.node[w], full.node[i]);
+            prop_assert_eq!(windowed.thread[w], full.thread[i]);
+            prop_assert_eq!(windowed.rank[w], full.rank[i]);
+            prop_assert_eq!(windowed.peer[w], full.peer[i]);
+            prop_assert_eq!(windowed.seq[w], full.seq[i]);
+            prop_assert_eq!(windowed.bytes[w], full.bytes[i]);
+            prop_assert_eq!(windowed.marker_id[w], full.marker_id[i]);
+        }
+    }
+}
