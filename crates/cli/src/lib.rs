@@ -72,6 +72,7 @@ const KNOWN_SWITCHES: &[&str] = &[
     "lenient-tail",
     "all",
     "json",
+    "describe",
 ];
 
 impl Args {
@@ -159,6 +160,14 @@ impl Args {
 }
 
 fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
+    // `scenario:SEED` expands a generated scenario anywhere a workload
+    // name is accepted (`ute pipeline --workload scenario:42 ...`).
+    if let Some(seed) = name.strip_prefix("scenario:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("bad scenario seed in `{name}`")))?;
+        return scenario_workload(&ute_scenario::ScenarioSpec::from_seed(seed));
+    }
     Ok(match name {
         "sppm" => sppm::workload(sppm::SppmParams::default()),
         "flash" => flash::workload(flash::FlashParams::default()),
@@ -174,9 +183,21 @@ fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
             return Err(UteError::Invalid(format!(
                 "unknown workload `{other}` \
                  (sppm|flash|pingpong|stencil|allreduce|wavefront|sendrecv|masterworker|\
-                 straggler|scaling)"
+                 straggler|scaling|scenario:SEED)"
             )))
         }
+    })
+}
+
+/// Expands a scenario spec into a [`Workload`]. The name is leaked: a
+/// handful of scenario names per process, each a few bytes, in exchange
+/// for keeping `Workload::name` a `&'static str` everywhere else.
+fn scenario_workload(spec: &ute_scenario::ScenarioSpec) -> Result<Workload> {
+    let sc = ute_scenario::generate(spec)?;
+    Ok(Workload {
+        name: Box::leak(format!("scenario_{}", spec.seed).into_boxed_str()),
+        config: sc.config,
+        job: sc.job,
     })
 }
 
@@ -206,9 +227,23 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
     let name = args.require("workload")?;
     let iterations = args.num("iterations", 256u32)?;
     let out = PathBuf::from(args.require("out")?);
-    std::fs::create_dir_all(&out)?;
-    let mut w = workload_by_name(name, iterations)?;
+    let w = workload_by_name(name, iterations)?;
     let plan = args.fault_plan(w.config.nodes)?;
+    run_and_write_trace(name.to_string(), w, plan, &out)
+}
+
+/// Simulates a workload and writes its raw trace files, thread table,
+/// and profile into `out`, applying an optional fault plan — the trace
+/// stage shared by `ute trace`, `ute pipeline`, and `ute scenario`.
+/// `name` is the user-facing label for the run (the CLI-typed workload
+/// name, or `scenario seed N`).
+fn run_and_write_trace(
+    name: String,
+    mut w: Workload,
+    plan: Option<FaultPlan>,
+    out: &Path,
+) -> Result<String> {
+    std::fs::create_dir_all(out)?;
     if let Some(plan) = &plan {
         w.config.trace.faults = Some(plan.clone());
     }
@@ -761,9 +796,14 @@ pub fn cmd_corrupt(args: &Args) -> Result<String> {
 /// apply to the trace stage.
 pub fn cmd_pipeline(args: &Args) -> Result<String> {
     let mut msg = cmd_trace(args)?;
-    let out = args.require("out")?.to_string();
-    let jobs = args.jobs()?;
-    let strict = args.has("strict");
+    let out = args.require("out")?;
+    msg.push_str(&ingest_stages(out, args.jobs()?, args.has("strict"))?);
+    Ok(msg)
+}
+
+/// The convert → merge → slogmerge → stats chain over a traced
+/// directory, shared by `ute pipeline` and `ute scenario`.
+fn ingest_stages(out: &str, jobs: usize, strict: bool) -> Result<String> {
     let sub = |pairs: Vec<(&str, String)>| -> Args {
         let mut a = Args::default();
         for (k, v) in pairs {
@@ -775,19 +815,129 @@ pub fn cmd_pipeline(args: &Args) -> Result<String> {
         }
         a
     };
-    msg.push_str(&cmd_convert(&sub(vec![("in", out.clone())]))?);
+    let mut msg = String::new();
+    msg.push_str(&cmd_convert(&sub(vec![("in", out.to_string())]))?);
     msg.push_str(&cmd_merge(&sub(vec![
-        ("in", out.clone()),
+        ("in", out.to_string()),
         ("out", format!("{out}/merged.ivl")),
     ]))?);
     msg.push_str(&cmd_slogmerge(&sub(vec![
-        ("in", out.clone()),
+        ("in", out.to_string()),
         ("out", format!("{out}/run.slog")),
     ]))?);
     msg.push_str(&cmd_stats(&sub(vec![(
         "merged",
         format!("{out}/merged.ivl"),
     )]))?);
+    Ok(msg)
+}
+
+/// `ute scenario`: expand a seeded random workload and run it through
+/// the full pipeline, or print its spec as JSON.
+///
+/// The seed fully determines the scenario: `--seed N` twice produces
+/// byte-identical raw traces (a tested guarantee), so a seed plus any
+/// explicit knob overrides is a complete, shareable reproduction of a
+/// trace corpus. `--describe` prints the expanded spec as JSON instead
+/// of running; a pipeline run also writes the spec to
+/// `OUT/scenario.json` for provenance.
+///
+/// Knob overrides (all optional; unset knobs keep their sampled value):
+/// `--nodes K --cpus C --tasks-per-node T --threads W` reshape the
+/// topology; `--pattern P` forces every phase's communication structure
+/// (`nn|ring|tree|hub|alltoall|service`); `--rounds N` fixes phase
+/// iteration counts; `--straggler R:F` slows rank R by factor F (and
+/// guarantees the `Collect` ground-truth phase); `--skew X` multiplies
+/// upper-half-rank message sizes; `--burst N` sets the bursty-phase
+/// volley length; `--depth/--width/--fanout` shape the service graph.
+pub fn cmd_scenario(args: &Args) -> Result<String> {
+    let seed: u64 = args
+        .require("seed")?
+        .parse()
+        .map_err(|_| UteError::Invalid("--seed: wants an unsigned integer".into()))?;
+    let mut spec = ute_scenario::ScenarioSpec::from_seed(seed);
+    if let Some(n) = args.get("nodes") {
+        spec.topology.nodes = n
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("--nodes: bad value `{n}`")))?;
+    }
+    if let Some(c) = args.get("cpus") {
+        spec.topology.cpus_per_node = c
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("--cpus: bad value `{c}`")))?;
+    }
+    if let Some(t) = args.get("tasks-per-node") {
+        spec.topology.tasks_per_node = t
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("--tasks-per-node: bad value `{t}`")))?;
+    }
+    if let Some(t) = args.get("threads") {
+        spec.topology.threads_per_task = t
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("--threads: bad value `{t}`")))?;
+    }
+    if let Some(p) = args.get("pattern") {
+        let pattern = ute_scenario::PatternKind::parse(p).ok_or_else(|| {
+            UteError::Invalid(format!(
+                "--pattern: unknown `{p}` (nn|ring|tree|hub|alltoall|service)"
+            ))
+        })?;
+        spec.force_pattern(pattern);
+    }
+    if let Some(r) = args.get("rounds") {
+        let rounds: u32 = r
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("--rounds: bad value `{r}`")))?;
+        for p in &mut spec.phases {
+            p.rounds = rounds.max(1);
+        }
+    }
+    spec.chain_depth = args.num("depth", spec.chain_depth)?;
+    spec.chain_width = args.num("width", spec.chain_width)?;
+    spec.fanout = args.num("fanout", spec.fanout)?;
+    spec.imbalance.size_skew = args.num("skew", spec.imbalance.size_skew)?;
+    spec.imbalance.burst_len = args.num("burst", spec.imbalance.burst_len)?;
+    if let Some(s) = args.get("straggler") {
+        let (rank, factor) = s
+            .split_once(':')
+            .ok_or_else(|| UteError::Invalid("--straggler wants RANK:FACTOR".into()))?;
+        let rank: u32 = rank
+            .parse()
+            .map_err(|_| UteError::Invalid("--straggler: bad rank".into()))?;
+        let factor: u64 = factor
+            .parse()
+            .map_err(|_| UteError::Invalid("--straggler: bad factor".into()))?;
+        spec = spec.with_straggler(rank, factor);
+    }
+    spec.validate()?;
+    if args.has("describe") {
+        return Ok(format!("{}\n", spec.to_json()));
+    }
+    let out = args.require("out")?;
+    let w = scenario_workload(&spec)?;
+    let plan = args.fault_plan(w.config.nodes)?;
+    let out_dir = PathBuf::from(out);
+    std::fs::create_dir_all(&out_dir)?;
+    // Provenance first: the spec that produced everything else in the
+    // directory, byte-stable for the CI determinism comparisons.
+    std::fs::write(
+        out_dir.join("scenario.json"),
+        format!("{}\n", spec.to_json()),
+    )?;
+    let mut msg = format!(
+        "scenario seed {seed}: {} nodes x {} task(s) x {} thread(s), {} phase(s)\n",
+        spec.topology.nodes,
+        spec.topology.tasks_per_node,
+        spec.topology.threads_per_task,
+        spec.phases.len()
+    );
+    msg.push_str(&run_and_write_trace(
+        format!("scenario seed {seed}"),
+        w,
+        plan,
+        &out_dir,
+    )?);
+    msg.push_str(&ingest_stages(out, args.jobs()?, args.has("strict"))?);
     Ok(msg)
 }
 
@@ -1137,6 +1287,7 @@ pub fn run(argv: &[String]) -> Result<String> {
             "clockfit" => cmd_clockfit(&args),
             "corrupt" => cmd_corrupt(&args),
             "pipeline" => cmd_pipeline(&args),
+            "scenario" => cmd_scenario(&args),
             "report" => cmd_report(&args),
             "analyze" => cmd_analyze(&args),
             "check" => cmd_check(&args),
@@ -1191,6 +1342,18 @@ commands:
              corpora; profile.ute and threads.utt are never touched)
   pipeline  --workload NAME --out DIR [--iterations N] [--jobs N] [--strict]
             [--fault-seed N | --fault-plan SPEC]
+  scenario  --seed N (--out DIR | --describe) [--jobs N] [--strict]
+            [--fault-seed N | --fault-plan SPEC]
+            [--nodes K] [--cpus C] [--tasks-per-node T] [--threads W]
+            [--pattern nn|ring|tree|hub|alltoall|service] [--rounds N]
+            [--straggler RANK:FACTOR] [--skew X] [--burst N]
+            [--depth D] [--width W] [--fanout F]
+            (expand a seeded random workload — topology, phase structure,
+             communication patterns, injected imbalance — and run it
+             through the full pipeline; the seed fully determines the
+             trace bytes. --describe prints the expanded spec as JSON;
+             a run writes it to OUT/scenario.json. Seeded specs are also
+             usable anywhere a workload name is: --workload scenario:N)
   report    --workload NAME --out DIR [--iterations N] [--jobs N] [--stable]
             (metrics as JSON with p50/p95/p99 per histogram and, when
              --metrics-interval is active, a sampler time-series block;

@@ -154,6 +154,35 @@ impl ClusterConfig {
         }
     }
 
+    /// A configuration sized for generated scenarios: `nodes` SMP nodes
+    /// of `cpus_per_node` CPUs each running `tasks_per_node` tasks of
+    /// `threads_per_task` threads. Past 64 nodes the per-node daemons
+    /// are turned off and clock sampling slows down, so event volume
+    /// tracks the *program*, not the node count — the discrete-event
+    /// simulation only needs to be sparse in events, not in wall time,
+    /// which is what lets scenarios scale to thousands of nodes.
+    pub fn scaled(
+        nodes: u16,
+        cpus_per_node: u16,
+        tasks_per_node: u16,
+        threads_per_task: u16,
+    ) -> ClusterConfig {
+        let big = nodes >= 64;
+        ClusterConfig {
+            nodes,
+            cpus_per_node,
+            tasks_per_node,
+            threads_per_task,
+            daemons_per_node: if big { 0 } else { 1 },
+            clock_sample_period: if big {
+                Duration::from_secs(4)
+            } else {
+                Duration::from_secs(1)
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
     /// The sPPM scenario of Figures 8–9: 4 nodes, each an 8-way SMP, one
     /// task per node with four threads (one making MPI calls).
     pub fn sppm_like() -> ClusterConfig {

@@ -1,0 +1,519 @@
+//! Spec → program expansion.
+//!
+//! Everything here is a pure function of the [`ScenarioSpec`]: random
+//! jitter is drawn from per-`(phase, rank)` RNG streams derived by
+//! mixing the scenario seed with the phase and rank indices, so the op
+//! lists are identical no matter what order ranks are built in, and a
+//! given seed always expands to the same program.
+//!
+//! Every pattern is deadlock-free by construction: the simulator's
+//! standard sends complete eagerly (the message is queued at the
+//! receiver), so the only blocking edges are receives — and each
+//! builder emits receives only for messages some rank's script is
+//! guaranteed to send.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ute_cluster::{ClusterConfig, JobProgram, Op, TaskProgram};
+use ute_core::error::Result;
+use ute_core::time::Duration;
+
+use crate::{phase_name, PatternKind, PhaseKind, PhaseSpec, ScenarioSpec};
+
+/// A generated scenario: the machine and the job to run on it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The simulated cluster.
+    pub config: ClusterConfig,
+    /// The generated program.
+    pub job: JobProgram,
+}
+
+/// Expands a spec into a runnable scenario. Fails (never panics) on
+/// invalid knob combinations — see [`ScenarioSpec::validate`].
+pub fn generate(spec: &ScenarioSpec) -> Result<Scenario> {
+    spec.validate()?;
+    let t = &spec.topology;
+    let mut config = ClusterConfig::scaled(
+        t.nodes,
+        t.cpus_per_node,
+        t.tasks_per_node,
+        t.threads_per_task,
+    );
+    // Distinct scenarios get distinct clock-jitter streams; the same
+    // seed gets the same stream.
+    config.seed = spec.seed ^ 0x5ce0_c10c_c0de_0000;
+    let ntasks = t.ntasks();
+    let (parent, children) = service_tree(ntasks, spec.chain_depth, spec.chain_width, spec.fanout);
+    let job = JobProgram::spmd(ntasks, |rank| {
+        build_task(spec, rank, ntasks, &parent, &children)
+    });
+    Ok(Scenario { config, job })
+}
+
+/// Per-`(phase, rank)` jitter stream — order-independent determinism.
+fn phase_rng(spec: &ScenarioSpec, phase: usize, rank: u32) -> SmallRng {
+    SmallRng::seed_from_u64(spec.seed ^ ((phase as u64) << 40) ^ ((rank as u64) << 8) ^ 0xa5)
+}
+
+/// A compute op with the straggler slowdown applied.
+fn compute(spec: &ScenarioSpec, rank: u32, us: u64) -> Op {
+    let us = match spec.imbalance.straggler {
+        Some((r, factor)) if r == rank => us * factor,
+        _ => us,
+    };
+    Op::Compute(Duration::from_micros(us.max(1)))
+}
+
+/// Payload bytes with the size skew applied to the upper half of ranks.
+fn msg_bytes(spec: &ScenarioSpec, rank: u32, ntasks: u32, base: u64) -> u64 {
+    if spec.imbalance.size_skew > 1 && rank >= ntasks / 2 {
+        base * spec.imbalance.size_skew
+    } else {
+        base
+    }
+}
+
+fn build_task(
+    spec: &ScenarioSpec,
+    rank: u32,
+    ntasks: u32,
+    parent: &[Option<u32>],
+    children: &[Vec<u32>],
+) -> TaskProgram {
+    let mut ops = vec![Op::Init];
+    for (i, p) in spec.phases.iter().enumerate() {
+        let name = phase_name(i, p);
+        let tag0 = (i as u32) << 16;
+        let mut rng = phase_rng(spec, i, rank);
+        ops.push(Op::MarkerBegin(name.clone()));
+        match p.kind {
+            PhaseKind::Quiet => {
+                // One long, slightly jittered stretch of pure compute.
+                let us = p.compute_us * p.rounds as u64 * 8;
+                let us = us * rng.gen_range(85u64..116) / 100;
+                ops.push(compute(spec, rank, us));
+            }
+            PhaseKind::Busy => busy_ops(
+                spec, p, rank, ntasks, tag0, &mut rng, parent, children, &mut ops,
+            ),
+            PhaseKind::Bursty => bursty_ops(spec, p, rank, ntasks, tag0, &mut ops),
+            PhaseKind::Collect => collect_ops(spec, p, rank, ntasks, tag0, &mut ops),
+        }
+        ops.push(Op::MarkerEnd(name));
+    }
+    ops.push(Op::Finalize);
+
+    // Worker threads shadow the MPI thread with pure compute sized to
+    // the schedule, so SMP scenarios exercise dispatch/preemption.
+    let total_us: u64 = spec
+        .phases
+        .iter()
+        .map(|p| p.rounds as u64 * p.compute_us)
+        .sum();
+    let worker = vec![Op::Compute(Duration::from_micros(total_us.max(100)))];
+    TaskProgram::with_workers(
+        ops,
+        worker,
+        spec.topology.threads_per_task.saturating_sub(1) as usize,
+    )
+}
+
+/// Jittered per-round compute (±25%).
+fn round_compute(spec: &ScenarioSpec, rank: u32, base_us: u64, rng: &mut SmallRng) -> Op {
+    let us = base_us * rng.gen_range(75u64..126) / 100;
+    compute(spec, rank, us)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn busy_ops(
+    spec: &ScenarioSpec,
+    p: &PhaseSpec,
+    rank: u32,
+    ntasks: u32,
+    tag0: u32,
+    rng: &mut SmallRng,
+    parent: &[Option<u32>],
+    children: &[Vec<u32>],
+    ops: &mut Vec<Op>,
+) {
+    let bytes = msg_bytes(spec, rank, ntasks, p.bytes);
+    let left = (rank + ntasks - 1) % ntasks;
+    let right = (rank + 1) % ntasks;
+    match p.pattern {
+        PatternKind::NearestNeighbor => {
+            for r in 0..p.rounds {
+                ops.push(round_compute(spec, rank, p.compute_us, rng));
+                ops.push(Op::Irecv {
+                    from: left,
+                    tag: tag0 + 2 * r,
+                });
+                ops.push(Op::Irecv {
+                    from: right,
+                    tag: tag0 + 2 * r + 1,
+                });
+                ops.push(Op::Isend {
+                    to: right,
+                    bytes,
+                    tag: tag0 + 2 * r,
+                });
+                ops.push(Op::Isend {
+                    to: left,
+                    bytes,
+                    tag: tag0 + 2 * r + 1,
+                });
+                ops.push(Op::Waitall);
+            }
+        }
+        PatternKind::Ring => {
+            for r in 0..p.rounds {
+                ops.push(round_compute(spec, rank, p.compute_us, rng));
+                ops.push(Op::Sendrecv {
+                    to: right,
+                    from: left,
+                    bytes,
+                    tag: tag0 + r,
+                });
+            }
+        }
+        PatternKind::Tree => {
+            let k = spec.fanout.max(2);
+            let par = if rank == 0 {
+                None
+            } else {
+                Some((rank - 1) / k)
+            };
+            let kids: Vec<u32> = (k * rank + 1..=k * rank + k)
+                .filter(|&c| c < ntasks)
+                .collect();
+            for r in 0..p.rounds {
+                ops.push(round_compute(spec, rank, p.compute_us, rng));
+                // Reduce up the k-ary tree...
+                for &c in &kids {
+                    ops.push(Op::Recv {
+                        from: c,
+                        tag: tag0 + 2 * r,
+                    });
+                }
+                if let Some(par) = par {
+                    ops.push(Op::Send {
+                        to: par,
+                        bytes,
+                        tag: tag0 + 2 * r,
+                    });
+                    // ...and broadcast back down.
+                    ops.push(Op::Recv {
+                        from: par,
+                        tag: tag0 + 2 * r + 1,
+                    });
+                }
+                for &c in &kids {
+                    ops.push(Op::Send {
+                        to: c,
+                        bytes,
+                        tag: tag0 + 2 * r + 1,
+                    });
+                }
+            }
+        }
+        PatternKind::Hub => {
+            for r in 0..p.rounds {
+                if rank == 0 {
+                    ops.push(round_compute(spec, rank, p.compute_us / 4 + 1, rng));
+                    for w in 1..ntasks {
+                        ops.push(Op::Send {
+                            to: w,
+                            bytes,
+                            tag: tag0 + 2 * r,
+                        });
+                    }
+                    for w in 1..ntasks {
+                        ops.push(Op::Recv {
+                            from: w,
+                            tag: tag0 + 2 * r + 1,
+                        });
+                    }
+                } else {
+                    ops.push(Op::Recv {
+                        from: 0,
+                        tag: tag0 + 2 * r,
+                    });
+                    ops.push(round_compute(spec, rank, p.compute_us, rng));
+                    ops.push(Op::Send {
+                        to: 0,
+                        bytes,
+                        tag: tag0 + 2 * r + 1,
+                    });
+                }
+            }
+        }
+        PatternKind::AllToAll => {
+            // Pairwise shifted exchange; capped past 16 ranks so message
+            // count stays O(ranks), not O(ranks²).
+            let shifts = (ntasks - 1).min(if ntasks <= 16 { ntasks - 1 } else { 8 });
+            for r in 0..p.rounds {
+                ops.push(round_compute(spec, rank, p.compute_us, rng));
+                for k in 1..=shifts {
+                    ops.push(Op::Sendrecv {
+                        to: (rank + k) % ntasks,
+                        from: (rank + ntasks - k) % ntasks,
+                        bytes,
+                        tag: tag0 + r * 32 + k,
+                    });
+                }
+                ops.push(Op::Allreduce { bytes: 64 });
+            }
+        }
+        PatternKind::ServiceGraph => {
+            // Depth-first request/reply traversal of the service tree.
+            // Ranks outside the tree idle on compute so the phase's
+            // markers still cover every node.
+            let par = parent[rank as usize];
+            let kids = &children[rank as usize];
+            let in_graph = rank == 0 || par.is_some();
+            for r in 0..p.rounds {
+                if !in_graph {
+                    ops.push(round_compute(spec, rank, p.compute_us, rng));
+                    continue;
+                }
+                let req = tag0 + 2 * r;
+                let rep = tag0 + 2 * r + 1;
+                if let Some(par) = par {
+                    ops.push(Op::Recv {
+                        from: par,
+                        tag: req,
+                    });
+                }
+                ops.push(round_compute(spec, rank, p.compute_us, rng));
+                for &c in kids {
+                    ops.push(Op::Send {
+                        to: c,
+                        bytes,
+                        tag: req,
+                    });
+                    ops.push(Op::Recv { from: c, tag: rep });
+                }
+                if let Some(par) = par {
+                    ops.push(Op::Send {
+                        to: par,
+                        bytes: (bytes / 2).max(64),
+                        tag: rep,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Bursty phase: the first `bursty_senders` worker ranks fire
+/// `burst_len`-message volleys at rank 0 every round.
+fn bursty_ops(
+    spec: &ScenarioSpec,
+    p: &PhaseSpec,
+    rank: u32,
+    ntasks: u32,
+    tag0: u32,
+    ops: &mut Vec<Op>,
+) {
+    let nb = spec.imbalance.bursty_senders.max(1).min(ntasks - 1);
+    let burst = spec.imbalance.burst_len.max(1);
+    let bytes = msg_bytes(spec, rank, ntasks, p.bytes);
+    for r in 0..p.rounds {
+        if rank == 0 {
+            ops.push(compute(spec, rank, p.compute_us / 4 + 1));
+            for s in 1..=nb {
+                for _ in 0..burst {
+                    ops.push(Op::Recv {
+                        from: s,
+                        tag: tag0 + r,
+                    });
+                }
+            }
+        } else if rank <= nb {
+            ops.push(compute(spec, rank, p.compute_us));
+            for _ in 0..burst {
+                ops.push(Op::Send {
+                    to: 0,
+                    bytes,
+                    tag: tag0 + r,
+                });
+            }
+        } else {
+            ops.push(compute(spec, rank, p.compute_us));
+        }
+    }
+}
+
+/// Collect phase: the straggler ground truth. Blocking sends into a
+/// rank-0 gather, every round — the shape the late-sender and imbalance
+/// diagnostics are tested against (see `ute-workloads::micro::straggler`).
+fn collect_ops(
+    spec: &ScenarioSpec,
+    p: &PhaseSpec,
+    rank: u32,
+    ntasks: u32,
+    tag0: u32,
+    ops: &mut Vec<Op>,
+) {
+    for r in 0..p.rounds {
+        ops.push(compute(spec, rank, p.compute_us));
+        if rank == 0 {
+            for src in 1..ntasks {
+                ops.push(Op::Recv {
+                    from: src,
+                    tag: tag0 + r,
+                });
+            }
+        } else {
+            ops.push(Op::Send {
+                to: 0,
+                bytes: msg_bytes(spec, rank, ntasks, p.bytes),
+                tag: tag0 + r,
+            });
+        }
+    }
+}
+
+/// Builds the service call tree: rank 0 is the client; each level holds
+/// at most `width` services, each parent fans out to at most `fanout`
+/// children, down to `depth` levels. Returns `(parent, children)` per
+/// rank; ranks that don't fit stay outside the graph.
+fn service_tree(
+    ntasks: u32,
+    depth: u32,
+    width: u32,
+    fanout: u32,
+) -> (Vec<Option<u32>>, Vec<Vec<u32>>) {
+    let mut parent: Vec<Option<u32>> = vec![None; ntasks as usize];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); ntasks as usize];
+    let mut level = vec![0u32];
+    let mut next = 1u32;
+    for _ in 0..depth {
+        let mut next_level = Vec::new();
+        'level: for &p in &level {
+            for _ in 0..fanout {
+                if next >= ntasks || next_level.len() as u32 >= width {
+                    break 'level;
+                }
+                parent[next as usize] = Some(p);
+                children[p as usize].push(next);
+                next_level.push(next);
+                next += 1;
+            }
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        level = next_level;
+    }
+    (parent, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImbalanceSpec, ScenarioSpec, TopologySpec};
+    use ute_cluster::Simulator;
+
+    #[test]
+    fn same_seed_same_job() {
+        for seed in [0u64, 7, 42, 1337] {
+            let a = generate(&ScenarioSpec::from_seed(seed)).unwrap();
+            let b = generate(&ScenarioSpec::from_seed(seed)).unwrap();
+            assert_eq!(a.job, b.job, "seed {seed}");
+            assert_eq!(a.config.nodes, b.config.nodes);
+            assert_eq!(a.config.seed, b.config.seed);
+        }
+    }
+
+    #[test]
+    fn sampled_scenarios_run_to_completion() {
+        for seed in 0..24u64 {
+            let sc = generate(&ScenarioSpec::from_seed(seed)).unwrap();
+            let nodes = sc.config.nodes;
+            let res = Simulator::new(sc.config, &sc.job)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(res.stats.events_cut > 0, "seed {seed}: empty trace");
+            assert_eq!(res.raw_files.len(), nodes as usize, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_pattern_generates_and_runs() {
+        for pattern in PatternKind::ALL {
+            let mut spec = ScenarioSpec::from_seed(5);
+            spec.force_pattern(pattern);
+            for p in &mut spec.phases {
+                p.kind = PhaseKind::Busy;
+            }
+            let sc = generate(&spec).unwrap();
+            let res = Simulator::new(sc.config, &sc.job)
+                .unwrap_or_else(|e| panic!("{}: {e}", pattern.name()))
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", pattern.name()));
+            assert!(res.stats.messages > 0, "{}: no messages", pattern.name());
+        }
+    }
+
+    #[test]
+    fn service_tree_respects_knobs() {
+        let (parent, children) = service_tree(16, 2, 3, 2);
+        // Level 1: at most 3 services, each a child of the client.
+        let l1: Vec<u32> = (1..16).filter(|&r| parent[r as usize] == Some(0)).collect();
+        assert!(!l1.is_empty() && l1.len() <= 3, "{l1:?}");
+        for (r, kids) in children.iter().enumerate() {
+            assert!(kids.len() <= 3, "rank {r} fan-out {kids:?}");
+        }
+        // Nothing deeper than depth 2: children of level-2 nodes are empty.
+        for &r in &l1 {
+            for &c in &children[r as usize] {
+                assert!(children[c as usize].is_empty(), "depth overflow at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_slows_only_its_rank() {
+        let spec = ScenarioSpec::from_seed(9).with_straggler(2, 5);
+        assert_eq!(
+            compute(&spec, 2, 100),
+            Op::Compute(Duration::from_micros(500))
+        );
+        assert_eq!(
+            compute(&spec, 1, 100),
+            Op::Compute(Duration::from_micros(100))
+        );
+    }
+
+    #[test]
+    fn size_skew_hits_upper_ranks() {
+        let mut spec = ScenarioSpec::from_seed(9);
+        spec.imbalance = ImbalanceSpec {
+            size_skew: 3,
+            ..spec.imbalance
+        };
+        assert_eq!(msg_bytes(&spec, 3, 4, 100), 300);
+        assert_eq!(msg_bytes(&spec, 0, 4, 100), 100);
+    }
+
+    #[test]
+    fn large_topology_generates_sparsely() {
+        // 256 nodes: generation and simulation must stay cheap because
+        // event volume tracks the program, not the node count.
+        let mut spec = ScenarioSpec::from_seed(1);
+        spec.topology = TopologySpec {
+            nodes: 256,
+            cpus_per_node: 2,
+            tasks_per_node: 1,
+            threads_per_task: 1,
+        };
+        spec.force_pattern(PatternKind::Ring);
+        spec.imbalance.straggler = None;
+        let sc = generate(&spec).unwrap();
+        assert_eq!(sc.config.daemons_per_node, 0, "daemons off at scale");
+        let res = Simulator::new(sc.config, &sc.job).unwrap().run().unwrap();
+        assert_eq!(res.raw_files.len(), 256);
+    }
+}

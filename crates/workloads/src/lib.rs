@@ -23,6 +23,7 @@ pub mod flash;
 pub mod micro;
 pub mod patterns;
 pub mod scaling;
+pub mod scenario;
 pub mod sppm;
 
 use ute_cluster::{ClusterConfig, JobProgram};
@@ -38,9 +39,10 @@ pub struct Workload {
     pub job: JobProgram,
 }
 
-/// All stock workloads at small default sizes.
+/// All stock workloads at small default sizes, including two pinned
+/// seeds from the `ute-scenario` generator (see [`scenario`]).
 pub fn all_workloads() -> Vec<Workload> {
-    vec![
+    let mut w = vec![
         sppm::workload(sppm::SppmParams::default()),
         flash::workload(flash::FlashParams::default()),
         micro::ping_pong(16, 1 << 14),
@@ -50,7 +52,9 @@ pub fn all_workloads() -> Vec<Workload> {
         micro::straggler(3, 3, 1, 4),
         patterns::wavefront(4, 4, 4096),
         patterns::master_worker(3, 3, 8192),
-    ]
+    ];
+    w.extend(scenario::representative());
+    w
 }
 
 #[cfg(test)]

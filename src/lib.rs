@@ -32,6 +32,11 @@
 //!   substitute, §4).
 //! * [`workloads`] — synthetic sPPM-like / FLASH-like programs and the
 //!   scaling workloads used by the paper's Table 1.
+//! * [`scenario`] — the seeded random workload generator behind
+//!   `ute scenario`: topology / communication-pattern / phase /
+//!   imbalance knobs expanded deterministically into cluster programs,
+//!   so the conformance and diagnostics layers are exercised on traces
+//!   nobody hand-crafted.
 //! * [`obs`] — the self-observability layer: global metrics registry,
 //!   RAII span timers, and the span capture behind `--self-trace`.
 //! * [`analyze`] — the programmable diagnostics layer over interval
@@ -58,6 +63,7 @@ pub use ute_merge as merge;
 pub use ute_obs as obs;
 pub use ute_pipeline as pipeline;
 pub use ute_rawtrace as rawtrace;
+pub use ute_scenario as scenario;
 pub use ute_slog as slog;
 pub use ute_stats as stats;
 pub use ute_verify as verify;

@@ -1,0 +1,232 @@
+//! Acceptance tests for the seeded scenario generator: determinism at
+//! the byte level (same seed ⇒ identical raw traces and pipeline
+//! artifacts, across `--jobs` values), conformance of generated traces
+//! over random seeds, and diagnostic ground truth — injected faults in
+//! the *spec* must be blamed by `ute analyze` on the other end of the
+//! pipeline.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use ute::analyze::{load_table, run_all, DiagOptions, LoadOptions};
+use ute::cli::run;
+use ute::cluster::Simulator;
+use ute::format::profile::Profile;
+use ute::scenario::{generate, PatternKind, ScenarioSpec};
+use ute::verify::{check_raw_bytes, Severity};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ute_scenario_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn argv(tokens: &[&str]) -> Vec<String> {
+    tokens.iter().map(|s| s.to_string()).collect()
+}
+
+fn read(dir: &Path, file: &str) -> Vec<u8> {
+    std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+/// Same seed, different `--jobs`: every artifact the pipeline writes —
+/// raw traces, merged intervals, the SLOG, and the provenance spec —
+/// must be byte-identical. This is the guarantee that makes a seed a
+/// complete reproduction of a corpus.
+#[test]
+fn same_seed_is_byte_identical_across_runs_and_jobs() {
+    let a = tmpdir("ident_a");
+    let b = tmpdir("ident_b");
+    run(&argv(&[
+        "scenario",
+        "--seed",
+        "42",
+        "--out",
+        a.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]))
+    .unwrap();
+    run(&argv(&[
+        "scenario",
+        "--seed",
+        "42",
+        "--out",
+        b.to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]))
+    .unwrap();
+    let mut raws = 0;
+    for entry in std::fs::read_dir(&a).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.starts_with("trace.") && name.ends_with(".raw") {
+            assert_eq!(read(&a, &name), read(&b, &name), "{name} differs");
+            raws += 1;
+        }
+    }
+    assert!(raws > 0, "no raw traces written");
+    for f in ["merged.ivl", "run.slog", "scenario.json", "threads.utt"] {
+        assert_eq!(read(&a, f), read(&b, f), "{f} differs");
+    }
+}
+
+/// `--describe` is pure: no files, stable bytes, and the spec it prints
+/// matches the provenance file a real run writes for the same seed.
+#[test]
+fn describe_matches_run_provenance() {
+    let d1 = run(&argv(&["scenario", "--seed", "1337", "--describe"])).unwrap();
+    let d2 = run(&argv(&["scenario", "--seed", "1337", "--describe"])).unwrap();
+    assert_eq!(d1, d2);
+    assert!(d1.trim_start().starts_with('{'), "{d1}");
+    let dir = tmpdir("describe");
+    run(&argv(&[
+        "scenario",
+        "--seed",
+        "1337",
+        "--out",
+        dir.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(d1.into_bytes(), read(&dir, "scenario.json"));
+}
+
+/// Pipeline artifacts for the ground-truth scenario — a hub pattern
+/// with rank 2 slowed 4× — built once and shared by the tests below.
+fn ground_truth_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let d = tmpdir("groundtruth");
+        run(&argv(&[
+            "scenario",
+            "--seed",
+            "7",
+            "--nodes",
+            "4",
+            "--tasks-per-node",
+            "1",
+            "--pattern",
+            "hub",
+            "--straggler",
+            "2:4",
+            "--out",
+            d.to_str().unwrap(),
+        ]))
+        .unwrap();
+        d
+    })
+}
+
+/// The spec said "slow rank 2 by 4×"; the diagnostics on the far end of
+/// the pipeline must say the same thing back: late-sender blames rank 2
+/// hardest, imbalance flags node 2 in the injected `Collect` phase, and
+/// the communication structure classifies as a hub.
+#[test]
+fn injected_straggler_and_pattern_are_recovered_by_analyze() {
+    let dir = ground_truth_dir();
+    let profile = Profile::read_from(&dir.join("profile.ute")).unwrap();
+    let table = load_table(&dir.join("merged.ivl"), &profile, &LoadOptions::default()).unwrap();
+    let findings = run_all(&table, &DiagOptions::default());
+
+    let late: Vec<_> = findings
+        .iter()
+        .filter(|f| f.diagnostic == "late_sender")
+        .collect();
+    assert!(!late.is_empty(), "no late-sender findings: {findings:?}");
+    assert_eq!(late[0].rank, Some(2), "{late:?}");
+
+    let imb: Vec<_> = findings
+        .iter()
+        .filter(|f| f.diagnostic == "imbalance" && f.node == Some(2))
+        .collect();
+    assert!(
+        imb.iter().any(|f| f.phase.as_deref() == Some("Collect")),
+        "node 2 not flagged in Collect: {findings:?}"
+    );
+
+    let pat: Vec<_> = findings
+        .iter()
+        .filter(|f| f.diagnostic == "comm_pattern")
+        .collect();
+    assert!(
+        pat.iter()
+            .any(|f| f.details.iter().any(|(k, v)| k == "pattern" && v == "hub")),
+        "hub not classified: {pat:?}"
+    );
+}
+
+/// Scenario output directories pass the full conformance suite.
+#[test]
+fn scenario_artifacts_pass_check() {
+    let dir = ground_truth_dir();
+    let msg = run(&argv(&["check", "--in", dir.to_str().unwrap()])).unwrap();
+    assert!(msg.contains("0 error(s), 0 warning(s)\n"), "{msg}");
+}
+
+/// Forcing each pattern by name round-trips into the phase names the
+/// provenance JSON reports — the CLI knob actually reshapes the spec.
+#[test]
+fn pattern_override_reaches_every_phase() {
+    for (flag, canon) in [
+        ("ring", "ring"),
+        ("hub", "hub"),
+        ("alltoall", "all_to_all"),
+        ("service", "service_graph"),
+    ] {
+        let d = run(&argv(&[
+            "scenario",
+            "--seed",
+            "3",
+            "--pattern",
+            flag,
+            "--describe",
+        ]))
+        .unwrap();
+        let kind = PatternKind::parse(flag).unwrap();
+        assert_eq!(kind.name(), canon);
+        assert!(
+            !d.contains("nearest_neighbor") || canon == "nearest_neighbor",
+            "--pattern {flag} left another pattern in place:\n{d}"
+        );
+        assert!(d.contains(canon), "--pattern {flag} missing {canon}:\n{d}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed's expansion simulates to completion and every raw trace
+    /// it emits passes the decoder-level conformance rules — generated
+    /// workloads never deadlock and never write malformed bytes.
+    #[test]
+    fn random_specs_produce_conformant_traces(seed in 0u64..1u64 << 48) {
+        let spec = ScenarioSpec::from_seed(seed);
+        spec.validate().unwrap();
+        let sc = generate(&spec).unwrap();
+        let nodes = sc.config.nodes;
+        let res = Simulator::new(sc.config, &sc.job).unwrap().run().unwrap();
+        prop_assert_eq!(res.raw_files.len(), nodes as usize);
+        prop_assert!(res.stats.events_cut > 0, "seed {} traced nothing", seed);
+        for f in &res.raw_files {
+            let report = check_raw_bytes("scenario", &f.to_bytes().unwrap());
+            let errors: Vec<_> = report
+                .findings
+                .iter()
+                .filter(|v| v.severity == Severity::Error)
+                .collect();
+            prop_assert!(errors.is_empty(), "seed {}: {:?}", seed, errors);
+        }
+    }
+
+    /// Spec→program determinism in isolation (no filesystem): the same
+    /// seed expands to the same cluster and the same job, every time.
+    #[test]
+    fn same_seed_same_program(seed in 0u64..1u64 << 48) {
+        let a = generate(&ScenarioSpec::from_seed(seed)).unwrap();
+        let b = generate(&ScenarioSpec::from_seed(seed)).unwrap();
+        prop_assert_eq!(a.job, b.job);
+        prop_assert_eq!(a.config.nodes, b.config.nodes);
+    }
+}
