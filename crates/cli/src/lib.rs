@@ -26,6 +26,7 @@
 //! as machine-readable JSON.
 
 pub mod selftrace;
+mod stages;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -36,7 +37,7 @@ use ute_convert::{convert_job_pooled, ConvertOptions};
 use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
 use ute_faults::FaultPlan;
-use ute_format::codecio::{read_thread_table_file, write_thread_table_file};
+use ute_format::codecio::{read_thread_table_file, thread_table_to_bytes};
 use ute_format::file::{FramePolicy, IntervalFileReader};
 use ute_format::profile::Profile;
 use ute_merge::MergeOptions;
@@ -239,11 +240,27 @@ pub fn cmd_trace(args: &Args) -> Result<String> {
 /// name, or `scenario seed N`).
 fn run_and_write_trace(
     name: String,
-    mut w: Workload,
+    w: Workload,
     plan: Option<FaultPlan>,
     out: &Path,
 ) -> Result<String> {
-    std::fs::create_dir_all(out)?;
+    use ute_core::error::PathContext;
+    std::fs::create_dir_all(out).in_file(out)?;
+    let so = trace_outputs(&name, w, plan)?;
+    stages::publish_plain(out, &so)?;
+    Ok(so.msg)
+}
+
+/// The trace stage as pure data: simulate, apply the fault plan, and
+/// return every artifact as bytes — `threads.utt` and `profile.ute`
+/// included. Nothing touches the filesystem; the caller decides whether
+/// to publish plainly ([`stages::publish_plain`]) or through the run
+/// journal's atomic commit protocol.
+fn trace_outputs(
+    name: &str,
+    mut w: Workload,
+    plan: Option<FaultPlan>,
+) -> Result<stages::StageOutput> {
     if let Some(plan) = &plan {
         w.config.trace.faults = Some(plan.clone());
     }
@@ -251,29 +268,34 @@ fn run_and_write_trace(
     let res = Simulator::new(w.config, &w.job)?.run()?;
     let mut faulted = 0usize;
     let mut suppressed = 0usize;
+    let mut artifacts = Vec::new();
+    let mut removes = Vec::new();
     for f in &res.raw_files {
-        let path = out.join(RawTraceFile::file_name("trace", f.node));
+        let fname = RawTraceFile::file_name("trace", f.node);
         match &plan {
-            None => f.write_to(&path)?,
+            None => artifacts.push((fname, f.to_bytes()?)),
             Some(plan) => {
                 let node = f.node.raw();
                 if plan.for_node(node).next().is_some() {
                     faulted += 1;
                 }
                 match plan.apply_to_file(node, f.to_bytes()?, HEADER_LEN) {
-                    Some(bytes) => std::fs::write(&path, bytes)?,
+                    Some(bytes) => artifacts.push((fname, bytes)),
                     None => {
                         suppressed += 1;
                         // A stale file from a previous run would mask
                         // the missing-node fault.
-                        std::fs::remove_file(&path).ok();
+                        removes.push(fname);
                     }
                 }
             }
         }
     }
-    write_thread_table_file(&out.join("threads.utt"), &res.threads)?;
-    Profile::standard().write_to(&out.join("profile.ute"))?;
+    artifacts.push((
+        "threads.utt".to_string(),
+        thread_table_to_bytes(&res.threads),
+    ));
+    artifacts.push(("profile.ute".to_string(), Profile::standard().to_bytes()));
     let mut msg = format!(
         "traced {name}: {} nodes, {} records, {:.6}s simulated, overhead {}\n",
         res.raw_files.len(),
@@ -286,7 +308,11 @@ fn run_and_write_trace(
             "injected faults [{plan}]: {faulted} nodes faulted, {suppressed} files suppressed\n"
         ));
     }
-    Ok(msg)
+    Ok(stages::StageOutput {
+        artifacts,
+        removes,
+        msg,
+    })
 }
 
 /// Finds the node numbers for which `<prefix>.<N>.<ext>` exists in
@@ -388,6 +414,14 @@ fn load_raw_dir(
 /// record, and states left open by a truncated stream become synthetic
 /// truncated intervals.
 pub fn cmd_convert(args: &Args) -> Result<String> {
+    let dir = PathBuf::from(args.require("in")?);
+    let so = convert_outputs(args)?;
+    stages::publish_plain(&dir, &so)?;
+    Ok(so.msg)
+}
+
+/// The convert stage as pure data (see [`trace_outputs`]).
+fn convert_outputs(args: &Args) -> Result<stages::StageOutput> {
     let jobs = args.jobs()?;
     let salvage = args.salvage();
     let dir = PathBuf::from(args.require("in")?);
@@ -399,9 +433,8 @@ pub fn cmd_convert(args: &Args) -> Result<String> {
     };
     let outputs = convert_job_pooled(&files, &threads, &profile, &copts, jobs)?;
     let mut msg = String::new();
-    for o in &outputs {
-        let path = dir.join(format!("trace.{}.ivl", o.node.raw()));
-        std::fs::write(&path, &o.interval_file)?;
+    let mut artifacts = Vec::new();
+    for o in outputs {
         msg.push_str(&format!(
             "node {}: {} events → {} intervals ({} bytes)\n",
             o.node,
@@ -409,6 +442,7 @@ pub fn cmd_convert(args: &Args) -> Result<String> {
             o.stats.intervals_out,
             o.interval_file.len()
         ));
+        artifacts.push((format!("trace.{}.ivl", o.node.raw()), o.interval_file));
     }
     if !lost.is_empty() {
         msg.push_str(&format!(
@@ -417,7 +451,11 @@ pub fn cmd_convert(args: &Args) -> Result<String> {
             lost
         ));
     }
-    Ok(msg)
+    Ok(stages::StageOutput {
+        artifacts,
+        removes: Vec::new(),
+        msg,
+    })
 }
 
 /// Loads the per-node interval files of `dir`. In salvage mode the scan
@@ -478,8 +516,17 @@ fn merge_options(args: &Args, gap_nodes: Vec<u16>) -> Result<MergeOptions> {
 /// also re-reads the files for slogmerge) counts each degraded node
 /// once.
 pub fn cmd_merge(args: &Args) -> Result<String> {
-    let dir = PathBuf::from(args.require("in")?);
     let out = PathBuf::from(args.require("out")?);
+    let (bytes, msg) = merge_outputs(args)?;
+    ute_store::atomic_write(&out, &bytes)?;
+    Ok(msg)
+}
+
+/// The merge stage as pure data: the merged file's bytes plus the
+/// message. Counter bumps (`salvage/nodes_degraded`) happen here — once
+/// per merge, wherever the bytes end up.
+fn merge_outputs(args: &Args) -> Result<(Vec<u8>, String)> {
+    let dir = PathBuf::from(args.require("in")?);
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
     let (files, lost) = load_interval_files(&dir, args.salvage())?;
     let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
@@ -489,7 +536,6 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
         &merge_options(args, lost.clone())?,
         args.jobs()?,
     )?;
-    std::fs::write(&out, &merged.merged)?;
     let degraded = lost.len() as u64 + merged.stats.nodes_degraded;
     if degraded > 0 {
         ute_obs::counter("salvage/nodes_degraded").add(degraded);
@@ -516,7 +562,7 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
             f.samples_used
         ));
     }
-    Ok(msg)
+    Ok((merged.merged, msg))
 }
 
 /// `ute slogmerge`: per-node interval files → a SLOG file. Salvage
@@ -524,8 +570,15 @@ pub fn cmd_merge(args: &Args) -> Result<String> {
 /// again (see [`cmd_merge`]) and the SLOG carries no gap records — a
 /// missing node simply has no timelines.
 pub fn cmd_slogmerge(args: &Args) -> Result<String> {
-    let dir = PathBuf::from(args.require("in")?);
     let out = PathBuf::from(args.require("out")?);
+    let (bytes, msg) = slogmerge_outputs(args)?;
+    ute_store::atomic_write(&out, &bytes)?;
+    Ok(msg)
+}
+
+/// The slogmerge stage as pure data (see [`merge_outputs`]).
+fn slogmerge_outputs(args: &Args) -> Result<(Vec<u8>, String)> {
+    let dir = PathBuf::from(args.require("in")?);
     let profile = Profile::read_from(&dir.join("profile.ute"))?;
     let (files, _lost) = load_interval_files(&dir, args.salvage())?;
     let refs: Vec<&[u8]> = files.iter().map(|f| f.as_slice()).collect();
@@ -541,14 +594,14 @@ pub fn cmd_slogmerge(args: &Args) -> Result<String> {
         build,
         args.jobs()?,
     )?;
-    slog.write_to(&out)?;
-    Ok(format!(
+    let msg = format!(
         "slogmerge: {} records in, {} merged, {} frames, {} slog records\n",
         stats.records_in,
         stats.records_out,
         slog.frames.len(),
         slog.total_records()
-    ))
+    );
+    Ok((slog.to_bytes(), msg))
 }
 
 /// `ute stats`: run the statistics utility over a merged interval file.
@@ -794,11 +847,25 @@ pub fn cmd_corrupt(args: &Args) -> Result<String> {
 /// `ute pipeline`: trace → convert → merge → slogmerge → stats in one go.
 /// `--jobs` (and `--strict`) are forwarded to every stage; fault flags
 /// apply to the trace stage.
+///
+/// Every stage runs under the crash-safe publish protocol of
+/// `ute-store`: outputs are written to fsync'd temps, committed to the
+/// write-ahead journal (`journal.utj`) with content hashes, and only
+/// then renamed into place. A killed run is finished by `ute resume`;
+/// `--disk-budget BYTES` stops gracefully (journaled, resumable) before
+/// a stage would exceed the budget.
 pub fn cmd_pipeline(args: &Args) -> Result<String> {
-    let mut msg = cmd_trace(args)?;
-    let out = args.require("out")?;
-    msg.push_str(&ingest_stages(out, args.jobs()?, args.has("strict"))?);
-    Ok(msg)
+    stages::cmd_pipeline(args)
+}
+
+/// `ute resume`: see [`stages::cmd_resume`].
+pub fn cmd_resume(args: &Args) -> Result<String> {
+    stages::cmd_resume(args)
+}
+
+/// `ute chaos`: see [`stages::cmd_chaos`].
+pub fn cmd_chaos(args: &Args) -> Result<String> {
+    stages::cmd_chaos(args)
 }
 
 /// The convert → merge → slogmerge → stats chain over a traced
@@ -960,6 +1027,15 @@ const BASELINE_COUNTERS: &[&str] = &[
     "analyze/frames_skipped",
     "analyze/findings",
     "analyze/msgs_matched",
+    "store/journal_records",
+    "store/journal_replayed",
+    "store/stages_run",
+    "store/stages_skipped",
+    "store/artifacts_published",
+    "store/artifacts_verified",
+    "store/temps_gc",
+    "chaos/kills",
+    "chaos/resumes",
 ];
 
 /// `ute report`: run the full pipeline with metrics from zero and emit
@@ -1234,9 +1310,12 @@ pub fn run(argv: &[String]) -> Result<String> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| UteError::Invalid(USAGE.trim().to_string()))?;
-    // `ute analyze <dir> ...` sugar: a leading bare token becomes --in.
+    // `ute analyze <dir>` / `ute resume <dir>` sugar: a leading bare
+    // token becomes --in.
     let rewritten: Vec<String>;
-    let rest = if cmd == "analyze" && rest.first().is_some_and(|t| !t.starts_with("--")) {
+    let rest = if (cmd == "analyze" || cmd == "resume")
+        && rest.first().is_some_and(|t| !t.starts_with("--"))
+    {
         rewritten = std::iter::once("--in".to_string())
             .chain(rest.iter().cloned())
             .collect();
@@ -1287,6 +1366,8 @@ pub fn run(argv: &[String]) -> Result<String> {
             "clockfit" => cmd_clockfit(&args),
             "corrupt" => cmd_corrupt(&args),
             "pipeline" => cmd_pipeline(&args),
+            "resume" => cmd_resume(&args),
+            "chaos" => cmd_chaos(&args),
             "scenario" => cmd_scenario(&args),
             "report" => cmd_report(&args),
             "analyze" => cmd_analyze(&args),
@@ -1341,7 +1422,22 @@ commands:
             (deterministically corrupt trace.N.raw/.ivl for regression
              corpora; profile.ute and threads.utt are never touched)
   pipeline  --workload NAME --out DIR [--iterations N] [--jobs N] [--strict]
-            [--fault-seed N | --fault-plan SPEC]
+            [--fault-seed N | --fault-plan SPEC] [--disk-budget BYTES[k|m|g]]
+  resume    DIR | --in DIR [--jobs N] [--disk-budget BYTES]
+            (replay DIR/journal.utj from an interrupted `ute pipeline`
+             run, verify published artifacts by content hash, complete
+             any half-published stage from its committed temps, and
+             re-run only the incomplete stages; the finished directory
+             is byte-identical to an uninterrupted run at any --jobs)
+  chaos     --workload NAME --out DIR [--seed N] [--kills K] [--jobs N]
+            [--mode point|timed|soft] [--iterations N] [--strict]
+            (process-kill chaos harness: run a clean reference pipeline
+             under OUT/clean, then for each kill run a victim pipeline
+             that dies at a seeded abort point — `point` SIGKILL-aborts
+             a child process at an exact protocol state, `timed` kills
+             it on a seeded timer, `soft` aborts in-process — resume
+             it, and verify the result is byte-identical to the clean
+             run with no stale temp files)
   scenario  --seed N (--out DIR | --describe) [--jobs N] [--strict]
             [--fault-seed N | --fault-plan SPEC]
             [--nodes K] [--cpus C] [--tasks-per-node T] [--threads W]
@@ -1391,6 +1487,17 @@ fault tolerance:
   --fault-plan SPEC    explicit plan, comma-separated NODE:KIND — e.g.
                        0:truncate@500,1:bitflip@123.5,2:missing,
                        3:overrun@64+40,4:dropflush@1,5:clockjump@100+9999
+
+crash safety:
+  `ute pipeline` writes through a write-ahead run journal
+  (OUT/journal.utj) and an atomic artifact store: every stage's outputs
+  are written to fsync'd NAME.tmp.<pid> temps, committed to the journal
+  with content hashes, and only then renamed into place. Kill the
+  process anywhere and `ute resume OUT` finishes the run — published
+  stages are verified and skipped, committed stages complete from their
+  temps, stale temps are swept. `--disk-budget` stops a run gracefully
+  (journaled, resumable) before a stage would exceed the budget, as
+  does a full disk. `ute chaos` proves all of this under seeded kills.
 
 parallelism:
   --jobs N             worker count for convert and merge (default: all

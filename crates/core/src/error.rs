@@ -40,6 +40,16 @@ pub enum UteError {
     /// A request was structurally valid but semantically impossible
     /// (e.g. more than 512 threads registered on one node).
     Invalid(String),
+    /// An error tied to a specific file on disk. Wraps the underlying
+    /// failure so read/write paths can report *which* file was being
+    /// touched — an `ENOSPC` or short read without a path is useless in
+    /// a pipeline that handles hundreds of per-node files.
+    File {
+        /// The offending file's path.
+        path: String,
+        /// The underlying failure.
+        source: Box<UteError>,
+    },
 }
 
 impl UteError {
@@ -58,6 +68,30 @@ impl UteError {
             offset: Some(offset),
         }
     }
+
+    /// Attaches a file path to this error. Idempotent: an error already
+    /// carrying a path keeps the innermost (most specific) one.
+    pub fn in_file(self, path: impl AsRef<std::path::Path>) -> UteError {
+        match self {
+            e @ UteError::File { .. } => e,
+            e => UteError::File {
+                path: path.as_ref().display().to_string(),
+                source: Box::new(e),
+            },
+        }
+    }
+}
+
+/// Extension trait for attaching file-path context to any `Result`.
+pub trait PathContext<T> {
+    /// Wraps the error side with the offending file's path.
+    fn in_file(self, path: impl AsRef<std::path::Path>) -> Result<T>;
+}
+
+impl<T, E: Into<UteError>> PathContext<T> for std::result::Result<T, E> {
+    fn in_file(self, path: impl AsRef<std::path::Path>) -> Result<T> {
+        self.map_err(|e| e.into().in_file(path))
+    }
 }
 
 impl fmt::Display for UteError {
@@ -75,6 +109,7 @@ impl fmt::Display for UteError {
             UteError::NotFound(what) => write!(f, "not found: {what}"),
             UteError::Parse { msg, pos } => write!(f, "parse error at {pos}: {msg}"),
             UteError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            UteError::File { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -83,6 +118,7 @@ impl std::error::Error for UteError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             UteError::Io(e) => Some(e),
+            UteError::File { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -115,6 +151,21 @@ mod tests {
             pos: 7,
         };
         assert!(e.to_string().contains("at 7"));
+    }
+
+    #[test]
+    fn file_context_names_the_path_and_stays_innermost() {
+        let e = UteError::corrupt("hookword").in_file("/data/trace.3.raw");
+        assert_eq!(e.to_string(), "/data/trace.3.raw: corrupt hookword");
+        // Re-wrapping keeps the innermost path.
+        let e = e.in_file("/data/other");
+        assert_eq!(e.to_string(), "/data/trace.3.raw: corrupt hookword");
+        // The trait form works straight off an io::Result.
+        let r: std::result::Result<(), io::Error> =
+            Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        let e = r.in_file("/data/x.ivl").unwrap_err();
+        assert!(e.to_string().starts_with("/data/x.ivl: "), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

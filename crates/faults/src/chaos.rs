@@ -1,0 +1,146 @@
+//! Process-kill chaos harness machinery behind `ute chaos`.
+//!
+//! The store's numbered abort points (`ute_store::chaos`) give every
+//! durability transition of a pipeline run a stable index. This module
+//! supplies the rest of the harness: seeded point selection, spawning a
+//! pipeline child armed to die at a chosen point (or SIGKILLed on a
+//! timer), and the directory diff that proves a resumed run converged
+//! to the clean run's exact bytes. Everything is deterministic in the
+//! seed, matching the crate's charter: reproducible damage on purpose.
+
+use std::path::Path;
+use std::process::{Command, ExitStatus, Stdio};
+
+use ute_core::error::{PathContext, Result, UteError};
+
+/// splitmix64 — the same cheap, well-distributed mixer the fault plans
+/// use for seed derivation.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Picks the abort-point index for kill number `kill` of `seed`, given
+/// the clean run's total point count.
+pub fn pick_point(seed: u64, kill: u64, points: u64) -> u64 {
+    mix64(seed ^ mix64(kill)) % points.max(1)
+}
+
+/// Runs `exe args` with the store's hard-abort env var armed at `point`.
+/// The child crosses store abort point `point` and dies via
+/// `process::abort` — no unwinding, no flushes: `kill -9` at an exactly
+/// reproducible protocol state. Returns the child's exit status.
+pub fn spawn_hard_kill(exe: &Path, args: &[String], point: u64) -> Result<ExitStatus> {
+    Command::new(exe)
+        .args(args)
+        .env(ute_store::chaos::ENV_ABORT, point.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .in_file(exe)
+}
+
+/// Runs `exe args` and kills the child (SIGKILL on Unix) after
+/// `delay_ms` — the genuinely asynchronous variant: the kill lands
+/// wherever the child happens to be, mid-write included. Returns the
+/// child's exit status (success if it finished before the timer).
+pub fn spawn_timed_kill(exe: &Path, args: &[String], delay_ms: u64) -> Result<ExitStatus> {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .in_file(exe)?;
+    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    // Kill errors mean the child already exited — that is a pass, not a
+    // failure (the timer raced completion).
+    let _ = child.kill();
+    child.wait().map_err(UteError::Io)
+}
+
+/// File names in `dir` (not recursing), sorted.
+fn names_in(dir: &Path) -> Result<Vec<String>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .in_file(dir)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Compares two directories file by file, ignoring names for which
+/// `ignore` returns true. Returns the names that differ — present in
+/// only one directory, or present in both with different bytes.
+pub fn diff_dirs(a: &Path, b: &Path, ignore: impl Fn(&str) -> bool) -> Result<Vec<String>> {
+    let mut names = names_in(a)?;
+    names.extend(names_in(b)?);
+    names.sort();
+    names.dedup();
+    let mut diffs = Vec::new();
+    for n in names {
+        if ignore(&n) {
+            continue;
+        }
+        let (pa, pb) = (a.join(&n), b.join(&n));
+        let same = match (std::fs::read(&pa), std::fs::read(&pb)) {
+            (Ok(ba), Ok(bb)) => ba == bb,
+            _ => false,
+        };
+        if !same {
+            diffs.push(n);
+        }
+    }
+    Ok(diffs)
+}
+
+/// The `*.tmp.*` (in-flight artifact) names left in `dir`.
+pub fn list_temps(dir: &Path) -> Result<Vec<String>> {
+    Ok(names_in(dir)?
+        .into_iter()
+        .filter(|n| n.contains(".tmp."))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_selection_is_deterministic_and_in_range() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for kill in 0..8 {
+                let p = pick_point(seed, kill, 37);
+                assert!(p < 37);
+                assert_eq!(p, pick_point(seed, kill, 37));
+            }
+        }
+        // Different kills of the same seed spread over the range.
+        let picks: std::collections::HashSet<u64> =
+            (0..16).map(|k| pick_point(7, k, 1000)).collect();
+        assert!(picks.len() > 8, "picks collapsed: {picks:?}");
+        // Degenerate range never divides by zero.
+        assert_eq!(pick_point(1, 1, 0), 0);
+    }
+
+    #[test]
+    fn diff_dirs_reports_missing_and_differing_files() {
+        let base = std::env::temp_dir().join(format!("ute_chaos_diff_{}", std::process::id()));
+        let (a, b) = (base.join("a"), base.join("b"));
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::create_dir_all(&b).unwrap();
+        std::fs::write(a.join("same"), b"x").unwrap();
+        std::fs::write(b.join("same"), b"x").unwrap();
+        std::fs::write(a.join("differs"), b"1").unwrap();
+        std::fs::write(b.join("differs"), b"2").unwrap();
+        std::fs::write(a.join("only_a"), b"z").unwrap();
+        std::fs::write(a.join("skip.tmp.1"), b"t").unwrap();
+        let diffs = diff_dirs(&a, &b, |n| n.contains(".tmp.")).unwrap();
+        assert_eq!(diffs, vec!["differs".to_string(), "only_a".to_string()]);
+        assert_eq!(list_temps(&a).unwrap(), vec!["skip.tmp.1".to_string()]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -30,6 +30,8 @@
 
 use ute_core::error::{Result, UteError};
 
+pub mod chaos;
+
 /// One way to damage one node's trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultKind {

@@ -6,30 +6,34 @@
 //! can run as a separate process (the `threads.utt` sidecar).
 
 use ute_core::codec::{ByteReader, ByteWriter};
-use ute_core::error::{Result, UteError};
+use ute_core::error::{PathContext, Result, UteError};
 
 use crate::thread_table::ThreadTable;
 
 /// Magic bytes opening a thread-table sidecar file.
 pub const MAGIC: &[u8; 8] = b"UTETHRD\0";
 
-/// Serializes a thread table to a sidecar file.
-pub fn write_thread_table_file(path: &std::path::Path, table: &ThreadTable) -> Result<()> {
+/// Serializes a thread table to sidecar-file bytes.
+pub fn thread_table_to_bytes(table: &ThreadTable) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(MAGIC);
     table.encode(&mut w);
-    std::fs::write(path, w.into_bytes())?;
-    Ok(())
+    w.into_bytes()
+}
+
+/// Serializes a thread table to a sidecar file.
+pub fn write_thread_table_file(path: &std::path::Path, table: &ThreadTable) -> Result<()> {
+    std::fs::write(path, thread_table_to_bytes(table)).in_file(path)
 }
 
 /// Reads a thread-table sidecar file.
 pub fn read_thread_table_file(path: &std::path::Path) -> Result<ThreadTable> {
-    let data = std::fs::read(path)?;
+    let data = std::fs::read(path).in_file(path)?;
     let mut r = ByteReader::new(&data);
     if r.get_bytes(8)? != MAGIC {
-        return Err(UteError::corrupt("thread table sidecar: bad magic"));
+        return Err(UteError::corrupt("thread table sidecar: bad magic").in_file(path));
     }
-    ThreadTable::decode(&mut r)
+    ThreadTable::decode(&mut r).map_err(|e| e.in_file(path))
 }
 
 #[cfg(test)]

@@ -65,8 +65,9 @@ pub struct FileIntervalReader<'p> {
 impl<'p> FileIntervalReader<'p> {
     /// Opens an interval file, reading only its header region.
     pub fn open(path: &Path, profile: &'p Profile) -> Result<FileIntervalReader<'p>> {
-        let file = File::open(path)?;
-        let total = file.metadata()?.len();
+        use ute_core::error::PathContext;
+        let file = File::open(path).in_file(path)?;
+        let total = file.metadata().in_file(path)?.len();
         let mut cursor = FileCursor { file };
         // The header is variable-length (thread table + marker strings).
         // Read a generous prefix and parse it with the slice reader; grow

@@ -354,13 +354,15 @@ impl Profile {
 
     /// Writes the profile to disk (conventionally `profile.ute`).
     pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        use ute_core::error::PathContext;
+        std::fs::write(path, self.to_bytes()).in_file(path)
     }
 
     /// Reads a profile from disk.
     pub fn read_from(path: &std::path::Path) -> Result<Profile> {
-        Profile::from_bytes(&std::fs::read(path)?)
+        use ute_core::error::PathContext;
+        let data = std::fs::read(path).in_file(path)?;
+        Profile::from_bytes(&data).in_file(path)
     }
 
     /// Builds the standard UTE profile covering every state the tracing

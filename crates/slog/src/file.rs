@@ -188,13 +188,15 @@ impl SlogFile {
 
     /// Writes to disk.
     pub fn write_to(&self, path: &std::path::Path) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        use ute_core::error::PathContext;
+        std::fs::write(path, self.to_bytes()).in_file(path)
     }
 
     /// Reads from disk.
     pub fn read_from(path: &std::path::Path) -> Result<SlogFile> {
-        SlogFile::from_bytes(&std::fs::read(path)?)
+        use ute_core::error::PathContext;
+        let data = std::fs::read(path).in_file(path)?;
+        SlogFile::from_bytes(&data).in_file(path)
     }
 }
 

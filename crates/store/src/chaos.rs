@@ -1,0 +1,103 @@
+//! Numbered abort points for the process-kill chaos harness.
+//!
+//! Every durability transition in the store — stage start, mid-artifact
+//! write, temp durable, journal commit durable, publication — crosses a
+//! global, monotonically numbered *abort point*. A clean run just counts
+//! them (one relaxed atomic increment each — the same cost class as the
+//! always-on metrics). The chaos harness uses the count two ways:
+//!
+//! * **Hard (process) abort** — the `UTE_STORE_ABORT=<n>` environment
+//!   variable arms point `n` in a *child* process: crossing it calls
+//!   [`std::process::abort`], which dies without unwinding, destructors,
+//!   or buffered-write flushing — the in-process equivalent of
+//!   `kill -9` at an exactly reproducible protocol state. `ute chaos`
+//!   spawns the pipeline with this set (and can SIGKILL on a timer in
+//!   `--mode timed` for the genuinely asynchronous variant).
+//! * **Soft abort** — tests arm a point in-process with [`arm_soft`];
+//!   crossing it returns [`StoreError::ChaosAbort`], which the stage
+//!   runner propagates *without any cleanup*, leaving the directory in
+//!   exactly the torn state a kill would. This gives deterministic
+//!   in-test coverage of every protocol boundary without forking.
+//!
+//! Point numbering is deterministic for a given run configuration: all
+//! store operations happen on the driving thread in stage order, never
+//! on pipeline workers, so worker scheduling cannot reorder crossings.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::error::StoreError;
+
+/// Environment variable arming a hard abort at a point index.
+pub const ENV_ABORT: &str = "UTE_STORE_ABORT";
+
+/// Points crossed by this process so far.
+static CROSSED: AtomicU64 = AtomicU64::new(0);
+
+/// Soft-armed point index, or -1 when disarmed.
+static SOFT_AT: AtomicI64 = AtomicI64::new(-1);
+
+fn env_abort_at() -> Option<u64> {
+    static ARMED: OnceLock<Option<u64>> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        std::env::var(ENV_ABORT)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+    })
+}
+
+/// Total abort points this process has crossed. A clean run's total is
+/// the seed space for the chaos harness.
+pub fn points_crossed() -> u64 {
+    CROSSED.load(Ordering::SeqCst)
+}
+
+/// Arms a soft (in-process, error-returning) abort at absolute point
+/// index `n` (compared against the process-lifetime crossing counter).
+pub fn arm_soft(n: u64) {
+    SOFT_AT.store(n as i64, Ordering::SeqCst);
+}
+
+/// Disarms any soft abort.
+pub fn disarm_soft() {
+    SOFT_AT.store(-1, Ordering::SeqCst);
+}
+
+/// Crosses one abort point. Returns `Err(ChaosAbort)` if a soft abort is
+/// armed at this index; never returns if a hard (env) abort is armed at
+/// this index.
+pub fn point(label: impl Fn() -> String) -> Result<(), StoreError> {
+    let idx = CROSSED.fetch_add(1, Ordering::SeqCst);
+    if env_abort_at() == Some(idx) {
+        // Die like `kill -9`: no unwinding, no destructors, no flushes.
+        eprintln!("ute: chaos: hard abort at point {idx} ({})", label());
+        std::process::abort();
+    }
+    if SOFT_AT.load(Ordering::SeqCst) == idx as i64 {
+        return Err(StoreError::ChaosAbort {
+            point: idx,
+            label: label(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_abort_fires_once_at_the_armed_index() {
+        // Use indices far past anything other tests in this binary cross.
+        let base = points_crossed();
+        arm_soft(base + 2);
+        assert!(point(|| "a".into()).is_ok());
+        assert!(point(|| "b".into()).is_ok());
+        let e = point(|| "c".into()).unwrap_err();
+        assert!(e.is_chaos_abort(), "{e}");
+        assert!(e.to_string().contains("(c)"), "{e}");
+        // Counter advanced past the armed index: no refire.
+        assert!(point(|| "d".into()).is_ok());
+        disarm_soft();
+    }
+}

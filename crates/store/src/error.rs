@@ -1,0 +1,237 @@
+//! Typed store errors carrying stage and path context.
+//!
+//! Every failure inside the durability layer names the stage that was
+//! executing and the file that was being touched — a run directory can
+//! hold hundreds of per-node artifacts, and "i/o error: no space left on
+//! device" with no path is not actionable. Disk exhaustion gets its own
+//! variants so callers can turn it into a graceful partial-results exit
+//! (the journal stays consistent; `ute resume` picks the run back up)
+//! instead of an abort.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ute_core::error::UteError;
+
+/// Errors produced by the journal and artifact store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure on a specific file, during a named operation.
+    Io {
+        /// What the store was doing ("append journal", "write", ...).
+        op: String,
+        /// The file being touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A published or temp artifact's content hash does not match the
+    /// journal's commit record.
+    HashMismatch {
+        /// The stage that committed the artifact.
+        stage: String,
+        /// The artifact path.
+        path: PathBuf,
+        /// Hash recorded at commit time.
+        expected: u64,
+        /// Hash of the bytes found on disk.
+        actual: u64,
+    },
+    /// The journal file is structurally unusable (not just a torn tail,
+    /// which replay tolerates — e.g. a bad header line).
+    JournalCorrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// 1-based line of the failure.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The configured disk budget would be exceeded by the next write.
+    /// The run stops *before* the write, with the journal consistent.
+    DiskBudget {
+        /// The stage that wanted to write.
+        stage: String,
+        /// Bytes the write needed.
+        needed: u64,
+        /// Bytes left in the budget.
+        remaining: u64,
+    },
+    /// The device itself is full (`ENOSPC`): same graceful-exit contract
+    /// as [`StoreError::DiskBudget`], but discovered by the OS.
+    DiskFull {
+        /// The stage that was writing.
+        stage: String,
+        /// The file being written.
+        path: PathBuf,
+    },
+    /// An artifact name unusable in the temp/rename protocol.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// A soft chaos abort fired (test/chaos harness only): the run must
+    /// stop *as if killed* — no cleanup, no journal repair.
+    ChaosAbort {
+        /// The abort-point index that fired.
+        point: u64,
+        /// The point's label (e.g. "mid_write:convert:trace.0.ivl").
+        label: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &str, path: &Path, source: io::Error) -> StoreError {
+        StoreError::Io {
+            op: op.to_string(),
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// Maps an I/O error during a stage write, promoting `ENOSPC` to the
+    /// graceful [`StoreError::DiskFull`] contract.
+    pub(crate) fn write_failure(stage: &str, path: &Path, source: io::Error) -> StoreError {
+        if crate::is_disk_full(&source) {
+            StoreError::DiskFull {
+                stage: stage.to_string(),
+                path: path.to_path_buf(),
+            }
+        } else {
+            StoreError::io("write", path, source)
+        }
+    }
+
+    /// Whether this error is a resource guardrail (budget or real disk
+    /// exhaustion) — the class callers turn into a graceful
+    /// partial-results exit rather than a failure.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(
+            self,
+            StoreError::DiskBudget { .. } | StoreError::DiskFull { .. }
+        )
+    }
+
+    /// Whether this error is a soft chaos abort (simulated crash).
+    pub fn is_chaos_abort(&self) -> bool {
+        matches!(self, StoreError::ChaosAbort { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store: {op} {}: {source}", path.display())
+            }
+            StoreError::HashMismatch {
+                stage,
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "store: stage {stage}: {}: content hash {actual:016x} does not match \
+                 journal commit {expected:016x}",
+                path.display()
+            ),
+            StoreError::JournalCorrupt { path, line, what } => {
+                write!(f, "store: {} line {line}: {what}", path.display())
+            }
+            StoreError::DiskBudget {
+                stage,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "store: stage {stage}: disk budget exhausted ({needed} bytes needed, \
+                 {remaining} remaining) — partial results are journaled; re-run \
+                 `ute resume` with a larger --disk-budget"
+            ),
+            StoreError::DiskFull { stage, path } => write!(
+                f,
+                "store: stage {stage}: {}: no space left on device — partial results \
+                 are journaled; free space and run `ute resume`",
+                path.display()
+            ),
+            StoreError::BadName { name } => {
+                write!(
+                    f,
+                    "store: artifact name `{name}` unusable for atomic publish"
+                )
+            }
+            StoreError::ChaosAbort { point, label } => {
+                write!(f, "chaos: soft abort at point {point} ({label})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for UteError {
+    fn from(e: StoreError) -> UteError {
+        match e {
+            // Preserve the io::Error source chain and the path.
+            StoreError::Io { path, source, .. } => UteError::Io(source).in_file(&path),
+            other => UteError::Invalid(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_stage_and_path() {
+        let e = StoreError::HashMismatch {
+            stage: "merge".into(),
+            path: PathBuf::from("/out/merged.ivl"),
+            expected: 1,
+            actual: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("merge"), "{s}");
+        assert!(s.contains("/out/merged.ivl"), "{s}");
+
+        let e = StoreError::DiskBudget {
+            stage: "slogmerge".into(),
+            needed: 100,
+            remaining: 7,
+        };
+        assert!(e.is_resource_exhausted());
+        assert!(e.to_string().contains("resume"), "{e}");
+    }
+
+    #[test]
+    fn io_converts_with_path_context() {
+        let e = StoreError::io(
+            "append journal",
+            Path::new("/out/journal.utj"),
+            io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let ue: UteError = e.into();
+        let s = ue.to_string();
+        assert!(s.contains("/out/journal.utj"), "{s}");
+    }
+
+    #[test]
+    fn enospc_promotes_to_disk_full() {
+        let e = StoreError::write_failure(
+            "convert",
+            Path::new("/out/trace.0.ivl"),
+            io::Error::from_raw_os_error(28),
+        );
+        assert!(matches!(e, StoreError::DiskFull { .. }), "{e:?}");
+        assert!(e.is_resource_exhausted());
+    }
+}

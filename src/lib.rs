@@ -37,6 +37,9 @@
 //!   imbalance knobs expanded deterministically into cluster programs,
 //!   so the conformance and diagnostics layers are exercised on traces
 //!   nobody hand-crafted.
+//! * [`store`] — crash safety: the write-ahead run journal and atomic
+//!   artifact store behind `ute pipeline` / `ute resume`, plus the
+//!   numbered abort points the chaos harness kills at.
 //! * [`obs`] — the self-observability layer: global metrics registry,
 //!   RAII span timers, and the span capture behind `--self-trace`.
 //! * [`analyze`] — the programmable diagnostics layer over interval
@@ -66,6 +69,7 @@ pub use ute_rawtrace as rawtrace;
 pub use ute_scenario as scenario;
 pub use ute_slog as slog;
 pub use ute_stats as stats;
+pub use ute_store as store;
 pub use ute_verify as verify;
 pub use ute_view as view;
 pub use ute_workloads as workloads;

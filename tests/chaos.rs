@@ -1,0 +1,258 @@
+//! Crash-safety properties of the journaled pipeline, driven through the
+//! store's deterministic in-process abort points: a soft kill at *every*
+//! abort point a pipeline run crosses — each journal append, each
+//! mid-artifact write, each temp-durable and publish transition — must
+//! leave a directory that `ute resume` finishes to byte-identical
+//! artifacts, with no stale temps, at `--jobs 1` and `--jobs 4` alike.
+//!
+//! The hard-kill variants (`ute chaos --mode point|timed`, a real child
+//! process dying on SIGKILL/abort) need the real `ute` binary and run in
+//! the CI `chaos-matrix` job; the soft-abort path here exercises the
+//! identical store code (`Err` propagation with no cleanup) at every
+//! boundary deterministically.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use ute::store::chaos;
+
+/// Every test in this binary reads or arms the store's process-global
+/// abort-point counter; serialize them so armed points fire where
+/// intended.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn run(tokens: &[&str]) -> ute::core::error::Result<String> {
+    let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+    ute::cli::run(&argv)
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ute_chaos_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The directory's published files — name and bytes, sorted — excluding
+/// the journal (its record sequence legitimately differs between an
+/// uninterrupted run and a kill + resume) and in-flight temps (asserted
+/// absent separately).
+fn files_of(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut v: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_type().unwrap().is_file())
+        .map(|e| {
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .filter(|(n, _)| n != "journal.utj" && !n.contains(".tmp."))
+        .collect();
+    v.sort();
+    v
+}
+
+fn temps_of(dir: &Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.contains(".tmp."))
+        .collect()
+}
+
+fn pipeline(out: &Path, jobs: &str) -> ute::core::error::Result<String> {
+    run(&[
+        "pipeline",
+        "--workload",
+        "pingpong",
+        "--out",
+        out.to_str().unwrap(),
+        "--jobs",
+        jobs,
+    ])
+}
+
+fn counter(name: &str) -> u64 {
+    ute::obs::snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn soft_kill_at_every_abort_point_resumes_byte_identical() {
+    let _g = lock();
+    for jobs in ["1", "4"] {
+        let clean = tmpdir(&format!("clean_j{jobs}"));
+        let before = chaos::points_crossed();
+        pipeline(&clean, jobs).unwrap();
+        let points = chaos::points_crossed() - before;
+        assert!(points > 20, "suspiciously few abort points: {points}");
+        let want = files_of(&clean);
+
+        for idx in 0..points {
+            let victim = tmpdir(&format!("victim_j{jobs}"));
+            chaos::arm_soft(chaos::points_crossed() + idx);
+            let r = pipeline(&victim, jobs);
+            chaos::disarm_soft();
+            let e = r.expect_err(&format!("armed point {idx} never fired (jobs {jobs})"));
+            assert!(e.to_string().contains("chaos"), "point {idx}: {e}");
+
+            run(&["resume", victim.to_str().unwrap()])
+                .unwrap_or_else(|e| panic!("resume after kill at point {idx} failed: {e}"));
+            assert_eq!(
+                files_of(&victim),
+                want,
+                "artifacts diverged after kill at point {idx} (jobs {jobs})"
+            );
+            assert_eq!(
+                temps_of(&victim),
+                Vec::<String>::new(),
+                "stale temps after resume from point {idx} (jobs {jobs})"
+            );
+            std::fs::remove_dir_all(&victim).ok();
+        }
+        std::fs::remove_dir_all(&clean).ok();
+    }
+}
+
+#[test]
+fn resume_skips_published_stages_and_counts_them() {
+    let _g = lock();
+    let dir = tmpdir("skip");
+    pipeline(&dir, "1").unwrap();
+    let skipped = counter("store/stages_skipped");
+    let reran = counter("store/stages_run");
+    let msg = run(&["resume", dir.to_str().unwrap()]).unwrap();
+    assert_eq!(
+        counter("store/stages_skipped") - skipped,
+        5,
+        "all five published stages must be skipped:\n{msg}"
+    );
+    assert_eq!(
+        counter("store/stages_run"),
+        reran,
+        "a fully published run must re-run nothing:\n{msg}"
+    );
+    assert!(msg.contains("already published"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_reruns_a_stage_whose_published_artifact_was_tampered() {
+    let _g = lock();
+    let dir = tmpdir("tamper");
+    pipeline(&dir, "1").unwrap();
+    let want = files_of(&dir);
+    // Flip a byte in a published artifact: the journal's content hash no
+    // longer matches, so resume must re-run the merge stage (and only
+    // from there recover the exact bytes).
+    let p = dir.join("merged.ivl");
+    let mut bytes = std::fs::read(&p).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&p, &bytes).unwrap();
+    let msg = run(&["resume", dir.to_str().unwrap()]).unwrap();
+    assert!(
+        msg.contains("resume: merge:") || msg.contains("merged"),
+        "{msg}"
+    );
+    assert_eq!(files_of(&dir), want, "tampered artifact was not restored");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_discards_a_torn_journal_tail() {
+    let _g = lock();
+    let dir = tmpdir("torn");
+    pipeline(&dir, "1").unwrap();
+    let jp = dir.join("journal.utj");
+    let mut data = std::fs::read(&jp).unwrap();
+    // A record that lost its tail to the kill: no trailing newline, and
+    // the checksum cannot match the mangled body.
+    data.extend_from_slice(b"00000000deadbeef stage-start stage=mer");
+    std::fs::write(&jp, &data).unwrap();
+    let msg = run(&["resume", dir.to_str().unwrap()]).unwrap();
+    assert!(msg.contains("torn tail discarded"), "{msg}");
+    assert!(msg.contains("already published"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_budget_halts_gracefully_and_resume_finishes() {
+    let _g = lock();
+    let clean = tmpdir("budget_clean");
+    pipeline(&clean, "1").unwrap();
+
+    let dir = tmpdir("budget");
+    let msg = run(&[
+        "pipeline",
+        "--workload",
+        "pingpong",
+        "--out",
+        dir.to_str().unwrap(),
+        "--jobs",
+        "1",
+        "--disk-budget",
+        "10k",
+    ])
+    .unwrap();
+    // Graceful partial-results exit: success, an explanation, a journal,
+    // and no final artifact published past the budget.
+    assert!(msg.contains("stopped early"), "{msg}");
+    assert!(msg.contains("resume"), "{msg}");
+    assert!(dir.join("journal.utj").exists());
+    assert!(!dir.join("merged.ivl").exists());
+
+    // Resume without the budget finishes to the clean run's exact bytes.
+    let msg = run(&["resume", dir.to_str().unwrap()]).unwrap();
+    assert_eq!(files_of(&dir), files_of(&clean), "{msg}");
+    assert_eq!(temps_of(&dir), Vec::<String>::new());
+
+    // A budget too small for even the resume halts gracefully again.
+    let dir2 = tmpdir("budget2");
+    let msg = run(&[
+        "pipeline",
+        "--workload",
+        "pingpong",
+        "--out",
+        dir2.to_str().unwrap(),
+        "--jobs",
+        "1",
+        "--disk-budget",
+        "1",
+    ])
+    .unwrap();
+    assert!(msg.contains("stopped early"), "{msg}");
+
+    for d in [clean, dir, dir2] {
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+#[test]
+fn chaos_command_soft_mode_verifies_seeded_kills() {
+    let _g = lock();
+    let dir = tmpdir("cmd_soft");
+    let msg = run(&[
+        "chaos",
+        "--workload",
+        "pingpong",
+        "--out",
+        dir.to_str().unwrap(),
+        "--seed",
+        "5",
+        "--kills",
+        "2",
+        "--mode",
+        "soft",
+        "--jobs",
+        "1",
+    ])
+    .unwrap();
+    assert!(msg.contains("2 kill(s) verified"), "{msg}");
+    assert!(msg.contains("byte-identical"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}

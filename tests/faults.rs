@@ -256,3 +256,63 @@ fn buffer_level_faults_produce_wellformed_survivors() {
     .unwrap();
     assert!(!out.merged.merged.is_empty());
 }
+
+/// Mid-write kills of *non-atomic* writers (external tools, copies cut
+/// short, pre-store artifacts) leave a prefix of the file. Sweep
+/// truncation points over a real per-node interval file and a real SLOG
+/// file: salvage ingestion must degrade the damaged node gracefully —
+/// identically at every worker count — and the SLOG decoder must reject
+/// the torn file with an error, never a panic.
+#[test]
+fn mid_write_truncation_of_ivl_and_slog_never_panics_ingestion() {
+    let (profile, result) = baseline();
+    let converted = convert_job_opts(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &ConvertOptions::default(),
+        false,
+    )
+    .unwrap();
+    let full: Vec<Vec<u8>> = converted.iter().map(|c| c.interval_file.clone()).collect();
+
+    // A torn per-node interval file at every tenth of its length.
+    for tenths in 1..10 {
+        let mut refs = full.clone();
+        let cut = refs[1].len() * tenths / 10;
+        refs[1].truncate(cut);
+        let views: Vec<&[u8]> = refs.iter().map(|v| v.as_slice()).collect();
+        let jobs2 = merge_files_jobs(&views, &profile, &salvage_mopts(Vec::new()), 2)
+            .unwrap_or_else(|e| panic!("salvage merge failed at cut {cut}: {e}"));
+        let jobs1 = merge_files_jobs(&views, &profile, &salvage_mopts(Vec::new()), 1).unwrap();
+        assert_eq!(
+            jobs1.merged, jobs2.merged,
+            "salvage of a cut-at-{cut} file diverged between jobs 1 and 2"
+        );
+        assert!(
+            jobs2.stats.nodes_degraded >= 1 || !jobs2.merged.is_empty(),
+            "cut {cut}: neither degraded nor produced output"
+        );
+    }
+
+    // A torn SLOG file at every tenth: a clean decode error each time.
+    let views: Vec<&[u8]> = full.iter().map(|v| v.as_slice()).collect();
+    let (slog, _stats) = ute::pipeline::slogmerge_jobs(
+        &views,
+        &profile,
+        &salvage_mopts(Vec::new()),
+        ute::slog::builder::BuildOptions::default(),
+        2,
+    )
+    .unwrap();
+    let bytes = slog.to_bytes();
+    for tenths in 1..10 {
+        let cut = bytes.len() * tenths / 10;
+        let torn = &bytes[..cut];
+        assert!(
+            ute::slog::file::SlogFile::from_bytes(torn).is_err(),
+            "a SLOG truncated to {cut}/{} bytes decoded without error",
+            bytes.len()
+        );
+    }
+}

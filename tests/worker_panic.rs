@@ -10,6 +10,7 @@
 //! salvage retry must still produce byte-identical clean output.
 
 use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard};
 
 use ute::cluster::Simulator;
 use ute::convert::ConvertOptions;
@@ -18,8 +19,17 @@ use ute::merge::MergeOptions;
 use ute::pipeline::{convert_and_merge, testhook};
 use ute::workloads::micro;
 
+/// The panic testhook and the span-capture switch are process-global;
+/// the tests in this binary take this lock so neither trips the other.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    HOOK_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 #[test]
 fn worker_panic_marks_spans_aborted_and_retry_keeps_output_clean() {
+    let _g = lock();
     let w = micro::stencil(4, 6, 4 << 10);
     let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
     let profile = Profile::standard();
@@ -111,4 +121,89 @@ fn worker_panic_marks_spans_aborted_and_retry_keeps_output_clean() {
     // The panicking thread healed its thread-local span stack (removal
     // is by id, not by pop), so this thread's stack is untouched.
     assert_eq!(ute::obs::current_span(), 0);
+}
+
+/// The crash-safety half of the same property: a worker panic caught by
+/// the salvage retry must never surface as a *partial file*. The retry's
+/// output, published through the atomic store, is byte-identical to the
+/// clean run's — and a panic that escapes mid-stage (before the journal
+/// commit) leaves no final file at all, only a temp the next run's
+/// startup GC sweeps.
+#[test]
+fn worker_panic_never_publishes_partial_files() {
+    use ute::store::{ArtifactStore, RunJournal};
+
+    let _g = lock();
+    let w = micro::stencil(4, 6, 4 << 10);
+    let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+    let profile = Profile::standard();
+    let copts = ConvertOptions {
+        lenient: true,
+        salvage: true,
+        ..ConvertOptions::default()
+    };
+    let mopts = MergeOptions {
+        salvage: true,
+        ..MergeOptions::default()
+    };
+    let clean = convert_and_merge(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &copts,
+        &mopts,
+        2,
+    )
+    .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ute_panic_publish_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Retry path: the injected panic is caught, the node re-converts,
+    // and what gets atomically published is the clean bytes — all of
+    // them, under the final name, no temp residue.
+    testhook::arm_convert_panic(1);
+    let out = convert_and_merge(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &copts,
+        &mopts,
+        2,
+    )
+    .unwrap();
+    ute::store::atomic_write(&dir.join("merged.ivl"), &out.merged.merged).unwrap();
+    assert_eq!(
+        std::fs::read(dir.join("merged.ivl")).unwrap(),
+        clean.merged.merged,
+        "published bytes after a retried worker panic differ from the clean run"
+    );
+
+    // Escape path: a panic after temps are written but before the
+    // journal commit unwinds out of the stage. Nothing is published;
+    // the orphan temp is exactly what startup GC exists to sweep.
+    let store = ArtifactStore::new(&dir);
+    let _journal = RunJournal::create(&dir, &[("workload".into(), "stencil".into())]).unwrap();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut store = ArtifactStore::new(&dir);
+        store
+            .write_temp("convert", "trace.9.ivl", b"partial bytes")
+            .unwrap();
+        panic!("injected: worker died before the commit record");
+    }));
+    assert!(r.is_err());
+    assert!(
+        !dir.join("trace.9.ivl").exists(),
+        "a panic before commit must not publish the final name"
+    );
+    let swept = store.gc_stale_temps(&[]).unwrap();
+    assert_eq!(swept, 1, "startup GC must sweep the orphan temp");
+    let leftover: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert_eq!(leftover, Vec::<String>::new());
+    std::fs::remove_dir_all(&dir).ok();
 }
