@@ -4,7 +4,13 @@
 //! Traces a fixed-seed multi-node workload once, then runs the fused
 //! convert+merge pipeline at `--jobs 1` and at full parallelism,
 //! best-of-N each. The two outputs are also compared byte-for-byte — the
-//! bench doubles as a determinism check.
+//! bench doubles as a determinism check. One extra *profiled* run
+//! (after the timing loop, so it never touches the timed path) adds
+//! wall-vs-CPU utilization, and the always-on backpressure counters
+//! (blocked sends/receives, wait time, queue-depth high-water mark)
+//! ride along in the JSON. Besides the latest snapshot, every run
+//! appends its JSON as one line to `BENCH_history.jsonl` next to the
+//! output file, so trends survive snapshot refreshes.
 //!
 //! Run: `cargo run -p ute-bench --release --bin pipeline_metrics [-- --smoke] [-- --check]`
 //!
@@ -136,13 +142,57 @@ fn main() {
         (best, nfindings)
     };
 
-    let speedup = serial_ns as f64 / parallel_ns as f64;
+    // One profiled run, after every timed rep: per-span CPU clocks and
+    // the stack sampler are live only here, so the timings above are
+    // untouched while the JSON still carries utilization.
+    let before = ute_obs::snapshot();
+    ute_obs::set_profiling(true);
+    ute_profile::start(std::time::Duration::from_micros(200));
+    convert_and_merge(
+        &result.raw_files,
+        &result.threads,
+        &profile,
+        &copts,
+        &mopts,
+        jobs,
+    )
+    .unwrap();
+    ute_profile::stop();
+    ute_obs::set_profiling(false);
     let snap = ute_obs::snapshot();
+    let sum_since = |name: &str| -> u64 {
+        let now = snap.histogram(name).map(|h| h.sum).unwrap_or(0);
+        let was = before.histogram(name).map(|h| h.sum).unwrap_or(0);
+        now.saturating_sub(was)
+    };
+    let (mut span_wall_ns, mut span_cpu_ns) = (0u64, 0u64);
+    for (name, _) in &snap.histograms {
+        if let Some(stage) = name.strip_suffix("/cpu_ns") {
+            span_cpu_ns += sum_since(name);
+            span_wall_ns += sum_since(&format!("{stage}/span_ns"));
+        }
+    }
+    let utilization = if span_wall_ns > 0 {
+        span_cpu_ns as f64 / span_wall_ns as f64
+    } else {
+        0.0
+    };
+
+    // Backpressure totals across all runs (serial + parallel + profiled):
+    // who waited on whom, and how full the channels got.
+    let blocked_sends = snap.counter("pipeline/blocked_sends").unwrap_or(0);
+    let blocked_recvs = snap.counter("pipeline/blocked_recvs").unwrap_or(0);
+    let send_wait_ns = snap.histogram("pipeline/send_wait_ns").map_or(0, |h| h.sum);
+    let recv_wait_ns = snap.histogram("pipeline/recv_wait_ns").map_or(0, |h| h.sum);
+    let queue_depth_max = snap.gauge("pipeline/queue_depth_max").unwrap_or(0.0);
+
+    let speedup = serial_ns as f64 / parallel_ns as f64;
     let records_in = snap.counter("merge/records_in").unwrap_or(0);
     // Per-run throughput on the parallel path: the bench repeats the run
-    // `2 * reps` times (serial + parallel), so the counter total is
-    // divided back down before relating it to the best parallel time.
-    let records_per_run = records_in as f64 / (2 * reps) as f64;
+    // `2 * reps` times (serial + parallel) plus the profiled run, so the
+    // counter total is divided back down before relating it to the best
+    // parallel time.
+    let records_per_run = records_in as f64 / (2 * reps + 1) as f64;
     let records_per_sec = records_per_run / (parallel_ns as f64 / 1e9);
     let json = format!(
         "{{\n  \"workload\": \"stencil\",\n  \"nodes\": {nodes},\n  \"smoke\": {smoke},\n  \
@@ -151,12 +201,44 @@ fn main() {
          \"parallel_convert_merge_ns\": {parallel_ns},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"records_per_sec\": {records_per_sec:.0},\n  \
+         \"utilization\": {utilization:.4},\n  \
+         \"blocked_sends\": {blocked_sends},\n  \
+         \"blocked_recvs\": {blocked_recvs},\n  \
+         \"send_wait_ns\": {send_wait_ns},\n  \
+         \"recv_wait_ns\": {recv_wait_ns},\n  \
+         \"queue_depth_max\": {queue_depth_max},\n  \
          \"analyze_ns\": {analyze_ns},\n  \
          \"analyze_findings\": {analyze_findings},\n  \
          \"merged_bytes\": {},\n  \"merge_records_in\": {records_in}\n}}\n",
         serial_bytes.len(),
     );
     std::fs::write(&out_path, &json).unwrap();
+
+    // Append this run to the history log next to the snapshot file: one
+    // JSON object per line, stamped, never rewritten — `BENCH_pipeline.json`
+    // stays the latest snapshot, the history keeps the trend.
+    let history_path = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(|p| p.join("BENCH_history.jsonl"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_history.jsonl"));
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = json.split_whitespace().collect::<Vec<_>>().join(" ");
+    if let Some(stripped) = line.strip_suffix(" }") {
+        line = format!("{stripped}, \"recorded_unix\": {stamp} }}");
+    }
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = appended {
+        eprintln!("warn: could not append {}: {e}", history_path.display());
+    }
 
     println!("# serial vs parallel convert+merge (stencil, {nodes} nodes, best of {reps})\n");
     println!("serial   (--jobs 1):  {:>10.3} ms", serial_ns as f64 / 1e6);
@@ -166,10 +248,22 @@ fn main() {
     );
     println!("speedup: {speedup:.2}x  ({records_per_sec:.0} records/s parallel)");
     println!(
+        "profiled run: utilization {:.0}% (cpu {:.3} ms / wall {:.3} ms span time)",
+        utilization * 100.0,
+        span_cpu_ns as f64 / 1e6,
+        span_wall_ns as f64 / 1e6
+    );
+    println!(
+        "backpressure: {blocked_sends} blocked send(s) ({:.3} ms), \
+         {blocked_recvs} blocked recv(s) ({:.3} ms), queue depth max {queue_depth_max}",
+        send_wait_ns as f64 / 1e6,
+        recv_wait_ns as f64 / 1e6
+    );
+    println!(
         "analyze (decode+table+4 diagnostics): {:>7.3} ms, {analyze_findings} finding(s)",
         analyze_ns as f64 / 1e6
     );
-    println!("\nwrote {out_path}");
+    println!("\nwrote {out_path} (history: {})", history_path.display());
 
     if check && parallel_ns as f64 > serial_ns as f64 * 1.10 {
         eprintln!(

@@ -1,0 +1,131 @@
+//! Profiling overhead gate for the fused convert+merge path.
+//!
+//! Two measurements, the same interleaved A/B discipline as the obs
+//! overhead ablation (alternating runs so drift hits both arms):
+//!
+//! * **off-state bound** — the span-side profiling hooks are always
+//!   compiled in; when profiling is off their entire cost is one relaxed
+//!   atomic load per span open/close. The gate bounds it from above:
+//!   microbenchmark the *full* cost of an open+close span cycle with
+//!   profiling off, multiply by the spans one fused run creates, and
+//!   require that ceiling to stay under 3% of the fused wall time.
+//! * **on-state delta** — median fused time with the profiler live
+//!   (hooks + sampler at the default interval) vs off, reported for
+//!   trend-watching, never gated (it is inherently noisier and the
+//!   profiler is opt-in).
+//!
+//! Run: `cargo run -p ute-bench --release --bin profile_overhead [-- --smoke] [-- --check]`
+//!
+//! * `--smoke` — smaller workload and fewer repetitions (CI).
+//! * `--check` — exit non-zero if the off-state ceiling reaches 3%.
+
+use std::time::Instant;
+
+use ute_cluster::Simulator;
+use ute_convert::ConvertOptions;
+use ute_format::profile::Profile;
+use ute_merge::MergeOptions;
+use ute_pipeline::{convert_and_merge, default_jobs};
+use ute_workloads::micro;
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let check = argv.iter().any(|a| a == "--check");
+
+    let (nodes, steps, bytes, reps) = if smoke {
+        (6u32, 256u32, 8u64 << 10, 5u32)
+    } else {
+        (8, 384, 16 << 10, 9)
+    };
+    let w = micro::stencil(nodes, steps, bytes);
+    let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+    let profile = Profile::standard();
+    let copts = ConvertOptions::default();
+    let mopts = MergeOptions::default();
+    let jobs = default_jobs().max(2);
+
+    let fused = || {
+        let t = Instant::now();
+        convert_and_merge(
+            &result.raw_files,
+            &result.threads,
+            &profile,
+            &copts,
+            &mopts,
+            jobs,
+        )
+        .unwrap();
+        t.elapsed().as_nanos() as u64
+    };
+
+    // Count the spans one fused run opens (the off-state hook runs once
+    // per open and once per close of each of these).
+    ute_obs::span::set_capture(true);
+    ute_obs::span::drain_spans();
+    fused();
+    let spans_per_run = ute_obs::span::drain_spans().len() as u64;
+    ute_obs::span::set_capture(false);
+
+    // Interleaved A/B: off, on, off, on, ... so clock drift and cache
+    // state hit both arms equally.
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        ute_obs::set_profiling(false);
+        off.push(fused());
+        ute_obs::set_profiling(true);
+        ute_profile::start(std::time::Duration::from_micros(
+            ute_profile::DEFAULT_INTERVAL_US,
+        ));
+        on.push(fused());
+        ute_profile::stop();
+        ute_obs::set_profiling(false);
+    }
+    let off_ns = median(off);
+    let on_ns = median(on);
+
+    // Upper bound on the compiled-in-but-off cost: the full open+close
+    // cycle (allocation, clock reads, log append — all of which a
+    // hook-free build would pay too) times the spans per run. The real
+    // off-state addition is one relaxed load per boundary, far below
+    // this ceiling — so a pass here is conservative.
+    let cycles = 200_000u64;
+    ute_obs::set_profiling(false);
+    let t = Instant::now();
+    for _ in 0..cycles {
+        let _s = ute_obs::Span::enter("bench-profile-overhead", "unit");
+    }
+    let span_cycle_ns = t.elapsed().as_nanos() as u64 / cycles;
+
+    let ceiling_ns = spans_per_run * span_cycle_ns;
+    let ceiling_pct = ceiling_ns as f64 / off_ns as f64 * 100.0;
+    let on_delta_pct = (on_ns as f64 - off_ns as f64) / off_ns as f64 * 100.0;
+
+    println!(
+        "# profiling overhead, fused convert+merge (stencil, {nodes} nodes, median of {reps})\n"
+    );
+    println!("profiling off:        {:>10.3} ms", off_ns as f64 / 1e6);
+    println!(
+        "profiling on:         {:>10.3} ms  ({on_delta_pct:+.1}% vs off, report-only)",
+        on_ns as f64 / 1e6
+    );
+    println!(
+        "off-state ceiling:    {spans_per_run} span(s)/run x {span_cycle_ns} ns full cycle \
+         = {:.3} ms ({ceiling_pct:.2}% of fused time)",
+        ceiling_ns as f64 / 1e6
+    );
+
+    if check && ceiling_pct >= 3.0 {
+        eprintln!(
+            "FAIL: off-state span ceiling {ceiling_pct:.2}% >= 3% of fused time \
+             ({ceiling_ns} ns over {off_ns} ns)"
+        );
+        std::process::exit(1);
+    }
+    println!("\noff-state overhead gate (<3%): ok");
+}

@@ -74,6 +74,7 @@ const KNOWN_SWITCHES: &[&str] = &[
     "all",
     "json",
     "describe",
+    "profiler",
 ];
 
 impl Args {
@@ -1036,6 +1037,10 @@ const BASELINE_COUNTERS: &[&str] = &[
     "store/temps_gc",
     "chaos/kills",
     "chaos/resumes",
+    "profile/cpu_spans",
+    "profile/samples",
+    "profile/stacks_dropped",
+    "profile/track_evicted",
 ];
 
 /// `ute report`: run the full pipeline with metrics from zero and emit
@@ -1073,6 +1078,14 @@ pub fn cmd_report(args: &Args) -> Result<String> {
     // before the snapshot, so the last partial interval is included);
     // the dispatcher's later stop is then a no-op.
     let ticks = ute_obs::sampler::stop();
+    // When `--profiler` is active the dispatcher started the continuous
+    // profiler before the root span; stop it here so the report's
+    // profile block covers the whole pipeline run (the dispatcher's
+    // later stop is then a no-op).
+    let prof = ute_profile::stop();
+    if prof.is_some() {
+        ute_obs::set_profiling(false);
+    }
     let stable = args.has("stable");
     let snap = ute_obs::snapshot();
     let snap = if stable { snap.stable() } else { snap };
@@ -1085,13 +1098,74 @@ pub fn cmd_report(args: &Args) -> Result<String> {
         },
     };
     let mut json = snap.render_json(&opts);
-    // Fold the diagnostics block in as the last top-level key.
+    // Fold the diagnostics (and, outside --stable, the profile) block
+    // in as the last top-level keys.
     if json.ends_with("\n}\n") {
         json.truncate(json.len() - 3);
-        json.push_str(&format!(",\n  \"diagnostics\": {diag_summary}\n}}\n"));
+        json.push_str(&format!(",\n  \"diagnostics\": {diag_summary}"));
+        if !stable {
+            match prof {
+                Some(data) => {
+                    let report = ute_profile::build_report(args.require("workload")?, &data, &snap);
+                    let pj = report.to_json();
+                    let pj = pj.trim_end().replace('\n', "\n  ");
+                    json.push_str(&format!(",\n  \"profile\": {pj}"));
+                }
+                None => json.push_str(",\n  \"profile\": {\"enabled\": false}"),
+            }
+        }
+        json.push_str("\n}\n");
     }
     json.push('\n');
     Ok(json)
+}
+
+/// `ute profile`: run the journaled pipeline under the continuous
+/// profiler and emit the ranked bottleneck report. The dispatcher
+/// enables the stack sampler and the span-side profiling hooks before
+/// the root span opens, so every stage is covered; a sixth journaled
+/// `profile` stage then stops the sampler and publishes
+/// `profile.folded` (flamegraph-ready folded stacks) and `profile.json`
+/// (the full report) through the same atomic store protocol as the
+/// pipeline artifacts. `--json` prints the report JSON instead of the
+/// text rendering.
+pub fn cmd_profile(args: &Args) -> Result<String> {
+    ute_obs::reset();
+    for name in BASELINE_COUNTERS {
+        ute_obs::counter(name);
+    }
+    let workload = args.require("workload")?.to_string();
+    let json_out = std::cell::RefCell::new(String::new());
+    let msg = stages::cmd_profile_run(args, || {
+        let data = ute_profile::stop().ok_or_else(|| {
+            UteError::Invalid(
+                "profile: sampler is not running (dispatcher did not start it)".into(),
+            )
+        })?;
+        ute_obs::set_profiling(false);
+        let snap = ute_obs::snapshot();
+        let report = ute_profile::build_report(&workload, &data, &snap);
+        let json = report.to_json();
+        json_out.replace(json.clone());
+        Ok(stages::StageOutput {
+            artifacts: vec![
+                (
+                    "profile.folded".to_string(),
+                    ute_profile::folded_output(&data).into_bytes(),
+                ),
+                ("profile.json".to_string(), json.into_bytes()),
+            ],
+            removes: Vec::new(),
+            msg: report.render_text(),
+        })
+    })?;
+    if args.has("json") {
+        let j = json_out.into_inner();
+        if !j.is_empty() {
+            return Ok(j);
+        }
+    }
+    Ok(msg)
 }
 
 /// `ute check`: run the conformance rule suites (crate `ute-verify`)
@@ -1350,6 +1424,19 @@ pub fn run(argv: &[String]) -> Result<String> {
             .map_err(|_| UteError::Invalid(format!("bad --metrics-interval `{ms}`")))?;
         ute_obs::sampler::start(std::time::Duration::from_millis(ms), true);
     }
+    // `ute profile` and the `--profiler` switch turn on the continuous
+    // profiler — span-side hooks plus the stack sampler — before the
+    // root span opens, so the whole command is covered.
+    if cmd == "profile" || args.has("profiler") {
+        let us: u64 = args.num("interval-us", ute_profile::DEFAULT_INTERVAL_US)?;
+        if us == 0 {
+            return Err(UteError::Invalid(
+                "--interval-us: must be at least 1".into(),
+            ));
+        }
+        ute_obs::set_profiling(true);
+        ute_profile::start(std::time::Duration::from_micros(us));
+    }
     let result = {
         // Root of the run's span tree: every stage span opened on this
         // thread (and every worker adopting it across a spawn) nests
@@ -1370,6 +1457,7 @@ pub fn run(argv: &[String]) -> Result<String> {
             "chaos" => cmd_chaos(&args),
             "scenario" => cmd_scenario(&args),
             "report" => cmd_report(&args),
+            "profile" => cmd_profile(&args),
             "analyze" => cmd_analyze(&args),
             "check" => cmd_check(&args),
             "fuzz" => cmd_fuzz(&args),
@@ -1382,12 +1470,25 @@ pub fn run(argv: &[String]) -> Result<String> {
     // No-op unless --metrics-interval started it and the command did not
     // already fold the ticks into its own output (`report` does).
     ute_obs::sampler::stop();
+    // `--profiler` on a command that does not fold the profile into its
+    // own output (`profile` and `report` do, and already stopped it):
+    // stop the sampler here with a compact summary to stderr.
+    if let Some(data) = ute_profile::stop() {
+        ute_obs::set_profiling(false);
+        eprintln!(
+            "ute: profiler: {} tick(s), {} stack sample(s), {} distinct stack(s)",
+            data.ticks,
+            data.leaf_samples,
+            data.folded.len()
+        );
+    }
     let mut msg = result?;
     if let Some(path) = self_trace {
         ute_obs::span::set_capture(false);
         let spans = ute_obs::span::drain_spans();
         let flows = ute_obs::span::drain_flows();
-        selftrace::write_self_trace(&spans, &flows, &path, self_trace_format)?;
+        let tracks = selftrace::profiler_tracks(&ute_profile::take_track());
+        selftrace::write_self_trace(&spans, &flows, &tracks, &path, self_trace_format)?;
         msg.push_str(&format!(
             "wrote self-trace {} ({} spans)\n",
             path.display(),
@@ -1456,6 +1557,17 @@ commands:
              --stable drops wall-clock and worker-count metrics — and the
              percentile/time-series extras — so output is byte-comparable
              across runs and --jobs; salvage/* and obs/* totals are kept)
+  profile   --workload NAME --out DIR [--interval-us N] [--json] [--jobs N]
+            [--iterations N] [--strict] [--fault-seed N | --fault-plan SPEC]
+            (run the journaled pipeline under the continuous profiler:
+             a wall-clock stack sampler snapshots every worker's span
+             stack, span close records per-stage CPU time, and the
+             bounded channels count blocked sends/receives; prints a
+             ranked bottleneck report — self-time %, wall-vs-CPU
+             utilization, backpressure stalls — and publishes
+             OUT/profile.folded (flamegraph-ready folded stacks) and
+             OUT/profile.json as a sixth journaled stage. --json prints
+             the report JSON instead of the text table)
   analyze   DIR | --in DIR|FILE [--diag late_sender|imbalance|comm_pattern
             |critical_path | --all] [--window T0:T1] [--nodes A..B] [--json]
             [--imbalance-threshold X] [--profile FILE]
@@ -1520,6 +1632,14 @@ observability (any command):
   --self-trace-limit N capture at most N spans (default 1048576); spans
                        beyond the cap are dropped and counted in
                        obs/spans_dropped
+  --profiler           run any command under the continuous profiler:
+                       a summary goes to stderr, span CPU time lands in
+                       the Chrome self-trace args, the backpressure
+                       track becomes ph:\"C\" counter lanes, and
+                       `ute report` grows a \"profile\" block. Build
+                       with `--features profile-alloc` to also
+                       attribute allocations to the active stage
+  --interval-us N      profiler sampling interval in µs (default 500)
 ";
 
 #[cfg(test)]

@@ -330,11 +330,19 @@ impl StageRunner {
     }
 }
 
-/// The five pipeline stages, in order, against an open runner.
+/// An optional extra stage appended after `stats` — how `ute profile`
+/// journals its report artifacts through the same publish protocol as
+/// the five core stages.
+pub(crate) type ExtraStage<'a> =
+    Option<(&'static str, Box<dyn FnOnce() -> Result<StageOutput> + 'a>)>;
+
+/// The five pipeline stages, in order, against an open runner, plus the
+/// caller's optional extra stage.
 fn drive(
     plan: &RunPlan,
     runner: &mut StageRunner,
     msg: &mut String,
+    extra: ExtraStage<'_>,
 ) -> std::result::Result<(), StageFailure> {
     let out = plan.out_str();
     msg.push_str(&runner.run_stage("trace", || {
@@ -364,6 +372,9 @@ fn drive(
     msg.push_str(&runner.run_stage("stats", || {
         crate::cmd_stats(&targs).map(StageOutput::message)
     })?);
+    if let Some((name, f)) = extra {
+        msg.push_str(&runner.run_stage(name, f)?);
+    }
     runner.finish()
 }
 
@@ -389,6 +400,7 @@ fn register_store_counters() {
 fn execute(
     plan: &RunPlan,
     resume_from: Option<(RunJournal, ReplayState)>,
+    extra: ExtraStage<'_>,
 ) -> Result<(String, Halt)> {
     register_store_counters();
     let mut msg = String::new();
@@ -443,7 +455,7 @@ fn execute(
                 }
             }
         };
-        drive(plan, &mut runner, &mut msg)
+        drive(plan, &mut runner, &mut msg, extra)
     })();
     match r {
         Ok(()) => Ok((msg, Halt::Done)),
@@ -473,7 +485,21 @@ fn finish_outcome(msg: String, halt: Halt) -> Result<String> {
 /// `ute pipeline` — the journaled five-stage run.
 pub(crate) fn cmd_pipeline(args: &Args) -> Result<String> {
     let plan = RunPlan::from_args(args)?;
-    let (msg, halt) = execute(&plan, None)?;
+    let (msg, halt) = execute(&plan, None, None)?;
+    finish_outcome(msg, halt)
+}
+
+/// `ute profile` — the journaled pipeline with a sixth, `profile` stage
+/// appended: `finish` stops the sampler, builds the report, and returns
+/// its artifacts (`profile.folded`, `profile.json`), which go through
+/// the same temp-write → commit → promote protocol as every other
+/// stage — a crash mid-profile leaves a resumable directory.
+pub(crate) fn cmd_profile_run(
+    args: &Args,
+    finish: impl FnOnce() -> Result<StageOutput>,
+) -> Result<String> {
+    let plan = RunPlan::from_args(args)?;
+    let (msg, halt) = execute(&plan, None, Some(("profile", Box::new(finish))))?;
     finish_outcome(msg, halt)
 }
 
@@ -487,7 +513,7 @@ pub(crate) fn cmd_resume(args: &Args) -> Result<String> {
     let (journal, state) = RunJournal::open_for_resume(&out)?;
     let jobs = args.jobs()?;
     let plan = RunPlan::from_config(&state.config, &out, jobs, parse_budget(args)?)?;
-    let (msg, halt) = execute(&plan, Some((journal, state)))?;
+    let (msg, halt) = execute(&plan, Some((journal, state)), None)?;
     finish_outcome(msg, halt)
 }
 
@@ -513,7 +539,7 @@ pub(crate) fn cmd_chaos(args: &Args) -> Result<String> {
     // Clean reference run, counting the abort points one pipeline
     // crosses — the seed space for kill placement.
     let before = chaos::points_crossed();
-    let (_cmsg, halt) = execute(&plan, None)?;
+    let (_cmsg, halt) = execute(&plan, None, None)?;
     if !matches!(halt, Halt::Done) {
         return Err(UteError::Invalid(
             "chaos: clean run did not complete".into(),
@@ -531,7 +557,7 @@ pub(crate) fn cmd_chaos(args: &Args) -> Result<String> {
         match mode {
             "soft" => {
                 chaos::arm_soft(chaos::points_crossed() + idx);
-                let r = execute(&vplan, None);
+                let r = execute(&vplan, None, None);
                 chaos::disarm_soft();
                 match r? {
                     (_, Halt::Chaos(why)) => {
@@ -575,9 +601,9 @@ pub(crate) fn cmd_chaos(args: &Args) -> Result<String> {
         let (rmsg, rhalt) = match RunJournal::open_for_resume(&victim) {
             Ok((journal, state)) => {
                 let rplan = RunPlan::from_config(&state.config, &victim, plan.jobs, None)?;
-                execute(&rplan, Some((journal, state)))?
+                execute(&rplan, Some((journal, state)), None)?
             }
-            Err(_) => execute(&vplan, None)?,
+            Err(_) => execute(&vplan, None, None)?,
         };
         if !matches!(rhalt, Halt::Done) {
             return Err(UteError::Invalid(format!(

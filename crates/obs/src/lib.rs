@@ -35,11 +35,16 @@
 //! ```
 
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod sampler;
 pub mod span;
 
 pub use metrics::{counter, gauge, histogram, reset, Counter, Gauge, Histogram, MetricsRegistry};
+pub use prof::{
+    cpu_clock_supported, current_stage_slot, profiling_enabled, sample_stacks, set_profiling,
+    stage_slot_name, stage_slot_of, thread_cpu_ns, LiveFrame, MAX_STAGE_SLOTS,
+};
 pub use report::{snapshot, MetricsSnapshot, ReportOptions};
 pub use sampler::SamplerTick;
 pub use span::{

@@ -187,6 +187,12 @@ pub struct FinishedSpan {
     pub parent: u64,
     /// Dense index of the thread the span ran on.
     pub tid: u64,
+    /// CPU time the owning thread consumed while the span was open
+    /// (`CLOCK_THREAD_CPUTIME_ID` delta), or 0 when profiling was off
+    /// or the platform clock is unavailable. Compare against `dur_ns`
+    /// for the wall-vs-CPU utilization ratio: a low ratio means the
+    /// span spent its life blocked, not computing.
+    pub cpu_ns: u64,
     /// True when the span was closed by a panic unwinding through it
     /// (a pipeline worker caught by `catch_unwind`): the recorded
     /// duration covers work up to the abort, not a clean completion.
@@ -217,12 +223,27 @@ pub struct Span {
     start: Instant,
     id: u64,
     parent: u64,
+    /// True when this span was mirrored into the profiling registry at
+    /// open (profiling may toggle mid-span; the close side must match
+    /// what open actually did).
+    profiled: bool,
+    /// Thread CPU clock at open (profiled spans only).
+    cpu_start: u64,
+    /// Stage slot to restore on close (profiled spans only).
+    prev_slot: usize,
 }
 
 impl Span {
     fn open(stage: &'static str, label: Option<String>, parent: u64) -> Span {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        let profiled = crate::prof::profiling_enabled();
+        let (cpu_start, prev_slot) = if profiled {
+            let prev = crate::prof::frame_open(id, stage, label.as_deref());
+            (crate::prof::thread_cpu_ns(), prev)
+        } else {
+            (0, 0)
+        };
         Span {
             stage,
             label,
@@ -230,6 +251,9 @@ impl Span {
             start: Instant::now(),
             id,
             parent,
+            profiled,
+            cpu_start,
+            prev_slot,
         }
     }
 
@@ -272,6 +296,13 @@ impl Drop for Span {
             }
         });
         metrics::histogram(&format!("{}/span_ns", self.stage)).record(dur_ns);
+        let mut cpu_ns = 0;
+        if self.profiled {
+            cpu_ns = crate::prof::thread_cpu_ns().saturating_sub(self.cpu_start);
+            crate::prof::frame_close(self.id, self.prev_slot);
+            metrics::histogram(&format!("{}/cpu_ns", self.stage)).record(cpu_ns);
+            metrics::counter("profile/cpu_spans").inc();
+        }
         if capture_enabled() {
             let finished = FinishedSpan {
                 stage: self.stage,
@@ -281,6 +312,7 @@ impl Drop for Span {
                 id: self.id,
                 parent: self.parent,
                 tid: thread_index(),
+                cpu_ns,
                 aborted: std::thread::panicking(),
             };
             let mut log = span_log().lock();

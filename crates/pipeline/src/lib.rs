@@ -623,9 +623,11 @@ mod tests {
     use ute_format::file::FramePolicy;
     use ute_workloads::micro;
 
-    fn converted_files() -> (Profile, Vec<Vec<u8>>) {
+    /// Simulates and converts a small stencil run, surfacing the full
+    /// error (not a bare unwrap panic) when any stage refuses.
+    fn converted_files() -> Result<(Profile, Vec<Vec<u8>>)> {
         let w = micro::stencil(6, 8, 8 << 10);
-        let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let result = Simulator::new(w.config, &w.job)?.run()?;
         let profile = Profile::standard();
         let copts = ConvertOptions {
             policy: FramePolicy {
@@ -635,21 +637,21 @@ mod tests {
             ..ConvertOptions::default()
         };
         let converted =
-            convert_job_opts(&result.raw_files, &result.threads, &profile, &copts, false).unwrap();
-        (
+            convert_job_opts(&result.raw_files, &result.threads, &profile, &copts, false)?;
+        Ok((
             profile,
             converted.into_iter().map(|c| c.interval_file).collect(),
-        )
+        ))
     }
 
     #[test]
-    fn parallel_merge_is_byte_identical_to_serial() {
-        let (profile, per_node) = converted_files();
+    fn parallel_merge_is_byte_identical_to_serial() -> Result<()> {
+        let (profile, per_node) = converted_files()?;
         let refs: Vec<&[u8]> = per_node.iter().map(|f| f.as_slice()).collect();
         let opts = MergeOptions::default();
-        let serial = ute_merge::merge_files(&refs, &profile, &opts).unwrap();
+        let serial = ute_merge::merge_files(&refs, &profile, &opts)?;
         for jobs in [2, 3, 8] {
-            let parallel = merge_files_jobs(&refs, &profile, &opts, jobs).unwrap();
+            let parallel = merge_files_jobs(&refs, &profile, &opts, jobs)?;
             assert_eq!(
                 serial.merged, parallel.merged,
                 "merged bytes differ at jobs={jobs}"
@@ -659,11 +661,12 @@ mod tests {
             assert_eq!(serial.stats.pseudo_added, parallel.stats.pseudo_added);
             assert_eq!(serial.stats.fits.len(), parallel.stats.fits.len());
         }
+        Ok(())
     }
 
     #[test]
-    fn parallel_slogmerge_matches_serial() {
-        let (profile, per_node) = converted_files();
+    fn parallel_slogmerge_matches_serial() -> Result<()> {
+        let (profile, per_node) = converted_files()?;
         let refs: Vec<&[u8]> = per_node.iter().map(|f| f.as_slice()).collect();
         let opts = MergeOptions::default();
         let build = BuildOptions {
@@ -671,15 +674,16 @@ mod tests {
             preview_bins: 16,
             arrows: true,
         };
-        let (serial, _) = ute_merge::slogmerge(&refs, &profile, &opts, build).unwrap();
-        let (parallel, _) = slogmerge_jobs(&refs, &profile, &opts, build, 4).unwrap();
+        let (serial, _) = ute_merge::slogmerge(&refs, &profile, &opts, build)?;
+        let (parallel, _) = slogmerge_jobs(&refs, &profile, &opts, build, 4)?;
         assert_eq!(serial.to_bytes(), parallel.to_bytes());
+        Ok(())
     }
 
     #[test]
-    fn fused_pipeline_matches_staged_serial() {
+    fn fused_pipeline_matches_staged_serial() -> Result<()> {
         let w = micro::sendrecv_shift(5, 6, 4 << 10);
-        let result = Simulator::new(w.config, &w.job).unwrap().run().unwrap();
+        let result = Simulator::new(w.config, &w.job)?.run()?;
         let profile = Profile::standard();
         let copts = ConvertOptions {
             policy: FramePolicy::default(),
@@ -693,8 +697,7 @@ mod tests {
             &copts,
             &mopts,
             1,
-        )
-        .unwrap();
+        )?;
         for jobs in [2, 4, 8] {
             let fused = convert_and_merge(
                 &result.raw_files,
@@ -703,8 +706,7 @@ mod tests {
                 &copts,
                 &mopts,
                 jobs,
-            )
-            .unwrap();
+            )?;
             assert_eq!(
                 staged.merged.merged, fused.merged.merged,
                 "merged bytes differ at jobs={jobs}"
@@ -715,11 +717,13 @@ mod tests {
                 assert_eq!(a.interval_file, b.interval_file);
             }
         }
+        Ok(())
     }
 
     #[test]
     fn corrupt_input_reports_the_error_at_any_job_count() {
-        let (profile, mut per_node) = converted_files();
+        let (profile, mut per_node) =
+            converted_files().expect("clean stencil run must simulate and convert");
         // Truncate one file mid-body so decoding fails after the header.
         let keep = per_node[2].len() - 7;
         per_node[2].truncate(keep);

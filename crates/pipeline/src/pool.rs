@@ -27,11 +27,19 @@ impl Semaphore {
         }
     }
 
-    /// Blocks until a permit is available and takes it.
+    /// Blocks until a permit is available and takes it. A contended
+    /// acquire — the pool is the bottleneck, not the channels — counts
+    /// into `pipeline/permit_waits` with its wait time in the
+    /// `pipeline/permit_wait_ns` log₂ histogram.
     pub fn acquire(&self) -> Permit<'_> {
         let mut n = self.permits.lock().expect("semaphore lock");
-        while *n == 0 {
-            n = self.available.wait(n).expect("semaphore wait");
+        if *n == 0 {
+            ute_obs::counter("pipeline/permit_waits").inc();
+            let wait = std::time::Instant::now();
+            while *n == 0 {
+                n = self.available.wait(n).expect("semaphore wait");
+            }
+            ute_obs::histogram("pipeline/permit_wait_ns").record(wait.elapsed().as_nanos() as u64);
         }
         *n -= 1;
         Permit { sem: self }

@@ -42,6 +42,9 @@
 //!   numbered abort points the chaos harness kills at.
 //! * [`obs`] — the self-observability layer: global metrics registry,
 //!   RAII span timers, and the span capture behind `--self-trace`.
+//! * [`profile`] — the continuous-profiling layer behind `ute profile`:
+//!   wall-clock stack sampler, per-span CPU-time attribution, the
+//!   backpressure counter track, and the ranked bottleneck report.
 //! * [`analyze`] — the programmable diagnostics layer over interval
 //!   files: columnar trace table, composable operators, and the
 //!   late-sender / imbalance / comm-pattern / critical-path diagnostics
@@ -65,6 +68,7 @@ pub use ute_format as format;
 pub use ute_merge as merge;
 pub use ute_obs as obs;
 pub use ute_pipeline as pipeline;
+pub use ute_profile as profile;
 pub use ute_rawtrace as rawtrace;
 pub use ute_scenario as scenario;
 pub use ute_slog as slog;

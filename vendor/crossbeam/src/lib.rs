@@ -49,6 +49,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still send).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -115,6 +124,15 @@ pub mod channel {
         /// once the channel is empty and every sender has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking: an empty channel returns
+        /// [`TryRecvError::Empty`] instead of waiting.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// A blocking iterator over received values; ends when every
