@@ -21,11 +21,17 @@
 //! * `--baseline FILE` — compare this run's speedup against a previous
 //!   `BENCH_pipeline.json`; exit non-zero if it regressed by more than
 //!   the tolerance. Speedup (a ratio of two times measured on the same
-//!   machine) is the only cross-machine-comparable number in the file,
-//!   so it is the gated quantity — absolute ns are recorded but never
-//!   compared.
+//!   machine) is the primary cross-machine-comparable number in the
+//!   file, so it is the tightly gated quantity; `records_per_sec` gets
+//!   a second, looser floor (see `--rps-tolerance`) to catch raw-path
+//!   slowdowns that a ratio cannot see — absolute ns are recorded but
+//!   never compared.
 //! * `--tolerance PCT` — allowed relative speedup regression for
 //!   `--baseline` (default 15, i.e. fresh ≥ 85% of baseline).
+//! * `--rps-tolerance PCT` — allowed relative `records_per_sec`
+//!   regression for `--baseline` (default 60: machines differ far more
+//!   in absolute throughput than in speedup, so the floor is generous —
+//!   it exists to catch order-of-magnitude raw-path regressions).
 //! * `--out FILE` — where to write the fresh JSON (default
 //!   `BENCH_pipeline.json`).
 
@@ -67,6 +73,12 @@ fn main() {
     let tolerance: f64 = arg_value(&argv, "--tolerance")
         .map(|t| t.parse().expect("--tolerance must be a number (percent)"))
         .unwrap_or(15.0);
+    let rps_tolerance: f64 = arg_value(&argv, "--rps-tolerance")
+        .map(|t| {
+            t.parse()
+                .expect("--rps-tolerance must be a number (percent)")
+        })
+        .unwrap_or(60.0);
     let out_path = arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
     // ≥4 nodes so the fan-out has real work to spread. Both sizes are
@@ -142,12 +154,77 @@ fn main() {
         (best, nfindings)
     };
 
+    // The merge stage in isolation, loser tree vs the retired BTreeMap
+    // merger, over the same clock-adjusted streams: the split that shows
+    // where tournament replay beats rebalancing, appended to the history
+    // log so the ratio is trend-watchable.
+    let (loser_tree_merge_ns, btreemap_merge_ns, merge_stream_records) = {
+        let converted = ute_convert::convert_job_opts(
+            &result.raw_files,
+            &result.threads,
+            &profile,
+            &copts,
+            false,
+        )
+        .unwrap();
+        let streams: Vec<Vec<ute_format::record::Interval>> = converted
+            .iter()
+            .map(|o| {
+                let reader = ute_format::file::IntervalFileReader::open(&o.interval_file, &profile)
+                    .expect("converted output reopens");
+                let mut ivs = Vec::new();
+                ute_merge::adjust_node(&reader, &profile, &mopts, |iv| {
+                    ivs.push(iv);
+                    Ok(())
+                })
+                .expect("clock adjustment");
+                ivs
+            })
+            .collect();
+        let records: usize = streams.iter().map(Vec::len).sum();
+        let time_loser = {
+            let mut best = u64::MAX;
+            for _ in 0..reps {
+                let sources: Vec<ute_merge::IvSource> = streams
+                    .iter()
+                    .cloned()
+                    .map(ute_merge::IvSource::new)
+                    .collect();
+                let t = Instant::now();
+                let n = ute_merge::LoserTreeMerge::new(sources).count();
+                best = best.min(t.elapsed().as_nanos() as u64);
+                assert_eq!(n, records);
+            }
+            best
+        };
+        let time_btree = {
+            let mut best = u64::MAX;
+            for _ in 0..reps {
+                let sources: Vec<ute_merge::IvSource> = streams
+                    .iter()
+                    .cloned()
+                    .map(ute_merge::IvSource::new)
+                    .collect();
+                let t = Instant::now();
+                let n = ute_merge::BalancedTreeMerge::new(sources).count();
+                best = best.min(t.elapsed().as_nanos() as u64);
+                assert_eq!(n, records);
+            }
+            best
+        };
+        (time_loser, time_btree, records)
+    };
+
     // One profiled run, after every timed rep: per-span CPU clocks and
     // the stack sampler are live only here, so the timings above are
-    // untouched while the JSON still carries utilization.
+    // untouched while the JSON still carries utilization. Everything
+    // below is computed from before/after snapshot *deltas*, so the
+    // serial reference run and the timing reps above never leak into
+    // the utilization numbers.
     let before = ute_obs::snapshot();
     ute_obs::set_profiling(true);
     ute_profile::start(std::time::Duration::from_micros(200));
+    let t_profiled = Instant::now();
     convert_and_merge(
         &result.raw_files,
         &result.threads,
@@ -157,6 +234,7 @@ fn main() {
         jobs,
     )
     .unwrap();
+    let profiled_wall_ns = t_profiled.elapsed().as_nanos() as u64;
     ute_profile::stop();
     ute_obs::set_profiling(false);
     let snap = ute_obs::snapshot();
@@ -165,15 +243,28 @@ fn main() {
         let was = before.histogram(name).map(|h| h.sum).unwrap_or(0);
         now.saturating_sub(was)
     };
-    let (mut span_wall_ns, mut span_cpu_ns) = (0u64, 0u64);
+    // Per-stage utilization: each stage's CPU time over its own span
+    // wall time. Summing span walls into one global denominator would
+    // double-count nested spans (a per-node convert span lives inside
+    // the pipeline span), which is the bug this replaces.
+    let mut stage_util: Vec<(String, u64, u64)> = Vec::new();
+    let mut span_cpu_ns = 0u64;
     for (name, _) in &snap.histograms {
         if let Some(stage) = name.strip_suffix("/cpu_ns") {
-            span_cpu_ns += sum_since(name);
-            span_wall_ns += sum_since(&format!("{stage}/span_ns"));
+            let cpu = sum_since(name);
+            let wall = sum_since(&format!("{stage}/span_ns"));
+            span_cpu_ns += cpu;
+            if wall > 0 {
+                stage_util.push((stage.to_string(), cpu, wall));
+            }
         }
     }
-    let utilization = if span_wall_ns > 0 {
-        span_cpu_ns as f64 / span_wall_ns as f64
+    stage_util.sort();
+    // Overall utilization: total span CPU over the profiled run's wall
+    // time times the pool width — the fraction of the worker pool kept
+    // busy, not a sum of overlapping span walls.
+    let utilization = if profiled_wall_ns > 0 {
+        (span_cpu_ns as f64 / (profiled_wall_ns as f64 * jobs as f64)).min(1.0)
     } else {
         0.0
     };
@@ -189,11 +280,24 @@ fn main() {
     let speedup = serial_ns as f64 / parallel_ns as f64;
     let records_in = snap.counter("merge/records_in").unwrap_or(0);
     // Per-run throughput on the parallel path: the bench repeats the run
-    // `2 * reps` times (serial + parallel) plus the profiled run, so the
-    // counter total is divided back down before relating it to the best
-    // parallel time.
-    let records_per_run = records_in as f64 / (2 * reps + 1) as f64;
+    // `2 * reps` times (serial + parallel), plus the profiled run, plus
+    // one adjustment pass in the merge-split section above — the counter
+    // total is divided back down before relating it to the best parallel
+    // time.
+    let records_per_run = records_in as f64 / (2 * reps + 2) as f64;
     let records_per_sec = records_per_run / (parallel_ns as f64 / 1e9);
+    // Per-stage utilization as flat `util_<stage>` keys so the naive
+    // json_num reader (and jq-less CI greps) keep working.
+    let stage_util_json: String = stage_util
+        .iter()
+        .map(|(stage, cpu, wall)| {
+            format!(
+                "  \"util_{stage}\": {:.4},\n",
+                (*cpu as f64 / *wall as f64).min(1.0)
+            )
+        })
+        .collect();
+    let merge_speedup = btreemap_merge_ns as f64 / loser_tree_merge_ns.max(1) as f64;
     let json = format!(
         "{{\n  \"workload\": \"stencil\",\n  \"nodes\": {nodes},\n  \"smoke\": {smoke},\n  \
          \"runs\": {reps},\n  \"jobs\": {jobs},\n  \
@@ -201,7 +305,12 @@ fn main() {
          \"parallel_convert_merge_ns\": {parallel_ns},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"records_per_sec\": {records_per_sec:.0},\n  \
-         \"utilization\": {utilization:.4},\n  \
+         \"utilization\": {utilization:.4},\n\
+         {stage_util_json}  \
+         \"loser_tree_merge_ns\": {loser_tree_merge_ns},\n  \
+         \"btreemap_merge_ns\": {btreemap_merge_ns},\n  \
+         \"merge_speedup\": {merge_speedup:.4},\n  \
+         \"merge_stream_records\": {merge_stream_records},\n  \
          \"blocked_sends\": {blocked_sends},\n  \
          \"blocked_recvs\": {blocked_recvs},\n  \
          \"send_wait_ns\": {send_wait_ns},\n  \
@@ -248,11 +357,25 @@ fn main() {
     );
     println!("speedup: {speedup:.2}x  ({records_per_sec:.0} records/s parallel)");
     println!(
-        "profiled run: utilization {:.0}% (cpu {:.3} ms / wall {:.3} ms span time)",
+        "merge stage alone ({merge_stream_records} records): loser tree {:.3} ms vs \
+         BTreeMap {:.3} ms ({merge_speedup:.2}x)",
+        loser_tree_merge_ns as f64 / 1e6,
+        btreemap_merge_ns as f64 / 1e6
+    );
+    println!(
+        "profiled run: pool utilization {:.0}% (span cpu {:.3} ms / wall {:.3} ms x {jobs} jobs)",
         utilization * 100.0,
         span_cpu_ns as f64 / 1e6,
-        span_wall_ns as f64 / 1e6
+        profiled_wall_ns as f64 / 1e6
     );
+    for (stage, cpu, wall) in &stage_util {
+        println!(
+            "  stage {stage:<12} {:>6.1}% busy ({:.3} ms cpu / {:.3} ms span)",
+            (*cpu as f64 / *wall as f64).min(1.0) * 100.0,
+            *cpu as f64 / 1e6,
+            *wall as f64 / 1e6
+        );
+    }
     println!(
         "backpressure: {blocked_sends} blocked send(s) ({:.3} ms), \
          {blocked_recvs} blocked recv(s) ({:.3} ms), queue depth max {queue_depth_max}",
@@ -290,6 +413,24 @@ fn main() {
                  (baseline {base_speedup:.2}x - {tolerance}%)"
             );
             std::process::exit(1);
+        }
+        // The raw-throughput floor: loose (machines vary far more in
+        // absolute records/s than in speedup) but present, so an
+        // order-of-magnitude hot-path regression fails even when the
+        // serial/parallel *ratio* is unchanged.
+        if let Some(base_rps) = json_num(&src, "records_per_sec") {
+            let rps_floor = base_rps * (1.0 - rps_tolerance / 100.0);
+            println!(
+                "baseline records/s {base_rps:.0}, fresh {records_per_sec:.0}, \
+                 floor {rps_floor:.0} (-{rps_tolerance}%)"
+            );
+            if records_per_sec < rps_floor {
+                eprintln!(
+                    "FAIL: records/s regressed: {records_per_sec:.0} < {rps_floor:.0} \
+                     (baseline {base_rps:.0} - {rps_tolerance}%)"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -170,6 +170,13 @@ fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
             .map_err(|_| UteError::Invalid(format!("bad scenario seed in `{name}`")))?;
         return scenario_workload(&ute_scenario::ScenarioSpec::from_seed(seed));
     }
+    // `torture:SEED` is the 256+-node sharded-merge stress preset.
+    if let Some(seed) = name.strip_prefix("torture:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| UteError::Invalid(format!("bad torture seed in `{name}`")))?;
+        return scenario_workload(&ute_scenario::ScenarioSpec::torture(seed));
+    }
     Ok(match name {
         "sppm" => sppm::workload(sppm::SppmParams::default()),
         "flash" => flash::workload(flash::FlashParams::default()),
@@ -185,7 +192,7 @@ fn workload_by_name(name: &str, iterations: u32) -> Result<Workload> {
             return Err(UteError::Invalid(format!(
                 "unknown workload `{other}` \
                  (sppm|flash|pingpong|stencil|allreduce|wavefront|sendrecv|masterworker|\
-                 straggler|scaling|scenario:SEED)"
+                 straggler|scaling|scenario:SEED|torture:SEED)"
             )))
         }
     })

@@ -116,9 +116,90 @@ struct ThreadCursor {
     running_since: Option<LocalTime>,
 }
 
+/// Where an emitted record's extra field takes its value from — the
+/// enum-dispatched replacement for matching field *names* per record.
+#[derive(Debug, Clone)]
+enum FillKind {
+    Rank,
+    Peer,
+    Tag,
+    Sent,
+    Recvd,
+    Seq,
+    Address,
+    AddressEnd,
+    MarkerId,
+    /// `globalTime` rides in the seq slot (clock records).
+    GlobalTime,
+    ReqSeqs,
+    /// A field the converter has no source for; emitting a record that
+    /// demands it reports the same error the name-matching path did.
+    Unknown(String),
+}
+
+/// Per-record-type fill plans, compiled once per conversion. Each plan
+/// lists the non-core fields of the spec in order with their value
+/// source, so `emit` fills extras without touching the name table.
+struct FillPlans {
+    plans: Vec<(u32, Vec<(u16, FillKind)>)>,
+    last: std::cell::Cell<usize>,
+}
+
+impl FillPlans {
+    fn build(profile: &Profile) -> FillPlans {
+        let mut plans = Vec::with_capacity(profile.specs.len());
+        for (&itype_raw, spec) in &profile.specs {
+            let mut fields = Vec::new();
+            for f in &spec.fields {
+                let name = profile
+                    .field_names
+                    .get(f.name_idx as usize)
+                    .map(|s| s.as_str())
+                    .unwrap_or("");
+                let kind = match name {
+                    "recType" | "start" | "dura" | "cpu" | "node" | "thread" => continue,
+                    "rank" => FillKind::Rank,
+                    "peer" => FillKind::Peer,
+                    "tag" => FillKind::Tag,
+                    "msgSizeSent" => FillKind::Sent,
+                    "msgSizeRecvd" => FillKind::Recvd,
+                    "seq" => FillKind::Seq,
+                    "address" => FillKind::Address,
+                    "addressEnd" => FillKind::AddressEnd,
+                    "markerId" => FillKind::MarkerId,
+                    "globalTime" => FillKind::GlobalTime,
+                    "reqSeqs" => FillKind::ReqSeqs,
+                    other => FillKind::Unknown(other.to_string()),
+                };
+                fields.push((f.name_idx, kind));
+            }
+            plans.push((itype_raw, fields));
+        }
+        plans.sort_by_key(|(t, _)| *t);
+        FillPlans {
+            plans,
+            last: std::cell::Cell::new(0),
+        }
+    }
+
+    fn plan(&self, itype_raw: u32) -> Option<&[(u16, FillKind)]> {
+        if let Some((t, fields)) = self.plans.get(self.last.get()) {
+            if *t == itype_raw {
+                return Some(fields);
+            }
+        }
+        let idx = self
+            .plans
+            .binary_search_by_key(&itype_raw, |(t, _)| *t)
+            .ok()?;
+        self.last.set(idx);
+        Some(&self.plans[idx].1)
+    }
+}
+
 struct Emitter<'a, 't> {
-    profile: &'a Profile,
     writer: IntervalFileWriter<'a>,
+    fills: FillPlans,
     node: NodeId,
     stats: ConvertStats,
     /// Observes every interval accepted by the writer, in file order —
@@ -148,30 +229,32 @@ impl Emitter<'_, '_> {
             self.node,
             thread,
         );
-        // Fill the fields the profile demands for this state.
-        if let Some(spec) = self.profile.spec_for(itype) {
-            for f in &spec.fields {
-                let name = self.profile.field_names[f.name_idx as usize].as_str();
-                let v = match name {
-                    "recType" | "start" | "dura" | "cpu" | "node" | "thread" => continue,
-                    "rank" => Value::Uint(extras.rank.unwrap_or(0) as u64),
-                    "peer" => Value::Uint(extras.peer.unwrap_or(u32::MAX) as u64),
-                    "tag" => Value::Uint(extras.tag.unwrap_or(0) as u64),
-                    "msgSizeSent" => Value::Uint(extras.sent.unwrap_or(0)),
-                    "msgSizeRecvd" => Value::Uint(extras.recvd.unwrap_or(0)),
-                    "seq" => Value::Uint(extras.seq.unwrap_or(0)),
-                    "address" => Value::Uint(extras.address.unwrap_or(0)),
-                    "addressEnd" => Value::Uint(extras.address_end.unwrap_or(0)),
-                    "markerId" => Value::Uint(extras.marker_id.unwrap_or(0) as u64),
-                    "globalTime" => Value::Uint(extras.seq.unwrap_or(0)),
-                    "reqSeqs" => Value::UintVec(extras.req_seqs.clone().unwrap_or_default()),
-                    other => {
+        // Fill the fields the profile demands for this state. A missing
+        // plan (no spec) leaves the extras empty, exactly as before —
+        // the writer then rejects the unknown record type.
+        if let Some(fields) = self.fills.plan(itype.to_u32()) {
+            for (name_idx, kind) in fields {
+                let v = match kind {
+                    FillKind::Rank => Value::Uint(extras.rank.unwrap_or(0) as u64),
+                    FillKind::Peer => Value::Uint(extras.peer.unwrap_or(u32::MAX) as u64),
+                    FillKind::Tag => Value::Uint(extras.tag.unwrap_or(0) as u64),
+                    FillKind::Sent => Value::Uint(extras.sent.unwrap_or(0)),
+                    FillKind::Recvd => Value::Uint(extras.recvd.unwrap_or(0)),
+                    FillKind::Seq => Value::Uint(extras.seq.unwrap_or(0)),
+                    FillKind::Address => Value::Uint(extras.address.unwrap_or(0)),
+                    FillKind::AddressEnd => Value::Uint(extras.address_end.unwrap_or(0)),
+                    FillKind::MarkerId => Value::Uint(extras.marker_id.unwrap_or(0) as u64),
+                    FillKind::GlobalTime => Value::Uint(extras.seq.unwrap_or(0)),
+                    FillKind::ReqSeqs => {
+                        Value::UintVec(extras.req_seqs.clone().unwrap_or_default().into())
+                    }
+                    FillKind::Unknown(other) => {
                         return Err(UteError::Invalid(format!(
                             "converter does not know how to fill field {other}"
                         )))
                     }
                 };
-                iv.extras.push((f.name_idx, v));
+                iv.extras.push((*name_idx, v));
             }
         }
         self.writer.push(&iv)?;
@@ -251,8 +334,8 @@ fn convert_node_inner(
         policy,
     );
     let mut em = Emitter {
-        profile,
         writer,
+        fills: FillPlans::build(profile),
         node,
         stats: ConvertStats::default(),
         tap,

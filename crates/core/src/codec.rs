@@ -114,6 +114,13 @@ impl ByteWriter {
         let o = offset as usize;
         self.buf[o..o + 4].copy_from_slice(&v.to_le_bytes());
     }
+
+    /// Discards everything written at or after `pos` (a value previously
+    /// returned by [`ByteWriter::pos`]) — lets an encoder roll back a
+    /// partially written record on error.
+    pub fn truncate(&mut self, pos: u64) {
+        self.buf.truncate(pos as usize);
+    }
 }
 
 /// Slice reader that reports precise offsets on short reads.

@@ -1,0 +1,207 @@
+//! A small-vector that keeps its first `N` elements inline.
+//!
+//! [`InlineVec`] keeps up to `N` elements in the struct itself (an arena
+//! of one record's worth, bump-"allocated" by `len`), spilling to a heap
+//! `Vec` only past that. It trades struct size for allocation count —
+//! which is only a win when `N × size_of::<T>()` is small *and* the
+//! containing struct is not itself copied in bulk.
+//!
+//! A cautionary measurement from this repo: record *extras* (MPI rank,
+//! peer, tag, …) were briefly stored as `InlineVec<(u16, Value), 6>`,
+//! which removed the per-record allocation but grew the 56-byte
+//! `Interval` to 304 bytes — and the stage-split bench showed the k-way
+//! merge and reorder buffer paying ~40% more wall time moving the fat
+//! struct than the saved allocation was worth. Extras went back to an
+//! exact-sized heap vector; use this type only where the container
+//! stays small relative to the traffic moving it.
+//!
+//! The implementation is deliberately `unsafe`-free: inline slots hold
+//! `T: Default` values and `len` tracks how many are live. Equality,
+//! ordering of iteration, and `FromIterator` all behave exactly like a
+//! `Vec<T>` of the same elements, so swapping it into a struct does not
+//! change any derived `PartialEq`/`Debug` semantics observable in tests.
+
+/// A growable sequence whose first `N` elements live inline.
+pub struct InlineVec<T, const N: usize> {
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector; no heap allocation.
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec {
+            len: 0,
+            inline: std::array::from_fn(|_| T::default()),
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element; spills to the heap only past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Drops all elements (inline slots revert to `T::default()`).
+    pub fn clear(&mut self) {
+        for slot in self.inline[..self.len.min(N)].iter_mut() {
+            *slot = T::default();
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at `i`, if live.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            None
+        } else if i < N {
+            Some(&self.inline[i])
+        } else {
+            self.spill.get(i - N)
+        }
+    }
+
+    /// Iterates the live elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T: Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Default + Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        InlineVec {
+            len: self.len,
+            inline: self.inline.clone(),
+            spill: self.spill.clone(),
+        }
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, T>, std::slice::Iter<'a, T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.spill.len(), 0);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..7 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.get(1), Some(&10));
+        assert_eq!(v.get(2), Some(&20));
+        assert_eq!(v.get(6), Some(&60));
+        assert_eq!(v.get(7), None);
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            vec![0, 10, 20, 30, 40, 50, 60]
+        );
+    }
+
+    #[test]
+    fn equality_matches_element_sequence() {
+        let a: InlineVec<u32, 2> = (0..5).collect();
+        let b: InlineVec<u32, 2> = (0..5).collect();
+        let c: InlineVec<u32, 2> = (0..4).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        v.push("c".into());
+        v.clear();
+        assert!(v.is_empty());
+        v.push("d".into());
+        assert_eq!(v.iter().cloned().collect::<Vec<_>>(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn debug_renders_like_a_list() {
+        let v: InlineVec<u32, 2> = (1..4).collect();
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+    }
+}

@@ -21,6 +21,7 @@ use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
 
 use crate::frame::{FrameDirectory, FrameEntry, NO_DIR};
+use crate::plan::PlanSet;
 use crate::profile::Profile;
 use crate::record::{read_record, write_record, Interval};
 use crate::thread_table::ThreadTable;
@@ -75,6 +76,11 @@ struct PendingFrame {
 pub struct IntervalFileWriter<'p> {
     profile: &'p Profile,
     mask: u32,
+    /// Precompiled field plans — the per-record encode path writes
+    /// straight into the frame buffer with no name lookups and no
+    /// intermediate body allocation. Record types without a plan fall
+    /// back to [`Interval::encode_body`].
+    plans: PlanSet,
     policy: FramePolicy,
     out: ByteWriter,
     /// Offset of the first-directory pointer in the header (to patch).
@@ -121,6 +127,7 @@ impl<'p> IntervalFileWriter<'p> {
         IntervalFileWriter {
             profile,
             mask,
+            plans: PlanSet::build(profile, mask),
             policy,
             out,
             first_dir_ptr_at,
@@ -145,7 +152,13 @@ impl<'p> IntervalFileWriter<'p> {
             )));
         }
         self.last_end = iv.end();
-        let body = iv.encode_body(self.profile, self.mask)?;
+        match self.plans.plan(iv.itype.to_u32()) {
+            Some(plan) => plan.encode_record_into(iv, &mut self.current.bytes)?,
+            None => {
+                let body = iv.encode_body(self.profile, self.mask)?;
+                write_record(&mut self.current.bytes, &body)?;
+            }
+        }
         if self.current.nrecords == 0 {
             self.current.start_time = iv.start;
             self.current.end_time = iv.end();
@@ -153,7 +166,6 @@ impl<'p> IntervalFileWriter<'p> {
             self.current.start_time = self.current.start_time.min(iv.start);
             self.current.end_time = self.current.end_time.max(iv.end());
         }
-        write_record(&mut self.current.bytes, &body)?;
         self.current.nrecords += 1;
         self.total_records += 1;
         self.obs_records.inc();
@@ -237,6 +249,9 @@ impl<'p> IntervalFileWriter<'p> {
 pub struct IntervalFileReader<'a> {
     data: &'a [u8],
     profile: &'a Profile,
+    /// Precompiled field plans for this file's mask; decode falls back
+    /// to [`Interval::decode_body`] for record types without one.
+    plans: PlanSet,
     /// Field selection mask of this file.
     pub mask: u32,
     /// Producing node ([`MERGED_NODE`] for merged files).
@@ -285,6 +300,7 @@ impl<'a> IntervalFileReader<'a> {
         Ok(IntervalFileReader {
             data,
             profile,
+            plans: PlanSet::build(profile, mask),
             mask,
             node,
             threads,
@@ -300,6 +316,18 @@ impl<'a> IntervalFileReader<'a> {
         } else {
             self.node
         })
+    }
+
+    /// Decodes one record body through the plan cache (reference-path
+    /// fallback for unplanned record types).
+    fn decode_record(&self, body: &[u8], node: NodeId) -> Result<Interval> {
+        if body.len() >= 4 {
+            let itype_raw = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+            if let Some(plan) = self.plans.plan(itype_raw) {
+                return plan.decode_body(body, node);
+            }
+        }
+        Interval::decode_body(self.profile, self.mask, body, node)
     }
 
     /// Retrieves a marker string by identifier (§2.4).
@@ -345,14 +373,10 @@ impl<'a> IntervalFileReader<'a> {
         r.seek(entry.offset)?;
         let cap = ute_core::codec::clamped_capacity(entry.nrecords as usize, 2, r.remaining());
         let mut out = Vec::with_capacity(cap);
+        let node = self.default_node();
         for _ in 0..entry.nrecords {
             let body = read_record(&mut r)?;
-            out.push(Interval::decode_body(
-                self.profile,
-                self.mask,
-                body,
-                self.default_node(),
-            )?);
+            out.push(self.decode_record(body, node)?);
         }
         if Some(r.pos()) != entry.offset.checked_add(entry.size) {
             return Err(UteError::corrupt_at(
@@ -371,7 +395,7 @@ impl<'a> IntervalFileReader<'a> {
         let mut r = ByteReader::new(self.data);
         r.seek(offset)?;
         let body = read_record(&mut r)?;
-        let iv = Interval::decode_body(self.profile, self.mask, body, self.default_node())?;
+        let iv = self.decode_record(body, self.default_node())?;
         Ok((iv, r.pos()))
     }
 
@@ -392,9 +416,8 @@ impl<'a> IntervalFileReader<'a> {
     /// Sequential access yielding decoded [`Interval`]s.
     pub fn intervals(&self) -> impl Iterator<Item = Result<Interval>> + '_ {
         let node = self.default_node();
-        self.record_bodies().map(move |body| {
-            body.and_then(|b| Interval::decode_body(self.profile, self.mask, b, node))
-        })
+        self.record_bodies()
+            .map(move |body| body.and_then(|b| self.decode_record(b, node)))
     }
 
     /// Finds the frame containing (or next after) time `t` by walking the

@@ -28,6 +28,7 @@ pub mod datatype;
 pub mod file;
 pub mod file_io;
 pub mod frame;
+pub mod plan;
 pub mod profile;
 pub mod record;
 pub mod state;
@@ -38,6 +39,7 @@ pub use datatype::FieldType;
 pub use file::{FramePolicy, IntervalFileReader, IntervalFileWriter};
 pub use file_io::FileIntervalReader;
 pub use frame::{FrameDirectory, FrameEntry};
+pub use plan::{PlanSet, RecordPlan};
 pub use profile::{FieldSpec, Profile, RecordSpec};
 pub use record::{Interval, IntervalType};
 pub use state::StateCode;

@@ -1,0 +1,587 @@
+//! Precompiled per-record-type field plans for the hot encode/decode path.
+//!
+//! [`Interval::encode_body`] and [`Interval::decode_body`] resolve every
+//! field of every record by *name* — a string match per field per record,
+//! plus a heap-allocated body per encode. At millions of records per
+//! second that lookup dominates the pipeline. A [`PlanSet`] does the name
+//! resolution, mask filtering, and length precomputation **once** per
+//! `(profile, mask)` pair; after that, encoding a record is a straight
+//! walk over enum-dispatched fields written directly into the caller's
+//! buffer, and decoding is the mirror walk.
+//!
+//! The plans are a pure acceleration layer: for every record they produce
+//! exactly the bytes (and exactly the decoded [`Interval`]) the reference
+//! string-matching path produces — property-tested in this module and
+//! cross-checked end-to-end by the `fast-vs-reference` oracle in
+//! `ute-verify`. Record types the plan builder cannot resolve (a spec
+//! naming a field index outside the profile's name table) simply get no
+//! plan, and callers fall back to the reference path, which reports the
+//! same errors it always did.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ute_core::codec::{ByteReader, ByteWriter};
+use ute_core::error::{Result, UteError};
+use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+
+use crate::datatype::FieldType;
+use crate::profile::Profile;
+use crate::record::{Interval, IntervalType};
+use crate::value::{decode_value, encode_value, encoded_len, Value};
+
+/// Where a planned field's value comes from (encode) or goes (decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// The record type word (`itype`); consumed before decode dispatch.
+    RecType,
+    /// `Interval::start`.
+    Start,
+    /// `Interval::duration`.
+    Dura,
+    /// `Interval::cpu`.
+    Cpu,
+    /// `Interval::node`.
+    Node,
+    /// `Interval::thread`.
+    Thread,
+    /// An extra field, matched by name index.
+    Extra,
+}
+
+/// One mask-filtered field of a record plan.
+#[derive(Debug, Clone)]
+pub struct PlanField {
+    /// Dispatch target.
+    pub kind: FieldKind,
+    /// Field name index in the profile (extras key).
+    pub name_idx: u16,
+    /// Field name, kept for error messages only.
+    pub name: String,
+    /// Element type.
+    pub ftype: FieldType,
+    /// Whether the field is a counted vector.
+    pub vector: bool,
+    /// Vector counter width in bytes.
+    pub counter_len: u8,
+}
+
+/// The compiled plan for one record type under one selection mask.
+#[derive(Debug, Clone)]
+pub struct RecordPlan {
+    /// The on-disk record type word this plan serves.
+    pub itype_raw: u32,
+    /// All mask-present fields in spec order (encode walks these).
+    encode_fields: Vec<PlanField>,
+    /// Mask-present fields after the leading record-type field (decode
+    /// walks these once the type word has been consumed).
+    decode_fields: Vec<PlanField>,
+    /// Body length when every present field is fixed-size.
+    fixed_len: Option<usize>,
+    /// Number of extras the decode walk produces — lets decode size the
+    /// extras vector exactly, one allocation, no growth.
+    extras_count: usize,
+    /// Whether the spec's first field is present under the mask — the
+    /// decode path requires the leading record-type word on disk.
+    first_present: bool,
+    /// True when every present field is a fixed-width scalar and the
+    /// leading record-type word is the 4 bytes the decoder consumes:
+    /// decode can then walk precomputed byte offsets with one length
+    /// check instead of a bounds-checked reader per field.
+    fixed_decode: bool,
+}
+
+impl RecordPlan {
+    /// Encoded body length of `iv` under this plan (cheap arithmetic; no
+    /// allocation, no string matching).
+    pub fn body_len(&self, iv: &Interval) -> Result<usize> {
+        if let Some(n) = self.fixed_len {
+            return Ok(n);
+        }
+        let mut total = 0usize;
+        let mut cursor = 0usize;
+        for f in &self.encode_fields {
+            if f.kind == FieldKind::Extra {
+                // Mirror the reference `body_len`: a missing extra counts
+                // as Uint(0) here and only errors at encode time.
+                let v = lookup_extra(iv, f.name_idx, &mut cursor);
+                total += match v {
+                    Some(v) => encoded_len(f.ftype, f.vector, f.counter_len, v),
+                    None => encoded_len(f.ftype, f.vector, f.counter_len, &Value::Uint(0)),
+                };
+            } else {
+                total += encoded_len(f.ftype, f.vector, f.counter_len, &Value::Uint(0));
+            }
+        }
+        Ok(total)
+    }
+
+    /// Encodes `iv`'s body **with its record-length prefix** directly
+    /// into `w` — the zero-intermediate-buffer replacement for
+    /// `encode_body` + `write_record`. On any error the writer is
+    /// restored to its starting position.
+    pub fn encode_record_into(&self, iv: &Interval, w: &mut ByteWriter) -> Result<()> {
+        let rollback = w.pos();
+        if let Some(len) = self.fixed_len {
+            if self.encode_fixed(iv, w, len) {
+                return Ok(());
+            }
+            // A missing or type-mismatched extra: rewind and let the
+            // general walk below produce the reference error.
+            w.truncate(rollback);
+        }
+        match self.encode_record_inner(iv, w) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                w.truncate(rollback);
+                Err(e)
+            }
+        }
+    }
+
+    /// The all-scalar encode walk: length prefix then direct puts, no
+    /// `Value` construction for the common slots. Returns `false` —
+    /// having written a prefix the caller must rewind — on any condition
+    /// the general walk reports as an error (missing extra, value that
+    /// does not fit its field type), so error text stays byte-identical
+    /// to the reference path.
+    fn encode_fixed(&self, iv: &Interval, w: &mut ByteWriter, len: usize) -> bool {
+        if len > u16::MAX as usize {
+            return false; // general walk reports the oversize error
+        }
+        if len > u8::MAX as usize || len == 0 {
+            w.put_u8(0);
+            w.put_u16(len as u16);
+        } else {
+            w.put_u8(len as u8);
+        }
+        let mut cursor = 0usize;
+        for f in &self.encode_fields {
+            let x: u64 = match f.kind {
+                FieldKind::RecType => iv.itype.to_u32() as u64,
+                FieldKind::Start => iv.start,
+                FieldKind::Dura => iv.duration,
+                FieldKind::Cpu => iv.cpu.raw() as u64,
+                FieldKind::Node => iv.node.raw() as u64,
+                FieldKind::Thread => iv.thread.raw() as u64,
+                FieldKind::Extra => match lookup_extra(iv, f.name_idx, &mut cursor) {
+                    Some(Value::Uint(x)) => *x,
+                    Some(Value::Int(x)) if f.ftype == FieldType::I64 => {
+                        w.put_i64(*x);
+                        continue;
+                    }
+                    Some(Value::Float(x)) if f.ftype == FieldType::F64 => {
+                        w.put_f64(*x);
+                        continue;
+                    }
+                    _ => return false,
+                },
+            };
+            match f.ftype {
+                FieldType::U8 | FieldType::Char => w.put_u8(x as u8),
+                FieldType::U16 => w.put_u16(x as u16),
+                FieldType::U32 => w.put_u32(x as u32),
+                FieldType::U64 => w.put_u64(x),
+                // An unsigned value in an I64/F64 slot: the reference
+                // walk rejects it.
+                FieldType::I64 | FieldType::F64 => return false,
+            }
+        }
+        true
+    }
+
+    fn encode_record_inner(&self, iv: &Interval, w: &mut ByteWriter) -> Result<()> {
+        let len = self.body_len(iv)?;
+        if len > u16::MAX as usize {
+            return Err(UteError::Invalid(format!(
+                "record body of {len} bytes exceeds 65535"
+            )));
+        }
+        if len <= u8::MAX as usize && len > 0 {
+            w.put_u8(len as u8);
+        } else {
+            w.put_u8(0);
+            w.put_u16(len as u16);
+        }
+        let body_at = w.pos();
+        let mut cursor = 0usize;
+        for f in &self.encode_fields {
+            let owned;
+            let value: &Value = match f.kind {
+                FieldKind::RecType => {
+                    owned = Value::Uint(iv.itype.to_u32() as u64);
+                    &owned
+                }
+                FieldKind::Start => {
+                    owned = Value::Uint(iv.start);
+                    &owned
+                }
+                FieldKind::Dura => {
+                    owned = Value::Uint(iv.duration);
+                    &owned
+                }
+                FieldKind::Cpu => {
+                    owned = Value::Uint(iv.cpu.raw() as u64);
+                    &owned
+                }
+                FieldKind::Node => {
+                    owned = Value::Uint(iv.node.raw() as u64);
+                    &owned
+                }
+                FieldKind::Thread => {
+                    owned = Value::Uint(iv.thread.raw() as u64);
+                    &owned
+                }
+                FieldKind::Extra => lookup_extra(iv, f.name_idx, &mut cursor).ok_or_else(|| {
+                    UteError::Invalid(format!(
+                        "interval of type {} missing required field {}",
+                        iv.itype.state, f.name
+                    ))
+                })?,
+            };
+            encode_value(w, f.ftype, f.vector, f.counter_len, value)?;
+        }
+        let written = (w.pos() - body_at) as usize;
+        if written != len {
+            return Err(UteError::Invalid(format!(
+                "planned body length {len} but encoded {written} bytes"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes a record body previously sized by [`read_record`]'s length
+    /// prefix. `body` starts at the record-type word. Produces exactly
+    /// what [`Interval::decode_body`] produces for the same input.
+    ///
+    /// [`read_record`]: crate::record::read_record
+    pub fn decode_body(&self, body: &[u8], default_node: NodeId) -> Result<Interval> {
+        // Offset-walk fast path for all-scalar records of exactly the
+        // planned length. Any other length falls through to the reader
+        // path, which reports the same truncation / trailing-bytes
+        // errors the reference decoder always has.
+        if self.fixed_decode && Some(body.len()) == self.fixed_len {
+            return self.decode_body_fixed(body, default_node);
+        }
+        let mut r = ByteReader::new(body);
+        let itype_raw = r.get_u32()?;
+        let itype = IntervalType::from_u32(itype_raw)?;
+        if !self.first_present {
+            return Err(UteError::corrupt("recType field masked out"));
+        }
+        let mut out = Interval::basic(itype, 0, 0, CpuId(0), default_node, LogicalThreadId(0));
+        out.extras = Vec::with_capacity(self.extras_count);
+        for f in &self.decode_fields {
+            let v = decode_value(&mut r, f.ftype, f.vector, f.counter_len)?;
+            match f.kind {
+                FieldKind::Start => out.start = v.as_uint().unwrap_or(0),
+                FieldKind::Dura => out.duration = v.as_uint().unwrap_or(0),
+                FieldKind::Cpu => out.cpu = CpuId(v.as_uint().unwrap_or(0) as u16),
+                FieldKind::Node => out.node = NodeId(v.as_uint().unwrap_or(0) as u16),
+                FieldKind::Thread => out.thread = LogicalThreadId(v.as_uint().unwrap_or(0) as u16),
+                _ => out.extras.push((f.name_idx, v)),
+            }
+        }
+        if !r.is_empty() {
+            return Err(UteError::corrupt(format!(
+                "record body has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// The all-scalar decode walk: one length check up front (done by the
+    /// caller), then direct little-endian reads at precomputed offsets.
+    /// Field-for-field this computes exactly what the reader path does —
+    /// same `Value` per field, same `as_uint` widening into the common
+    /// slots — it only skips the per-field bounds bookkeeping.
+    fn decode_body_fixed(&self, body: &[u8], default_node: NodeId) -> Result<Interval> {
+        let itype_raw = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+        let itype = IntervalType::from_u32(itype_raw)?;
+        let mut out = Interval::basic(itype, 0, 0, CpuId(0), default_node, LogicalThreadId(0));
+        out.extras = Vec::with_capacity(self.extras_count);
+        let mut off = 4usize;
+        for f in &self.decode_fields {
+            let w = f.ftype.elem_len() as usize;
+            let b = &body[off..off + w];
+            off += w;
+            let v = match f.ftype {
+                FieldType::U8 | FieldType::Char => Value::Uint(b[0] as u64),
+                FieldType::U16 => Value::Uint(u16::from_le_bytes([b[0], b[1]]) as u64),
+                FieldType::U32 => Value::Uint(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64),
+                FieldType::U64 => Value::Uint(u64::from_le_bytes(b.try_into().unwrap())),
+                FieldType::I64 => Value::Int(i64::from_le_bytes(b.try_into().unwrap())),
+                FieldType::F64 => Value::Float(f64::from_le_bytes(b.try_into().unwrap())),
+            };
+            match f.kind {
+                FieldKind::Start => out.start = v.as_uint().unwrap_or(0),
+                FieldKind::Dura => out.duration = v.as_uint().unwrap_or(0),
+                FieldKind::Cpu => out.cpu = CpuId(v.as_uint().unwrap_or(0) as u16),
+                FieldKind::Node => out.node = NodeId(v.as_uint().unwrap_or(0) as u16),
+                FieldKind::Thread => out.thread = LogicalThreadId(v.as_uint().unwrap_or(0) as u16),
+                _ => out.extras.push((f.name_idx, v)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Finds an extra by name index. `cursor` exploits that both the
+/// converter and the decoder push extras in spec order, so the common
+/// case is a single comparison; out-of-order extras fall back to a
+/// linear scan without disturbing the cursor.
+#[inline]
+fn lookup_extra<'a>(iv: &'a Interval, name_idx: u16, cursor: &mut usize) -> Option<&'a Value> {
+    if let Some((i, v)) = iv.extras.get(*cursor) {
+        if *i == name_idx {
+            *cursor += 1;
+            return Some(v);
+        }
+    }
+    iv.extras
+        .iter()
+        .find(|(i, _)| *i == name_idx)
+        .map(|(_, v)| v)
+}
+
+/// All record plans for one `(profile, mask)` pair, keyed by the on-disk
+/// record type word.
+pub struct PlanSet {
+    plans: Vec<RecordPlan>,
+    /// Last plan index hit — record streams run the same type for long
+    /// stretches, so this turns most lookups into one comparison.
+    last: AtomicUsize,
+}
+
+impl PlanSet {
+    /// Compiles plans for every resolvable record spec in the profile.
+    /// Specs referencing out-of-range field names get no plan; users fall
+    /// back to the reference path for those (and its exact errors).
+    pub fn build(profile: &Profile, mask: u32) -> PlanSet {
+        let mut plans = Vec::with_capacity(profile.specs.len());
+        'spec: for (&itype_raw, spec) in &profile.specs {
+            let mut encode_fields = Vec::with_capacity(spec.fields.len());
+            let mut decode_fields = Vec::with_capacity(spec.fields.len());
+            let mut fixed_len = Some(0usize);
+            if spec.fields.is_empty() {
+                continue; // reference path reports "record spec has no fields"
+            }
+            let first_present = spec.fields[0].present_in(mask);
+            for (i, f) in spec.fields.iter().enumerate() {
+                if !f.present_in(mask) {
+                    continue;
+                }
+                let Some(name) = profile.field_names.get(f.name_idx as usize) else {
+                    continue 'spec; // unresolvable: reference path errors
+                };
+                let kind = match name.as_str() {
+                    "recType" => FieldKind::RecType,
+                    "start" => FieldKind::Start,
+                    "dura" => FieldKind::Dura,
+                    "cpu" => FieldKind::Cpu,
+                    "node" => FieldKind::Node,
+                    "thread" => FieldKind::Thread,
+                    _ => FieldKind::Extra,
+                };
+                let pf = PlanField {
+                    kind,
+                    name_idx: f.name_idx,
+                    name: name.clone(),
+                    ftype: f.ftype,
+                    vector: f.vector,
+                    counter_len: f.counter_len,
+                };
+                if f.vector {
+                    fixed_len = None;
+                } else if let Some(n) = fixed_len.as_mut() {
+                    *n += f.ftype.elem_len() as usize;
+                }
+                if i > 0 {
+                    // The decode path consumes the leading type word
+                    // itself; any later field named recType decodes by
+                    // the reference rules (i.e. as an extra).
+                    let mut df = pf.clone();
+                    if df.kind == FieldKind::RecType {
+                        df.kind = FieldKind::Extra;
+                    }
+                    decode_fields.push(df);
+                }
+                encode_fields.push(pf);
+            }
+            let extras_count = decode_fields
+                .iter()
+                .filter(|f| f.kind == FieldKind::Extra)
+                .count();
+            let first = &spec.fields[0];
+            let fixed_decode = fixed_len.is_some()
+                && first_present
+                && !first.vector
+                && first.ftype.elem_len() == 4;
+            plans.push(RecordPlan {
+                itype_raw,
+                encode_fields,
+                decode_fields,
+                fixed_len,
+                extras_count,
+                first_present,
+                fixed_decode,
+            });
+        }
+        plans.sort_by_key(|p| p.itype_raw);
+        PlanSet {
+            plans,
+            last: AtomicUsize::new(0),
+        }
+    }
+
+    /// The plan for a record type word, if one was compiled.
+    #[inline]
+    pub fn plan(&self, itype_raw: u32) -> Option<&RecordPlan> {
+        let last = self.last.load(Ordering::Relaxed);
+        if let Some(p) = self.plans.get(last) {
+            if p.itype_raw == itype_raw {
+                return Some(p);
+            }
+        }
+        let idx = self
+            .plans
+            .binary_search_by_key(&itype_raw, |p| p.itype_raw)
+            .ok()?;
+        self.last.store(idx, Ordering::Relaxed);
+        Some(&self.plans[idx])
+    }
+
+    /// Number of compiled plans (diagnostics).
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no specs could be compiled.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{MASK_MERGED, MASK_PER_NODE};
+    use crate::record::write_record;
+    use crate::state::StateCode;
+    use ute_core::bebits::BeBits;
+    use ute_core::event::MpiOp;
+
+    fn sample_intervals(p: &Profile) -> Vec<Interval> {
+        let mut out = vec![Interval::basic(
+            IntervalType::complete(StateCode::RUNNING),
+            5,
+            10,
+            CpuId(1),
+            NodeId(3),
+            LogicalThreadId(2),
+        )];
+        out.push(
+            Interval::basic(
+                IntervalType {
+                    state: StateCode::mpi(MpiOp::Send),
+                    bebits: BeBits::Begin,
+                },
+                1_000,
+                250,
+                CpuId(3),
+                NodeId(2),
+                LogicalThreadId(5),
+            )
+            .with_extra(p, "rank", Value::Uint(4))
+            .with_extra(p, "peer", Value::Uint(1))
+            .with_extra(p, "tag", Value::Uint(99))
+            .with_extra(p, "msgSizeSent", Value::Uint(65536))
+            .with_extra(p, "seq", Value::Uint(7))
+            .with_extra(p, "address", Value::Uint(0xdead)),
+        );
+        out.push(
+            Interval::basic(
+                IntervalType::complete(StateCode::mpi(MpiOp::Waitall)),
+                10,
+                5,
+                CpuId(0),
+                NodeId(1),
+                LogicalThreadId(2),
+            )
+            .with_extra(p, "rank", Value::Uint(0))
+            .with_extra(p, "reqSeqs", Value::UintVec(vec![3, 4, 5, 6].into()))
+            .with_extra(p, "address", Value::Uint(0)),
+        );
+        out
+    }
+
+    #[test]
+    fn plan_encode_matches_reference_bytes() {
+        let p = Profile::standard();
+        for mask in [MASK_PER_NODE, MASK_MERGED] {
+            let plans = PlanSet::build(&p, mask);
+            for iv in sample_intervals(&p) {
+                let body = iv.encode_body(&p, mask).unwrap();
+                let mut reference = ByteWriter::new();
+                write_record(&mut reference, &body).unwrap();
+                let mut fast = ByteWriter::new();
+                let plan = plans.plan(iv.itype.to_u32()).unwrap();
+                plan.encode_record_into(&iv, &mut fast).unwrap();
+                assert_eq!(fast.as_bytes(), reference.as_bytes(), "mask {mask}");
+                assert_eq!(plan.body_len(&iv).unwrap(), body.len());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_decode_matches_reference_interval() {
+        let p = Profile::standard();
+        for (mask, default_node) in [(MASK_PER_NODE, NodeId(2)), (MASK_MERGED, NodeId(0))] {
+            let plans = PlanSet::build(&p, mask);
+            for iv in sample_intervals(&p) {
+                let body = iv.encode_body(&p, mask).unwrap();
+                let reference = Interval::decode_body(&p, mask, &body, default_node).unwrap();
+                let plan = plans.plan(iv.itype.to_u32()).unwrap();
+                let fast = plan.decode_body(&body, default_node).unwrap();
+                assert_eq!(fast, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_what_reference_rejects() {
+        let p = Profile::standard();
+        let plans = PlanSet::build(&p, MASK_MERGED);
+        // Missing required extra.
+        let iv = Interval::basic(
+            IntervalType::complete(StateCode::mpi(MpiOp::Send)),
+            0,
+            1,
+            CpuId(0),
+            NodeId(0),
+            LogicalThreadId(0),
+        );
+        let plan = plans.plan(iv.itype.to_u32()).unwrap();
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAA); // pre-existing content must survive the rollback
+        assert!(plan.encode_record_into(&iv, &mut w).is_err());
+        assert_eq!(w.as_bytes(), &[0xAA]);
+        // Trailing bytes.
+        let good = sample_intervals(&p).remove(1);
+        let mut body = good.encode_body(&p, MASK_MERGED).unwrap();
+        body.push(0);
+        let plan = plans.plan(good.itype.to_u32()).unwrap();
+        assert!(plan.decode_body(&body, NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn lookup_serves_every_standard_spec() {
+        let p = Profile::standard();
+        let plans = PlanSet::build(&p, MASK_MERGED);
+        assert_eq!(plans.len(), p.specs.len());
+        for &itype_raw in p.specs.keys() {
+            assert!(plans.plan(itype_raw).is_some());
+        }
+        assert!(plans.plan(0xffff_0000).is_none());
+    }
+}

@@ -11,6 +11,12 @@ use ute_core::error::{Result, UteError};
 use crate::datatype::FieldType;
 
 /// A decoded field value.
+///
+/// The vector variants box their payloads so a `Value` is 24 bytes
+/// instead of 32: values travel by the hundred-thousand inside
+/// [`crate::record::Interval`] through the reorder buffer and the k-way
+/// merge, where element size is memory traffic. Scalars — the
+/// overwhelming majority — never touch the heap either way.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Any unsigned scalar (U8/U16/U32/U64), widened.
@@ -20,11 +26,11 @@ pub enum Value {
     /// Floating-point scalar.
     Float(f64),
     /// A `Char` vector decoded as UTF-8 text.
-    Str(String),
+    Str(Box<str>),
     /// A vector of unsigned scalars, widened.
-    UintVec(Vec<u64>),
+    UintVec(Box<[u64]>),
     /// A vector of floats.
-    FloatVec(Vec<f64>),
+    FloatVec(Box<[f64]>),
 }
 
 impl Value {
@@ -195,14 +201,14 @@ pub fn decode_value(
             let bytes = r.get_bytes(n)?;
             let s = String::from_utf8(bytes.to_vec())
                 .map_err(|_| UteError::corrupt_at("char vector: invalid utf-8", pos))?;
-            Ok(Value::Str(s))
+            Ok(Value::Str(s.into()))
         }
         FieldType::F64 => {
             let mut xs = Vec::with_capacity(ute_core::codec::clamped_capacity(n, 8, r.remaining()));
             for _ in 0..n {
                 xs.push(r.get_f64()?);
             }
-            Ok(Value::FloatVec(xs))
+            Ok(Value::FloatVec(xs.into()))
         }
         t => {
             let mut xs = Vec::with_capacity(ute_core::codec::clamped_capacity(
@@ -220,7 +226,7 @@ pub fn decode_value(
                     }
                 }
             }
-            Ok(Value::UintVec(xs))
+            Ok(Value::UintVec(xs.into()))
         }
     }
 }
@@ -272,16 +278,26 @@ mod tests {
     #[test]
     fn vector_round_trips() {
         round_trip(FieldType::Char, true, 2, Value::Str("msgSizeSent".into()));
-        round_trip(FieldType::U64, true, 1, Value::UintVec(vec![1, 2, 3]));
-        round_trip(FieldType::U16, true, 4, Value::UintVec(vec![9; 100]));
-        round_trip(FieldType::F64, true, 2, Value::FloatVec(vec![1.5, -2.5]));
-        round_trip(FieldType::U32, true, 1, Value::UintVec(vec![]));
+        round_trip(
+            FieldType::U64,
+            true,
+            1,
+            Value::UintVec(vec![1, 2, 3].into()),
+        );
+        round_trip(FieldType::U16, true, 4, Value::UintVec(vec![9; 100].into()));
+        round_trip(
+            FieldType::F64,
+            true,
+            2,
+            Value::FloatVec(vec![1.5, -2.5].into()),
+        );
+        round_trip(FieldType::U32, true, 1, Value::UintVec(Vec::new().into()));
     }
 
     #[test]
     fn counter_overflow_rejected() {
         let mut w = ByteWriter::new();
-        let big = Value::UintVec(vec![0; 300]);
+        let big = Value::UintVec(vec![0; 300].into());
         assert!(encode_value(&mut w, FieldType::U8, true, 1, &big).is_err());
     }
 

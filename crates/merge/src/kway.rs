@@ -10,6 +10,14 @@
 //! (end time, stream index)). [`NaiveMerge`] is the straw-man that
 //! re-scans every stream head on each pop — kept for the ablation bench
 //! that shows why the paper bothered with a tree.
+//!
+//! [`LoserTreeMerge`] is the production merge: a tournament *loser tree*
+//! over the k stream heads. It pops in exactly the same `(end time,
+//! stream index)` order as the balanced tree — the jobs-determinism
+//! oracle depends on that — but a pop costs ⌈log₂ k⌉ integer-key
+//! comparisons along one root path with **zero allocation**, where every
+//! `BTreeMap` pop pays a node removal plus a node insertion. The
+//! balanced tree is kept as the reference for the merge ablation bench.
 
 use std::collections::BTreeMap;
 
@@ -68,6 +76,131 @@ impl<S: MergeSource> Iterator for BalancedTreeMerge<S> {
         // stream heads: ~log₂(k) key comparisons each.
         self.obs_comparisons
             .add(u64::from((self.tree.len() as u64).max(1).ilog2()) + 1);
+        Some(item)
+    }
+}
+
+/// Key of an exhausted stream: sorts after every live key, including a
+/// real record with `end == u64::MAX` (whose stream index is < MAX).
+const EXHAUSTED: (u64, usize) = (u64::MAX, usize::MAX);
+
+/// Tournament loser-tree k-way merge.
+///
+/// Layout (the classic array form, valid for any k ≥ 1, not just powers
+/// of two): leaf `i` sits at array position `k + i`; its parent is
+/// `(k + i) / 2`; internal node `n`'s children are `2n` and `2n + 1`;
+/// `tree[n]` for `n ≥ 1` stores the **loser** (a source index) of the
+/// match played at `n`, and `tree[0]` stores the overall winner.
+///
+/// Invariants:
+/// - `keys[i]` is `(end, i)` for source `i`'s buffered head, or
+///   [`EXHAUSTED`]; keys are totally ordered and distinct, so ties on
+///   end time resolve by stream index — the repo-wide determinism rule.
+/// - After every pop, only the winner's root path can have changed, and
+///   replaying that path (swap on loss, carry on win) restores the
+///   tournament — ⌈log₂ k⌉ comparisons, no allocation.
+/// - An exhausted source keeps playing (and losing) with its sentinel
+///   key, so the structure never shrinks or rebuilds; the merge is done
+///   when the winner's key is the sentinel.
+pub struct LoserTreeMerge<S: MergeSource> {
+    sources: Vec<S>,
+    /// Buffered head item per source (`None` once exhausted).
+    heads: Vec<Option<S::Item>>,
+    /// Sort key per source; `EXHAUSTED` once the stream runs dry.
+    keys: Vec<(u64, usize)>,
+    /// `tree[0]` = winner; `tree[1..k]` = losers per internal node.
+    tree: Vec<usize>,
+    obs_comparisons: &'static ute_obs::Counter,
+}
+
+impl<S: MergeSource> LoserTreeMerge<S> {
+    /// Builds the tournament, priming one head per source.
+    pub fn new(mut sources: Vec<S>) -> Self {
+        let k = sources.len();
+        let mut heads = Vec::with_capacity(k);
+        let mut keys = Vec::with_capacity(k);
+        for (i, s) in sources.iter_mut().enumerate() {
+            match s.next_item() {
+                Some(item) => {
+                    keys.push((S::end_of(&item), i));
+                    heads.push(Some(item));
+                }
+                None => {
+                    keys.push(EXHAUSTED);
+                    heads.push(None);
+                }
+            }
+        }
+        // Bottom-up tournament: winners[pos] is the winning source of
+        // the subtree at array position pos (leaves k..2k are sources).
+        let mut tree = vec![0usize; k.max(1)];
+        if k > 0 {
+            let mut winners = vec![0usize; 2 * k];
+            for (i, slot) in winners[k..].iter_mut().enumerate() {
+                *slot = i;
+            }
+            for n in (1..k).rev() {
+                let a = winners[2 * n];
+                let b = winners[2 * n + 1];
+                if keys[a] < keys[b] {
+                    winners[n] = a;
+                    tree[n] = b;
+                } else {
+                    winners[n] = b;
+                    tree[n] = a;
+                }
+            }
+            tree[0] = if k == 1 { 0 } else { winners[1] };
+        }
+        ute_obs::gauge("merge/heap_size_max").set_max(k as f64);
+        LoserTreeMerge {
+            sources,
+            heads,
+            keys,
+            tree,
+            obs_comparisons: ute_obs::counter("merge/comparisons"),
+        }
+    }
+
+    /// Replays the root path from leaf `from` after its key changed.
+    #[inline]
+    fn replay(&mut self, from: usize) {
+        let k = self.keys.len();
+        let mut winner = from;
+        let mut node = (k + from) / 2;
+        let mut comparisons = 0u64;
+        while node > 0 {
+            comparisons += 1;
+            if self.keys[self.tree[node]] < self.keys[winner] {
+                std::mem::swap(&mut self.tree[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+        self.obs_comparisons.add(comparisons);
+    }
+}
+
+impl<S: MergeSource> Iterator for LoserTreeMerge<S> {
+    type Item = S::Item;
+
+    fn next(&mut self) -> Option<S::Item> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let w = self.tree[0];
+        if self.keys[w] == EXHAUSTED {
+            return None;
+        }
+        let item = self.heads[w].take().expect("winner has a head");
+        match self.sources[w].next_item() {
+            Some(next) => {
+                self.keys[w] = (S::end_of(&next), w);
+                self.heads[w] = Some(next);
+            }
+            None => self.keys[w] = EXHAUSTED,
+        }
+        self.replay(w);
         Some(item)
     }
 }
@@ -173,6 +306,77 @@ mod tests {
     fn empty_everything() {
         let out: Vec<(u64, u64)> = BalancedTreeMerge::new(Vec::<VecSource>::new()).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn loser_tree_agrees_with_balanced_tree() {
+        let a: Vec<(u64, u64)> = BalancedTreeMerge::new(streams()).collect();
+        let b: Vec<(u64, u64)> = LoserTreeMerge::new(streams()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loser_tree_ties_resolved_by_stream_index() {
+        let s = vec![
+            VecSource::new(vec![(5, 100), (5, 101)]),
+            VecSource::new(vec![(5, 200)]),
+            VecSource::new(vec![(5, 300), (5, 301)]),
+        ];
+        let out: Vec<(u64, u64)> = LoserTreeMerge::new(s).collect();
+        // All ends equal: every record of stream 0 drains before stream 1
+        // sees the light, etc. — the (end, source index) total order.
+        assert_eq!(out, vec![(5, 100), (5, 101), (5, 200), (5, 300), (5, 301)]);
+    }
+
+    #[test]
+    fn loser_tree_degenerate_shapes() {
+        // k = 0
+        let out: Vec<(u64, u64)> = LoserTreeMerge::new(Vec::<VecSource>::new()).collect();
+        assert!(out.is_empty());
+        // k = 1
+        let out: Vec<(u64, u64)> =
+            LoserTreeMerge::new(vec![VecSource::new(vec![(1, 1), (2, 2)])]).collect();
+        assert_eq!(out, vec![(1, 1), (2, 2)]);
+        // all sources empty
+        let out: Vec<(u64, u64)> =
+            LoserTreeMerge::new(vec![VecSource::new(vec![]), VecSource::new(vec![])]).collect();
+        assert!(out.is_empty());
+        // max end-time record still merges ahead of exhausted sentinels
+        let out: Vec<(u64, u64)> = LoserTreeMerge::new(vec![
+            VecSource::new(vec![(u64::MAX, 7)]),
+            VecSource::new(vec![(3, 1)]),
+        ])
+        .collect();
+        assert_eq!(out, vec![(3, 1), (u64::MAX, 7)]);
+    }
+
+    #[test]
+    fn loser_tree_matches_balanced_for_every_stream_count() {
+        // Exercise every non-power-of-two shape up to 17 sources.
+        let mut state = 0xfeed_f00du64;
+        let mut xorshift = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in 1..=17usize {
+            let streams: Vec<Vec<(u64, u64)>> = (0..k)
+                .map(|_| {
+                    let n = (xorshift() % 40) as usize;
+                    let mut v: Vec<(u64, u64)> =
+                        (0..n).map(|_| (xorshift() % 50, xorshift())).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let a: Vec<(u64, u64)> =
+                BalancedTreeMerge::new(streams.iter().cloned().map(VecSource::new).collect())
+                    .collect();
+            let b: Vec<(u64, u64)> =
+                LoserTreeMerge::new(streams.into_iter().map(VecSource::new).collect()).collect();
+            assert_eq!(a, b, "divergence at k={k}");
+        }
     }
 
     #[test]

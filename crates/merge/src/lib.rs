@@ -23,15 +23,17 @@
 pub mod clockfit;
 pub mod kway;
 pub mod merger;
+pub mod shard;
 pub mod stream;
 
 pub use clockfit::{
     clock_samples_of, extract_clock_samples, fit_node, fit_node_intervals, NodeFit,
 };
-pub use kway::{BalancedTreeMerge, MergeSource, NaiveMerge};
+pub use kway::{BalancedTreeMerge, LoserTreeMerge, MergeSource, NaiveMerge};
 pub use merger::{
     absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, degrade_node,
     gap_record, merge_files, salvage_warn, slogmerge, write_merged_stream, IvSource, MergeOptions,
     MergeOutput, MergeStats,
 };
+pub use shard::{merge_sharded, plan_boundaries, split_stream};
 pub use stream::{ReorderBuffer, REORDER_WINDOW};

@@ -18,7 +18,7 @@ use crate::stream::ReorderBuffer;
 
 /// The merged stream plus the tables needed to write or visualize it.
 type MergedStream = (Vec<Interval>, ThreadTable, Vec<(u32, String)>, MergeStats);
-use crate::kway::{BalancedTreeMerge, MergeSource};
+use crate::kway::{LoserTreeMerge, MergeSource};
 
 /// Merge configuration.
 #[derive(Debug, Clone)]
@@ -91,7 +91,7 @@ pub struct MergeOutput {
 /// A [`MergeSource`] over an in-memory, end-ordered interval vector —
 /// the serial path's per-node cursor. The parallel path uses a
 /// channel-fed source instead (`ute-pipeline`), feeding the same
-/// [`BalancedTreeMerge`].
+/// [`LoserTreeMerge`].
 pub struct IvSource {
     items: std::vec::IntoIter<Interval>,
 }
@@ -321,7 +321,7 @@ fn merge_core(files: &[&[u8]], profile: &Profile, opts: &MergeOptions) -> Result
     }
 
     markers.sort_by_key(|(id, _)| *id);
-    let merged: Vec<Interval> = BalancedTreeMerge::new(sources).collect();
+    let merged: Vec<Interval> = LoserTreeMerge::new(sources).collect();
     Ok((merged, union_threads, markers, stats))
 }
 

@@ -1,0 +1,214 @@
+//! Sharded k-way merge: partition the merged time line by end *value*
+//! into half-open ranges, merge each shard independently, and stitch the
+//! shard outputs back to back.
+//!
+//! The global merge orders records by `(end time, source index)`. Because
+//! end time is the primary key, every record with end in `[lo, hi)`
+//! precedes every record with end `>= hi` in the global sequence; and
+//! because the ranges are half-open on end *values*, every equal-end tie
+//! lands inside one shard, where the per-shard [`LoserTreeMerge`] breaks
+//! it by the same source index. The concatenation of per-shard merges is
+//! therefore *exactly* the global merge sequence — independent of where
+//! the boundaries fall, how many shards there are, or how many workers
+//! ran them. That invariant is what lets `ute-pipeline` merge shards in
+//! parallel and still emit byte-identical output at any `--jobs`.
+//!
+//! Boundaries are planned from end-time samples taken at the
+//! frame-directory stride (`max_records_per_frame × max_frames_per_dir`),
+//! so each shard covers roughly a directory-aligned slice of the output
+//! file — the same granularity the reader seeks by.
+
+use ute_format::record::Interval;
+
+use crate::kway::LoserTreeMerge;
+use crate::merger::IvSource;
+
+/// Plans up to `shards - 1` interior boundary end values from per-stream
+/// end-time samples taken every `stride` records. Returns a sorted,
+/// deduplicated, strictly-increasing boundary list; fewer boundaries (or
+/// none) when the data's end-time spread cannot support `shards` distinct
+/// cuts. Any boundary list — including an empty or badly skewed one — is
+/// correct; planning only affects balance.
+pub fn plan_boundaries(streams: &[Vec<Interval>], stride: usize, shards: usize) -> Vec<u64> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let stride = stride.max(1);
+    let mut samples: Vec<u64> = Vec::new();
+    for s in streams {
+        let mut i = 0;
+        while i < s.len() {
+            samples.push(s[i].end());
+            i += stride;
+        }
+    }
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_unstable();
+    let mut bounds: Vec<u64> = (1..shards)
+        .map(|j| samples[(j * samples.len() / shards).min(samples.len() - 1)])
+        .collect();
+    bounds.dedup();
+    // A boundary at or below the global minimum only creates an empty
+    // leading shard; drop it so shard 0 always has a chance at work.
+    let min_end = samples[0];
+    bounds.retain(|&b| b > min_end);
+    bounds
+}
+
+/// Splits one end-ordered stream into `boundaries.len() + 1` contiguous
+/// owned segments: segment 0 holds ends in `[0, boundaries[0])`, segment
+/// `s` holds `[boundaries[s-1], boundaries[s])`, and the last segment is
+/// unbounded above. Records are moved, never cloned, and each segment
+/// preserves the stream's order.
+pub fn split_stream(mut items: Vec<Interval>, boundaries: &[u64]) -> Vec<Vec<Interval>> {
+    let mut out = Vec::with_capacity(boundaries.len() + 1);
+    for &b in boundaries.iter().rev() {
+        let at = items.partition_point(|iv| iv.end() < b);
+        out.push(items.split_off(at));
+    }
+    out.push(items);
+    out.reverse();
+    out
+}
+
+/// The serial reference for the sharded merge: splits every stream at
+/// `boundaries`, merges each shard with a [`LoserTreeMerge`] (sources in
+/// stream order, so ties break identically), and concatenates the shard
+/// outputs in shard order.
+///
+/// This function states the stitch equivalence the parallel pipeline
+/// relies on — its tests prove `merge_sharded(streams, ANY boundaries)`
+/// equals the unsharded global merge. `ute-pipeline` runs the same
+/// per-shard merges on worker threads and stitches their channels.
+pub fn merge_sharded(streams: Vec<Vec<Interval>>, boundaries: &[u64]) -> Vec<Interval> {
+    let nshards = boundaries.len() + 1;
+    // seg[shard][stream]: transpose of per-stream splits.
+    let mut seg: Vec<Vec<Vec<Interval>>> = (0..nshards).map(|_| Vec::new()).collect();
+    for stream in streams {
+        for (s, part) in split_stream(stream, boundaries).into_iter().enumerate() {
+            seg[s].push(part);
+        }
+    }
+    let mut out = Vec::new();
+    for shard in seg {
+        let sources: Vec<IvSource> = shard.into_iter().map(IvSource::new).collect();
+        out.extend(LoserTreeMerge::new(sources));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ute_core::ids::{CpuId, LogicalThreadId, NodeId};
+    use ute_format::record::IntervalType;
+    use ute_format::state::StateCode;
+
+    fn iv(end: u64, node: u16) -> Interval {
+        Interval::basic(
+            IntervalType::complete(StateCode::RUNNING),
+            end,
+            0,
+            CpuId(0),
+            NodeId(node),
+            LogicalThreadId(0),
+        )
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn global_merge(streams: Vec<Vec<Interval>>) -> Vec<Interval> {
+        let sources: Vec<IvSource> = streams.into_iter().map(IvSource::new).collect();
+        LoserTreeMerge::new(sources).collect()
+    }
+
+    #[test]
+    fn split_stream_is_half_open_on_end_values() {
+        let stream = vec![iv(1, 0), iv(5, 0), iv(5, 0), iv(5, 0), iv(9, 0)];
+        // Boundary exactly on the tie value: every end==5 record falls in
+        // the *right* segment, together — ties never straddle a cut.
+        let parts = split_stream(stream, &[5]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].iter().map(|v| v.end()).collect::<Vec<_>>(), [1]);
+        assert_eq!(
+            parts[1].iter().map(|v| v.end()).collect::<Vec<_>>(),
+            [5, 5, 5, 9]
+        );
+        // Reassembling the segments gives back the original stream.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn sharded_merge_equals_global_for_any_boundaries() {
+        let mut state = 0xabad_cafeu64;
+        for trial in 0..30 {
+            let k = 1 + (xorshift(&mut state) % 9) as usize;
+            let streams: Vec<Vec<Interval>> = (0..k)
+                .map(|n| {
+                    let len = (xorshift(&mut state) % 60) as usize;
+                    let mut ends: Vec<u64> = (0..len).map(|_| xorshift(&mut state) % 40).collect();
+                    ends.sort_unstable();
+                    ends.into_iter().map(|e| iv(e, n as u16)).collect()
+                })
+                .collect();
+            // Random boundaries, deliberately including values that are
+            // live tie ends, duplicates of each other after dedup, and
+            // values outside the data range.
+            let nb = (xorshift(&mut state) % 5) as usize;
+            let mut bounds: Vec<u64> = (0..nb).map(|_| xorshift(&mut state) % 50).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let expect = global_merge(streams.clone());
+            let got = merge_sharded(streams, &bounds);
+            assert_eq!(
+                expect.len(),
+                got.len(),
+                "trial {trial}: length mismatch with bounds {bounds:?}"
+            );
+            assert_eq!(expect, got, "trial {trial}: order diverged at {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn all_equal_ends_stay_in_shard_and_in_source_order() {
+        let streams: Vec<Vec<Interval>> = (0..4)
+            .map(|n| vec![iv(7, n as u16), iv(7, n as u16)])
+            .collect();
+        let expect = global_merge(streams.clone());
+        // Cut exactly at the tie value and on both sides of it.
+        for bounds in [&[7u64][..], &[6, 7, 8][..], &[7, 7][..]] {
+            let got = merge_sharded(streams.clone(), bounds);
+            assert_eq!(expect, got, "bounds {bounds:?}");
+        }
+        // Ties drain whole streams in source order.
+        let nodes: Vec<u16> = expect.iter().map(|v| v.node.raw()).collect();
+        assert_eq!(nodes, [0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn plan_boundaries_spreads_cuts_and_handles_degenerates() {
+        let streams: Vec<Vec<Interval>> = (0..2)
+            .map(|n| (0..1000).map(|i| iv(i * 10, n as u16)).collect())
+            .collect();
+        let bounds = plan_boundaries(&streams, 8, 4);
+        assert_eq!(bounds.len(), 3, "{bounds:?}");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        assert!(bounds[0] > 0 && bounds[2] < 9990, "{bounds:?}");
+        // Degenerates: one shard, no data, constant ends.
+        assert!(plan_boundaries(&streams, 8, 1).is_empty());
+        assert!(plan_boundaries(&[], 8, 4).is_empty());
+        let flat: Vec<Vec<Interval>> = vec![(0..100).map(|_| iv(5, 0)).collect()];
+        assert!(
+            plan_boundaries(&flat, 4, 4).is_empty(),
+            "constant ends admit no interior cut"
+        );
+    }
+}

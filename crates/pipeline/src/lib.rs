@@ -10,7 +10,7 @@
 //!   which includes the §2.2 clock fit). CPU concurrency is bounded by a
 //!   [`pool::Semaphore`] with `jobs` permits.
 //! * **Streaming** — each worker feeds its end-ordered interval stream
-//!   into the k-way [`ute_merge::BalancedTreeMerge`] through a bounded
+//!   into the k-way [`ute_merge::LoserTreeMerge`] through a bounded
 //!   channel ([`source::ChannelSource`]), so the merge and the merged
 //!   file writer overlap upstream conversion instead of waiting for all
 //!   nodes.
@@ -47,8 +47,9 @@ use ute_format::record::Interval;
 use ute_format::thread_table::ThreadTable;
 use ute_merge::clockfit::NodeFit;
 use ute_merge::{
-    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, write_merged_stream,
-    BalancedTreeMerge, MergeOptions, MergeOutput, MergeStats,
+    absorb_file_header, absorb_header_tables, adjust_intervals, adjust_node, plan_boundaries,
+    split_stream, write_merged_stream, IvSource, LoserTreeMerge, MergeOptions, MergeOutput,
+    MergeStats,
 };
 use ute_rawtrace::file::RawTraceFile;
 use ute_slog::builder::{BuildOptions, SlogBuilder};
@@ -202,7 +203,7 @@ fn merge_streamed<T: Send>(
     profile: &Profile,
     opts: &MergeOptions,
     jobs: usize,
-    consume: impl FnOnce(BalancedTreeMerge<ChannelSource<'_>>) -> Result<T>,
+    consume: impl FnOnce(LoserTreeMerge<ChannelSource<'_>>) -> Result<T>,
 ) -> Result<(Vec<WorkerFit>, T)> {
     let sem = Semaphore::new(jobs);
     let depth = AtomicI64::new(0);
@@ -228,7 +229,7 @@ fn merge_streamed<T: Send>(
         }
         let consumed = {
             let _span = ute_obs::Span::enter("pipeline", "merge consumer");
-            consume(BalancedTreeMerge::new(sources))
+            consume(LoserTreeMerge::new(sources))
         };
         let workers: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         (workers, consumed)
@@ -558,7 +559,7 @@ pub fn convert_and_merge(
                 &union_threads,
                 &markers,
                 mopts,
-                BalancedTreeMerge::new(sources),
+                LoserTreeMerge::new(sources),
                 &mut stats,
             )
         })();
@@ -583,6 +584,210 @@ pub fn convert_and_merge(
     Ok(PipelineOutput {
         converted,
         merged: MergeOutput { merged, stats },
+    })
+}
+
+/// One node's phase-A worker for the sharded pipeline: convert and
+/// clock-adjust under a CPU permit, materializing the adjusted stream
+/// instead of streaming it over a channel. Salvage semantics mirror
+/// [`produce_converted`] exactly: a node that fails conversion
+/// contributes no header and no records; one that converts but fails
+/// adjustment contributes its real header and no records — so the same
+/// nodes degrade, and the same bytes come out, at every `jobs` value.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn convert_adjust_materialized(
+    file: &RawTraceFile,
+    threads: &ThreadTable,
+    profile: &Profile,
+    markers: &MarkerMap,
+    copts: &ConvertOptions,
+    mopts: &MergeOptions,
+    sem: &Semaphore,
+    parent: u64,
+) -> Result<(Option<ConvertOutput>, HeaderMsg, WorkerFit, Vec<Interval>)> {
+    let _permit = sem.acquire();
+    let node_raw = file.node.raw();
+    let _span = ute_obs::Span::enter_under(
+        "pipeline",
+        format!("convert worker node {node_raw}"),
+        parent,
+    );
+    let who = format!("node {node_raw}");
+    let convert = || {
+        let mut tapped: Vec<Interval> = Vec::new();
+        let out = convert_node_tapped(file, threads, profile, markers, copts, &mut |iv| {
+            testhook::fire(node_raw);
+            tapped.push(iv.clone())
+        })?;
+        Ok((out, tapped))
+    };
+    let converted = if mopts.salvage {
+        salvage_attempt(convert, &who)
+    } else {
+        Some(convert()?)
+    };
+    let Some((out, tapped)) = converted else {
+        return Ok((None, None, None, Vec::new()));
+    };
+    let node_table = node_threads(threads, file.node);
+    let header = Some((node_table.clone(), markers.table().to_vec()));
+    if !mopts.salvage {
+        let mut adjusted = Vec::new();
+        let fit = adjust_intervals(node_raw, &node_table, tapped, profile, mopts, |iv| {
+            adjusted.push(iv);
+            Ok(())
+        })?;
+        return Ok((Some(out), header, Some(fit), adjusted));
+    }
+    let adjust = || {
+        let mut adjusted = Vec::new();
+        let fit = adjust_intervals(
+            node_raw,
+            &node_table,
+            tapped.clone(),
+            profile,
+            mopts,
+            |iv| {
+                adjusted.push(iv);
+                Ok(())
+            },
+        )?;
+        Ok((adjusted, fit))
+    };
+    match salvage_attempt(adjust, &who) {
+        Some((adjusted, fit)) => Ok((Some(out), header, Some(fit), adjusted)),
+        None => Ok((Some(out), header, None, Vec::new())),
+    }
+}
+
+/// The two-phase *sharded* variant of [`convert_and_merge`]: phase A
+/// converts and clock-adjusts every node in parallel, materializing each
+/// node's end-ordered stream; phase B plans time-range shard boundaries
+/// at the frame-directory stride ([`plan_boundaries`]), merges each
+/// shard on its own worker, and stitches the shard outputs — strictly in
+/// shard order — into the single merged writer while later shards are
+/// still merging.
+///
+/// Where [`convert_and_merge`] parallelizes conversion but funnels the
+/// k-way merge through one consumer thread, this path parallelizes the
+/// merge itself. Output is byte-identical to [`convert_and_merge`] (and
+/// to staged serial convert-then-merge) at every `jobs` value: the
+/// half-open shard partition keeps every equal-end tie inside one shard
+/// (see [`ute_merge::shard`]), so the stitched sequence — and therefore
+/// every frame boundary and §3.3 pseudo-record the writer derives from
+/// it — is exactly the global merge sequence.
+pub fn convert_and_merge_sharded(
+    files: &[RawTraceFile],
+    threads: &ThreadTable,
+    profile: &Profile,
+    copts: &ConvertOptions,
+    mopts: &MergeOptions,
+    jobs: usize,
+) -> Result<PipelineOutput> {
+    if jobs <= 1 || files.len() <= 1 {
+        return convert_and_merge(files, threads, profile, copts, mopts, jobs);
+    }
+    let marker_map = MarkerMap::build(files)?;
+    let sem = Semaphore::new(jobs);
+    ute_obs::gauge("pipeline/jobs").set(jobs as f64);
+    let parent = ute_obs::current_span();
+    // Phase A: fan out one convert+adjust worker per node.
+    let parts = cb_thread::scope(|s| {
+        let sem = &sem;
+        let marker_map = &marker_map;
+        let handles: Vec<_> = files
+            .iter()
+            .map(|file| {
+                s.spawn(move |_| {
+                    convert_adjust_materialized(
+                        file, threads, profile, marker_map, copts, mopts, sem, parent,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+    })
+    .map_err(|_| UteError::Invalid("pipeline scope panicked".into()))?;
+    let mut stats = MergeStats::default();
+    let mut union_threads = ThreadTable::new();
+    let mut markers: Vec<(u32, String)> = Vec::new();
+    let mut converted = Vec::with_capacity(files.len());
+    let mut streams: Vec<Vec<Interval>> = Vec::with_capacity(files.len());
+    // Input order throughout: header absorption and stream order (the
+    // merge's tie-break) are both defined by it.
+    for joined in parts {
+        let (out, header, fit, adjusted) =
+            joined.map_err(|_| UteError::Invalid("pipeline worker panicked".into()))??;
+        if let Some((t, m)) = header {
+            absorb_header_tables(&t, &m, &mut union_threads, &mut markers)?;
+        }
+        match fit {
+            Some((nf, records_in)) => {
+                stats.records_in += records_in;
+                stats.fits.push(nf);
+            }
+            None => stats.nodes_degraded += 1,
+        }
+        if let Some(out) = out {
+            converted.push(out);
+        }
+        if !adjusted.is_empty() {
+            streams.push(adjusted);
+        }
+    }
+    markers.sort_by_key(|(id, _)| *id);
+    // Phase B: partition the time line at the frame-directory stride and
+    // merge each shard on its own worker.
+    let stride = mopts
+        .policy
+        .max_records_per_frame
+        .saturating_mul(mopts.policy.max_frames_per_dir);
+    let boundaries = plan_boundaries(&streams, stride, jobs);
+    let nshards = boundaries.len() + 1;
+    ute_obs::gauge("pipeline/merge_shards").set(nshards as f64);
+    let mut seg: Vec<Vec<Vec<Interval>>> = (0..nshards).map(|_| Vec::new()).collect();
+    for stream in streams {
+        for (sh, part) in split_stream(stream, &boundaries).into_iter().enumerate() {
+            seg[sh].push(part);
+        }
+    }
+    let merged_bytes = cb_thread::scope(|s| {
+        let sem = &sem;
+        let handles: Vec<_> = seg
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                s.spawn(move |_| {
+                    let _permit = sem.acquire();
+                    let _span =
+                        ute_obs::Span::enter_under("pipeline", format!("merge shard {i}"), parent);
+                    let sources: Vec<IvSource> = shard.into_iter().map(IvSource::new).collect();
+                    LoserTreeMerge::new(sources).collect::<Vec<Interval>>()
+                })
+            })
+            .collect();
+        // Stitch: consume shard outputs strictly in shard order; shard
+        // s+1 keeps merging while shard s is being written.
+        let _span = ute_obs::Span::enter("pipeline", "sharded stitch");
+        let stitched = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard merge worker panicked"));
+        write_merged_stream(
+            profile,
+            &union_threads,
+            &markers,
+            mopts,
+            stitched,
+            &mut stats,
+        )
+    })
+    .map_err(|_| UteError::Invalid("pipeline scope panicked".into()))??;
+    Ok(PipelineOutput {
+        converted,
+        merged: MergeOutput {
+            merged: merged_bytes,
+            stats,
+        },
     })
 }
 
@@ -714,6 +919,59 @@ mod tests {
             assert_eq!(staged.converted.len(), fused.converted.len());
             for (a, b) in staged.converted.iter().zip(&fused.converted) {
                 assert_eq!(a.node, b.node);
+                assert_eq!(a.interval_file, b.interval_file);
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_streamed_and_serial() -> Result<()> {
+        let w = micro::sendrecv_shift(5, 6, 4 << 10);
+        let result = Simulator::new(w.config, &w.job)?.run()?;
+        let profile = Profile::standard();
+        // Tiny frames so shard boundaries land at many frame edges.
+        let copts = ConvertOptions {
+            policy: FramePolicy {
+                max_records_per_frame: 32,
+                max_frames_per_dir: 2,
+            },
+            ..ConvertOptions::default()
+        };
+        let mopts = MergeOptions {
+            policy: FramePolicy {
+                max_records_per_frame: 32,
+                max_frames_per_dir: 2,
+            },
+            ..MergeOptions::default()
+        };
+        let serial = convert_and_merge(
+            &result.raw_files,
+            &result.threads,
+            &profile,
+            &copts,
+            &mopts,
+            1,
+        )?;
+        for jobs in [2, 3, 8] {
+            let sharded = convert_and_merge_sharded(
+                &result.raw_files,
+                &result.threads,
+                &profile,
+                &copts,
+                &mopts,
+                jobs,
+            )?;
+            assert_eq!(
+                serial.merged.merged, sharded.merged.merged,
+                "sharded merged bytes differ at jobs={jobs}"
+            );
+            assert_eq!(
+                serial.merged.stats.pseudo_added,
+                sharded.merged.stats.pseudo_added
+            );
+            assert_eq!(serial.converted.len(), sharded.converted.len());
+            for (a, b) in serial.converted.iter().zip(&sharded.converted) {
                 assert_eq!(a.interval_file, b.interval_file);
             }
         }

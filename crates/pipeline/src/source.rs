@@ -2,11 +2,12 @@
 //!
 //! Workers emit clock-adjusted intervals in batches over a bounded
 //! channel; [`ChannelSource`] adapts the receiving end to the merge
-//! crate's [`MergeSource`] trait so the k-way [`BalancedTreeMerge`]
+//! crate's [`MergeSource`] trait so the k-way [`LoserTreeMerge`]
 //! consumes a live stream exactly as it would an in-memory vector.
 //! Batching keeps channel traffic to one handoff per few thousand
-//! records, and the bounded capacity keeps memory flat while letting
-//! the merge overlap upstream decoding.
+//! records — the batch size adapts upward whenever a send blocks on a
+//! full channel — and the bounded capacity keeps memory flat while
+//! letting the merge overlap upstream decoding.
 //!
 //! Both channel ends are backpressure-instrumented: a send that finds
 //! the channel full counts into `pipeline/blocked_sends` and records
@@ -17,9 +18,9 @@
 //! the high-water mark). The `ute-profile` sampler turns these into
 //! counter tracks, so "who is waiting on whom" is visible per tick in
 //! the Chrome trace. Cost on the unblocked path: a couple of metric
-//! updates per *batch* (8192 records), noise next to the handoff.
+//! updates per *batch* (1024–65536 records), noise next to the handoff.
 //!
-//! [`BalancedTreeMerge`]: ute_merge::BalancedTreeMerge
+//! [`LoserTreeMerge`]: ute_merge::LoserTreeMerge
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -30,8 +31,12 @@ use ute_merge::MergeSource;
 
 use crate::pool::{Permit, Semaphore};
 
-/// Records per channel batch.
-pub const BATCH_RECORDS: usize = 8192;
+/// Starting records per channel batch. Small enough that the merge
+/// consumer gets its first records quickly even on short streams.
+pub const BATCH_RECORDS_MIN: usize = 1024;
+
+/// Ceiling for the adaptive batch size.
+pub const BATCH_RECORDS_MAX: usize = 65536;
 
 /// Bounded channel capacity, in batches, per node stream.
 pub const CHANNEL_BATCHES: usize = 8;
@@ -49,6 +54,15 @@ pub struct BatchSender<'a> {
     /// the producing end is recorded once, at the first batch shipped.
     link: u64,
     link_sent: bool,
+    /// Adaptive flush threshold: starts at [`BATCH_RECORDS_MIN`] and
+    /// doubles (to [`BATCH_RECORDS_MAX`]) each time a send finds the
+    /// channel full — the backpressure signal the
+    /// `pipeline/send_wait_ns` histogram also feeds. A producer that
+    /// outruns its consumer amortizes more records per handoff; one that
+    /// never blocks keeps batches small and latency low. Batch size only
+    /// changes *when* records cross the channel, never their order, so
+    /// the merged output stays byte-identical at any size.
+    cap: usize,
 }
 
 impl<'a> BatchSender<'a> {
@@ -63,19 +77,20 @@ impl<'a> BatchSender<'a> {
     ) -> BatchSender<'a> {
         BatchSender {
             tx,
-            batch: Vec::with_capacity(BATCH_RECORDS),
+            batch: Vec::with_capacity(BATCH_RECORDS_MIN),
             sem,
             permit: Some(permit),
             depth,
             link,
             link_sent: false,
+            cap: BATCH_RECORDS_MIN,
         }
     }
 
     /// Appends a record, flushing a full batch downstream.
     pub fn push(&mut self, iv: Interval) -> Result<()> {
         self.batch.push(iv);
-        if self.batch.len() >= BATCH_RECORDS {
+        if self.batch.len() >= self.cap {
             self.flush()?;
         }
         Ok(())
@@ -85,7 +100,7 @@ impl<'a> BatchSender<'a> {
         if self.batch.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH_RECORDS));
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(self.cap));
         if !self.link_sent {
             self.link_sent = true;
             ute_obs::flow_begin(self.link);
@@ -114,6 +129,10 @@ impl<'a> BatchSender<'a> {
         if sent.is_err() {
             return Err(UteError::Invalid("pipeline: merge consumer stopped".into()));
         }
+        // Backpressure: the consumer is behind, so amortize the next
+        // handoff over a bigger batch.
+        self.cap = (self.cap * 2).min(BATCH_RECORDS_MAX);
+        ute_obs::gauge("pipeline/batch_records").set_max(self.cap as f64);
         self.permit = Some(self.sem.acquire());
         Ok(())
     }

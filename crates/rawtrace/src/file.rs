@@ -11,7 +11,7 @@ use ute_core::error::{Result, UteError};
 use ute_core::ids::NodeId;
 use ute_core::time::TICKS_PER_SEC;
 
-use crate::hookword::{Hookword, FIXED_PREFIX};
+use crate::hookword::Hookword;
 use crate::record::RawEvent;
 
 /// Magic bytes opening every raw trace file.
@@ -90,7 +90,7 @@ fn valid_boundary(data: &[u8], at: usize) -> bool {
 
 /// Scans forward from `from` for the next valid record boundary, giving
 /// up after [`RESYNC_SCAN_LIMIT`] bytes.
-fn scan_resync(data: &[u8], from: usize) -> Option<usize> {
+pub(crate) fn scan_resync(data: &[u8], from: usize) -> Option<usize> {
     let limit = data.len().min(from.saturating_add(RESYNC_SCAN_LIMIT));
     (from..limit).find(|&at| valid_boundary(data, at))
 }
@@ -142,7 +142,31 @@ impl RawTraceFile {
     }
 
     /// Parses a serialized raw trace file.
+    ///
+    /// Built on the zero-copy layer: [`crate::RawTraceView::open`]
+    /// validates every record's bounds in one pass, then the owned
+    /// events are materialized from borrowed views into an
+    /// exactly-sized vector. Error behavior (including reported
+    /// offsets) is identical to the pre-zero-copy decoder, which is
+    /// kept as [`RawTraceFile::from_bytes_reference`] behind the
+    /// `reference-decode` feature and compared byte-for-byte by the
+    /// fast-vs-reference oracle.
     pub fn from_bytes(data: &[u8]) -> Result<RawTraceFile> {
+        let view = crate::view::RawTraceView::open(data)?;
+        let mut events = Vec::with_capacity(view.records);
+        events.extend(view.events().map(|v| v.to_owned()));
+        Ok(RawTraceFile {
+            node: view.node,
+            tick_rate: view.tick_rate,
+            events,
+        })
+    }
+
+    /// The pre-zero-copy strict decoder, kept verbatim as the
+    /// differential baseline for `ute-verify`'s fast-vs-reference
+    /// oracle. Decodes incrementally, copying each payload.
+    #[cfg(feature = "reference-decode")]
+    pub fn from_bytes_reference(data: &[u8]) -> Result<RawTraceFile> {
         let mut r = RawTraceReader::open(data)?;
         let cap = ute_core::codec::clamped_capacity(
             r.record_count as usize,
@@ -173,12 +197,33 @@ impl RawTraceFile {
     /// Every salvage event is reported in the returned [`SalvageReport`]
     /// and mirrored into the `salvage/*` metrics.
     pub fn from_bytes_salvage(data: &[u8]) -> Result<(RawTraceFile, SalvageReport)> {
+        let sv = crate::view::salvage_views(data)?;
+        let mut events = Vec::with_capacity(sv.events.len());
+        events.extend(sv.events.iter().map(|v| v.to_owned()));
+        Ok((
+            RawTraceFile {
+                node: sv.node,
+                tick_rate: sv.tick_rate,
+                events,
+            },
+            sv.report,
+        ))
+    }
+
+    /// The pre-zero-copy salvage decoder, kept verbatim (minus the
+    /// metric side effects, which the production path already records)
+    /// as the differential baseline for the fast-vs-reference oracle.
+    #[cfg(feature = "reference-decode")]
+    pub fn from_bytes_salvage_reference(data: &[u8]) -> Result<(RawTraceFile, SalvageReport)> {
         let rd = RawTraceReader::open(data)?;
         let (node, tick_rate, record_count) = (rd.node, rd.tick_rate, rd.record_count);
         let mut r = ByteReader::new(data);
         r.seek(HEADER_LEN as u64)?;
-        let cap =
-            ute_core::codec::clamped_capacity(record_count as usize, FIXED_PREFIX, data.len());
+        let cap = ute_core::codec::clamped_capacity(
+            record_count as usize,
+            crate::hookword::FIXED_PREFIX,
+            data.len(),
+        );
         let mut events = Vec::with_capacity(cap);
         let mut report = SalvageReport::default();
         while !r.is_empty() {
@@ -204,11 +249,6 @@ impl RawTraceFile {
         }
         report.records = events.len() as u64;
         report.count_mismatch = report.records != record_count;
-        if !report.is_clean() {
-            ute_obs::counter("salvage/records_skipped").add(report.records_skipped);
-            ute_obs::counter("salvage/bytes_skipped").add(report.bytes_skipped);
-            ute_obs::counter("salvage/resyncs").add(report.resyncs);
-        }
         Ok((
             RawTraceFile {
                 node,
@@ -225,17 +265,20 @@ impl RawTraceFile {
         Ok(())
     }
 
-    /// Reads a file from disk.
+    /// Reads a file from disk, memory-mapping it where supported (see
+    /// [`crate::mmap::map_file`]) so decoding views never pays a
+    /// read-into-buffer copy of the whole file.
     pub fn read_from(path: &std::path::Path) -> Result<RawTraceFile> {
         let _span = ute_obs::Span::enter("rawtrace", format!("read {}", path.display()));
-        let data = std::fs::read(path)?;
+        let data = crate::mmap::map_file(path)?;
         RawTraceFile::from_bytes(&data)
     }
 
-    /// Reads a file from disk in salvage mode.
+    /// Reads a file from disk in salvage mode, memory-mapped where
+    /// supported — the salvage resync scan runs directly on the mapping.
     pub fn read_from_salvage(path: &std::path::Path) -> Result<(RawTraceFile, SalvageReport)> {
         let _span = ute_obs::Span::enter("rawtrace", format!("salvage read {}", path.display()));
-        let data = std::fs::read(path)?;
+        let data = crate::mmap::map_file(path)?;
         RawTraceFile::from_bytes_salvage(&data)
     }
 

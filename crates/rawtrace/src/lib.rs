@@ -13,6 +13,11 @@
 //! * [`buffer`] — the per-node trace buffer with configurable size, event
 //!   enable mask, delayed start, and flush accounting.
 //! * [`mod@file`] — the on-disk raw trace file, one per node.
+//! * [`view`] — zero-copy decoding: validate record bounds once, then
+//!   hand out borrowed [`RawEventView`]s instead of copying per record;
+//!   salvage resync runs on the same views.
+//! * [`mmap`] — read-only `mmap(2)` file ingestion (64-bit Linux, with a
+//!   portable `fs::read` fallback) feeding the view decoder.
 //! * [`facility`] — the per-node tracing handle the simulator (and a
 //!   traced program) uses to cut records; it owns the message sequence
 //!   numbers that let utilities match sends with receives.
@@ -23,12 +28,16 @@ pub mod cost;
 pub mod facility;
 pub mod file;
 pub mod hookword;
+pub mod mmap;
 pub mod record;
+pub mod view;
 
 pub use buffer::{BufferMode, TraceBuffer, TraceOptions};
 pub use facility::TraceFacility;
-pub use file::{RawTraceFile, RawTraceReader};
+pub use file::{RawTraceFile, RawTraceReader, SalvageReport};
 pub use hookword::Hookword;
+pub use mmap::{map_file, FileBytes};
 pub use record::{
     ClockPayload, DispatchPayload, MarkerDefPayload, MarkerPayload, MpiPayload, RawEvent,
 };
+pub use view::{decode_view, salvage_views, RawEventView, RawTraceView, SalvagedViews};

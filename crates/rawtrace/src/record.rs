@@ -7,7 +7,7 @@
 //! our payloads are in that ballpark (dispatch: 8 bytes, MPI: 24 bytes).
 
 use ute_core::codec::{ByteReader, ByteWriter};
-use ute_core::error::{Result, UteError};
+use ute_core::error::Result;
 use ute_core::event::EventCode;
 use ute_core::ids::{CpuId, LogicalThreadId};
 use ute_core::time::{LocalTime, Time};
@@ -49,20 +49,11 @@ impl RawEvent {
         Ok(())
     }
 
-    /// Reads one record from a reader.
+    /// Reads one record from a reader — the owned layer over the
+    /// zero-copy [`crate::view::decode_view`], which holds the single
+    /// copy of the bounds rules.
     pub fn decode(r: &mut ByteReader<'_>) -> Result<RawEvent> {
-        let at = r.pos();
-        let hook = Hookword::from_u32(r.get_u32()?).map_err(|e| match e {
-            UteError::Corrupt { what, .. } => UteError::corrupt_at(what, at),
-            other => other,
-        })?;
-        let timestamp = LocalTime(r.get_u64()?);
-        let payload = r.get_bytes(hook.payload_len())?.to_vec();
-        Ok(RawEvent {
-            code: hook.code,
-            timestamp,
-            payload,
-        })
+        Ok(crate::view::decode_view(r)?.to_owned())
     }
 }
 
@@ -259,6 +250,7 @@ impl MpiPayload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ute_core::error::UteError;
     use ute_core::event::MpiOp;
 
     #[test]

@@ -272,6 +272,67 @@ impl ScenarioSpec {
         spec
     }
 
+    /// The torture preset: a deliberately nasty merge workload at scale.
+    /// 256+ nodes (the DES is sparse in events, so this stays CI-sized),
+    /// symmetric ring/stencil/tree phases whose lock-step traffic mints
+    /// long runs of equal end timestamps across every node, a bursty
+    /// phase to pile ties onto rank 0, and a straggler so the schedule
+    /// ends in a blocking `Collect`. Built to stress the sharded merge:
+    /// tie groups must never straddle a shard boundary, and the stitched
+    /// output must be byte-identical to the serial merge.
+    pub fn torture(seed: u64) -> ScenarioSpec {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7047_u64.rotate_left(33) ^ 0x5eed);
+        let nodes = 256 + rng.gen_range(0u16..65);
+        let topology = TopologySpec {
+            nodes,
+            cpus_per_node: 2,
+            tasks_per_node: 1,
+            threads_per_task: 1,
+        };
+        let ntasks = topology.ntasks();
+        // O(ranks) patterns only — all-to-all at 256+ ranks would square
+        // the record count without stressing the merge any harder.
+        let symmetric = [
+            PatternKind::NearestNeighbor,
+            PatternKind::Ring,
+            PatternKind::Tree,
+        ];
+        let mut phases = Vec::new();
+        for i in 0..5usize {
+            phases.push(PhaseSpec {
+                kind: PhaseKind::Busy,
+                pattern: symmetric[(seed as usize).wrapping_add(i) % symmetric.len()],
+                rounds: rng.gen_range(3u32..6),
+                // Identical compute on every rank keeps the lock-step
+                // symmetry that makes end-timestamp ties common.
+                compute_us: 400 + 100 * i as u64,
+                bytes: 1u64 << rng.gen_range(8u32..13),
+            });
+        }
+        phases.push(PhaseSpec {
+            kind: PhaseKind::Bursty,
+            pattern: PatternKind::Hub,
+            rounds: rng.gen_range(3u32..5),
+            compute_us: 300,
+            bytes: 512,
+        });
+        let spec = ScenarioSpec {
+            seed,
+            topology,
+            chain_depth: 1,
+            chain_width: 1,
+            fanout: 2,
+            phases,
+            imbalance: ImbalanceSpec {
+                straggler: None,
+                size_skew: 2,
+                burst_len: 8,
+                bursty_senders: 2,
+            },
+        };
+        spec.with_straggler(1 + rng.gen_range(0u32..(ntasks - 1)), 4)
+    }
+
     /// Sets the straggler knob and guarantees the `Collect` ground-truth
     /// phase exists (appending one sized like the busiest phase if not).
     pub fn with_straggler(mut self, rank: u32, slowdown: u64) -> ScenarioSpec {
@@ -466,6 +527,28 @@ mod tests {
         );
         let spec = ScenarioSpec::from_seed(3).with_straggler(1, 4);
         assert!(spec.phases.iter().any(|p| p.kind == PhaseKind::Collect));
+    }
+
+    #[test]
+    fn torture_preset_is_large_deterministic_and_valid() {
+        for seed in [0u64, 9, 77, u64::MAX] {
+            let spec = ScenarioSpec::torture(seed);
+            assert_eq!(spec, ScenarioSpec::torture(seed), "seed {seed}");
+            assert!(spec.topology.nodes >= 256, "seed {seed}: too small");
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                spec.phases.iter().any(|p| p.kind == PhaseKind::Collect),
+                "seed {seed}: torture schedule must end in a Collect"
+            );
+            assert!(
+                spec.phases
+                    .iter()
+                    .all(|p| p.pattern != PatternKind::AllToAll),
+                "seed {seed}: all-to-all would square the record count"
+            );
+        }
+        assert_ne!(ScenarioSpec::torture(1), ScenarioSpec::torture(2));
     }
 
     #[test]

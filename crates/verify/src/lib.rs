@@ -14,7 +14,8 @@
 //! * **Differential oracles** ([`oracle`]) — pairs of pipelines the
 //!   design guarantees are equivalent (serial vs `--jobs N`, fused vs
 //!   staged, salvage ⊆ strict under loss-only faults, clock-adjusted
-//!   order), run and compared.
+//!   order, zero-copy decode vs the `reference-decode` baseline), run
+//!   and compared.
 //! * **Structure-aware fuzzer** ([`fuzz`]) — seeded mutations over valid
 //!   corpora, driving every decoder; decoders must reject damage with
 //!   typed errors, never panic, never allocate unboundedly.
@@ -31,6 +32,6 @@ pub mod slog;
 pub use finding::{ArtifactKind, Finding, Report, Severity};
 pub use fuzz::{run_fuzz, FuzzOptions, FuzzStats};
 pub use ivl::{check_interval_bytes, IvlCheckOptions};
-pub use oracle::{loss_only_plan, run_all_oracles};
+pub use oracle::{loss_only_plan, oracle_fast_vs_reference, run_all_oracles};
 pub use raw::{check_raw_bytes, check_salvage_agrees};
 pub use slog::check_slog_bytes;

@@ -11,6 +11,7 @@
 //! | `oracle-fused-staged` | fused convert+merge vs staged | byte-identical output |
 //! | `oracle-salvage-subset` | salvage over lossy inputs vs strict over clean | record multiset ⊆ |
 //! | `oracle-clock-monotone` | clock-adjusted stream vs its own order | end times non-decreasing |
+//! | `oracle-fast-vs-reference` | zero-copy decode vs pre-zero-copy decode | identical files, errors, and salvage reports |
 
 use std::collections::BTreeMap;
 
@@ -24,6 +25,7 @@ use ute_format::state::StateCode;
 use ute_format::thread_table::ThreadTable;
 use ute_merge::{adjust_node, merge_files, slogmerge, MergeOptions};
 use ute_pipeline::{convert_and_merge, merge_files_jobs, slogmerge_jobs};
+use ute_rawtrace::RawTraceFile;
 use ute_slog::builder::BuildOptions;
 use ute_workloads::micro;
 
@@ -403,14 +405,155 @@ pub fn oracle_clock_monotone() -> Report {
     report
 }
 
+/// The zero-copy decode path (`RawTraceFile::from_bytes` /
+/// `from_bytes_salvage`, built on validated borrowed views) and the
+/// pre-zero-copy reference decoders (kept behind `ute-rawtrace`'s
+/// `reference-decode` feature) must be observationally identical: the
+/// same decoded file or the same error text on strict decode, and the
+/// same recovered events plus the same [`ute_rawtrace::SalvageReport`]
+/// in salvage mode. Checked over the corpus's clean raw files and over
+/// every byte-level fault-plan mutation of them — including plans that
+/// damage the header, where both decoders must fail identically.
+pub fn oracle_fast_vs_reference(seed: u64) -> Report {
+    let mut report = Report::new(
+        format!("fast vs reference decode (seed {seed})"),
+        ArtifactKind::Oracle,
+    );
+    run_rule(&mut report, "oracle-fast-vs-reference", |r| {
+        let c = match corpus() {
+            Ok(c) => c,
+            Err(e) => {
+                r.findings.push(Finding::error(
+                    "oracle-fast-vs-reference",
+                    format!("corpus generation failed: {e}"),
+                ));
+                return;
+            }
+        };
+        let mut inputs: Vec<(String, Vec<u8>)> = Vec::new();
+        for f in &c.raw_files {
+            match f.to_bytes() {
+                Ok(b) => inputs.push((format!("node {} clean", f.node.raw()), b)),
+                Err(e) => {
+                    r.findings.push(Finding::error(
+                        "oracle-fast-vs-reference",
+                        format!("node {} does not serialize: {e}", f.node.raw()),
+                    ));
+                    return;
+                }
+            }
+        }
+        let clean = inputs.clone();
+        for plan_seed in seed..seed + 4 {
+            let plan = FaultPlan::byte_level_from_seed(plan_seed, clean.len() as u16);
+            for (node, (label, bytes)) in clean.iter().enumerate() {
+                // protect == 0: header damage is in scope — the two
+                // decoders must reject it with the same error.
+                if let Some(damaged) = plan.apply_to_file(node as u16, bytes.clone(), 0) {
+                    if damaged != *bytes {
+                        inputs.push((format!("{label} + plan `{plan}`"), damaged));
+                    }
+                }
+            }
+        }
+        for (label, bytes) in &inputs {
+            match (
+                RawTraceFile::from_bytes(bytes),
+                RawTraceFile::from_bytes_reference(bytes),
+            ) {
+                (Ok(fast), Ok(reference)) => {
+                    if fast == reference {
+                        r.records += fast.events.len() as u64;
+                    } else {
+                        r.findings.push(Finding::error(
+                            "oracle-fast-vs-reference",
+                            format!("strict decode of {label}: fast and reference files differ"),
+                        ));
+                    }
+                }
+                (Err(fast), Err(reference)) => {
+                    if fast.to_string() != reference.to_string() {
+                        r.findings.push(Finding::error(
+                            "oracle-fast-vs-reference",
+                            format!(
+                                "strict decode of {label}: fast error `{fast}` vs \
+                                 reference error `{reference}`"
+                            ),
+                        ));
+                    }
+                }
+                (fast, reference) => r.findings.push(Finding::error(
+                    "oracle-fast-vs-reference",
+                    format!(
+                        "strict decode of {label}: fast {} but reference {}",
+                        if fast.is_ok() { "accepts" } else { "rejects" },
+                        if reference.is_ok() {
+                            "accepts"
+                        } else {
+                            "rejects"
+                        },
+                    ),
+                )),
+            }
+            match (
+                RawTraceFile::from_bytes_salvage(bytes),
+                RawTraceFile::from_bytes_salvage_reference(bytes),
+            ) {
+                (Ok((fast, fast_rep)), Ok((reference, ref_rep))) => {
+                    if fast != reference {
+                        r.findings.push(Finding::error(
+                            "oracle-fast-vs-reference",
+                            format!("salvage of {label}: recovered events differ"),
+                        ));
+                    }
+                    if fast_rep != ref_rep {
+                        r.findings.push(Finding::error(
+                            "oracle-fast-vs-reference",
+                            format!(
+                                "salvage of {label}: reports differ \
+                                 (fast {fast_rep:?} vs reference {ref_rep:?})"
+                            ),
+                        ));
+                    }
+                }
+                (Err(fast), Err(reference)) => {
+                    if fast.to_string() != reference.to_string() {
+                        r.findings.push(Finding::error(
+                            "oracle-fast-vs-reference",
+                            format!(
+                                "salvage of {label}: fast error `{fast}` vs \
+                                 reference error `{reference}`"
+                            ),
+                        ));
+                    }
+                }
+                (fast, reference) => r.findings.push(Finding::error(
+                    "oracle-fast-vs-reference",
+                    format!(
+                        "salvage of {label}: fast {} but reference {}",
+                        if fast.is_ok() { "recovers" } else { "rejects" },
+                        if reference.is_ok() {
+                            "recovers"
+                        } else {
+                            "rejects"
+                        },
+                    ),
+                )),
+            }
+        }
+    });
+    report
+}
+
 /// Runs every differential oracle; `seed` varies the loss plan of the
-/// salvage-subset oracle.
+/// salvage-subset oracle and the corruption plans of the decode oracle.
 pub fn run_all_oracles(seed: u64) -> Vec<Report> {
     vec![
         oracle_jobs_determinism(),
         oracle_fused_staged(),
         oracle_salvage_subset(seed),
         oracle_clock_monotone(),
+        oracle_fast_vs_reference(seed),
     ]
 }
 
@@ -435,6 +578,15 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let r = oracle_salvage_subset(seed);
             assert!(r.passed(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn fast_vs_reference_holds_across_seeds() {
+        for seed in [1u64, 11, 29] {
+            let r = oracle_fast_vs_reference(seed);
+            assert!(r.passed(), "{}", r.render());
+            assert!(r.records > 0, "decode oracle examined no records");
         }
     }
 
